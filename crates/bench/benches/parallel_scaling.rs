@@ -1,0 +1,38 @@
+//! Parallel-synthesis scaling: the paper's 1- vs 4-thread comparison,
+//! extended to a thread sweep.
+//!
+//! The paper reports 1.5x (MSI-small) and 2.5x (MSI-large) end-to-end
+//! improvements at 4 threads, noting that "parallel synthesis will yield the
+//! greatest benefit for larger problem sizes, as initial runs may incur
+//! frequent synchronization" — the same shape appears here: the small
+//! problems are dominated by the serial discovery generations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use verc3_core::{PatternMode, SynthOptions, Synthesizer};
+use verc3_protocols::msi::{MsiConfig, MsiModel};
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+
+    let model = MsiModel::new(MsiConfig::msi_small());
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("msi_small_refined/{threads}t"), |b| {
+            b.iter(|| {
+                let r = Synthesizer::new(
+                    SynthOptions::default()
+                        .pattern_mode(PatternMode::Refined)
+                        .threads(threads),
+                )
+                .run(&model);
+                assert!(!r.solutions().is_empty());
+                r.stats().evaluated
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the paper's **Figure 2**: the worked example of the synthesis
+//! procedure with candidate pruning.
+//!
+//! ```text
+//! cargo run -p verc3-bench --bin fig2
+//! ```
+//!
+//! Prints the per-run table (candidate, verdict, pattern recorded, holes
+//! discovered) and checks that the totals match the paper exactly: 10 runs
+//! with pruning versus 24 naïve candidates, 5 pruning patterns, and the
+//! unique solution `⟨ 1@B, 2@A, 3@B, 4@B ⟩`.
+
+use verc3_core::{SynthOptions, Synthesizer};
+use verc3_mck::GraphModel;
+
+fn main() {
+    let model = GraphModel::worked_example();
+
+    println!("Figure 2 — worked example of synthesis with candidate pruning");
+    println!("==============================================================");
+    println!();
+
+    let report =
+        Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+    println!("{}", report.run_table());
+
+    let naive = Synthesizer::new(SynthOptions::default().pruning(false)).run(&model);
+
+    println!("with pruning : {} candidates evaluated (paper: 10)", report.stats().evaluated);
+    println!("naive        : {} candidates evaluated (paper: 24)", naive.stats().evaluated);
+    println!("patterns     : {} (paper: 5)", report.stats().patterns);
+    for s in report.solutions() {
+        println!("solution     : {} (paper: ⟨ 1@B, 2@A, 3@B, 4@B ⟩)", s.display_named(report.holes()));
+    }
+
+    assert_eq!(report.stats().evaluated, 10, "must match the paper");
+    assert_eq!(naive.stats().evaluated, 24, "must match the paper");
+    assert_eq!(report.stats().patterns, 5, "must match the paper");
+    println!();
+    println!("all Figure 2 quantities reproduced exactly");
+}

@@ -1,0 +1,87 @@
+//! Verifies the paper's **Figure 3** protocol (directory-based MSI, stable
+//! states as drawn, unordered networks) plus the companion VI and MESI
+//! models, reporting state-space statistics.
+//!
+//! ```text
+//! cargo run --release -p verc3-bench --bin fig3_check [--dot]
+//! ```
+//!
+//! `--dot` additionally writes the full explored state graph of the 2-cache
+//! VI protocol to `vi_2cache.dot` (small enough to render with Graphviz).
+
+use verc3_bench::verify;
+use verc3_mck::{Checker, CheckerOptions, Verdict};
+use verc3_protocols::mesi::{MesiConfig, MesiModel};
+use verc3_protocols::msi::{MsiConfig, MsiModel};
+use verc3_protocols::vi::{ViConfig, ViModel};
+
+fn main() {
+    let dot = std::env::args().any(|a| a == "--dot");
+
+    println!("Figure 3 — protocol verification (golden models, all properties)");
+    println!("=================================================================");
+    println!();
+    println!(
+        "{:<28} {:>8} {:>9} {:>12}",
+        "Model", "Verdict", "States", "Transitions"
+    );
+    println!("{}", "-".repeat(62));
+
+    let mut all_ok = true;
+    let mut run = |label: &str, verdict: Verdict, states: usize, transitions: usize| {
+        println!("{label:<28} {verdict:>8} {states:>9} {transitions:>12}");
+        all_ok &= verdict == Verdict::Success;
+    };
+
+    for n in [2usize, 3, 4] {
+        let model = MsiModel::new(MsiConfig { n_caches: n, ..MsiConfig::golden() });
+        let (v, s, t) = verify(&model);
+        run(&format!("MSI golden ({n} caches)"), v, s, t);
+    }
+    {
+        let model =
+            MsiModel::new(MsiConfig { symmetry: false, ..MsiConfig::golden() });
+        let (v, s, t) = verify(&model);
+        run("MSI golden (3, no symmetry)", v, s, t);
+    }
+    {
+        let model =
+            MsiModel::new(MsiConfig { data_values: true, ..MsiConfig::golden() });
+        let (v, s, t) = verify(&model);
+        run("MSI golden (3, data values)", v, s, t);
+    }
+    for n in [2usize, 3] {
+        let model = MesiModel::new(MesiConfig { n_caches: n, ..MesiConfig::golden() });
+        let (v, s, t) = verify(&model);
+        run(&format!("MESI golden ({n} caches)"), v, s, t);
+    }
+    for n in [2usize, 3] {
+        let model = ViModel::new(ViConfig { n_caches: n, ..ViConfig::golden() });
+        let (v, s, t) = verify(&model);
+        run(&format!("VI golden ({n} caches)"), v, s, t);
+    }
+
+    println!();
+    println!(
+        "properties: SWMR / exclusivity, no-protocol-error, stable-state \
+         reachability, eventual quiescence, deadlock freedom"
+    );
+    println!(
+        "paper reports 5207/6025/6332 visited states for its correct MSI-large \
+         solutions; our stalling-directory design serializes more and explores \
+         fewer states at the same cache count (see EXPERIMENTS.md)."
+    );
+
+    if dot {
+        let model = ViModel::new(ViConfig::golden());
+        let out = Checker::new(CheckerOptions::default().keep_graph(true)).run(&model);
+        let graph = out.graph().expect("graph kept");
+        let path = "vi_2cache.dot";
+        std::fs::write(path, graph.to_dot("vi-2cache")).expect("write dot file");
+        println!("wrote {path} ({} states)", graph.len());
+    }
+
+    assert!(all_ok, "all golden protocols must verify");
+    println!();
+    println!("all golden protocols verified");
+}

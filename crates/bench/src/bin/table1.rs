@@ -1,0 +1,137 @@
+//! Regenerates the paper's **Table I**: the MSI coherence-protocol case
+//! study under naïve enumeration, candidate pruning, and parallel synthesis.
+//!
+//! ```text
+//! cargo run --release -p verc3-bench --bin table1 -- [--small] [--large]
+//!     [--naive-large-full] [--classify] [--samples N]
+//! ```
+//!
+//! By default both problem sizes run; the MSI-large naïve baseline — which
+//! took the paper 31 573 s — is extrapolated from a uniform random sample of
+//! candidates unless `--naive-large-full` forces the real thing.
+
+use verc3_bench::{estimate_naive_row, paper, row_header, run_synthesis_row, MeasuredRow};
+use verc3_protocols::msi::MsiConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let small = has("--small") || !has("--large");
+    let large = has("--large") || !has("--small");
+    let classify = has("--classify");
+    let samples: usize = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+
+    println!("Table I — MSI coherence protocol case study (reproduction)");
+    println!("===========================================================");
+    println!();
+    println!("{}", row_header());
+    println!("{}", "-".repeat(104));
+
+    let mut rows: Vec<MeasuredRow> = Vec::new();
+    let mut reports = Vec::new();
+
+    if small {
+        let (row, _) =
+            run_synthesis_row("MSI-small 1 thread, no pruning", MsiConfig::msi_small(), false, 1);
+        println!("{}", row.format());
+        rows.push(row);
+        let (row, report) =
+            run_synthesis_row("MSI-small 1 thread, pruning", MsiConfig::msi_small(), true, 1);
+        println!("{}", row.format());
+        rows.push(row);
+        reports.push(("MSI-small", report));
+        let (row, _) =
+            run_synthesis_row("MSI-small 4 threads, pruning", MsiConfig::msi_small(), true, 4);
+        println!("{}", row.format());
+        rows.push(row);
+    }
+
+    if large {
+        let naive_row = if has("--naive-large-full") {
+            let (row, _) = run_synthesis_row(
+                "MSI-large 1 thread, no pruning",
+                MsiConfig::msi_large(),
+                false,
+                1,
+            );
+            row
+        } else {
+            estimate_naive_row(
+                "MSI-large 1 thread, no pruning",
+                MsiConfig::msi_large(),
+                samples,
+                0xC0FFEE,
+            )
+        };
+        println!("{}", naive_row.format());
+        rows.push(naive_row);
+        let (row, report) =
+            run_synthesis_row("MSI-large 1 thread, pruning", MsiConfig::msi_large(), true, 1);
+        println!("{}", row.format());
+        rows.push(row);
+        reports.push(("MSI-large", report));
+        let (row, _) =
+            run_synthesis_row("MSI-large 4 threads, pruning", MsiConfig::msi_large(), true, 4);
+        println!("{}", row.format());
+        rows.push(row);
+    }
+
+    println!();
+    println!("Paper reference (Table I, i7-4800MQ, Clang 3.8.1):");
+    for r in paper::TABLE1 {
+        let skip_small = !small && r.label.contains("small");
+        let skip_large = !large && r.label.contains("large");
+        if skip_small || skip_large {
+            continue;
+        }
+        println!(
+            "  {:<34} holes={:<3} candidates={:<13} patterns={:<8} evaluated={:<11} solutions={:<3} time={}s",
+            r.label,
+            r.holes,
+            r.candidates,
+            r.patterns.map_or("N/A".to_owned(), |p| p.to_string()),
+            r.evaluated,
+            r.solutions,
+            r.seconds,
+        );
+    }
+
+    // Headline ratios, paper vs measured.
+    println!();
+    for size in ["MSI-small", "MSI-large"] {
+        let naive = rows.iter().find(|r| r.label.contains(size) && r.patterns.is_none());
+        let pruned = rows
+            .iter()
+            .find(|r| r.label.contains(size) && r.patterns.is_some() && r.label.contains("1 thread"));
+        if let (Some(n), Some(p)) = (naive, pruned) {
+            let reduction = 100.0 * (1.0 - p.evaluated as f64 / n.evaluated as f64);
+            let speedup = n.wall.as_secs_f64() / p.wall.as_secs_f64().max(1e-9);
+            let paper_red = if size == "MSI-small" { 99.6 } else { 99.8 };
+            let paper_speedup = if size == "MSI-small" { 35.8 } else { 42.7 };
+            println!(
+                "{size}: evaluated-candidate reduction {reduction:.2}% (paper: {paper_red}%), \
+                 speedup {speedup:.1}x (paper: {paper_speedup}x){}",
+                if n.estimated { " [naive extrapolated]" } else { "" },
+            );
+        }
+    }
+
+    if classify {
+        println!();
+        println!(
+            "Solution equivalence classes by visited states (paper: groups of 5207/6025/6332):"
+        );
+        for (label, report) in &reports {
+            let classes = report.solution_classes();
+            println!("  {label}: {classes:?}");
+            for s in report.solutions() {
+                println!("    {} ({} states)", s.display_named(report.holes()), s.visited_states);
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Candidate configuration vectors.
+//!
+//! A *candidate* is one complete assignment of actions to (discovered)
+//! holes, the unit the synthesis procedure dispatches to the model checker.
+//! Internally it is "a vector of indices pointing to the respective current
+//! action; upon hole discovery a new entry is appended" (§II). Entries
+//! beyond the enumeration frontier hold the *wildcard* default, rendered
+//! `?` as in the paper's Figure 2 (`⟨ 1@C, 2@? ⟩`).
+
+use crate::hole::HoleInfo;
+use std::fmt;
+
+/// One entry of a candidate configuration vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Slot {
+    /// The wildcard/default action: unassigned, aborts execution branches.
+    #[default]
+    Wildcard,
+    /// A concrete action index into the hole's library.
+    Action(u16),
+}
+
+impl Slot {
+    /// The concrete action index, or `None` for the wildcard.
+    pub fn action(self) -> Option<u16> {
+        match self {
+            Slot::Action(a) => Some(a),
+            Slot::Wildcard => None,
+        }
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Slot::Wildcard => f.write_str("?"),
+            Slot::Action(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A candidate configuration: action choices for holes `0..len`, in hole
+/// discovery order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CandidateVec {
+    slots: Vec<Slot>,
+}
+
+impl CandidateVec {
+    /// The empty candidate — the starting point of every synthesis run.
+    pub fn new() -> Self {
+        CandidateVec::default()
+    }
+
+    /// Builds a candidate from a concrete action prefix plus `wildcards`
+    /// trailing wildcard entries.
+    pub fn from_digits(digits: &[u16], wildcards: usize) -> Self {
+        let mut slots: Vec<Slot> = digits.iter().map(|&d| Slot::Action(d)).collect();
+        slots.extend(std::iter::repeat(Slot::Wildcard).take(wildcards));
+        CandidateVec { slots }
+    }
+
+    /// The slots in hole order.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Number of entries (discovered holes at the time of creation).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` for the empty candidate.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The length of the leading run of concrete actions.
+    pub fn concrete_prefix_len(&self) -> usize {
+        self.slots.iter().take_while(|s| matches!(s, Slot::Action(_))).count()
+    }
+
+    /// Renders the candidate with hole and action *names*, Figure-2 style:
+    /// `⟨ 1@B, 2@? ⟩`.
+    ///
+    /// `holes` must be the registry snapshot covering at least `self.len()`
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holes` is shorter than the candidate, or an action index is
+    /// out of range for its hole.
+    pub fn display_named(&self, holes: &[HoleInfo]) -> String {
+        assert!(holes.len() >= self.slots.len(), "hole table shorter than candidate");
+        let mut out = String::from("⟨");
+        for (i, slot) in self.slots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push(' ');
+            out.push_str(&holes[i].name);
+            out.push('@');
+            match slot {
+                Slot::Wildcard => out.push('?'),
+                Slot::Action(a) => out.push_str(&holes[i].actions[*a as usize]),
+            }
+        }
+        out.push_str(" ⟩");
+        out
+    }
+}
+
+impl fmt::Display for CandidateVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match slot {
+                Slot::Wildcard => write!(f, " {i}@?")?,
+                Slot::Action(a) => write!(f, " {i}@{a}")?,
+            }
+        }
+        write!(f, " ⟩")
+    }
+}
+
+impl FromIterator<Slot> for CandidateVec {
+    fn from_iter<I: IntoIterator<Item = Slot>>(iter: I) -> Self {
+        CandidateVec { slots: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn holes() -> Vec<HoleInfo> {
+        vec![
+            HoleInfo { name: "1".into(), actions: vec!["A".into(), "B".into(), "C".into()] },
+            HoleInfo { name: "2".into(), actions: vec!["A".into(), "B".into()] },
+        ]
+    }
+
+    #[test]
+    fn from_digits_and_prefix() {
+        let c = CandidateVec::from_digits(&[2, 0], 1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.concrete_prefix_len(), 2);
+        assert_eq!(c.slots()[2], Slot::Wildcard);
+    }
+
+    #[test]
+    fn display_matches_figure_2_style() {
+        let c = CandidateVec::from_digits(&[2], 1);
+        assert_eq!(c.display_named(&holes()), "⟨ 1@C, 2@? ⟩");
+        assert_eq!(c.to_string(), "⟨ 0@2, 1@? ⟩");
+    }
+
+    #[test]
+    fn empty_candidate() {
+        let c = CandidateVec::new();
+        assert!(c.is_empty());
+        assert_eq!(c.to_string(), "⟨ ⟩");
+        assert_eq!(c.display_named(&holes()), "⟨ ⟩");
+    }
+
+    #[test]
+    fn slot_accessor() {
+        assert_eq!(Slot::Action(4).action(), Some(4));
+        assert_eq!(Slot::Wildcard.action(), None);
+    }
+}

@@ -1,0 +1,262 @@
+//! Mixed-radix enumeration of candidate configurations with subtree
+//! skipping.
+//!
+//! Candidates over `k` concrete holes form a mixed-radix number system:
+//! digit `i` ranges over hole `i`'s action library, with hole `0` (the first
+//! discovered) most significant — matching the paper's worked example, where
+//! later-discovered holes vary fastest. The [`Odometer`] walks a *range* of
+//! this space (ranges are how the parallel driver splits work) and supports
+//! the two operations the pruning synthesizer needs:
+//!
+//! * [`Odometer::advance`] — step to the next candidate; and
+//! * [`Odometer::skip_subtree`] — jump past every remaining candidate that
+//!   shares the current first `d` digits, in O(k), reporting how many
+//!   candidates were skipped (the pruning statistic).
+
+use std::fmt;
+
+/// Mixed-radix counter over a candidate range.
+#[derive(Debug, Clone)]
+pub struct Odometer {
+    radices: Vec<u32>,
+    digits: Vec<u16>,
+    /// Linear index of the current candidate within the *full* space.
+    index: u128,
+    /// Exclusive upper bound of this walker's range.
+    end: u128,
+    /// Suffix products: `weight[i]` = number of candidates per assignment of
+    /// digits `0..i` = `radices[i..]` product; `weight[k]` = 1.
+    weight: Vec<u128>,
+}
+
+impl Odometer {
+    /// Creates an odometer over the entire space of the given radices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any radix is zero.
+    pub fn new(radices: Vec<u32>) -> Self {
+        let total = space_size(&radices);
+        Self::over_range(radices, 0, total)
+    }
+
+    /// Creates an odometer over the half-open linear range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any radix is zero, or `start > end`, or `end` exceeds the
+    /// space size.
+    pub fn over_range(radices: Vec<u32>, start: u128, end: u128) -> Self {
+        assert!(radices.iter().all(|&r| r > 0), "zero radix");
+        let total = space_size(&radices);
+        assert!(start <= end && end <= total, "range [{start}, {end}) out of bounds ({total})");
+        let mut weight = vec![1u128; radices.len() + 1];
+        for i in (0..radices.len()).rev() {
+            weight[i] = weight[i + 1] * radices[i] as u128;
+        }
+        let mut digits = vec![0u16; radices.len()];
+        let mut rem = start;
+        for i in 0..radices.len() {
+            digits[i] = (rem / weight[i + 1]) as u16;
+            rem %= weight[i + 1];
+        }
+        Odometer { radices, digits, index: start, end, weight }
+    }
+
+    /// Number of digits (holes) in the space.
+    pub fn width(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// The current candidate's digits, or `None` if the range is exhausted.
+    pub fn current(&self) -> Option<&[u16]> {
+        (self.index < self.end).then_some(&self.digits[..])
+    }
+
+    /// Linear index of the current candidate.
+    pub fn index(&self) -> u128 {
+        self.index
+    }
+
+    /// Steps to the next candidate. Returns `false` if the range is
+    /// exhausted.
+    pub fn advance(&mut self) -> bool {
+        self.index += 1;
+        if self.index >= self.end {
+            return false;
+        }
+        for i in (0..self.digits.len()).rev() {
+            self.digits[i] += 1;
+            if (self.digits[i] as u32) < self.radices[i] {
+                return true;
+            }
+            self.digits[i] = 0;
+        }
+        // Carry out of the most significant digit can only happen past the
+        // end of the full space, which the index check above already caught.
+        unreachable!("odometer overflow before range end");
+    }
+
+    /// Skips every remaining candidate whose first `depth` digits equal the
+    /// current ones, returning how many candidates were skipped (including
+    /// the current one).
+    ///
+    /// After the call, [`Odometer::current`] is the first candidate of the
+    /// next subtree (or `None` if the range is exhausted). `depth == 0`
+    /// exhausts the entire range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is already exhausted or `depth > width()`.
+    pub fn skip_subtree(&mut self, depth: usize) -> u128 {
+        assert!(self.index < self.end, "skip on exhausted odometer");
+        assert!(depth <= self.width(), "depth out of range");
+
+        // Linear index of the end of the current depth-`depth` subtree.
+        let subtree = self.weight[depth];
+        let subtree_start = (self.index / subtree) * subtree;
+        let subtree_end = (subtree_start + subtree).min(self.end);
+        let skipped = subtree_end - self.index;
+        self.index = subtree_end;
+        if self.index < self.end {
+            // Recompute digits from the linear index (O(k); skips are rare
+            // relative to advances, and k is tiny).
+            let mut rem = self.index;
+            for i in 0..self.digits.len() {
+                self.digits[i] = (rem / self.weight[i + 1]) as u16;
+                rem %= self.weight[i + 1];
+            }
+        }
+        skipped
+    }
+}
+
+impl fmt::Display for Odometer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "odometer@{} {:?}", self.index, self.digits)
+    }
+}
+
+/// The total number of candidates in a mixed-radix space.
+pub fn space_size(radices: &[u32]) -> u128 {
+    radices.iter().map(|&r| r as u128).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(mut o: Odometer) -> Vec<Vec<u16>> {
+        let mut out = Vec::new();
+        while let Some(d) = o.current() {
+            out.push(d.to_vec());
+            if !o.advance() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn enumerates_lexicographically_msd_first() {
+        let all = collect(Odometer::new(vec![2, 3]));
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_width_space_has_one_candidate() {
+        let all = collect(Odometer::new(vec![]));
+        assert_eq!(all, vec![Vec::<u16>::new()]);
+    }
+
+    #[test]
+    fn range_split_partitions_space() {
+        let radices = vec![3, 2, 2];
+        let total = space_size(&radices) as u128;
+        let mut combined = Vec::new();
+        for (lo, hi) in [(0, 5), (5, 9), (9, total)] {
+            combined.extend(collect(Odometer::over_range(radices.clone(), lo, hi)));
+        }
+        assert_eq!(combined, collect(Odometer::new(radices)));
+    }
+
+    #[test]
+    fn skip_subtree_jumps_and_counts() {
+        // radices [2, 2, 2]; at [0,0,0] skip depth-1 subtree (prefix [0]):
+        // skips 4 candidates, lands on [1,0,0].
+        let mut o = Odometer::new(vec![2, 2, 2]);
+        assert_eq!(o.skip_subtree(1), 4);
+        assert_eq!(o.current(), Some(&[1, 0, 0][..]));
+
+        // Skip depth-2 subtree (prefix [1,0]): 2 candidates -> [1,1,0].
+        assert_eq!(o.skip_subtree(2), 2);
+        assert_eq!(o.current(), Some(&[1, 1, 0][..]));
+
+        // Skip at full depth = skip just this candidate.
+        assert_eq!(o.skip_subtree(3), 1);
+        assert_eq!(o.current(), Some(&[1, 1, 1][..]));
+
+        // Depth 0: everything that remains.
+        assert_eq!(o.skip_subtree(0), 1);
+        assert_eq!(o.current(), None);
+    }
+
+    #[test]
+    fn skip_mid_subtree_counts_remainder_only() {
+        let mut o = Odometer::new(vec![2, 2, 2]);
+        o.advance(); // at [0,0,1], index 1
+        assert_eq!(o.skip_subtree(1), 3, "only the rest of the [0,*,*] subtree");
+        assert_eq!(o.current(), Some(&[1, 0, 0][..]));
+    }
+
+    #[test]
+    fn skip_respects_range_end() {
+        let mut o = Odometer::over_range(vec![2, 2, 2], 0, 3);
+        assert_eq!(o.skip_subtree(1), 3, "range ends inside the subtree");
+        assert_eq!(o.current(), None);
+    }
+
+    #[test]
+    fn over_range_decodes_start_digits() {
+        let o = Odometer::over_range(vec![3, 2, 2], 7, 12);
+        // 7 = 1*4 + 1*2 + 1 -> digits [1, 1, 1]
+        assert_eq!(o.current(), Some(&[1, 1, 1][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero radix")]
+    fn zero_radix_rejected() {
+        let _ = Odometer::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn skips_plus_visits_cover_space_exactly() {
+        // Walk with pruning of every prefix [1, *]: counts must add up.
+        let radices = vec![3, 2, 2];
+        let mut o = Odometer::new(radices.clone());
+        let mut visited = 0u128;
+        let mut skipped = 0u128;
+        while let Some(d) = o.current() {
+            if d[0] == 1 {
+                skipped += o.skip_subtree(1);
+                continue;
+            }
+            visited += 1;
+            if !o.advance() {
+                break;
+            }
+        }
+        assert_eq!(visited + skipped, space_size(&radices));
+        assert_eq!(skipped, 4);
+    }
+}

@@ -1,0 +1,213 @@
+//! The candidate resolver: feeds one candidate configuration to the model
+//! checker and performs lazy hole discovery.
+//!
+//! One [`CandidateResolver`] lives for exactly one model-checking run (one
+//! candidate evaluation). It resolves hole consultations as follows:
+//!
+//! * hole id `< k` (inside the enumeration frontier): answer the candidate's
+//!   concrete action for it;
+//! * hole id `≥ k` (wildcard suffix, or discovered during this very run):
+//!   answer the configured *default* — [`verc3_mck::Choice::Wildcard`] in
+//!   pruning mode (aborting the branch, per §II), or action `0` in the naïve
+//!   baseline mode ("the default action substituted, such that the model
+//!   checker may continue").
+//!
+//! The resolver also records every *concrete* resolution it hands out (the
+//! "touched" set): failures prune based on it in refined-pattern mode, and
+//! solutions are identified by it (holes never consulted by a successful
+//! run are genuine don't-cares).
+
+use crate::hole::{HoleId, HoleRegistry};
+use std::collections::HashMap;
+use verc3_mck::{Choice, HoleResolver, HoleSpec};
+
+/// What undiscovered/unassigned holes resolve to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscoveryDefault {
+    /// Pruning mode: wildcard, aborting the execution branch.
+    Wildcard,
+    /// Naïve mode: the hole's first action, letting exploration continue.
+    ActionZero,
+}
+
+/// Per-thread cache mapping hole names to registry ids.
+///
+/// Lives longer than any single resolver: the worker thread reuses it across
+/// candidate evaluations so that, in the common case, resolving a hole does
+/// not take the registry lock at all — the lock-free fast path the paper
+/// found necessary (§II, *Parallel Synthesis*).
+pub type NameCache = HashMap<String, HoleId>;
+
+/// Hole resolver for one candidate evaluation.
+#[derive(Debug)]
+pub struct CandidateResolver<'a> {
+    registry: &'a HoleRegistry,
+    digits: &'a [u16],
+    default: DiscoveryDefault,
+    cache: &'a mut NameCache,
+    touched: Vec<(HoleId, u16)>,
+    /// Concrete resolutions since the last `begin_application` — the
+    /// per-transition consultation record the checker attributes to edges.
+    app_touches: Vec<(HoleId, u16)>,
+    discovered: usize,
+}
+
+impl<'a> CandidateResolver<'a> {
+    /// Creates a resolver for the candidate whose concrete prefix is
+    /// `digits` (one entry per hole id below the enumeration frontier).
+    pub fn new(
+        registry: &'a HoleRegistry,
+        digits: &'a [u16],
+        default: DiscoveryDefault,
+        cache: &'a mut NameCache,
+    ) -> Self {
+        CandidateResolver {
+            registry,
+            digits,
+            default,
+            cache,
+            touched: Vec::new(),
+            app_touches: Vec::new(),
+            discovered: 0,
+        }
+    }
+
+    /// Concrete `(hole, action)` resolutions handed out during the run, in
+    /// first-consultation order.
+    pub fn touched(&self) -> &[(HoleId, u16)] {
+        &self.touched
+    }
+
+    /// Consumes the resolver, returning the touched set.
+    pub fn into_touched(self) -> Vec<(HoleId, u16)> {
+        self.touched
+    }
+
+    /// Number of holes *newly discovered* during this evaluation.
+    pub fn discovered(&self) -> usize {
+        self.discovered
+    }
+
+    fn lookup(&mut self, spec: &HoleSpec) -> HoleId {
+        if let Some(&id) = self.cache.get(spec.name()) {
+            return id;
+        }
+        let (id, new) = self.registry.resolve_or_register(spec);
+        if new {
+            self.discovered += 1;
+        }
+        self.cache.insert(spec.name().to_owned(), id);
+        id
+    }
+
+    fn record(&mut self, id: HoleId, action: u16) {
+        if !self.touched.iter().any(|&(h, _)| h == id) {
+            self.touched.push((id, action));
+        }
+        if !self.app_touches.iter().any(|&(h, _)| h == id) {
+            self.app_touches.push((id, action));
+        }
+    }
+}
+
+impl HoleResolver for CandidateResolver<'_> {
+    fn choose(&mut self, spec: &HoleSpec) -> Choice {
+        let id = self.lookup(spec);
+        if id < self.digits.len() {
+            let action = self.digits[id];
+            debug_assert!(
+                (action as usize) < spec.arity(),
+                "candidate digit {action} out of range for hole `{}`",
+                spec.name()
+            );
+            self.record(id, action);
+            Choice::Action(action as usize)
+        } else {
+            match self.default {
+                DiscoveryDefault::Wildcard => Choice::Wildcard,
+                DiscoveryDefault::ActionZero => {
+                    self.record(id, 0);
+                    Choice::Action(0)
+                }
+            }
+        }
+    }
+
+    fn begin_application(&mut self) {
+        self.app_touches.clear();
+    }
+
+    fn application_touches(&self) -> &[(usize, u16)] {
+        &self.app_touches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, n: usize) -> HoleSpec {
+        HoleSpec::new(name, (0..n).map(|i| format!("a{i}")))
+    }
+
+    #[test]
+    fn assigned_holes_resolve_to_digits() {
+        let reg = HoleRegistry::new();
+        reg.resolve_or_register(&spec("x", 3));
+        reg.resolve_or_register(&spec("y", 2));
+        let mut cache = NameCache::new();
+        let digits = [2u16, 1u16];
+        let mut r = CandidateResolver::new(&reg, &digits, DiscoveryDefault::Wildcard, &mut cache);
+        assert_eq!(r.choose(&spec("x", 3)), Choice::Action(2));
+        assert_eq!(r.choose(&spec("y", 2)), Choice::Action(1));
+        assert_eq!(r.touched(), &[(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn unassigned_holes_follow_default() {
+        let reg = HoleRegistry::new();
+        let mut cache = NameCache::new();
+        let mut r = CandidateResolver::new(&reg, &[], DiscoveryDefault::Wildcard, &mut cache);
+        assert_eq!(r.choose(&spec("new", 2)), Choice::Wildcard);
+        assert_eq!(r.discovered(), 1);
+        assert!(r.touched().is_empty(), "wildcard resolutions are not touches");
+
+        let mut cache = NameCache::new();
+        let mut r = CandidateResolver::new(&reg, &[], DiscoveryDefault::ActionZero, &mut cache);
+        assert_eq!(r.choose(&spec("new", 2)), Choice::Action(0));
+        assert_eq!(r.discovered(), 0, "hole already known to the registry");
+        assert_eq!(r.touched(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn cache_survives_across_resolvers() {
+        let reg = HoleRegistry::new();
+        let mut cache = NameCache::new();
+        {
+            let mut r =
+                CandidateResolver::new(&reg, &[], DiscoveryDefault::Wildcard, &mut cache);
+            let _ = r.choose(&spec("h", 2));
+            assert_eq!(r.discovered(), 1);
+        }
+        {
+            let digits = [1u16];
+            let mut r =
+                CandidateResolver::new(&reg, &digits, DiscoveryDefault::Wildcard, &mut cache);
+            assert_eq!(r.choose(&spec("h", 2)), Choice::Action(1));
+            assert_eq!(r.discovered(), 0);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn touched_deduplicates_repeat_consultations() {
+        let reg = HoleRegistry::new();
+        reg.resolve_or_register(&spec("x", 2));
+        let mut cache = NameCache::new();
+        let digits = [1u16];
+        let mut r = CandidateResolver::new(&reg, &digits, DiscoveryDefault::Wildcard, &mut cache);
+        let _ = r.choose(&spec("x", 2));
+        let _ = r.choose(&spec("x", 2));
+        assert_eq!(r.touched().len(), 1);
+    }
+}

@@ -1,0 +1,630 @@
+//! The synthesis procedure: generational candidate enumeration with lazy
+//! hole discovery, candidate pruning, and optional parallel evaluation.
+//!
+//! The algorithm follows §II of the paper:
+//!
+//! 1. Start from the **empty candidate** — no holes are known.
+//! 2. Dispatch candidates to the embedded model checker. Newly encountered
+//!    holes are registered lazily and default to the wildcard action (or to
+//!    action 0 in the naïve baseline).
+//! 3. The candidate vector is partitioned into a concrete prefix (the
+//!    enumeration frontier, holes `0..k`) and a wildcard suffix. When a
+//!    **generation** — one full enumeration pass over the frontier — ends,
+//!    the frontier expands to every hole discovered so far ("once a hole has
+//!    been used as a non-wildcard ... it cannot be a wildcard again").
+//! 4. On failure, the candidate's configuration is recorded as a **pruning
+//!    pattern**; candidates matching any pattern are skipped without being
+//!    evaluated.
+//! 5. The run ends when a generation completes without discovering holes.
+//!    Verified candidates are reported as solutions.
+//!
+//! Parallel synthesis (paper §II, *Parallel Synthesis*) splits each
+//! generation's candidate range into chunks claimed by worker threads from an
+//! atomic dispenser; discoveries go through the shared [`HoleRegistry`], and
+//! pruning patterns propagate through a shared append-only log that workers
+//! sync from at chunk boundaries — so "each thread [can] make use of another
+//! thread's registered patterns as soon as they become available".
+
+use crate::candidate::CandidateVec;
+use crate::hole::{HoleId, HoleRegistry};
+use crate::odometer::{space_size, Odometer};
+use crate::pattern::{PatternMode, PatternTable, SparsePattern};
+use crate::report::{GenStats, RunRecord, Solution, SynthReport, SynthStats};
+use crate::resolver::{CandidateResolver, DiscoveryDefault, NameCache};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+use verc3_mck::{Checker, CheckerOptions, TransitionSystem, Verdict};
+
+/// Configuration for a [`Synthesizer`].
+///
+/// Consuming-builder style:
+///
+/// ```
+/// use verc3_core::SynthOptions;
+///
+/// let opts = SynthOptions::default().threads(4).record_runs(true);
+/// # let _ = opts;
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthOptions {
+    pruning: bool,
+    pattern_mode: PatternMode,
+    threads: usize,
+    checker: CheckerOptions,
+    chunk_size: u64,
+    max_evaluations: Option<u64>,
+    record_runs: bool,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            pruning: true,
+            pattern_mode: PatternMode::Exact,
+            threads: 1,
+            checker: CheckerOptions::default(),
+            chunk_size: 32,
+            max_evaluations: None,
+            record_runs: false,
+        }
+    }
+}
+
+impl SynthOptions {
+    /// Enables or disables candidate pruning. Disabling selects the paper's
+    /// naïve baseline: undiscovered holes take their first action instead of
+    /// the wildcard, and the full candidate product is evaluated.
+    pub fn pruning(mut self, enabled: bool) -> Self {
+        self.pruning = enabled;
+        self
+    }
+
+    /// Selects how failure patterns are recorded (paper-exact prefixes or
+    /// the refined touched-hole extension). Ignored when pruning is off.
+    pub fn pattern_mode(mut self, mode: PatternMode) -> Self {
+        self.pattern_mode = mode;
+        self
+    }
+
+    /// Number of worker threads evaluating candidates (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread is required");
+        self.threads = threads;
+        self
+    }
+
+    /// Model-checker options used for every candidate evaluation.
+    pub fn checker(mut self, options: CheckerOptions) -> Self {
+        self.checker = options;
+        self
+    }
+
+    /// Number of candidates a worker claims per dispensing step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn chunk_size(mut self, size: u64) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        self.chunk_size = size;
+        self
+    }
+
+    /// Stops the run (marking the report truncated) after this many
+    /// model-checker dispatches. A safety valve for exploratory use on
+    /// intractable skeletons.
+    pub fn max_evaluations(mut self, cap: u64) -> Self {
+        self.max_evaluations = Some(cap);
+        self
+    }
+
+    /// Records a Figure-2-style per-run log in the report. Intended for
+    /// single-threaded runs (with multiple threads the log order is
+    /// nondeterministic).
+    pub fn record_runs(mut self, record: bool) -> Self {
+        self.record_runs = record;
+        self
+    }
+}
+
+/// The explicit-state synthesis engine.
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Debug, Clone, Default)]
+pub struct Synthesizer {
+    options: SynthOptions,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with the given options.
+    pub fn new(options: SynthOptions) -> Self {
+        Synthesizer { options }
+    }
+
+    /// Runs synthesis to completion on `model` and reports the results.
+    pub fn run<M: TransitionSystem>(&self, model: &M) -> SynthReport {
+        let start = Instant::now();
+        let opts = &self.options;
+        let registry = HoleRegistry::new();
+        let checker = Checker::new(opts.checker.clone());
+
+        let shared = Shared {
+            registry: &registry,
+            checker: &checker,
+            options: opts,
+            hub: PatternHub::default(),
+            solutions: Mutex::new(Vec::new()),
+            run_log: Mutex::new(Vec::new()),
+            run_counter: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        };
+
+        let mut k = 0usize;
+        let mut prev_k = 0usize;
+        let mut generations: Vec<GenStats> = Vec::new();
+
+        loop {
+            let gen = self.run_generation(model, &shared, k, prev_k);
+            generations.push(gen);
+            if shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let known = registry.len();
+            if known > k {
+                prev_k = k;
+                k = known;
+            } else {
+                break;
+            }
+        }
+
+        let stats = SynthStats {
+            evaluated: generations.iter().map(|g| g.evaluated).sum(),
+            skipped_by_pruning: generations.iter().map(|g| g.skipped_by_pruning).sum(),
+            patterns: shared.hub.len(),
+            generations,
+            wall: start.elapsed(),
+            truncated: shared.stop.load(Ordering::Acquire),
+        };
+        SynthReport {
+            holes: registry.snapshot(),
+            solutions: shared.solutions.into_inner(),
+            stats,
+            run_log: shared.run_log.into_inner(),
+        }
+    }
+
+    /// Runs one generation: a full enumeration pass over holes `0..k`.
+    fn run_generation<M: TransitionSystem>(
+        &self,
+        model: &M,
+        shared: &Shared<'_>,
+        k: usize,
+        prev_k: usize,
+    ) -> GenStats {
+        let radices = shared.registry.arities(k);
+        let space = space_size(&radices);
+        let gen = GenShared {
+            chunk_counter: AtomicU64::new(0),
+            evaluated: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            radices,
+            space,
+            k,
+            prev_k,
+        };
+
+        let threads = self
+            .options
+            .threads
+            .min(usize::try_from(space.min(64)).expect("bounded by 64"))
+            .max(1);
+        if threads == 1 {
+            worker(model, shared, &gen);
+        } else {
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| worker(model, shared, &gen));
+                }
+            })
+            .expect("synthesis worker panicked");
+        }
+
+        GenStats {
+            k,
+            space,
+            evaluated: gen.evaluated.load(Ordering::Relaxed),
+            skipped_by_pruning: gen.skipped.load(Ordering::Relaxed) as u128,
+            deduped: gen.deduped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared across the whole synthesis run.
+struct Shared<'a> {
+    registry: &'a HoleRegistry,
+    checker: &'a Checker,
+    options: &'a SynthOptions,
+    hub: PatternHub,
+    solutions: Mutex<Vec<Solution>>,
+    run_log: Mutex<Vec<RunRecord>>,
+    run_counter: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// State shared across one generation's workers.
+struct GenShared {
+    chunk_counter: AtomicU64,
+    evaluated: AtomicU64,
+    skipped: AtomicU64,
+    deduped: AtomicU64,
+    radices: Vec<u32>,
+    space: u128,
+    k: usize,
+    prev_k: usize,
+}
+
+/// One worker's chunk-claiming evaluation loop.
+fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) {
+    let opts = shared.options;
+    let mut cache = NameCache::new();
+    let mut local_patterns = PatternTable::new();
+    let mut log_cursor = 0usize;
+    // The generation space is never larger than u64 in practice (MSI-large
+    // is ~1.2e9); guard anyway so a pathological skeleton fails loudly.
+    let total: u64 = gen.space.try_into().unwrap_or_else(|_| {
+        panic!("candidate space of {} exceeds the enumerable range", gen.space)
+    });
+    let chunk = opts.chunk_size;
+
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let lo = gen.chunk_counter.fetch_add(1, Ordering::Relaxed) * chunk;
+        if lo >= total.max(1) {
+            return;
+        }
+        let hi = (lo + chunk).min(total.max(1));
+        if opts.pruning {
+            shared.hub.sync_into(&mut local_patterns, &mut log_cursor);
+        }
+
+        let mut od = Odometer::over_range(gen.radices.clone(), lo as u128, hi as u128);
+        'candidates: while let Some(digits) = od.current() {
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            // Candidate pruning: check the table at every prefix depth; a hit
+            // skips the entire subtree below that depth in O(1).
+            if opts.pruning {
+                for d in 0..=gen.k {
+                    if local_patterns.prunes_subtree(&digits[..d]) {
+                        let n = od.skip_subtree(d);
+                        gen.skipped.fetch_add(n as u64, Ordering::Relaxed);
+                        continue 'candidates;
+                    }
+                }
+            } else if gen.k > gen.prev_k
+                && digits[gen.prev_k..gen.k].iter().all(|&x| x == 0)
+            {
+                // Naïve mode: a candidate whose new digits are all defaults
+                // is identical to one already evaluated last generation.
+                gen.deduped.fetch_add(1, Ordering::Relaxed);
+                if !od.advance() {
+                    break;
+                }
+                continue;
+            }
+
+            if let Some(cap) = opts.max_evaluations {
+                if shared.run_counter.load(Ordering::Relaxed) >= cap {
+                    shared.stop.store(true, Ordering::Release);
+                    return;
+                }
+            }
+
+            evaluate_candidate(model, shared, gen, digits.to_vec(), &mut cache, &mut local_patterns);
+            gen.evaluated.fetch_add(1, Ordering::Relaxed);
+
+            if !od.advance() {
+                break;
+            }
+        }
+    }
+}
+
+/// Dispatches one candidate to the model checker and files the result.
+fn evaluate_candidate<M: TransitionSystem>(
+    model: &M,
+    shared: &Shared<'_>,
+    gen: &GenShared,
+    digits: Vec<u16>,
+    cache: &mut NameCache,
+    local_patterns: &mut PatternTable,
+) {
+    let opts = shared.options;
+    let known_before = shared.registry.len();
+    let default =
+        if opts.pruning { DiscoveryDefault::Wildcard } else { DiscoveryDefault::ActionZero };
+
+    let mut resolver = CandidateResolver::new(shared.registry, &digits, default, cache);
+    let outcome = shared.checker.run_with(model, &mut resolver);
+    let touched = resolver.into_touched();
+    let run = shared.run_counter.fetch_add(1, Ordering::Relaxed) + 1;
+
+    let mut pattern_added = false;
+    match outcome.verdict() {
+        Verdict::Failure => {
+            if opts.pruning {
+                pattern_added = match opts.pattern_mode {
+                    PatternMode::Exact => shared.hub.publish_prefix(&digits, local_patterns),
+                    PatternMode::Refined => {
+                        // Prefer the checker's failure-attributed set (the
+                        // paper's Cₜ: resolutions along the counterexample
+                        // trace); fall back to everything this run consulted
+                        // for whole-space failures (unreachable goals,
+                        // quiescence), where only full agreement is sound.
+                        let relevant = outcome
+                            .failure()
+                            .and_then(|f| f.touched.as_deref())
+                            .unwrap_or(&touched);
+                        let pairs: SparsePattern =
+                            relevant.iter().map(|&(h, a)| (h as u16, a)).collect();
+                        shared.hub.publish_sparse(pairs, local_patterns)
+                    }
+                };
+            }
+        }
+        Verdict::Success => {
+            let mut assignment: Vec<(HoleId, u16)> = touched.clone();
+            assignment.sort_unstable();
+            let mut solutions = shared.solutions.lock();
+            if !solutions.iter().any(|s| s.assignment == assignment) {
+                solutions.push(Solution {
+                    assignment,
+                    visited_states: outcome.stats().states_visited,
+                    transitions: outcome.stats().transitions,
+                });
+            }
+        }
+        Verdict::Unknown => {}
+    }
+
+    if opts.record_runs {
+        let wildcards = known_before.saturating_sub(gen.k);
+        let discovered = shared.registry.names_from(known_before);
+        shared.run_log.lock().push(RunRecord {
+            run,
+            candidate: CandidateVec::from_digits(&digits, wildcards),
+            verdict: outcome.verdict(),
+            pattern_added,
+            discovered,
+        });
+    }
+}
+
+/// Shared pruning-pattern hub: canonical de-duplicated table plus an
+/// append-only log that workers replay into their thread-local tables.
+#[derive(Debug, Default)]
+struct PatternHub {
+    inner: Mutex<HubInner>,
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    canonical: PatternTable,
+    log: Vec<LogEntry>,
+}
+
+#[derive(Debug, Clone)]
+enum LogEntry {
+    Prefix(Vec<u16>),
+    Sparse(SparsePattern),
+}
+
+impl PatternHub {
+    /// Publishes a prefix pattern; merges into `local` as well. Returns
+    /// whether the pattern was new to the shared table.
+    fn publish_prefix(&self, prefix: &[u16], local: &mut PatternTable) -> bool {
+        local.merge_prefix(prefix.to_vec());
+        let mut inner = self.inner.lock();
+        if inner.canonical.insert_prefix(prefix) {
+            inner.log.push(LogEntry::Prefix(prefix.to_vec()));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sparse analogue of [`PatternHub::publish_prefix`].
+    fn publish_sparse(&self, pairs: SparsePattern, local: &mut PatternTable) -> bool {
+        local.merge_sparse(pairs.clone());
+        let mut inner = self.inner.lock();
+        if inner.canonical.insert_sparse(pairs.clone()) {
+            inner.log.push(LogEntry::Sparse(pairs));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replays log entries `[*cursor..]` into `local`.
+    fn sync_into(&self, local: &mut PatternTable, cursor: &mut usize) {
+        let inner = self.inner.lock();
+        for entry in &inner.log[*cursor..] {
+            match entry {
+                LogEntry::Prefix(p) => local.merge_prefix(p.clone()),
+                LogEntry::Sparse(s) => local.merge_sparse(s.clone()),
+            }
+        }
+        *cursor = inner.log.len();
+    }
+
+    /// Number of distinct patterns recorded.
+    fn len(&self) -> usize {
+        self.inner.lock().canonical.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verc3_mck::GraphModel;
+
+    #[test]
+    fn fig2_pruning_run_matches_paper() {
+        let model = GraphModel::worked_example();
+        let report =
+            Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+
+        assert_eq!(report.holes().len(), 4);
+        assert_eq!(report.naive_candidate_space(), 24);
+        assert_eq!(report.stats().evaluated, 10, "paper: 10 runs with pruning");
+        assert_eq!(report.stats().patterns, 5, "paper: 5 pruning patterns");
+        assert_eq!(report.solutions().len(), 1);
+        let sol = &report.solutions()[0];
+        assert_eq!(
+            sol.display_named(report.holes()),
+            "⟨ 1@B, 2@A, 3@B, 4@B ⟩",
+            "paper: the unique solution of the worked example"
+        );
+    }
+
+    #[test]
+    fn fig2_run_log_details() {
+        let model = GraphModel::worked_example();
+        let report =
+            Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+        let log = report.run_log();
+        assert_eq!(log.len(), 10);
+        let display: Vec<String> =
+            log.iter().map(|r| r.candidate.display_named(report.holes())).collect();
+        assert_eq!(
+            display,
+            vec![
+                "⟨ ⟩",
+                "⟨ 1@A ⟩",
+                "⟨ 1@B ⟩",
+                "⟨ 1@C, 2@? ⟩",
+                "⟨ 1@B, 2@A ⟩",
+                "⟨ 1@B, 2@B, 3@? ⟩",
+                "⟨ 1@B, 2@A, 3@A ⟩",
+                "⟨ 1@B, 2@A, 3@B ⟩",
+                "⟨ 1@B, 2@A, 3@B, 4@A ⟩",
+                "⟨ 1@B, 2@A, 3@B, 4@B ⟩",
+            ],
+            "run sequence must match the paper's Figure 2 exactly"
+        );
+        let patterns: Vec<bool> = log.iter().map(|r| r.pattern_added).collect();
+        assert_eq!(
+            patterns,
+            vec![false, true, false, true, false, true, true, false, true, false]
+        );
+        let discovered: Vec<Vec<String>> =
+            log.iter().map(|r| r.discovered.clone()).collect();
+        assert_eq!(discovered[0], vec!["1"]);
+        assert_eq!(discovered[2], vec!["2"]);
+        assert_eq!(discovered[4], vec!["3"]);
+        assert_eq!(discovered[7], vec!["4"]);
+    }
+
+    #[test]
+    fn fig2_naive_evaluates_full_product() {
+        let model = GraphModel::worked_example();
+        let report = Synthesizer::new(SynthOptions::default().pruning(false)).run(&model);
+        assert_eq!(report.stats().evaluated, 24, "naïve: the full product");
+        assert_eq!(report.stats().patterns, 0);
+        assert_eq!(report.solutions().len(), 1);
+        assert_eq!(
+            report.solutions()[0].display_named(report.holes()),
+            "⟨ 1@B, 2@A, 3@B, 4@B ⟩"
+        );
+    }
+
+    #[test]
+    fn refined_patterns_never_increase_evaluations() {
+        for seed in 0..20 {
+            let model = GraphModel::random(seed, 6, 3);
+            let exact = Synthesizer::new(SynthOptions::default()).run(&model);
+            let refined = Synthesizer::new(
+                SynthOptions::default().pattern_mode(PatternMode::Refined),
+            )
+            .run(&model);
+            assert!(
+                refined.stats().evaluated <= exact.stats().evaluated,
+                "seed {seed}: refined {} > exact {}",
+                refined.stats().evaluated,
+                exact.stats().evaluated
+            );
+            assert_eq!(
+                solution_set(&refined),
+                solution_set(&exact),
+                "seed {seed}: solution sets must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_and_naive_agree_on_random_models() {
+        for seed in 100..130 {
+            let model = GraphModel::random(seed, 5, 3);
+            let pruned = Synthesizer::new(SynthOptions::default()).run(&model);
+            let naive = Synthesizer::new(SynthOptions::default().pruning(false)).run(&model);
+            assert_eq!(
+                solution_set(&pruned),
+                solution_set(&naive),
+                "seed {seed}: pruning must not change the solution set"
+            );
+            assert!(pruned.stats().evaluated <= naive.stats().evaluated.max(1) * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        for seed in 200..210 {
+            let model = GraphModel::random(seed, 6, 3);
+            let seq = Synthesizer::new(SynthOptions::default()).run(&model);
+            let par = Synthesizer::new(SynthOptions::default().threads(4)).run(&model);
+            assert_eq!(
+                solution_set(&par),
+                solution_set(&seq),
+                "seed {seed}: parallel must find the same solutions"
+            );
+        }
+    }
+
+    #[test]
+    fn max_evaluations_truncates() {
+        let model = GraphModel::worked_example();
+        let report =
+            Synthesizer::new(SynthOptions::default().max_evaluations(3)).run(&model);
+        assert!(report.stats().truncated);
+        assert!(report.stats().evaluated <= 4);
+    }
+
+    /// Hole ids are assigned in discovery order, which differs between
+    /// pruning and naïve modes (naïve defaults explore deeper, discovering
+    /// holes earlier); compare solutions by hole *name*.
+    fn solution_set(report: &SynthReport) -> std::collections::BTreeSet<Vec<(String, u16)>> {
+        report
+            .solutions()
+            .iter()
+            .map(|s| {
+                let mut named: Vec<(String, u16)> = s
+                    .assignment
+                    .iter()
+                    .map(|&(h, a)| (report.holes()[h].name.clone(), a))
+                    .collect();
+                named.sort();
+                named
+            })
+            .collect()
+    }
+}

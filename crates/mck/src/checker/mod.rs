@@ -1,0 +1,639 @@
+//! The explicit-state model checker: breadth-first search with minimal
+//! counterexamples, deadlock detection, and post-exploration property
+//! analysis.
+//!
+//! The checker is deliberately *embedded* (a library type, not a CLI): the
+//! synthesis procedure of `verc3-core` dispatches every candidate protocol to
+//! a [`Checker`] and consumes the three-valued [`Verdict`] directly, which is
+//! the tight coupling the paper argues for over external-tool pipelines
+//! (§I–II).
+
+mod graph;
+mod outcome;
+mod trace;
+
+pub use graph::{Edge, ExploredGraph, StateId};
+pub use outcome::{Failure, FailureKind, Outcome, Stats, Timing, Verdict};
+pub use trace::{Trace, TraceStep};
+
+use crate::error::MckError;
+use crate::eval::{HoleResolver, NoHoles};
+use crate::hashers::FnvHashMap;
+use crate::model::TransitionSystem;
+use crate::properties::Property;
+use crate::rule::RuleOutcome;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// What the checker should do when it finds a state with no enabled rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlockPolicy {
+    /// A state without successors is an error (the default; distributed
+    /// protocols must always be able to make progress).
+    #[default]
+    Disallow,
+    /// States without successors are acceptable terminal states.
+    Allow,
+}
+
+/// Configuration for a [`Checker`].
+///
+/// Uses a consuming-builder style so common setups read as one expression:
+///
+/// ```
+/// use verc3_mck::CheckerOptions;
+///
+/// let opts = CheckerOptions::default()
+///     .allow_deadlock()
+///     .max_states(100_000)
+///     .keep_graph(true);
+/// # let _ = opts;
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckerOptions {
+    max_states: usize,
+    deadlock: DeadlockPolicy,
+    keep_graph: bool,
+}
+
+impl Default for CheckerOptions {
+    fn default() -> Self {
+        CheckerOptions {
+            max_states: 50_000_000,
+            deadlock: DeadlockPolicy::Disallow,
+            keep_graph: false,
+        }
+    }
+}
+
+impl CheckerOptions {
+    /// Caps the number of distinct states explored; exceeding the cap yields
+    /// an [`Verdict::Unknown`] outcome flagged via [`Outcome::incomplete`].
+    pub fn max_states(mut self, limit: usize) -> Self {
+        self.max_states = limit;
+        self
+    }
+
+    /// Treats successor-less states as acceptable terminals.
+    pub fn allow_deadlock(mut self) -> Self {
+        self.deadlock = DeadlockPolicy::Allow;
+        self
+    }
+
+    /// Sets the deadlock policy explicitly.
+    pub fn deadlock(mut self, policy: DeadlockPolicy) -> Self {
+        self.deadlock = policy;
+        self
+    }
+
+    /// Retains the explored state graph in the outcome (needed for DOT
+    /// export and solution fingerprinting; liveness analysis enables edge
+    /// collection automatically regardless of this flag).
+    pub fn keep_graph(mut self, keep: bool) -> Self {
+        self.keep_graph = keep;
+        self
+    }
+}
+
+/// The breadth-first explicit-state model checker.
+///
+/// See the [crate-level example](crate) for basic use; see
+/// [`Checker::run_with`] for checking models that contain synthesis holes.
+#[derive(Debug, Clone, Default)]
+pub struct Checker {
+    options: CheckerOptions,
+}
+
+impl Checker {
+    /// Creates a checker with the given options.
+    pub fn new(options: CheckerOptions) -> Self {
+        Checker { options }
+    }
+
+    /// Verifies a complete (hole-free) model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model consults a hole; use [`Checker::run_with`] with an
+    /// appropriate resolver for models containing holes.
+    pub fn run<M: TransitionSystem>(&self, model: &M) -> Outcome<M::State> {
+        self.run_with(model, &mut NoHoles)
+    }
+
+    /// Verifies a model, resolving holes through `resolver`.
+    ///
+    /// Wildcard resolutions abort their branch and (absent a failure) demote
+    /// the verdict to [`Verdict::Unknown`]; see the crate docs for the full
+    /// soundness argument.
+    pub fn run_with<M: TransitionSystem>(
+        &self,
+        model: &M,
+        resolver: &mut dyn HoleResolver,
+    ) -> Outcome<M::State> {
+        Bfs::new(model, &self.options, resolver).explore()
+    }
+}
+
+/// Internal exploration driver; one instance per run.
+struct Bfs<'a, M: TransitionSystem> {
+    model: &'a M,
+    options: &'a CheckerOptions,
+    resolver: &'a mut dyn HoleResolver,
+
+    visited: FnvHashMap<M::State, StateId>,
+    states: Vec<M::State>,
+    depth: Vec<u32>,
+    pred: Vec<Option<(StateId, u32)>>,
+    /// For each state, the hole resolutions consulted by the rule
+    /// application that first produced it (its tree edge) — the per-edge
+    /// `Cₜ` bookkeeping behind refined pruning patterns.
+    edge_touches: Vec<Box<[(usize, u16)]>>,
+    edges: Option<Vec<Vec<Edge>>>,
+    queue: VecDeque<StateId>,
+
+    reach_found: Vec<bool>,
+    stats: Stats,
+}
+
+impl<'a, M: TransitionSystem> Bfs<'a, M> {
+    fn new(model: &'a M, options: &'a CheckerOptions, resolver: &'a mut dyn HoleResolver) -> Self {
+        let has_liveness = model
+            .properties()
+            .iter()
+            .any(|p| matches!(p, Property::EventuallyQuiescent { .. }));
+        let reach_found =
+            vec![false; model.properties().iter().filter(|p| is_reachable(p)).count()];
+        Bfs {
+            model,
+            options,
+            resolver,
+            visited: FnvHashMap::default(),
+            states: Vec::new(),
+            depth: Vec::new(),
+            pred: Vec::new(),
+            edge_touches: Vec::new(),
+            edges: (options.keep_graph || has_liveness).then(Vec::new),
+            queue: VecDeque::new(),
+            reach_found,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Inserts `state` (already canonicalized) if new; returns its id and
+    /// whether it was newly inserted. `touches` records the hole resolutions
+    /// of the producing rule application.
+    fn insert(
+        &mut self,
+        state: M::State,
+        from: Option<(StateId, u32)>,
+        touches: &[(usize, u16)],
+    ) -> (StateId, bool) {
+        if let Some(&id) = self.visited.get(&state) {
+            return (id, false);
+        }
+        let id = self.states.len() as StateId;
+        let d = from.map_or(0, |(p, _)| self.depth[p as usize] + 1);
+        self.visited.insert(state.clone(), id);
+        self.states.push(state);
+        self.depth.push(d);
+        self.pred.push(from);
+        self.edge_touches.push(touches.to_vec().into_boxed_slice());
+        if let Some(edges) = &mut self.edges {
+            edges.push(Vec::new());
+        }
+        self.queue.push_back(id);
+        self.stats.max_depth = self.stats.max_depth.max(d as usize);
+
+        // Update reachability goals.
+        let state_ref = &self.states[id as usize];
+        let mut ri = 0;
+        for p in self.model.properties() {
+            if let Property::Reachable { pred, .. } = p {
+                if !self.reach_found[ri] && pred(state_ref) {
+                    self.reach_found[ri] = true;
+                }
+                ri += 1;
+            }
+        }
+        (id, true)
+    }
+
+    /// Checks all invariants against the state with the given id.
+    fn violated_invariant(&self, id: StateId) -> Option<&str> {
+        let state = &self.states[id as usize];
+        for p in self.model.properties() {
+            if let Property::Invariant { name, pred } = p {
+                if !pred(state) {
+                    return Some(name);
+                }
+            }
+        }
+        None
+    }
+
+    fn trace_to(&self, id: StateId) -> Trace<M::State> {
+        let mut rev: Vec<TraceStep<M::State>> = Vec::new();
+        let mut cur = id;
+        loop {
+            let rule = self.pred[cur as usize]
+                .map(|(_, r)| self.model.rules()[r as usize].name().to_owned());
+            rev.push(TraceStep { rule, state: self.states[cur as usize].clone() });
+            match self.pred[cur as usize] {
+                Some((p, _)) => cur = p,
+                None => break,
+            }
+        }
+        rev.reverse();
+        Trace::new(rev)
+    }
+
+    /// Union of the hole resolutions along the tree path to `id`, plus any
+    /// `extra` resolutions (used for the deadlocked state's own expansion).
+    fn trace_touched(&self, id: StateId, extra: &[(usize, u16)]) -> Vec<(usize, u16)> {
+        let mut out: Vec<(usize, u16)> = Vec::new();
+        let mut push = |pair: (usize, u16)| {
+            if !out.iter().any(|&(h, _)| h == pair.0) {
+                out.push(pair);
+            }
+        };
+        let mut cur = id;
+        loop {
+            for &pair in self.edge_touches[cur as usize].iter() {
+                push(pair);
+            }
+            match self.pred[cur as usize] {
+                Some((p, _)) => cur = p,
+                None => break,
+            }
+        }
+        for &pair in extra {
+            push(pair);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn explore(mut self) -> Outcome<M::State> {
+        let start = Instant::now();
+
+        let initial = self.model.initial_states();
+        if initial.is_empty() {
+            return self.finish(start, Verdict::Unknown, None, Some(MckError::NoInitialStates));
+        }
+        for s0 in initial {
+            let s0 = self.model.canonicalize(s0);
+            let (id, new) = self.insert(s0, None, &[]);
+            if new {
+                if let Some(name) = self.violated_invariant(id) {
+                    let failure = Failure {
+                        kind: FailureKind::InvariantViolation,
+                        property: name.to_owned(),
+                        trace: Some(self.trace_to(id)),
+                        touched: Some(Vec::new()),
+                    };
+                    return self.finish(start, Verdict::Failure, Some(failure), None);
+                }
+            }
+        }
+
+        let mut incomplete: Option<MckError> = None;
+
+        while let Some(id) = self.queue.pop_front() {
+            self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len() + 1);
+            let state = self.states[id as usize].clone();
+            let mut any_next = false;
+            let mut any_blocked = false;
+            // Resolutions made anywhere while expanding this state; a
+            // deadlock verdict depends on all of them (they decided that
+            // every rule declined to fire).
+            let mut expansion_touches: Vec<(usize, u16)> = Vec::new();
+
+            for (ri, rule) in self.model.rules().iter().enumerate() {
+                self.resolver.begin_application();
+                let outcome = rule.apply(&state, self.resolver);
+                let touches = self.resolver.application_touches();
+                for &pair in touches {
+                    if !expansion_touches.iter().any(|&(h, _)| h == pair.0) {
+                        expansion_touches.push(pair);
+                    }
+                }
+                match outcome {
+                    RuleOutcome::Disabled => {}
+                    RuleOutcome::Blocked => {
+                        any_blocked = true;
+                        self.stats.wildcard_hits += 1;
+                    }
+                    RuleOutcome::Next(next) => {
+                        any_next = true;
+                        self.stats.transitions += 1;
+                        let next = self.model.canonicalize(next);
+                        let touches = self.resolver.application_touches().to_vec();
+                        let (nid, new) = self.insert(next, Some((id, ri as u32)), &touches);
+                        if let Some(edges) = &mut self.edges {
+                            edges[id as usize].push(Edge { rule: ri as u32, target: nid });
+                        }
+                        if new {
+                            if let Some(name) = self.violated_invariant(nid) {
+                                let failure = Failure {
+                                    kind: FailureKind::InvariantViolation,
+                                    property: name.to_owned(),
+                                    touched: Some(self.trace_touched(nid, &[])),
+                                    trace: Some(self.trace_to(nid)),
+                                };
+                                return self.finish(start, Verdict::Failure, Some(failure), None);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // A state with no successors is a deadlock — unless a wildcard
+            // aborted some branch, in which case we cannot tell (the aborted
+            // branch might have provided an exit).
+            if !any_next && !any_blocked && self.options.deadlock == DeadlockPolicy::Disallow {
+                let failure = Failure {
+                    kind: FailureKind::Deadlock,
+                    property: "deadlock freedom".to_owned(),
+                    touched: Some(self.trace_touched(id, &expansion_touches)),
+                    trace: Some(self.trace_to(id)),
+                };
+                return self.finish(start, Verdict::Failure, Some(failure), None);
+            }
+
+            if self.states.len() > self.options.max_states {
+                incomplete = Some(MckError::StateLimitExceeded { limit: self.options.max_states });
+                break;
+            }
+        }
+
+        // --- Post-exploration analysis -----------------------------------
+        self.stats.states_visited = self.states.len();
+        let tainted = self.stats.wildcard_hits > 0 || incomplete.is_some();
+
+        // Reachability obligations: "never reached" is only conclusive over
+        // a complete, wildcard-free exploration.
+        if !tainted {
+            let mut ri = 0;
+            for p in self.model.properties() {
+                if let Property::Reachable { name, .. } = p {
+                    if !self.reach_found[ri] {
+                        let failure = Failure {
+                            kind: FailureKind::UnreachableGoal,
+                            property: name.to_owned(),
+                            trace: None,
+                            touched: None,
+                        };
+                        return self.finish(start, Verdict::Failure, Some(failure), None);
+                    }
+                    ri += 1;
+                }
+            }
+
+            // Eventual quiescence (AG EF q) over the explored graph.
+            if let Some(edges) = &self.edges {
+                for p in self.model.properties() {
+                    if let Property::EventuallyQuiescent { name, quiescent } = p {
+                        let graph = ExploredGraph {
+                            states: self.states.clone(),
+                            depth: self.depth.clone(),
+                            edges: edges.clone(),
+                            rule_names: rule_names(self.model),
+                        };
+                        let ok = graph.can_reach(|s| quiescent(s));
+                        if let Some(bad) = ok.iter().position(|&r| !r) {
+                            let failure = Failure {
+                                kind: FailureKind::QuiescenceViolation,
+                                property: name.to_owned(),
+                                trace: Some(self.trace_to(bad as StateId)),
+                                touched: None,
+                            };
+                            return self.finish(start, Verdict::Failure, Some(failure), None);
+                        }
+                    }
+                }
+            }
+        }
+
+        let verdict = if tainted { Verdict::Unknown } else { Verdict::Success };
+        self.finish(start, verdict, None, incomplete)
+    }
+
+    fn finish(
+        mut self,
+        start: Instant,
+        verdict: Verdict,
+        failure: Option<Failure<M::State>>,
+        incomplete: Option<MckError>,
+    ) -> Outcome<M::State> {
+        self.stats.states_visited = self.states.len();
+        let graph = if self.options.keep_graph {
+            Some(ExploredGraph {
+                rule_names: rule_names(self.model),
+                states: std::mem::take(&mut self.states),
+                depth: std::mem::take(&mut self.depth),
+                edges: self.edges.take().unwrap_or_else(|| Vec::new()),
+            })
+        } else {
+            None
+        };
+        Outcome {
+            verdict,
+            failure,
+            stats: self.stats,
+            timing: Timing { elapsed: start.elapsed() },
+            incomplete,
+            graph,
+        }
+    }
+}
+
+fn is_reachable<S>(p: &Property<S>) -> bool {
+    matches!(p, Property::Reachable { .. })
+}
+
+fn rule_names<M: TransitionSystem>(model: &M) -> Vec<String> {
+    model.rules().iter().map(|r| r.name().to_owned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelBuilder;
+
+    /// Counter to 3 with wraparound; invariant `< 4` holds.
+    fn wrapping_counter() -> crate::model::BuiltModel<u8> {
+        let mut b = ModelBuilder::new("wrap");
+        b.initial(0u8);
+        b.rule("step", |&s: &u8, _| RuleOutcome::Next((s + 1) % 4));
+        b.invariant("bounded", |&s: &u8| s < 4);
+        b.finish()
+    }
+
+    #[test]
+    fn success_on_safe_cycle() {
+        let m = wrapping_counter();
+        let out = Checker::new(CheckerOptions::default()).run(&m);
+        assert_eq!(out.verdict(), Verdict::Success);
+        assert_eq!(out.stats().states_visited, 4);
+        assert_eq!(out.stats().transitions, 4);
+        assert!(out.failure().is_none());
+    }
+
+    #[test]
+    fn invariant_violation_has_minimal_trace() {
+        let mut b = ModelBuilder::new("grow");
+        b.initial(0u8);
+        b.rule("slow", |&s: &u8, _| if s < 10 { RuleOutcome::Next(s + 1) } else { RuleOutcome::Disabled });
+        b.rule("fast", |&s: &u8, _| if s < 10 { RuleOutcome::Next(s + 2) } else { RuleOutcome::Disabled });
+        b.invariant("below six", |&s: &u8| s < 6);
+        let m = b.finish();
+        let out = Checker::new(CheckerOptions::default().allow_deadlock()).run(&m);
+        assert_eq!(out.verdict(), Verdict::Failure);
+        let f = out.failure().unwrap();
+        assert_eq!(f.kind, FailureKind::InvariantViolation);
+        assert_eq!(f.property, "below six");
+        // Minimal path to a state >= 6 is three `fast` steps: 0->2->4->6.
+        let trace = f.trace.as_ref().unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(*trace.last_state(), 6);
+    }
+
+    #[test]
+    fn deadlock_detected_and_allowed() {
+        let mut b = ModelBuilder::new("sink");
+        b.initial(0u8);
+        b.rule("to-sink", |&s: &u8, _| if s == 0 { RuleOutcome::Next(1) } else { RuleOutcome::Disabled });
+        let m = b.finish();
+
+        let out = Checker::new(CheckerOptions::default()).run(&m);
+        assert_eq!(out.verdict(), Verdict::Failure);
+        assert_eq!(out.failure().unwrap().kind, FailureKind::Deadlock);
+        assert_eq!(out.failure().unwrap().trace.as_ref().unwrap().len(), 1);
+
+        let out = Checker::new(CheckerOptions::default().allow_deadlock()).run(&m);
+        assert_eq!(out.verdict(), Verdict::Success);
+    }
+
+    #[test]
+    fn reachability_goal_failure() {
+        let mut b = ModelBuilder::new("never-nine");
+        b.initial(0u8);
+        b.rule("step", |&s: &u8, _| RuleOutcome::Next((s + 1) % 4));
+        b.reachable("reaches nine", |&s: &u8| s == 9);
+        b.reachable("reaches two", |&s: &u8| s == 2);
+        let m = b.finish();
+        let out = Checker::new(CheckerOptions::default()).run(&m);
+        assert_eq!(out.verdict(), Verdict::Failure);
+        let f = out.failure().unwrap();
+        assert_eq!(f.kind, FailureKind::UnreachableGoal);
+        assert_eq!(f.property, "reaches nine");
+        assert!(f.trace.is_none());
+    }
+
+    #[test]
+    fn quiescence_violation_detected() {
+        // 0 can idle at 0 (quiescent); once it moves to 1 it is trapped in
+        // the 1<->2 cycle and can never return: AG EF q fails.
+        let mut b = ModelBuilder::new("trap");
+        b.initial(0u8);
+        b.rule("leave", |&s: &u8, _| if s == 0 { RuleOutcome::Next(1) } else { RuleOutcome::Disabled });
+        b.rule("spin", |&s: &u8, _| match s {
+            1 => RuleOutcome::Next(2),
+            2 => RuleOutcome::Next(1),
+            _ => RuleOutcome::Disabled,
+        });
+        b.eventually_quiescent("returns home", |&s: &u8| s == 0);
+        let m = b.finish();
+        let out = Checker::new(CheckerOptions::default().allow_deadlock()).run(&m);
+        assert_eq!(out.verdict(), Verdict::Failure);
+        let f = out.failure().unwrap();
+        assert_eq!(f.kind, FailureKind::QuiescenceViolation);
+        assert!(f.trace.is_some());
+    }
+
+    #[test]
+    fn quiescence_holds_on_reversible_model() {
+        let mut b = ModelBuilder::new("wrap-q");
+        b.initial(0u8);
+        b.rule("step", |&s: &u8, _| RuleOutcome::Next((s + 1) % 4));
+        b.eventually_quiescent("home", |&s: &u8| s == 0);
+        let m = b.finish();
+        let out = Checker::new(CheckerOptions::default()).run(&m);
+        assert_eq!(out.verdict(), Verdict::Success);
+    }
+
+    #[test]
+    fn state_limit_yields_unknown() {
+        let mut b = ModelBuilder::new("big");
+        b.initial(0u64);
+        b.rule("inc", |&s: &u64, _| RuleOutcome::Next(s + 1));
+        let m = b.finish();
+        let out = Checker::new(CheckerOptions::default().max_states(100)).run(&m);
+        assert_eq!(out.verdict(), Verdict::Unknown);
+        assert!(matches!(out.incomplete(), Some(MckError::StateLimitExceeded { limit: 100 })));
+    }
+
+    #[test]
+    fn graph_is_kept_on_request() {
+        let m = wrapping_counter();
+        let out = Checker::new(CheckerOptions::default().keep_graph(true)).run(&m);
+        let g = out.graph().expect("graph requested");
+        assert_eq!(g.len(), 4);
+        assert!(g.to_dot("wrap").contains("s0 -> s1"));
+    }
+
+    #[test]
+    fn blocked_rules_yield_unknown() {
+        use crate::eval::{Choice, FixedResolver, HoleSpec};
+        let mut b = ModelBuilder::new("holey");
+        b.initial(0u8);
+        b.rule("choose", |&s: &u8, ctx| {
+            if s != 0 {
+                return RuleOutcome::Disabled;
+            }
+            let spec = HoleSpec::new("h", ["one", "two"]);
+            match ctx.choose(&spec) {
+                Choice::Action(i) => RuleOutcome::Next(i as u8 + 1),
+                Choice::Wildcard => RuleOutcome::Blocked,
+            }
+        });
+        let m = b.finish();
+
+        // Wildcard: branch aborted, verdict unknown even though no failure.
+        let mut wild = FixedResolver::new();
+        let out =
+            Checker::new(CheckerOptions::default().allow_deadlock()).run_with(&m, &mut wild);
+        assert_eq!(out.verdict(), Verdict::Unknown);
+        assert_eq!(out.stats().wildcard_hits, 1);
+        assert_eq!(out.stats().states_visited, 1);
+
+        // Concrete choice: fully explored.
+        let mut fixed = FixedResolver::from_pairs([("h", 1usize)]);
+        let out =
+            Checker::new(CheckerOptions::default().allow_deadlock()).run_with(&m, &mut fixed);
+        assert_eq!(out.verdict(), Verdict::Success);
+        assert_eq!(out.stats().states_visited, 2);
+    }
+
+    #[test]
+    fn deadlock_not_claimed_when_branch_blocked() {
+        use crate::eval::{Choice, FixedResolver, HoleSpec};
+        let mut b = ModelBuilder::new("maybe-exit");
+        b.initial(0u8);
+        b.rule("exit", |&s: &u8, ctx| {
+            if s != 0 {
+                return RuleOutcome::Disabled;
+            }
+            let spec = HoleSpec::new("exit-how", ["left", "right"]);
+            match ctx.choose(&spec) {
+                Choice::Action(i) => RuleOutcome::Next(i as u8 + 1),
+                Choice::Wildcard => RuleOutcome::Blocked,
+            }
+        });
+        let m = b.finish();
+        // State 0 has no successor, but only because the hole is wildcard:
+        // must NOT be reported as deadlock.
+        let out = Checker::new(CheckerOptions::default()).run_with(&m, &mut FixedResolver::new());
+        assert_eq!(out.verdict(), Verdict::Unknown);
+    }
+}

@@ -1,0 +1,184 @@
+//! Verification outcomes, verdicts, and exploration statistics.
+
+use super::trace::Trace;
+use crate::error::MckError;
+use std::fmt;
+use std::time::Duration;
+
+/// The three-valued verification verdict of the paper (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Every property holds over the fully-explored state space, and no
+    /// wildcard hole was encountered: the (candidate) protocol is correct.
+    Success,
+    /// A property was violated. For synthesis this is conclusive even if
+    /// wildcards were hit elsewhere, because the violating trace itself uses
+    /// only concrete hole choices (wildcards abort their branch).
+    Failure,
+    /// Exploration was cut short by unresolved (wildcard) holes — or by a
+    /// resource limit — without finding a violation: nothing can be
+    /// concluded about this candidate yet.
+    Unknown,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Success => "success",
+            Verdict::Failure => "failure",
+            Verdict::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What kind of property failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// A safety invariant is false in a reachable state.
+    InvariantViolation,
+    /// A reachable state has no enabled rules (and deadlock is disallowed).
+    Deadlock,
+    /// A [`crate::Property::Reachable`] goal was never reached.
+    UnreachableGoal,
+    /// A reachable state cannot reach any quiescent state
+    /// (violation of [`crate::Property::EventuallyQuiescent`]).
+    QuiescenceViolation,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::InvariantViolation => "invariant violation",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::UnreachableGoal => "unreachable goal",
+            FailureKind::QuiescenceViolation => "quiescence violation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Details of a property failure.
+#[derive(Debug, Clone)]
+pub struct Failure<S> {
+    /// The kind of failure.
+    pub kind: FailureKind,
+    /// Name of the violated property (or `"deadlock"`).
+    pub property: String,
+    /// Minimal trace witnessing the failure, when one exists.
+    ///
+    /// `None` for [`FailureKind::UnreachableGoal`], which has no witness
+    /// state — the evidence is the whole explored space.
+    pub trace: Option<Trace<S>>,
+    /// The `(hole id, action)` resolutions the failure actually depends on —
+    /// the paper's `Cₜ`: for an invariant violation, the consultations along
+    /// the counterexample trace; for a deadlock, additionally those made
+    /// while expanding the deadlocked state. `None` when the failure depends
+    /// on the whole explored space (unreachable goal, quiescence) or the
+    /// resolver does not track consultations.
+    ///
+    /// Any candidate agreeing on these resolutions reproduces the same
+    /// failing execution, which is what makes refined pruning patterns
+    /// sound.
+    pub touched: Option<Vec<(usize, u16)>>,
+}
+
+impl<S: fmt::Debug> fmt::Display for Failure<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.property)?;
+        if let Some(trace) = &self.trace {
+            write!(f, "\n{trace}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Counters describing one model-checking run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Distinct (canonicalized) states inserted into the visited set.
+    pub states_visited: usize,
+    /// Rule firings that produced a successor (including duplicates).
+    pub transitions: usize,
+    /// Rule applications that hit a wildcard hole and aborted their branch.
+    pub wildcard_hits: usize,
+    /// Deepest BFS layer reached.
+    pub max_depth: usize,
+    /// Largest frontier size observed.
+    pub peak_queue: usize,
+}
+
+/// Timing wrapper kept separate from [`Stats`] so the latter stays `Eq` and
+/// usable in test assertions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timing {
+    /// Wall-clock duration of the exploration.
+    pub elapsed: Duration,
+}
+
+/// The complete result of a model-checking run.
+#[derive(Debug)]
+pub struct Outcome<S> {
+    pub(crate) verdict: Verdict,
+    pub(crate) failure: Option<Failure<S>>,
+    pub(crate) stats: Stats,
+    pub(crate) timing: Timing,
+    pub(crate) incomplete: Option<MckError>,
+    pub(crate) graph: Option<super::graph::ExploredGraph<S>>,
+}
+
+impl<S> Outcome<S> {
+    /// The three-valued verdict.
+    pub fn verdict(&self) -> Verdict {
+        self.verdict
+    }
+
+    /// The failure details if `verdict() == Verdict::Failure`.
+    pub fn failure(&self) -> Option<&Failure<S>> {
+        self.failure.as_ref()
+    }
+
+    /// Exploration statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Wall-clock timing of the run.
+    pub fn timing(&self) -> Timing {
+        self.timing
+    }
+
+    /// If exploration stopped early on a resource limit, the reason.
+    pub fn incomplete(&self) -> Option<&MckError> {
+        self.incomplete.as_ref()
+    }
+
+    /// The explored state graph, if the checker was configured to keep it
+    /// (see [`super::CheckerOptions::keep_graph`]).
+    pub fn graph(&self) -> Option<&super::graph::ExploredGraph<S>> {
+        self.graph.as_ref()
+    }
+
+    /// `true` when the verdict is [`Verdict::Success`].
+    pub fn is_success(&self) -> bool {
+        self.verdict == Verdict::Success
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Success.to_string(), "success");
+        assert_eq!(Verdict::Failure.to_string(), "failure");
+        assert_eq!(Verdict::Unknown.to_string(), "unknown");
+    }
+
+    #[test]
+    fn failure_kind_display() {
+        assert_eq!(FailureKind::Deadlock.to_string(), "deadlock");
+        assert_eq!(FailureKind::InvariantViolation.to_string(), "invariant violation");
+    }
+}

@@ -1,0 +1,120 @@
+//! Counterexample traces.
+//!
+//! Because exploration is breadth-first, the trace to any state found by the
+//! checker is a *shortest* path from an initial state — the paper depends on
+//! this (§II footnote 1): minimal error traces touch few holes, which is what
+//! makes failure patterns broadly applicable for pruning.
+
+use std::fmt;
+
+/// One step of a trace: the rule that fired (if any) and the state reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep<S> {
+    /// Name of the rule whose firing produced [`TraceStep::state`];
+    /// `None` for the initial state.
+    pub rule: Option<String>,
+    /// The state reached by this step.
+    pub state: S,
+}
+
+/// A minimal execution from an initial state to a state of interest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace<S> {
+    steps: Vec<TraceStep<S>>,
+}
+
+impl<S> Trace<S> {
+    /// Builds a trace from its steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or if the first step carries a rule name —
+    /// a well-formed trace starts at an initial state.
+    pub fn new(steps: Vec<TraceStep<S>>) -> Self {
+        assert!(!steps.is_empty(), "a trace must contain at least the initial state");
+        assert!(steps[0].rule.is_none(), "the first trace step must be an initial state");
+        Trace { steps }
+    }
+
+    /// The steps, in execution order (initial state first).
+    pub fn steps(&self) -> &[TraceStep<S>] {
+        &self.steps
+    }
+
+    /// Number of transitions (one less than the number of states).
+    pub fn len(&self) -> usize {
+        self.steps.len() - 1
+    }
+
+    /// `true` if the trace consists of the initial state alone.
+    pub fn is_empty(&self) -> bool {
+        self.steps.len() == 1
+    }
+
+    /// The final (violating / witnessing) state.
+    pub fn last_state(&self) -> &S {
+        &self.steps.last().expect("traces are non-empty").state
+    }
+
+    /// The names of the rules fired along the trace, in order.
+    pub fn rule_names(&self) -> impl Iterator<Item = &str> {
+        self.steps.iter().filter_map(|s| s.rule.as_deref())
+    }
+}
+
+impl<S: fmt::Debug> fmt::Display for Trace<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace ({} transitions):", self.len())?;
+        for (i, step) in self.steps.iter().enumerate() {
+            match &step.rule {
+                None => writeln!(f, "  [{i}] <initial>")?,
+                Some(rule) => writeln!(f, "  [{i}] --{rule}-->")?,
+            }
+            writeln!(f, "      {:?}", step.state)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace<u8> {
+        Trace::new(vec![
+            TraceStep { rule: None, state: 0 },
+            TraceStep { rule: Some("a".into()), state: 1 },
+            TraceStep { rule: Some("b".into()), state: 2 },
+        ])
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(*t.last_state(), 2);
+        let rules: Vec<_> = t.rule_names().collect();
+        assert_eq!(rules, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_contains_rules_and_states() {
+        let s = sample().to_string();
+        assert!(s.contains("--a-->"));
+        assert!(s.contains("<initial>"));
+        assert!(s.contains('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state")]
+    fn first_step_must_be_initial() {
+        let _ = Trace::new(vec![TraceStep { rule: Some("x".into()), state: 0u8 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the initial")]
+    fn empty_trace_rejected() {
+        let _: Trace<u8> = Trace::new(vec![]);
+    }
+}

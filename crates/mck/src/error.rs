@@ -1,0 +1,72 @@
+//! Error type for the model-checking kernel.
+
+use std::fmt;
+
+/// Errors reported by the model checker and modelling framework.
+///
+/// Note that *property violations are not errors*: they are reported through
+/// [`crate::Outcome`] / [`crate::Verdict`] because a violated invariant is a
+/// successful answer to the verification question. `MckError` covers cases
+/// where the question itself could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MckError {
+    /// The state-space exploration exceeded the configured state limit.
+    StateLimitExceeded {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// The state-space exploration exceeded the configured depth limit.
+    DepthLimitExceeded {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// The model declares no initial states, so there is nothing to explore.
+    NoInitialStates,
+    /// A hole was re-declared with a different action library.
+    ///
+    /// Each hole name must be associated with exactly one action list for the
+    /// lifetime of a synthesis run; see [`crate::HoleSpec`].
+    InconsistentHole {
+        /// Name of the offending hole.
+        name: String,
+    },
+}
+
+impl fmt::Display for MckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MckError::StateLimitExceeded { limit } => {
+                write!(f, "state limit of {limit} states exceeded")
+            }
+            MckError::DepthLimitExceeded { limit } => {
+                write!(f, "depth limit of {limit} levels exceeded")
+            }
+            MckError::NoInitialStates => write!(f, "model declares no initial states"),
+            MckError::InconsistentHole { name } => {
+                write!(f, "hole `{name}` re-declared with a different action library")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = MckError::StateLimitExceeded { limit: 10 };
+        assert_eq!(e.to_string(), "state limit of 10 states exceeded");
+        let e = MckError::NoInitialStates;
+        assert!(e.to_string().starts_with("model declares"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MckError>();
+    }
+}

@@ -1,0 +1,151 @@
+//! Fast, deterministic hashing for state storage.
+//!
+//! Explicit-state model checking hashes millions of states; the default
+//! SipHash of `std::collections::HashMap` is unnecessarily expensive for this
+//! workload and (being randomly seeded) makes iteration order — and thus
+//! debug output — non-reproducible across runs. This module provides a
+//! 64-bit [FNV-1a] hasher with a fixed seed: deterministic, allocation-free,
+//! and fast on the short keys (tens of bytes of packed state) that dominate
+//! here.
+//!
+//! The hasher is **not** DoS-resistant; model states are not
+//! attacker-controlled input, so this is the right trade-off for a checker.
+//!
+//! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a streaming hasher.
+///
+/// ```
+/// use std::hash::Hasher;
+/// use verc3_mck::hashers::Fnv64;
+///
+/// let mut h = Fnv64::default();
+/// h.write(b"hello");
+/// let a = h.finish();
+/// let mut h = Fnv64::default();
+/// h.write(b"hello");
+/// assert_eq!(a, h.finish(), "deterministic across instances");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Hasher for Fnv64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche: FNV alone has weak high bits for short keys, which
+        // HashMap uses for bucket selection. A single xor-shift-multiply mix
+        // (from splitmix64) fixes the distribution at negligible cost.
+        let mut x = self.0;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.0 = (self.0 ^ u64::from(i)).wrapping_mul(FNV_PRIME);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write(&(i as u64).to_le_bytes());
+    }
+}
+
+/// `BuildHasher` producing [`Fnv64`] hashers; plug into `HashMap`/`HashSet`.
+pub type BuildFnv = BuildHasherDefault<Fnv64>;
+
+/// A `HashMap` keyed with the deterministic FNV hasher.
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, BuildFnv>;
+
+/// A `HashSet` using the deterministic FNV hasher.
+pub type FnvHashSet<T> = std::collections::HashSet<T, BuildFnv>;
+
+/// Hash a single hashable value to a `u64` with the deterministic hasher.
+///
+/// Convenience for fingerprinting states in tests and statistics.
+pub fn fingerprint<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = Fnv64::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_maps() {
+        let mut m1: FnvHashMap<u64, u64> = FnvHashMap::default();
+        let mut m2: FnvHashMap<u64, u64> = FnvHashMap::default();
+        for i in 0..1000 {
+            m1.insert(i, i * 2);
+            m2.insert(i, i * 2);
+        }
+        let k1: Vec<_> = m1.keys().copied().collect();
+        let k2: Vec<_> = m2.keys().copied().collect();
+        assert_eq!(k1, k2, "iteration order must be reproducible");
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        // Not a collision-resistance proof, just a sanity check that nearby
+        // values do not collide (which would cripple the visited-set).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            assert!(seen.insert(fingerprint(&i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_differ() {
+        let mut h = Fnv64::default();
+        h.write(&[]);
+        let empty = h.finish();
+        let mut h = Fnv64::default();
+        h.write(&[0]);
+        assert_ne!(empty, h.finish());
+    }
+
+    #[test]
+    fn write_u8_equals_write_slice() {
+        let mut a = Fnv64::default();
+        a.write_u8(0xAB);
+        let mut b = Fnv64::default();
+        b.write(&[0xAB]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,260 @@
+//! The transition-system abstraction and a guarded-command model builder.
+//!
+//! Models can be supplied in two ways:
+//!
+//! * implement [`TransitionSystem`] directly on your own type — the protocol
+//!   case studies in `verc3-protocols` do this for full control over state
+//!   layout and symmetry; or
+//! * assemble a [`BuiltModel`] with [`ModelBuilder`], the quickest way to a
+//!   checkable model and the closest analogue of writing a Murϕ description:
+//!   declare initial states, guarded rules (optionally parameterized into
+//!   rulesets), and properties.
+
+use crate::eval::HoleResolver;
+use crate::properties::Property;
+use crate::rule::{Rule, RuleOutcome};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A finite-state transition system the checker can explore.
+///
+/// The checker requires `Sync` because the parallel synthesis driver shares
+/// one model instance across worker threads (each evaluating a different
+/// candidate).
+pub trait TransitionSystem: Sync {
+    /// The global state type. Equality and hashing define state identity for
+    /// the visited set, so any canonical-form invariants (sorted multisets,
+    /// canonicalized symmetry) must be upheld by every state this model
+    /// produces.
+    type State: Clone + Eq + Hash + Debug + Send + Sync;
+
+    /// The initial states of the system (at least one).
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// The rule table. The checker applies every rule to every explored
+    /// state, in table order; keep the order deterministic, since hole
+    /// discovery order (and therefore candidate-vector layout during
+    /// synthesis) follows it.
+    fn rules(&self) -> &[Rule<Self::State>];
+
+    /// Maps a state to its canonical symmetry representative.
+    ///
+    /// The default is the identity (no symmetry reduction). Models with
+    /// scalarset symmetry override this with
+    /// [`crate::Symmetric::canonicalize`] over the process permutations.
+    fn canonicalize(&self, state: Self::State) -> Self::State {
+        state
+    }
+
+    /// The properties to verify.
+    fn properties(&self) -> &[Property<Self::State>];
+}
+
+/// A model assembled at runtime by [`ModelBuilder`].
+///
+/// See the [crate-level example](crate) for usage.
+pub struct BuiltModel<S> {
+    name: String,
+    initial: Vec<S>,
+    rules: Vec<Rule<S>>,
+    properties: Vec<Property<S>>,
+}
+
+impl<S> BuiltModel<S> {
+    /// The model's name, for reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<S> Debug for BuiltModel<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltModel")
+            .field("name", &self.name)
+            .field("rules", &self.rules.len())
+            .field("properties", &self.properties.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S> TransitionSystem for BuiltModel<S>
+where
+    S: Clone + Eq + Hash + Debug + Send + Sync,
+{
+    type State = S;
+
+    fn initial_states(&self) -> Vec<S> {
+        self.initial.clone()
+    }
+
+    fn rules(&self) -> &[Rule<S>] {
+        &self.rules
+    }
+
+    fn properties(&self) -> &[Property<S>] {
+        &self.properties
+    }
+}
+
+/// Incrementally assembles a [`BuiltModel`]: the embedded guarded-command DSL.
+///
+/// # Examples
+///
+/// A token ring of three processes, checked for mutual exclusion:
+///
+/// ```
+/// use verc3_mck::{ModelBuilder, Checker, CheckerOptions, RuleOutcome, Verdict};
+///
+/// // State: which process holds the token.
+/// let mut b = ModelBuilder::new("token-ring");
+/// b.initial(0u8);
+/// b.ruleset("pass", 0..3u8, |i| {
+///     move |&s: &u8, _ctx: &mut dyn verc3_mck::HoleResolver| {
+///         if s == i { RuleOutcome::Next((s + 1) % 3) } else { RuleOutcome::Disabled }
+///     }
+/// });
+/// b.invariant("token exists", |&s: &u8| s < 3);
+/// let model = b.finish();
+/// let outcome = Checker::new(CheckerOptions::default()).run(&model);
+/// assert_eq!(outcome.verdict(), Verdict::Success);
+/// ```
+#[derive(Debug)]
+pub struct ModelBuilder<S> {
+    name: String,
+    initial: Vec<S>,
+    rules: Vec<Rule<S>>,
+    properties: Vec<Property<S>>,
+}
+
+impl<S> ModelBuilder<S>
+where
+    S: Clone + Eq + Hash + Debug + Send + Sync + 'static,
+{
+    /// Starts a new model with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelBuilder {
+            name: name.into(),
+            initial: Vec::new(),
+            rules: Vec::new(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// Adds an initial state.
+    pub fn initial(&mut self, state: S) -> &mut Self {
+        self.initial.push(state);
+        self
+    }
+
+    /// Adds a guarded-command rule.
+    pub fn rule<F>(&mut self, name: impl Into<String>, apply: F) -> &mut Self
+    where
+        F: Fn(&S, &mut dyn HoleResolver) -> RuleOutcome<S> + Send + Sync + 'static,
+    {
+        self.rules.push(Rule::new(name, apply));
+        self
+    }
+
+    /// Adds a family of rules parameterized over `params` — Murϕ's *ruleset*.
+    ///
+    /// `make` is called once per parameter value and returns that instance's
+    /// guarded-command function. Instances are named `"{name}[{param}]"`.
+    pub fn ruleset<P, I, F, G>(&mut self, name: impl Into<String>, params: I, make: F) -> &mut Self
+    where
+        P: Debug + Copy,
+        I: IntoIterator<Item = P>,
+        F: Fn(P) -> G,
+        G: Fn(&S, &mut dyn HoleResolver) -> RuleOutcome<S> + Send + Sync + 'static,
+    {
+        let name = name.into();
+        for p in params {
+            self.rules.push(Rule::new(format!("{name}[{p:?}]"), make(p)));
+        }
+        self
+    }
+
+    /// Adds a safety invariant.
+    pub fn invariant<F>(&mut self, name: impl Into<String>, pred: F) -> &mut Self
+    where
+        F: Fn(&S) -> bool + Send + Sync + 'static,
+    {
+        self.properties.push(Property::invariant(name, pred));
+        self
+    }
+
+    /// Adds a reachability obligation.
+    pub fn reachable<F>(&mut self, name: impl Into<String>, pred: F) -> &mut Self
+    where
+        F: Fn(&S) -> bool + Send + Sync + 'static,
+    {
+        self.properties.push(Property::reachable(name, pred));
+        self
+    }
+
+    /// Adds an eventual-quiescence liveness property.
+    pub fn eventually_quiescent<F>(&mut self, name: impl Into<String>, quiescent: F) -> &mut Self
+    where
+        F: Fn(&S) -> bool + Send + Sync + 'static,
+    {
+        self.properties.push(Property::eventually_quiescent(name, quiescent));
+        self
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no initial state was declared — such a model has nothing to
+    /// explore and always indicates a construction bug.
+    pub fn finish(self) -> BuiltModel<S> {
+        assert!(!self.initial.is_empty(), "model `{}` has no initial states", self.name);
+        BuiltModel {
+            name: self.name,
+            initial: self.initial,
+            rules: self.rules,
+            properties: self.properties,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::NoHoles;
+
+    #[test]
+    fn builder_assembles_model() {
+        let mut b = ModelBuilder::new("m");
+        b.initial(0u8).rule("inc", |&s: &u8, _| {
+            if s < 1 {
+                RuleOutcome::Next(s + 1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
+        b.invariant("small", |&s| s < 5);
+        let m = b.finish();
+        assert_eq!(m.name(), "m");
+        assert_eq!(m.initial_states(), vec![0]);
+        assert_eq!(m.rules().len(), 1);
+        assert_eq!(m.properties().len(), 1);
+        assert_eq!(m.rules()[0].apply(&0, &mut NoHoles), RuleOutcome::Next(1));
+    }
+
+    #[test]
+    fn ruleset_expands_instances() {
+        let mut b = ModelBuilder::new("m");
+        b.initial(0u8);
+        b.ruleset("set", 0..3u8, |i| move |_: &u8, _: &mut dyn HoleResolver| RuleOutcome::Next(i));
+        let m = b.finish();
+        let names: Vec<_> = m.rules().iter().map(|r| r.name().to_owned()).collect();
+        assert_eq!(names, vec!["set[0]", "set[1]", "set[2]"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no initial states")]
+    fn finish_requires_initial() {
+        let b: ModelBuilder<u8> = ModelBuilder::new("empty");
+        let _ = b.finish();
+    }
+}

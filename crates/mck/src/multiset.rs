@@ -1,0 +1,255 @@
+//! A canonically-ordered multiset, the natural model of an **unordered
+//! network**.
+//!
+//! Distributed-protocol models (the paper's target domain) exchange messages
+//! over interconnects that give no ordering guarantees. The contents of such
+//! a network is a *multiset* of in-flight messages: two global states that
+//! differ only in the arrival order of the same messages are the same state.
+//! [`Multiset`] enforces this by keeping its elements sorted, so that
+//! structural equality (`Eq`/`Hash`) coincides with multiset equality — a
+//! requirement for the model checker's visited-state deduplication.
+//!
+//! The representation is a sorted `Vec`, which for the small populations seen
+//! in protocol models (a handful of messages) beats tree- or hash-based
+//! multisets on every axis: memory, hashing speed, and iteration.
+
+use std::fmt;
+
+/// A multiset of `T` with canonical (sorted) internal order.
+///
+/// # Examples
+///
+/// ```
+/// use verc3_mck::Multiset;
+///
+/// let mut net: Multiset<u8> = Multiset::new();
+/// net.insert(3);
+/// net.insert(1);
+/// net.insert(3);
+///
+/// let mut other = Multiset::new();
+/// other.insert(3);
+/// other.insert(3);
+/// other.insert(1);
+///
+/// // Insertion order is irrelevant: multisets compare canonically.
+/// assert_eq!(net, other);
+/// assert_eq!(net.count(&3), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Multiset<T> {
+    items: Vec<T>,
+}
+
+impl<T: Ord> Multiset<T> {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Multiset { items: Vec::new() }
+    }
+
+    /// Creates an empty multiset with space reserved for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        Multiset { items: Vec::with_capacity(cap) }
+    }
+
+    /// Inserts an element, keeping the canonical order.
+    pub fn insert(&mut self, item: T) {
+        let pos = self.items.partition_point(|x| x <= &item);
+        self.items.insert(pos, item);
+    }
+
+    /// Removes one occurrence of an element equal to `item`.
+    ///
+    /// Returns the removed element, or `None` if no occurrence exists.
+    pub fn remove(&mut self, item: &T) -> Option<T> {
+        let pos = self.items.partition_point(|x| x < item);
+        if pos < self.items.len() && &self.items[pos] == item {
+            Some(self.items.remove(pos))
+        } else {
+            None
+        }
+    }
+
+    /// Removes the element at position `idx` (in canonical order).
+    ///
+    /// Removal-by-index is how a model enumerates message deliveries: each
+    /// index of the network multiset is one candidate message to consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn remove_at(&mut self, idx: usize) -> T {
+        self.items.remove(idx)
+    }
+
+    /// Number of occurrences of `item`.
+    pub fn count(&self, item: &T) -> usize {
+        let lo = self.items.partition_point(|x| x < item);
+        let hi = self.items.partition_point(|x| x <= item);
+        hi - lo
+    }
+
+    /// `true` if at least one occurrence of `item` is present.
+    pub fn contains(&self, item: &T) -> bool {
+        self.items.binary_search(item).is_ok()
+    }
+
+    /// Total number of elements, counting multiplicity.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the multiset holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the elements in canonical order (with multiplicity).
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Returns the element at canonical position `idx`, if any.
+    pub fn get(&self, idx: usize) -> Option<&T> {
+        self.items.get(idx)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Re-establishes canonical order after elements were mutated in place.
+    ///
+    /// This is the escape hatch used by symmetry reduction: permuting process
+    /// indices rewrites fields *inside* the stored elements, which can break
+    /// the sort order. Call this afterwards to restore the invariant.
+    pub fn restore_canonical_order(&mut self) {
+        self.items.sort_unstable();
+    }
+
+    /// Mutable access to the raw items; caller must restore canonical order.
+    ///
+    /// Prefer the safe API; this exists for symmetry canonicalization which
+    /// must rewrite index fields in bulk. Always pair with
+    /// [`Multiset::restore_canonical_order`].
+    pub fn items_mut(&mut self) -> &mut [T] {
+        &mut self.items
+    }
+
+    /// View of the elements as a sorted slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut items: Vec<T> = iter.into_iter().collect();
+        items.sort_unstable();
+        Multiset { items }
+    }
+}
+
+impl<T: Ord> Extend<T> for Multiset<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.items.extend(iter);
+        self.items.sort_unstable();
+    }
+}
+
+impl<T> IntoIterator for Multiset<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Multiset<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{|")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item:?}")?;
+        }
+        write!(f, "|}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_sorted() {
+        let mut m = Multiset::new();
+        for x in [5, 1, 4, 1, 3] {
+            m.insert(x);
+        }
+        assert_eq!(m.as_slice(), &[1, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn remove_takes_single_occurrence() {
+        let mut m: Multiset<i32> = [2, 2, 3].into_iter().collect();
+        assert_eq!(m.remove(&2), Some(2));
+        assert_eq!(m.as_slice(), &[2, 3]);
+        assert_eq!(m.remove(&9), None);
+    }
+
+    #[test]
+    fn count_and_contains() {
+        let m: Multiset<i32> = [1, 2, 2, 2, 7].into_iter().collect();
+        assert_eq!(m.count(&2), 3);
+        assert_eq!(m.count(&4), 0);
+        assert!(m.contains(&7));
+        assert!(!m.contains(&0));
+    }
+
+    #[test]
+    fn equality_ignores_construction_order() {
+        let a: Multiset<i32> = [3, 1, 2].into_iter().collect();
+        let b: Multiset<i32> = [2, 3, 1].into_iter().collect();
+        assert_eq!(a, b);
+        use crate::hashers::fingerprint;
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn restore_after_in_place_mutation() {
+        let mut m: Multiset<i32> = [1, 5, 9].into_iter().collect();
+        for item in m.items_mut() {
+            *item = -*item;
+        }
+        m.restore_canonical_order();
+        assert_eq!(m.as_slice(), &[-9, -5, -1]);
+    }
+
+    #[test]
+    fn debug_format_nonempty() {
+        let m: Multiset<i32> = [1].into_iter().collect();
+        assert_eq!(format!("{m:?}"), "{|1|}");
+        let e: Multiset<i32> = Multiset::new();
+        assert_eq!(format!("{e:?}"), "{||}");
+    }
+
+    #[test]
+    fn remove_at_in_canonical_order() {
+        let mut m: Multiset<i32> = [4, 2, 8].into_iter().collect();
+        assert_eq!(m.remove_at(1), 4);
+        assert_eq!(m.as_slice(), &[2, 8]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Correctness properties checked against the explored state space.
+//!
+//! The paper's case study uses three kinds of property (§III):
+//!
+//! * **Safety invariants** — predicates that must hold in every reachable
+//!   state, e.g. the Single-Writer–Multiple-Reader invariant of coherence
+//!   protocols. Checked online during BFS; a violation comes with a minimal
+//!   counterexample trace.
+//! * **Reachability obligations** — predicates that must hold in *some*
+//!   reachable state. The paper added "all stable states must be visited at
+//!   least once" after discovering that without it the synthesizer produces
+//!   degenerate protocols (e.g. a cache that immediately self-invalidates).
+//!   Checked after BFS completes.
+//! * **Liveness** — the paper implements "several additional properties
+//!   asserting liveness" citing McMillan & Schwalbe. We provide
+//!   *eventual quiescence*: from every reachable state, some quiescent state
+//!   (all controllers stable, network drained) must remain reachable. This
+//!   `AG EF q` check is computed by reverse reachability over the explored
+//!   state graph and catches both deadlocks the no-successor check misses
+//!   (a single wedged controller while others keep running) and livelocks.
+//!
+//! Soundness under synthesis wildcards: a wildcard aborts an execution
+//! branch, so the explored space is an *under*-approximation. Invariant
+//! violations found there remain valid (the violating trace used only
+//! concrete choices), but "not reachable" and "cannot reach quiescence"
+//! conclusions do not — the checker demotes those to the *unknown* verdict
+//! whenever a wildcard was hit (see [`crate::checker`]).
+
+use std::fmt;
+
+/// Type of the boxed predicate backing each property.
+pub type PredicateFn<S> = Box<dyn Fn(&S) -> bool + Send + Sync>;
+
+/// A named correctness property over states of type `S`.
+pub enum Property<S> {
+    /// Must hold in **every** reachable state (safety).
+    Invariant {
+        /// Human-readable property name, used in failure reports.
+        name: String,
+        /// The predicate; `false` in any reachable state is a violation.
+        pred: PredicateFn<S>,
+    },
+    /// Must hold in **at least one** reachable state.
+    Reachable {
+        /// Human-readable property name, used in failure reports.
+        name: String,
+        /// The predicate; never `true` across the full space is a violation.
+        pred: PredicateFn<S>,
+    },
+    /// From every reachable state, a state satisfying `quiescent` must remain
+    /// reachable (`AG EF quiescent`).
+    EventuallyQuiescent {
+        /// Human-readable property name, used in failure reports.
+        name: String,
+        /// Characterizes quiescent (drained, all-stable) states.
+        quiescent: PredicateFn<S>,
+    },
+}
+
+impl<S> Property<S> {
+    /// Creates a safety invariant property.
+    pub fn invariant<F>(name: impl Into<String>, pred: F) -> Self
+    where
+        F: Fn(&S) -> bool + Send + Sync + 'static,
+    {
+        Property::Invariant { name: name.into(), pred: Box::new(pred) }
+    }
+
+    /// Creates a reachability obligation.
+    pub fn reachable<F>(name: impl Into<String>, pred: F) -> Self
+    where
+        F: Fn(&S) -> bool + Send + Sync + 'static,
+    {
+        Property::Reachable { name: name.into(), pred: Box::new(pred) }
+    }
+
+    /// Creates an eventual-quiescence (liveness) property.
+    pub fn eventually_quiescent<F>(name: impl Into<String>, quiescent: F) -> Self
+    where
+        F: Fn(&S) -> bool + Send + Sync + 'static,
+    {
+        Property::EventuallyQuiescent { name: name.into(), quiescent: Box::new(quiescent) }
+    }
+
+    /// The property's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Property::Invariant { name, .. }
+            | Property::Reachable { name, .. }
+            | Property::EventuallyQuiescent { name, .. } => name,
+        }
+    }
+
+    /// A short tag identifying the property kind, for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Property::Invariant { .. } => "invariant",
+            Property::Reachable { .. } => "reachable",
+            Property::EventuallyQuiescent { .. } => "eventually-quiescent",
+        }
+    }
+}
+
+impl<S> fmt::Debug for Property<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Property")
+            .field("kind", &self.kind())
+            .field("name", &self.name())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let p: Property<u8> = Property::invariant("no three", |&s| s != 3);
+        assert_eq!(p.name(), "no three");
+        assert_eq!(p.kind(), "invariant");
+
+        let p: Property<u8> = Property::reachable("sees five", |&s| s == 5);
+        assert_eq!(p.kind(), "reachable");
+
+        let p: Property<u8> = Property::eventually_quiescent("drains", |&s| s == 0);
+        assert_eq!(p.kind(), "eventually-quiescent");
+        assert!(format!("{p:?}").contains("drains"));
+    }
+}

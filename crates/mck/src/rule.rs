@@ -1,0 +1,126 @@
+//! Guarded-command transition rules.
+//!
+//! A model is a set of named rules; each rule combines a guard and an action
+//! in the Murϕ tradition. The checker evaluates every rule in every explored
+//! state; a rule either declines to fire ([`RuleOutcome::Disabled`]),
+//! produces a successor state ([`RuleOutcome::Next`]), or reports that it hit
+//! an unresolved synthesis hole ([`RuleOutcome::Blocked`]), aborting that
+//! branch of the search.
+//!
+//! Non-determinism is expressed as multiple rules (Murϕ "rulesets"): a rule
+//! parameterized over, say, a cache index expands to one rule instance per
+//! index at model-construction time, keeping each instance deterministic.
+//! Deterministic rules are essential for synthesis: a candidate configuration
+//! must induce a unique transition function so that failures are attributable
+//! to hole choices.
+
+use crate::eval::HoleResolver;
+use std::fmt;
+
+/// Result of attempting to apply a rule to a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleOutcome<S> {
+    /// The rule's guard is false in this state; nothing happens.
+    Disabled,
+    /// The rule fired, yielding the successor state.
+    Next(S),
+    /// The rule consulted a hole that resolved to
+    /// [`crate::Choice::Wildcard`]: this execution branch is aborted, and the
+    /// overall verdict can be at best *unknown*.
+    Blocked,
+}
+
+impl<S> RuleOutcome<S> {
+    /// `true` for [`RuleOutcome::Next`].
+    pub fn is_next(&self) -> bool {
+        matches!(self, RuleOutcome::Next(_))
+    }
+
+    /// Extracts the successor state, if any.
+    pub fn into_next(self) -> Option<S> {
+        match self {
+            RuleOutcome::Next(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Type of the boxed guarded-command function backing a [`Rule`].
+pub type RuleFn<S> = Box<dyn Fn(&S, &mut dyn HoleResolver) -> RuleOutcome<S> + Send + Sync>;
+
+/// A named guarded-command transition rule over states of type `S`.
+///
+/// Construct rules directly, or more conveniently through
+/// [`crate::ModelBuilder`].
+pub struct Rule<S> {
+    name: String,
+    apply: RuleFn<S>,
+}
+
+impl<S> Rule<S> {
+    /// Creates a rule from a name and its guarded-command function.
+    ///
+    /// The closure receives the current state and the active hole resolver;
+    /// it must be pure with respect to the state (no interior mutation of
+    /// captured data that affects later invocations), since the checker calls
+    /// it in breadth-first order from arbitrary states.
+    pub fn new<F>(name: impl Into<String>, apply: F) -> Self
+    where
+        F: Fn(&S, &mut dyn HoleResolver) -> RuleOutcome<S> + Send + Sync + 'static,
+    {
+        Rule { name: name.into(), apply: Box::new(apply) }
+    }
+
+    /// The rule's human-readable name, used in traces and diagnostics.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Applies the rule to `state` under the given hole resolver.
+    #[inline]
+    pub fn apply(&self, state: &S, ctx: &mut dyn HoleResolver) -> RuleOutcome<S> {
+        (self.apply)(state, ctx)
+    }
+}
+
+impl<S> fmt::Debug for Rule<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rule").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::NoHoles;
+
+    #[test]
+    fn rule_fires_and_disables() {
+        let r = Rule::new("inc", |&s: &u32, _ctx: &mut dyn HoleResolver| {
+            if s < 2 {
+                RuleOutcome::Next(s + 1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
+        assert_eq!(r.apply(&0, &mut NoHoles), RuleOutcome::Next(1));
+        assert_eq!(r.apply(&2, &mut NoHoles), RuleOutcome::Disabled);
+        assert_eq!(r.name(), "inc");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o: RuleOutcome<u8> = RuleOutcome::Next(7);
+        assert!(o.is_next());
+        assert_eq!(o.into_next(), Some(7));
+        let o: RuleOutcome<u8> = RuleOutcome::Blocked;
+        assert!(!o.is_next());
+        assert_eq!(o.into_next(), None);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let r = Rule::new("noop", |_: &u8, _: &mut dyn HoleResolver| RuleOutcome::Disabled);
+        assert!(format!("{r:?}").contains("noop"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Symmetry reduction via scalarset permutation canonicalization.
+//!
+//! Distributed protocols are highly symmetric: the identities of the
+//! replicated processes (the caches, in the MSI case study) are
+//! interchangeable. Following Ip & Dill (*Better Verification Through
+//! Symmetry*, CHDL 1993) — reference [15] of the paper — we treat process
+//! indices as a *scalarset*: a type whose values may only be compared for
+//! equality and used as array indices, so that any permutation of them maps
+//! reachable states to reachable states.
+//!
+//! The checker exploits this by storing only a **canonical representative**
+//! of each symmetry orbit: [`Symmetric::canonicalize`] applies every
+//! permutation of the scalarset and keeps the least state under `Ord`. For
+//! the small process counts used in protocol verification (3–5), enumerating
+//! all `n!` permutations is cheap and — unlike in symbolic methods, as the
+//! paper argues (§I) — entirely straightforward.
+//!
+//! The paper further notes that holes must *not* be replicated per symmetric
+//! process (§II): this falls out naturally here because rule tables (and the
+//! holes inside them) are shared across the process array, while only the
+//! *state* is permuted.
+
+/// A permutation of scalarset indices: `perm[old_index] = new_index`.
+pub type Perm = Vec<u8>;
+
+/// Returns all `n!` permutations of `0..n` in lexicographic order.
+///
+/// The identity permutation is always first, which lets callers skip it when
+/// the unpermuted state is already a candidate representative.
+///
+/// # Panics
+///
+/// Panics if `n > 8`; factorial growth makes larger scalarsets impractical
+/// for exhaustive canonicalization (and protocol models never need them).
+///
+/// # Examples
+///
+/// ```
+/// let perms = verc3_mck::all_permutations(3);
+/// assert_eq!(perms.len(), 6);
+/// assert_eq!(perms[0], vec![0, 1, 2]); // identity first
+/// ```
+pub fn all_permutations(n: usize) -> Vec<Perm> {
+    assert!(n <= 8, "scalarset of size {n} is too large for exhaustive canonicalization");
+    let mut out = Vec::with_capacity((1..=n).product::<usize>().max(1));
+    let mut current: Perm = (0..n as u8).collect();
+    permute_rec(&mut current, 0, &mut out);
+    out.sort();
+    out
+}
+
+fn permute_rec(current: &mut Perm, k: usize, out: &mut Vec<Perm>) {
+    if k == current.len() {
+        out.push(current.clone());
+        return;
+    }
+    for i in k..current.len() {
+        current.swap(k, i);
+        permute_rec(current, k + 1, out);
+        current.swap(k, i);
+    }
+}
+
+/// Applies a permutation to a single scalarset index.
+///
+/// Convenience for rewriting index-valued *fields* (message destinations,
+/// owner pointers) during canonicalization.
+#[inline]
+pub fn apply_perm_to_index(perm: &[u8], index: u8) -> u8 {
+    perm[index as usize]
+}
+
+/// Types whose value embeds scalarset indices and can be rewritten under a
+/// permutation of those indices.
+///
+/// Implementors must satisfy two laws, which the property tests in this
+/// crate check for the bundled models:
+///
+/// 1. **Identity**: `s.apply_perm(&identity) == s`.
+/// 2. **Composition**: `s.apply_perm(p).apply_perm(q) == s.apply_perm(q∘p)`.
+///
+/// Given a lawful `apply_perm`, [`Symmetric::canonicalize`] maps every member
+/// of a symmetry orbit to the same representative, so the checker's
+/// visited-set sees each orbit once.
+pub trait Symmetric: Sized + Ord + Clone {
+    /// Returns this value with every embedded scalarset index `i` replaced by
+    /// `perm[i]`, and any order-canonical containers re-normalized.
+    fn apply_perm(&self, perm: &[u8]) -> Self;
+
+    /// Returns the canonical representative of this value's symmetry orbit:
+    /// the minimum under `Ord` across all given permutations.
+    ///
+    /// `perms` should be the output of [`all_permutations`] for the scalarset
+    /// size; passing a subset yields a coarser (but still sound, merely less
+    /// effective) reduction.
+    fn canonicalize(&self, perms: &[Perm]) -> Self {
+        let mut best: Option<Self> = None;
+        for perm in perms {
+            let candidate = self.apply_perm(perm);
+            match &best {
+                Some(b) if *b <= candidate => {}
+                _ => best = Some(candidate),
+            }
+        }
+        best.unwrap_or_else(|| self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_counts_are_factorial() {
+        assert_eq!(all_permutations(0).len(), 1);
+        assert_eq!(all_permutations(1).len(), 1);
+        assert_eq!(all_permutations(2).len(), 2);
+        assert_eq!(all_permutations(3).len(), 6);
+        assert_eq!(all_permutations(4).len(), 24);
+    }
+
+    #[test]
+    fn permutations_are_unique_and_identity_first() {
+        let perms = all_permutations(4);
+        let mut dedup = perms.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), perms.len());
+        assert_eq!(perms[0], vec![0, 1, 2, 3]);
+    }
+
+    /// A toy symmetric value: a pair (array over scalarset, index field).
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct Pair {
+        slots: Vec<u8>, // indexed by scalarset id
+        pointer: u8,    // holds a scalarset id
+    }
+
+    impl Symmetric for Pair {
+        fn apply_perm(&self, perm: &[u8]) -> Self {
+            let mut slots = vec![0; self.slots.len()];
+            for (old, &v) in self.slots.iter().enumerate() {
+                slots[perm[old] as usize] = v;
+            }
+            Pair { slots, pointer: apply_perm_to_index(perm, self.pointer) }
+        }
+    }
+
+    #[test]
+    fn canonicalize_identifies_orbit_members() {
+        let perms = all_permutations(3);
+        let a = Pair { slots: vec![7, 0, 0], pointer: 0 };
+        let b = Pair { slots: vec![0, 0, 7], pointer: 2 }; // same orbit: move proc 0 -> 2
+        assert_eq!(a.canonicalize(&perms), b.canonicalize(&perms));
+
+        let c = Pair { slots: vec![0, 0, 7], pointer: 0 }; // different orbit
+        assert_ne!(a.canonicalize(&perms), c.canonicalize(&perms));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let perms = all_permutations(3);
+        let a = Pair { slots: vec![3, 1, 2], pointer: 1 };
+        let c = a.canonicalize(&perms);
+        assert_eq!(c.canonicalize(&perms), c);
+    }
+
+    #[test]
+    fn identity_law() {
+        let id: Perm = vec![0, 1, 2];
+        let a = Pair { slots: vec![3, 1, 2], pointer: 1 };
+        assert_eq!(a.apply_perm(&id), a);
+    }
+}

@@ -1,0 +1,28 @@
+//! # verc3-protocols — protocol case studies for VerC3
+//!
+//! Concurrent-system models built on the `verc3-mck` modelling framework and
+//! synthesizable with `verc3-core`:
+//!
+//! * [`msi`] — the paper's case study: a directory-based MSI cache-coherence
+//!   protocol over an unordered interconnect, with the transient-state
+//!   actions exposed as synthesis holes (MSI-small: 8 holes, MSI-large: 12
+//!   holes, exactly as in §III and Table I).
+//! * [`vi`] — a minimal VI (Valid/Invalid) coherence protocol: the smallest
+//!   realistic synthesis exercise, used by the quickstart example.
+//! * [`mesi`] — a MESI extension of the MSI model (Exclusive state),
+//!   following the paper's future-work direction of widening the tool's
+//!   scope.
+//! * [`mutex`] — a Peterson-style mutual-exclusion model, showing the
+//!   framework is not coherence-specific.
+//!
+//! All models implement [`verc3_mck::TransitionSystem`] and can be verified
+//! with [`verc3_mck::Checker`] or synthesized with
+//! [`verc3_core::Synthesizer`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod mesi;
+pub mod msi;
+pub mod mutex;
+pub mod vi;

@@ -1,0 +1,707 @@
+//! A MESI extension of the directory MSI protocol.
+//!
+//! The paper's future work asks to "widen the scope of the tool"; the
+//! canonical next step for its case study is MESI: on a read miss with no
+//! other copies, the directory grants an **Exclusive** (E) clean copy, and
+//! the cache may later upgrade E→M *silently* — no messages, no directory
+//! interaction — which is precisely the kind of subtle optimization that
+//! breaks naïve protocol reasoning.
+//!
+//! The model reuses the MSI design (stalling directory, dual-purpose acks,
+//! poison states): the directory tracks an E owner exactly like an M owner
+//! (it cannot distinguish them, as in real MESI directories), and the
+//! exclusive grant is signalled by a flag on the data message. The
+//! synthesizable extension rule is the cache's reaction to an exclusive
+//! grant (`IS_D + Data[excl]`), whose correct completion is the new E state
+//! — a hole whose golden fill *did not exist* in the MSI library, showing
+//! how a designer grows a protocol with the synthesizer's help.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use verc3_mck::scalarset::{apply_perm_to_index, Symmetric};
+use verc3_mck::{
+    all_permutations, HoleResolver, HoleSpec, Multiset, Perm, Property, Rule, RuleOutcome,
+    TransitionSystem,
+};
+
+/// Cache-controller states (MSI's seven plus Exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ECacheState {
+    /// Invalid.
+    I,
+    /// Shared (read-only).
+    S,
+    /// Exclusive: the only copy, clean; may upgrade to M silently.
+    E,
+    /// Modified: the only copy, dirty.
+    M,
+    /// Read miss in flight.
+    IsD,
+    /// Write miss in flight (data + acks outstanding).
+    ImAd,
+    /// Upgrade in flight (data + acks outstanding).
+    SmAd,
+    /// Data received, awaiting remaining invalidation acks.
+    WmA,
+}
+
+impl ECacheState {
+    /// All states, in next-state action-library order (8 actions).
+    pub const ALL: [ECacheState; 8] = [
+        ECacheState::I,
+        ECacheState::S,
+        ECacheState::E,
+        ECacheState::M,
+        ECacheState::IsD,
+        ECacheState::ImAd,
+        ECacheState::SmAd,
+        ECacheState::WmA,
+    ];
+    const NAMES: [&'static str; 8] = ["I", "S", "E", "M", "IS_D", "IM_AD", "SM_AD", "WM_A"];
+
+    /// `true` for I, S, E, M.
+    pub fn is_stable(self) -> bool {
+        matches!(self, ECacheState::I | ECacheState::S | ECacheState::E | ECacheState::M)
+    }
+
+    /// `true` for the exclusive-permission states E and M.
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, ECacheState::E | ECacheState::M)
+    }
+}
+
+/// Directory states — identical to MSI's: the directory cannot tell an E
+/// owner from an M owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EDirState {
+    /// No copies.
+    I,
+    /// Shared copies at the tracked sharers.
+    S,
+    /// An exclusive (E or M) copy at the tracked owner.
+    M,
+    /// Busy → S (awaiting the requester's ack).
+    IsB,
+    /// Busy → M (awaiting the requester's ack).
+    ImB,
+    /// Busy → M from S (awaiting the requester's ack).
+    SmB,
+    /// Busy downgrading the owner (awaiting writeback + ack).
+    MsB,
+}
+
+impl EDirState {
+    /// `true` for I, S, M.
+    pub fn is_stable(self) -> bool {
+        matches!(self, EDirState::I | EDirState::S | EDirState::M)
+    }
+}
+
+/// Message kinds (as MSI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EMsgKind {
+    /// Read request.
+    GetS,
+    /// Write request.
+    GetM,
+    /// Forwarded read request (to the owner).
+    FwdGetS,
+    /// Forwarded write request (to the owner).
+    FwdGetM,
+    /// Invalidation.
+    Inv,
+    /// Data; `excl` marks an exclusive grant.
+    Data,
+    /// Acknowledgement (to requester or directory).
+    Ack,
+}
+
+/// One in-flight message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EMsg {
+    /// Message class.
+    pub kind: EMsgKind,
+    /// Destination agent.
+    pub to: u8,
+    /// Requester or sender.
+    pub req: u8,
+    /// Invalidation acks to collect (data to a write requester).
+    pub acks: u8,
+    /// Exclusive grant marker (data to a read requester).
+    pub excl: bool,
+}
+
+/// Global MESI state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MesiState {
+    /// Per-cache states with ack counters.
+    pub caches: Vec<(ECacheState, u8, u8)>, // (state, got, need)
+    /// Directory state.
+    pub dir: EDirState,
+    /// Tracked exclusive owner.
+    pub owner: Option<u8>,
+    /// Tracked sharers (bitset).
+    pub sharers: u8,
+    /// Outstanding MS_B completions.
+    pub pending: u8,
+    /// The unordered network.
+    pub net: Multiset<EMsg>,
+    /// Poison flag.
+    pub error: bool,
+}
+
+impl MesiState {
+    /// Initial state: all invalid.
+    pub fn initial(n: usize) -> Self {
+        MesiState {
+            caches: vec![(ECacheState::I, 0, 0); n],
+            dir: EDirState::I,
+            owner: None,
+            sharers: 0,
+            pending: 0,
+            net: Multiset::new(),
+            error: false,
+        }
+    }
+
+    /// The MESI exclusivity invariant: a cache in E or M excludes every
+    /// other valid copy (S, E, or M) — strictly stronger than MSI's SWMR.
+    pub fn exclusivity_holds(&self) -> bool {
+        let exclusive = self.caches.iter().filter(|c| c.0.is_exclusive()).count();
+        let shared = self.caches.iter().filter(|c| c.0 == ECacheState::S).count();
+        exclusive <= 1 && (exclusive == 0 || shared == 0)
+    }
+
+    /// Quiescence predicate.
+    pub fn is_quiescent(&self) -> bool {
+        !self.error
+            && self.net.is_empty()
+            && self.dir.is_stable()
+            && self.caches.iter().all(|c| c.0.is_stable())
+    }
+}
+
+impl Symmetric for MesiState {
+    fn apply_perm(&self, perm: &[u8]) -> Self {
+        let n = self.caches.len();
+        let mut caches = vec![(ECacheState::I, 0, 0); n];
+        for (old, &line) in self.caches.iter().enumerate() {
+            caches[perm[old] as usize] = line;
+        }
+        let mut sharers = 0u8;
+        for c in 0..n as u8 {
+            if self.sharers & (1 << c) != 0 {
+                sharers |= 1 << apply_perm_to_index(perm, c);
+            }
+        }
+        let net = self
+            .net
+            .iter()
+            .map(|m| EMsg {
+                kind: m.kind,
+                to: if (m.to as usize) < n { apply_perm_to_index(perm, m.to) } else { m.to },
+                req: apply_perm_to_index(perm, m.req),
+                acks: m.acks,
+                excl: m.excl,
+            })
+            .collect();
+        MesiState {
+            caches,
+            dir: self.dir,
+            owner: self.owner.map(|o| apply_perm_to_index(perm, o)),
+            sharers,
+            pending: self.pending,
+            net,
+            error: self.error,
+        }
+    }
+}
+
+/// Synthesizable MESI rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MesiRule {
+    /// `IS_D` receives an exclusive data grant — the MESI extension point
+    /// (2 holes; the golden fill is the new E state).
+    IsDDataExcl,
+    /// `IS_D` receives ordinary shared data (2 holes).
+    IsDDataShared,
+}
+
+/// Configuration of a [`MesiModel`].
+#[derive(Debug, Clone)]
+pub struct MesiConfig {
+    /// Number of caches (2..=6).
+    pub n_caches: usize,
+    /// Canonicalize under cache permutations.
+    pub symmetry: bool,
+    /// Rules whose actions are holes.
+    pub holes: BTreeSet<MesiRule>,
+    /// Bounded network capacity.
+    pub net_capacity: usize,
+}
+
+impl Default for MesiConfig {
+    fn default() -> Self {
+        MesiConfig { n_caches: 3, symmetry: true, holes: BTreeSet::new(), net_capacity: 16 }
+    }
+}
+
+impl MesiConfig {
+    /// The complete protocol.
+    pub fn golden() -> Self {
+        MesiConfig::default()
+    }
+
+    /// Synthesize the exclusive-grant reaction (2 holes, 24 candidates).
+    pub fn synth_exclusive_grant() -> Self {
+        let mut cfg = MesiConfig::default();
+        cfg.holes.insert(MesiRule::IsDDataExcl);
+        cfg
+    }
+
+    /// Synthesize both `IS_D` completions (4 holes, 576 candidates).
+    pub fn synth_read_completions() -> Self {
+        let mut cfg = MesiConfig::synth_exclusive_grant();
+        cfg.holes.insert(MesiRule::IsDDataShared);
+        cfg
+    }
+}
+
+struct MesiCore {
+    dir_id: u8,
+    cap: usize,
+    holes: BTreeSet<MesiRule>,
+    excl_resp: HoleSpec,
+    excl_next: HoleSpec,
+    shared_resp: HoleSpec,
+    shared_next: HoleSpec,
+}
+
+/// The MESI protocol as an explorable transition system.
+///
+/// # Examples
+///
+/// ```
+/// use verc3_protocols::mesi::{MesiConfig, MesiModel};
+/// use verc3_mck::{Checker, CheckerOptions, Verdict};
+///
+/// let model = MesiModel::new(MesiConfig::golden());
+/// let out = Checker::new(CheckerOptions::default()).run(&model);
+/// assert_eq!(out.verdict(), Verdict::Success);
+/// ```
+pub struct MesiModel {
+    config: MesiConfig,
+    perms: Vec<Perm>,
+    rules: Vec<Rule<MesiState>>,
+    properties: Vec<Property<MesiState>>,
+}
+
+impl std::fmt::Debug for MesiModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MesiModel").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+fn emsg(kind: EMsgKind, to: u8, req: u8) -> EMsg {
+    EMsg { kind, to, req, acks: 0, excl: false }
+}
+
+fn esend(ns: &mut MesiState, m: EMsg, cap: usize) {
+    if ns.net.len() >= cap {
+        ns.error = true;
+    } else {
+        ns.net.insert(m);
+    }
+}
+
+fn efind(s: &MesiState, to: u8, kind: EMsgKind, rank: usize) -> Option<EMsg> {
+    s.net.iter().filter(|m| m.to == to && m.kind == kind).nth(rank).copied()
+}
+
+impl MesiModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= n_caches <= 6`.
+    pub fn new(config: MesiConfig) -> Self {
+        let n = config.n_caches;
+        assert!((2..=6).contains(&n), "n_caches must be in 2..=6, got {n}");
+        let core = Arc::new(MesiCore {
+            dir_id: n as u8,
+            cap: config.net_capacity,
+            holes: config.holes.clone(),
+            excl_resp: HoleSpec::new(
+                "mesi/cache/IS_D+Data[excl]/resp",
+                ["none", "send_data", "send_ack"],
+            ),
+            excl_next: HoleSpec::new("mesi/cache/IS_D+Data[excl]/next", ECacheState::NAMES),
+            shared_resp: HoleSpec::new(
+                "mesi/cache/IS_D+Data[shared]/resp",
+                ["none", "send_data", "send_ack"],
+            ),
+            shared_next: HoleSpec::new("mesi/cache/IS_D+Data[shared]/next", ECacheState::NAMES),
+        });
+
+        let mut rules: Vec<Rule<MesiState>> = Vec::new();
+
+        // Requests, including the silent E→M upgrade.
+        for c in 0..n {
+            let core_ = Arc::clone(&core);
+            rules.push(Rule::new(format!("read[{c}]"), move |s: &MesiState, _| {
+                if s.error || s.caches[c].0 != ECacheState::I {
+                    return RuleOutcome::Disabled;
+                }
+                let mut ns = s.clone();
+                esend(&mut ns, emsg(EMsgKind::GetS, core_.dir_id, c as u8), core_.cap);
+                ns.caches[c].0 = ECacheState::IsD;
+                RuleOutcome::Next(ns)
+            }));
+            let core_ = Arc::clone(&core);
+            rules.push(Rule::new(format!("write[{c}]"), move |s: &MesiState, _| {
+                if s.error {
+                    return RuleOutcome::Disabled;
+                }
+                let mut ns = s.clone();
+                match s.caches[c].0 {
+                    ECacheState::I => {
+                        esend(&mut ns, emsg(EMsgKind::GetM, core_.dir_id, c as u8), core_.cap);
+                        ns.caches[c].0 = ECacheState::ImAd;
+                    }
+                    ECacheState::S => {
+                        esend(&mut ns, emsg(EMsgKind::GetM, core_.dir_id, c as u8), core_.cap);
+                        ns.caches[c].0 = ECacheState::SmAd;
+                    }
+                    // The MESI point: upgrading a clean exclusive copy is
+                    // silent — no request, no directory involvement.
+                    ECacheState::E => ns.caches[c].0 = ECacheState::M,
+                    _ => return RuleOutcome::Disabled,
+                }
+                RuleOutcome::Next(ns)
+            }));
+        }
+
+        // Cache deliveries.
+        let kinds =
+            [EMsgKind::Data, EMsgKind::Ack, EMsgKind::Inv, EMsgKind::FwdGetS, EMsgKind::FwdGetM];
+        for c in 0..n {
+            for kind in kinds {
+                for rank in 0..n {
+                    let core_ = Arc::clone(&core);
+                    rules.push(Rule::new(
+                        format!("cache[{c}]:recv-{kind:?}#{rank}"),
+                        move |s: &MesiState, ctx| {
+                            if s.error {
+                                return RuleOutcome::Disabled;
+                            }
+                            match efind(s, c as u8, kind, rank) {
+                                Some(m) => cache_deliver(&core_, s, c, m, ctx),
+                                None => RuleOutcome::Disabled,
+                            }
+                        },
+                    ));
+                }
+            }
+        }
+
+        // Directory deliveries.
+        for kind in [EMsgKind::GetS, EMsgKind::GetM, EMsgKind::Data, EMsgKind::Ack] {
+            for rank in 0..n {
+                let core_ = Arc::clone(&core);
+                rules.push(Rule::new(
+                    format!("dir:recv-{kind:?}#{rank}"),
+                    move |s: &MesiState, _ctx| {
+                        if s.error {
+                            return RuleOutcome::Disabled;
+                        }
+                        match efind(s, core_.dir_id, kind, rank) {
+                            Some(m) => dir_deliver(&core_, s, m),
+                            None => RuleOutcome::Disabled,
+                        }
+                    },
+                ));
+            }
+        }
+
+        let properties = vec![
+            Property::invariant("MESI exclusivity", MesiState::exclusivity_holds),
+            Property::invariant("no protocol error", |s: &MesiState| !s.error),
+            Property::reachable("some cache reaches E", |s: &MesiState| {
+                s.caches.iter().any(|c| c.0 == ECacheState::E)
+            }),
+            Property::reachable("some cache reaches S", |s: &MesiState| {
+                s.caches.iter().any(|c| c.0 == ECacheState::S)
+            }),
+            Property::reachable("some cache reaches M", |s: &MesiState| {
+                s.caches.iter().any(|c| c.0 == ECacheState::M)
+            }),
+            Property::eventually_quiescent("drains to quiescence", MesiState::is_quiescent),
+        ];
+
+        let perms = all_permutations(n);
+        MesiModel { config, perms, rules, properties }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &MesiConfig {
+        &self.config
+    }
+}
+
+fn cache_deliver(
+    core: &MesiCore,
+    s: &MesiState,
+    c: usize,
+    m: EMsg,
+    ctx: &mut dyn HoleResolver,
+) -> RuleOutcome<MesiState> {
+    use ECacheState as Q;
+    use EMsgKind as K;
+    let (state, got, need) = s.caches[c];
+
+    // The synthesizable read-completion rules.
+    if state == Q::IsD && m.kind == K::Data {
+        let rule = if m.excl { MesiRule::IsDDataExcl } else { MesiRule::IsDDataShared };
+        let golden_next = if m.excl { Q::E } else { Q::S };
+        let (resp, next) = if core.holes.contains(&rule) {
+            let (rs, nx) = if m.excl {
+                (&core.excl_resp, &core.excl_next)
+            } else {
+                (&core.shared_resp, &core.shared_next)
+            };
+            let r = ctx.choose(rs);
+            let x = ctx.choose(nx);
+            match (r.action(), x.action()) {
+                (Some(r), Some(x)) => (r, Q::ALL[x]),
+                _ => return RuleOutcome::Blocked,
+            }
+        } else {
+            (2, golden_next) // golden: ack the directory, take the grant
+        };
+        let mut ns = s.clone();
+        ns.net.remove(&m);
+        match resp {
+            0 => {}
+            1 => esend(&mut ns, emsg(K::Data, core.dir_id, c as u8), core.cap),
+            _ => esend(&mut ns, emsg(K::Ack, core.dir_id, c as u8), core.cap),
+        }
+        ns.caches[c].0 = next;
+        if next.is_stable() {
+            ns.caches[c].1 = 0;
+            ns.caches[c].2 = 0;
+        }
+        return RuleOutcome::Next(ns);
+    }
+
+    // Everything else is hardwired golden MESI.
+    let mut ns = s.clone();
+    ns.net.remove(&m);
+    match (state, m.kind) {
+        (Q::S, K::Inv) => {
+            esend(&mut ns, emsg(K::Ack, m.req, c as u8), core.cap);
+            ns.caches[c] = (Q::I, 0, 0);
+        }
+        (Q::E | Q::M, K::FwdGetS) => {
+            esend(&mut ns, emsg(K::Data, m.req, c as u8), core.cap);
+            esend(&mut ns, emsg(K::Data, core.dir_id, c as u8), core.cap);
+            ns.caches[c] = (Q::S, 0, 0);
+        }
+        (Q::E | Q::M, K::FwdGetM) => {
+            esend(&mut ns, emsg(K::Data, m.req, c as u8), core.cap);
+            ns.caches[c] = (Q::I, 0, 0);
+        }
+        (Q::ImAd | Q::SmAd, K::Data) => {
+            if got >= m.acks {
+                esend(&mut ns, emsg(K::Ack, core.dir_id, c as u8), core.cap);
+                ns.caches[c] = (Q::M, 0, 0);
+            } else {
+                ns.caches[c] = (Q::WmA, got, m.acks);
+            }
+        }
+        (Q::ImAd | Q::SmAd, K::Ack) => ns.caches[c].1 = got + 1,
+        (Q::SmAd, K::Inv) => {
+            esend(&mut ns, emsg(K::Ack, m.req, c as u8), core.cap);
+            ns.caches[c] = (Q::ImAd, got, need);
+        }
+        (Q::WmA, K::Ack) => {
+            if got + 1 >= need {
+                esend(&mut ns, emsg(K::Ack, core.dir_id, c as u8), core.cap);
+                ns.caches[c] = (Q::M, 0, 0);
+            } else {
+                ns.caches[c].1 = got + 1;
+            }
+        }
+        _ => ns.error = true,
+    }
+    RuleOutcome::Next(ns)
+}
+
+fn dir_deliver(core: &MesiCore, s: &MesiState, m: EMsg) -> RuleOutcome<MesiState> {
+    use EDirState as D;
+    use EMsgKind as K;
+
+    // Requests stall while busy.
+    if matches!(m.kind, K::GetS | K::GetM) && !s.dir.is_stable() {
+        return RuleOutcome::Disabled;
+    }
+
+    let mut ns = s.clone();
+    ns.net.remove(&m);
+    match (s.dir, m.kind) {
+        // The MESI difference: a read miss with no copies grants Exclusive,
+        // and the directory starts tracking the requester as *owner*.
+        (D::I, K::GetS) => {
+            esend(
+                &mut ns,
+                EMsg { kind: K::Data, to: m.req, req: m.req, acks: 0, excl: true },
+                core.cap,
+            );
+            ns.owner = Some(m.req);
+            ns.dir = D::ImB;
+        }
+        (D::S, K::GetS) => {
+            esend(&mut ns, emsg(K::Data, m.req, m.req), core.cap);
+            ns.sharers |= 1 << m.req;
+            ns.dir = D::IsB;
+        }
+        (D::I, K::GetM) => {
+            esend(&mut ns, emsg(K::Data, m.req, m.req), core.cap);
+            ns.owner = Some(m.req);
+            ns.sharers = 0;
+            ns.dir = D::ImB;
+        }
+        (D::S, K::GetM) => {
+            let others = ns.sharers & !(1 << m.req);
+            let acks = others.count_ones() as u8;
+            esend(
+                &mut ns,
+                EMsg { kind: K::Data, to: m.req, req: m.req, acks, excl: false },
+                core.cap,
+            );
+            for sh in 0..8u8 {
+                if others & (1 << sh) != 0 {
+                    esend(&mut ns, emsg(K::Inv, sh, m.req), core.cap);
+                }
+            }
+            ns.owner = Some(m.req);
+            ns.sharers = 0;
+            ns.dir = D::SmB;
+        }
+        (D::M, K::GetS) => match ns.owner {
+            Some(owner) => {
+                esend(&mut ns, emsg(K::FwdGetS, owner, m.req), core.cap);
+                ns.sharers |= (1 << m.req) | (1 << owner);
+                ns.owner = None;
+                ns.pending = 2;
+                ns.dir = D::MsB;
+            }
+            None => ns.error = true,
+        },
+        (D::M, K::GetM) => match ns.owner {
+            Some(owner) => {
+                esend(&mut ns, emsg(K::FwdGetM, owner, m.req), core.cap);
+                ns.owner = Some(m.req);
+                ns.dir = D::ImB;
+            }
+            None => ns.error = true,
+        },
+        (D::IsB, K::Ack) => ns.dir = D::S,
+        (D::ImB | D::SmB, K::Ack) => ns.dir = D::M,
+        (D::MsB, K::Data | K::Ack) => {
+            ns.pending = ns.pending.saturating_sub(1);
+            if m.kind == K::Data {
+                ns.sharers |= 1 << m.req;
+            }
+            if ns.pending == 0 {
+                ns.dir = D::S;
+            }
+        }
+        _ => ns.error = true,
+    }
+    RuleOutcome::Next(ns)
+}
+
+impl TransitionSystem for MesiModel {
+    type State = MesiState;
+
+    fn initial_states(&self) -> Vec<MesiState> {
+        vec![MesiState::initial(self.config.n_caches)]
+    }
+
+    fn rules(&self) -> &[Rule<MesiState>] {
+        &self.rules
+    }
+
+    fn canonicalize(&self, state: MesiState) -> MesiState {
+        if self.config.symmetry {
+            state.canonicalize(&self.perms)
+        } else {
+            state
+        }
+    }
+
+    fn properties(&self) -> &[Property<MesiState>] {
+        &self.properties
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verc3_core::{SynthOptions, Synthesizer};
+    use verc3_mck::{Checker, CheckerOptions, Verdict};
+
+    #[test]
+    fn golden_mesi_verifies() {
+        let model = MesiModel::new(MesiConfig::golden());
+        let out = Checker::new(CheckerOptions::default()).run(&model);
+        assert_eq!(
+            out.verdict(),
+            Verdict::Success,
+            "golden MESI must verify: {:?}",
+            out.failure().map(|f| f.to_string())
+        );
+    }
+
+    #[test]
+    fn golden_mesi_two_caches_verifies() {
+        let model = MesiModel::new(MesiConfig { n_caches: 2, ..MesiConfig::golden() });
+        let out = Checker::new(CheckerOptions::default()).run(&model);
+        assert_eq!(out.verdict(), Verdict::Success);
+    }
+
+    #[test]
+    fn exclusivity_is_stronger_than_swmr() {
+        let mut s = MesiState::initial(3);
+        s.caches[0].0 = ECacheState::E;
+        assert!(s.exclusivity_holds());
+        s.caches[1].0 = ECacheState::S;
+        assert!(!s.exclusivity_holds(), "E plus a reader violates MESI exclusivity");
+        s.caches[0].0 = ECacheState::S;
+        assert!(s.exclusivity_holds());
+    }
+
+    #[test]
+    fn synthesizes_the_exclusive_state() {
+        let model = MesiModel::new(MesiConfig::synth_exclusive_grant());
+        let report = Synthesizer::new(SynthOptions::default()).run(&model);
+        assert_eq!(report.naive_candidate_space(), 24);
+        assert_eq!(report.solutions().len(), 1);
+        assert_eq!(
+            report.solutions()[0].display_named(report.holes()),
+            "⟨ mesi/cache/IS_D+Data[excl]/resp@send_ack, mesi/cache/IS_D+Data[excl]/next@E ⟩",
+            "the synthesizer must (re)discover the Exclusive state"
+        );
+    }
+
+    #[test]
+    fn synthesizes_both_read_completions() {
+        let model = MesiModel::new(MesiConfig::synth_read_completions());
+        let report = Synthesizer::new(SynthOptions::default()).run(&model);
+        assert_eq!(report.naive_candidate_space(), 576);
+        assert_eq!(report.solutions().len(), 1, "E for exclusive grants, S for shared data");
+        let named = report.solutions()[0].display_named(report.holes());
+        assert!(named.contains("[excl]/next@E"), "{named}");
+        assert!(named.contains("[shared]/next@S"), "{named}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Action libraries and the golden (reference) transition-rule table.
+//!
+//! The paper's case study splits each transition rule into independently
+//! synthesizable *action types* (§III):
+//!
+//! * cache controller — **response** (3 actions) and **next state** (7);
+//! * directory controller — **response** (5), **next state** (7) and
+//!   **track** (3).
+//!
+//! A hole corresponds to one action type of one transient-state rule, so a
+//! cache rule contributes 2 holes and a directory rule 3 — which is exactly
+//! how the paper arrives at MSI-small = 2·3 + 1·2 = 8 holes and
+//! MSI-large = 2·3 + 3·2 = 12, with candidate spaces
+//! (5·7·3)²·(3·7) = 231 525 and (5·7·3)²·(3·7)³ = 102 102 525 matching
+//! Table I.
+//!
+//! Every action is a pure function of the controller state and the trigger
+//! message, as the paper requires of hole actions.
+
+use super::types::{CacheState, DirState};
+
+/// Cache-controller response actions (library size 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheResponse {
+    /// Send nothing.
+    None,
+    /// Send data: to the trigger's requester (forwards/invalidations), plus
+    /// a writeback copy to the directory when answering a forwarded GetS;
+    /// to the directory when the trigger carries no requester.
+    SendData,
+    /// Acknowledge: to the trigger's requester for invalidations, to the
+    /// directory (transaction completion) for data/ack triggers.
+    SendAck,
+}
+
+impl CacheResponse {
+    /// Library order (action indices used in candidate vectors).
+    pub const ALL: [CacheResponse; 3] =
+        [CacheResponse::None, CacheResponse::SendData, CacheResponse::SendAck];
+
+    /// Action names, index-aligned with [`CacheResponse::ALL`].
+    pub const NAMES: [&'static str; 3] = ["none", "send_data", "send_ack"];
+}
+
+/// Cache-controller next-state actions (library size 7): one per state.
+pub type CacheNext = CacheState;
+
+/// Names of the cache next-state actions, index-aligned with
+/// [`CacheState::ALL`].
+pub const CACHE_NEXT_NAMES: [&'static str; 7] =
+    ["I", "S", "M", "IS_D", "IM_AD", "SM_AD", "WM_A"];
+
+/// Directory response actions (library size 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirResponse {
+    /// Send nothing.
+    None,
+    /// Send data (no acks to collect) to the trigger's requester.
+    SendData,
+    /// Send data to the requester with the outstanding-invalidations count,
+    /// and invalidations to every tracked sharer except the requester.
+    SendDataInvs,
+    /// Forward the request to the tracked owner as a `FwdGetS`.
+    FwdGetS,
+    /// Forward the request to the tracked owner as a `FwdGetM`.
+    FwdGetM,
+}
+
+impl DirResponse {
+    /// Library order (action indices used in candidate vectors).
+    pub const ALL: [DirResponse; 5] = [
+        DirResponse::None,
+        DirResponse::SendData,
+        DirResponse::SendDataInvs,
+        DirResponse::FwdGetS,
+        DirResponse::FwdGetM,
+    ];
+
+    /// Action names, index-aligned with [`DirResponse::ALL`].
+    pub const NAMES: [&'static str; 5] =
+        ["none", "send_data", "send_data_invs", "fwd_gets", "fwd_getm"];
+}
+
+/// Directory next-state actions (library size 7): one per state.
+pub type DirNext = DirState;
+
+/// Names of the directory next-state actions, index-aligned with
+/// [`DirState::ALL`].
+pub const DIR_NEXT_NAMES: [&'static str; 7] = ["I", "S", "M", "IS_B", "IM_B", "SM_B", "MS_B"];
+
+/// Directory track actions (library size 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirTrack {
+    /// Leave the sharer/owner bookkeeping unchanged.
+    None,
+    /// Record the trigger's cache as exclusive owner (clearing sharers).
+    SetOwner,
+    /// Add the trigger's cache to the sharer set.
+    AddSharer,
+}
+
+impl DirTrack {
+    /// Library order (action indices used in candidate vectors).
+    pub const ALL: [DirTrack; 3] = [DirTrack::None, DirTrack::SetOwner, DirTrack::AddSharer];
+
+    /// Action names, index-aligned with [`DirTrack::ALL`].
+    pub const NAMES: [&'static str; 3] = ["none", "set_owner", "add_sharer"];
+}
+
+/// Identifies a synthesizable cache-controller rule: a transient
+/// (state, event) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CacheRule {
+    /// `IS_D` receives data.
+    IsDData,
+    /// `IM_AD` receives data and all invalidation acks are in.
+    ImAdDataComplete,
+    /// `IM_AD` receives data but acks are still outstanding.
+    ImAdDataPending,
+    /// `IM_AD` receives an (early) invalidation ack.
+    ImAdAck,
+    /// `SM_AD` receives data and all invalidation acks are in.
+    SmAdDataComplete,
+    /// `SM_AD` receives data but acks are still outstanding.
+    SmAdDataPending,
+    /// `SM_AD` receives an (early) invalidation ack.
+    SmAdAck,
+    /// `SM_AD` receives an invalidation — the classic upgrade race: another
+    /// writer was serialized first and this cache must surrender its shared
+    /// copy while its own write remains in flight.
+    SmAdInv,
+    /// `WM_A` receives the final invalidation ack.
+    WmAAckLast,
+    /// `WM_A` receives a non-final invalidation ack.
+    WmAAckNotLast,
+}
+
+impl CacheRule {
+    /// The rule's hole-name stem, e.g. `cache/SM_AD+Inv`.
+    pub fn stem(self) -> &'static str {
+        match self {
+            CacheRule::IsDData => "cache/IS_D+Data",
+            CacheRule::ImAdDataComplete => "cache/IM_AD+Data[all-acks]",
+            CacheRule::ImAdDataPending => "cache/IM_AD+Data[acks-pending]",
+            CacheRule::ImAdAck => "cache/IM_AD+Ack",
+            CacheRule::SmAdDataComplete => "cache/SM_AD+Data[all-acks]",
+            CacheRule::SmAdDataPending => "cache/SM_AD+Data[acks-pending]",
+            CacheRule::SmAdAck => "cache/SM_AD+Ack",
+            CacheRule::SmAdInv => "cache/SM_AD+Inv",
+            CacheRule::WmAAckLast => "cache/WM_A+Ack[last]",
+            CacheRule::WmAAckNotLast => "cache/WM_A+Ack[not-last]",
+        }
+    }
+
+    /// The golden (reference) actions completing this rule correctly.
+    pub fn golden(self) -> (CacheResponse, CacheNext) {
+        use CacheResponse as R;
+        use CacheState as N;
+        match self {
+            CacheRule::IsDData => (R::SendAck, N::S),
+            CacheRule::ImAdDataComplete => (R::SendAck, N::M),
+            CacheRule::ImAdDataPending => (R::None, N::WmA),
+            CacheRule::ImAdAck => (R::None, N::ImAd),
+            CacheRule::SmAdDataComplete => (R::SendAck, N::M),
+            CacheRule::SmAdDataPending => (R::None, N::WmA),
+            CacheRule::SmAdAck => (R::None, N::SmAd),
+            CacheRule::SmAdInv => (R::SendAck, N::ImAd),
+            CacheRule::WmAAckLast => (R::SendAck, N::M),
+            CacheRule::WmAAckNotLast => (R::None, N::WmA),
+        }
+    }
+}
+
+/// Identifies a synthesizable directory rule: a busy-state (state, event)
+/// pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DirRule {
+    /// `IS_B` receives the requester's completion ack.
+    IsBAck,
+    /// `IM_B` receives the requester's completion ack.
+    ImBAck,
+    /// `SM_B` receives the requester's completion ack.
+    SmBAck,
+    /// `MS_B` receives the last outstanding message — the owner's writeback.
+    MsBDataLast,
+    /// `MS_B` receives the owner's writeback with the requester ack still
+    /// outstanding.
+    MsBDataNotLast,
+    /// `MS_B` receives the last outstanding message — the requester's ack.
+    MsBAckLast,
+    /// `MS_B` receives the requester's ack with the writeback outstanding.
+    MsBAckNotLast,
+}
+
+impl DirRule {
+    /// The rule's hole-name stem, e.g. `dir/IS_B+Ack`.
+    pub fn stem(self) -> &'static str {
+        match self {
+            DirRule::IsBAck => "dir/IS_B+Ack",
+            DirRule::ImBAck => "dir/IM_B+Ack",
+            DirRule::SmBAck => "dir/SM_B+Ack",
+            DirRule::MsBDataLast => "dir/MS_B+Data[last]",
+            DirRule::MsBDataNotLast => "dir/MS_B+Data[not-last]",
+            DirRule::MsBAckLast => "dir/MS_B+Ack[last]",
+            DirRule::MsBAckNotLast => "dir/MS_B+Ack[not-last]",
+        }
+    }
+
+    /// The golden (reference) actions completing this rule correctly.
+    pub fn golden(self) -> (DirResponse, DirNext, DirTrack) {
+        use DirResponse as R;
+        use DirState as N;
+        use DirTrack as T;
+        match self {
+            DirRule::IsBAck => (R::None, N::S, T::None),
+            DirRule::ImBAck => (R::None, N::M, T::None),
+            DirRule::SmBAck => (R::None, N::M, T::None),
+            // The owner's writeback adds the (old) owner — the trigger's
+            // sender — to the sharer set.
+            DirRule::MsBDataLast => (R::None, N::S, T::AddSharer),
+            DirRule::MsBDataNotLast => (R::None, N::MsB, T::AddSharer),
+            DirRule::MsBAckLast => (R::None, N::S, T::None),
+            DirRule::MsBAckNotLast => (R::None, N::MsB, T::None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_sizes_match_paper() {
+        assert_eq!(CacheResponse::ALL.len(), 3, "cache response library (§III)");
+        assert_eq!(CacheState::ALL.len(), 7, "cache next-state library (§III)");
+        assert_eq!(DirResponse::ALL.len(), 5, "directory response library (§III)");
+        assert_eq!(DirState::ALL.len(), 7, "directory next-state library (§III)");
+        assert_eq!(DirTrack::ALL.len(), 3, "directory track library (§III)");
+    }
+
+    #[test]
+    fn candidate_space_sizes_match_table_1() {
+        let dir_rule: u64 = 5 * 7 * 3;
+        let cache_rule: u64 = 3 * 7;
+        assert_eq!(dir_rule * dir_rule * cache_rule, 231_525, "MSI-small, Table I");
+        assert_eq!(
+            dir_rule * dir_rule * cache_rule.pow(3),
+            102_102_525,
+            "MSI-large, Table I"
+        );
+        // And the wildcard-extended spaces reported for the pruning rows:
+        let dir_rule_w: u64 = 6 * 8 * 4;
+        let cache_rule_w: u64 = 4 * 8;
+        assert_eq!(dir_rule_w * dir_rule_w * cache_rule_w, 1_179_648);
+        assert_eq!(dir_rule_w * dir_rule_w * cache_rule_w.pow(3), 1_207_959_552);
+    }
+
+    #[test]
+    fn names_align_with_libraries() {
+        assert_eq!(CacheResponse::NAMES.len(), CacheResponse::ALL.len());
+        assert_eq!(CACHE_NEXT_NAMES.len(), CacheState::ALL.len());
+        assert_eq!(DirResponse::NAMES.len(), DirResponse::ALL.len());
+        assert_eq!(DIR_NEXT_NAMES.len(), DirState::ALL.len());
+        assert_eq!(DirTrack::NAMES.len(), DirTrack::ALL.len());
+    }
+
+    #[test]
+    fn stems_are_unique() {
+        let mut stems: Vec<&str> = [
+            CacheRule::IsDData,
+            CacheRule::ImAdDataComplete,
+            CacheRule::ImAdDataPending,
+            CacheRule::ImAdAck,
+            CacheRule::SmAdDataComplete,
+            CacheRule::SmAdDataPending,
+            CacheRule::SmAdAck,
+            CacheRule::SmAdInv,
+            CacheRule::WmAAckLast,
+            CacheRule::WmAAckNotLast,
+        ]
+        .iter()
+        .map(|r| r.stem())
+        .collect();
+        stems.extend(
+            [
+                DirRule::IsBAck,
+                DirRule::ImBAck,
+                DirRule::SmBAck,
+                DirRule::MsBDataLast,
+                DirRule::MsBDataNotLast,
+                DirRule::MsBAckLast,
+                DirRule::MsBAckNotLast,
+            ]
+            .iter()
+            .map(|r| r.stem()),
+        );
+        let n = stems.len();
+        stems.sort();
+        stems.dedup();
+        assert_eq!(stems.len(), n);
+    }
+}

@@ -1,0 +1,38 @@
+//! The directory-based MSI cache-coherence protocol — the paper's case
+//! study (§III).
+//!
+//! The module is organized as:
+//!
+//! * [`types`] — states, messages, the global [`MsiState`], and its
+//!   symmetry (scalarset) canonicalization;
+//! * [`actions`] — the synthesizable action libraries (sized exactly as in
+//!   the paper: cache response 3, cache next-state 7, directory response 5,
+//!   directory next-state 7, directory track 3) and the golden rule table;
+//! * [`model`] — the transition system with request, cache-delivery, and
+//!   directory-delivery rules, hole integration, and the property suite
+//!   (SWMR, no-protocol-error, stable-state reachability, eventual
+//!   quiescence);
+//! * [`skeleton`] — the named problem instances: `golden`, `msi_tiny`,
+//!   `msi_small` (paper, 8 holes), `msi_large` (paper, 12 holes), `msi_xl`.
+//!
+//! # Example
+//!
+//! Synthesize the MSI-tiny instance:
+//!
+//! ```
+//! use verc3_protocols::msi::{MsiConfig, MsiModel};
+//! use verc3_core::{SynthOptions, Synthesizer};
+//!
+//! let model = MsiModel::new(MsiConfig::msi_tiny());
+//! let report = Synthesizer::new(SynthOptions::default()).run(&model);
+//! assert!(!report.solutions().is_empty());
+//! ```
+
+pub mod actions;
+pub mod model;
+pub mod skeleton;
+pub mod types;
+
+pub use actions::{CacheResponse, CacheRule, DirResponse, DirRule, DirTrack};
+pub use model::{MsiConfig, MsiModel};
+pub use types::{CacheLine, CacheState, Directory, DirState, Msg, MsgKind, MsiState, ProtocolError};

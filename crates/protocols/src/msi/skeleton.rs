@@ -1,0 +1,82 @@
+//! Named skeleton configurations for the MSI case study.
+//!
+//! The paper evaluates two problem sizes (§III):
+//!
+//! * **MSI-small** — 8 holes: 2 directory + 1 cache transition rules;
+//!   naïve candidate space (5·7·3)²·(3·7) = 231 525.
+//! * **MSI-large** — 12 holes: 2 directory + 3 cache transition rules;
+//!   naïve candidate space (5·7·3)²·(3·7)³ = 102 102 525.
+//!
+//! We add two configurations of our own: **MSI-tiny** (one directory rule,
+//! 3 holes), a seconds-scale instance for tests and micro-benchmarks, and
+//! **MSI-xl** (MSI-large plus the `WM_A` last-ack rule, 14 holes) as a
+//! harder-than-paper stress configuration.
+
+use super::actions::{CacheRule, DirRule};
+use super::model::MsiConfig;
+
+impl MsiConfig {
+    /// The complete protocol: no holes — pure verification.
+    pub fn golden() -> Self {
+        MsiConfig::default()
+    }
+
+    /// MSI-tiny (3 holes = 1 directory rule): `dir/IS_B+Ack`.
+    ///
+    /// Not part of the paper; a fast instance for tests and benches.
+    pub fn msi_tiny() -> Self {
+        let mut cfg = MsiConfig::default();
+        cfg.dir_holes.insert(DirRule::IsBAck);
+        cfg
+    }
+
+    /// MSI-small (8 holes = 2 directory + 1 cache transition rules):
+    /// `dir/IS_B+Ack`, `dir/SM_B+Ack`, and the upgrade-race rule
+    /// `cache/SM_AD+Inv`.
+    pub fn msi_small() -> Self {
+        let mut cfg = MsiConfig::default();
+        cfg.dir_holes.insert(DirRule::IsBAck);
+        cfg.dir_holes.insert(DirRule::SmBAck);
+        cfg.cache_holes.insert(CacheRule::SmAdInv);
+        cfg
+    }
+
+    /// MSI-large (12 holes = 2 directory + 3 cache transition rules):
+    /// MSI-small plus `cache/IS_D+Data` and `cache/IM_AD+Data[all-acks]`.
+    pub fn msi_large() -> Self {
+        let mut cfg = Self::msi_small();
+        cfg.cache_holes.insert(CacheRule::IsDData);
+        cfg.cache_holes.insert(CacheRule::ImAdDataComplete);
+        cfg
+    }
+
+    /// MSI-xl (14 holes): MSI-large plus `cache/WM_A+Ack[last]`.
+    ///
+    /// Not part of the paper; a stress configuration one step toward the
+    /// "all 35 holes" problem the paper reports as intractable.
+    pub fn msi_xl() -> Self {
+        let mut cfg = Self::msi_large();
+        cfg.cache_holes.insert(CacheRule::WmAAckLast);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hole_counts_match_paper() {
+        assert_eq!(MsiConfig::golden().hole_count(), 0);
+        assert_eq!(MsiConfig::msi_tiny().hole_count(), 3);
+        assert_eq!(MsiConfig::msi_small().hole_count(), 8, "paper: MSI-small has 8 holes");
+        assert_eq!(MsiConfig::msi_large().hole_count(), 12, "paper: MSI-large has 12 holes");
+        assert_eq!(MsiConfig::msi_xl().hole_count(), 14);
+    }
+
+    #[test]
+    fn candidate_spaces_match_table_1() {
+        assert_eq!(MsiConfig::msi_small().candidate_space(), 231_525);
+        assert_eq!(MsiConfig::msi_large().candidate_space(), 102_102_525);
+    }
+}

@@ -1,0 +1,433 @@
+//! State and message types of the directory-based MSI protocol.
+//!
+//! The protocol follows the paper's Figure 3: per-line MSI states in each
+//! cache controller, a central directory tracking sharers/owner, and an
+//! **unordered** interconnect (modelled as a [`Multiset`]) carrying five
+//! logical message classes — requests (`GetS`/`GetM`), forwarded requests,
+//! invalidations, data, and acknowledgements. Because the network is
+//! unordered, the controllers need *transient* states to resolve races; those
+//! transient states' actions are what the case study synthesizes (§III).
+//!
+//! Design choices (documented in DESIGN.md):
+//!
+//! * The directory is a *stalling* directory: while a transaction is in
+//!   flight it sits in a busy state and leaves further requests in the
+//!   network — the paper's "Invalid-to-Modified" serialization example.
+//! * The acknowledgement message type is dual-purpose, as the paper's
+//!   five-type vocabulary implies: sharers acknowledge invalidations to the
+//!   *requester*, and requesters acknowledge transaction completion to the
+//!   *directory* (the unblock that releases a busy state).
+//! * Evictions are omitted, exactly as in the paper's Figure 3.
+
+use verc3_mck::scalarset::{apply_perm_to_index, Symmetric};
+use verc3_mck::Multiset;
+
+/// Stable and transient states of a cache controller (7 total — the radix of
+/// the cache "next state" action library in §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CacheState {
+    /// Invalid: no permissions.
+    I,
+    /// Shared: read permission.
+    S,
+    /// Modified: read+write permission (the single writer).
+    M,
+    /// I→S in flight: GetS issued, awaiting data.
+    IsD,
+    /// I→M in flight: GetM issued, awaiting data and invalidation acks.
+    ImAd,
+    /// S→M upgrade in flight: GetM issued, awaiting data and acks.
+    SmAd,
+    /// Data received, waiting for the remaining invalidation acks before
+    /// entering M (merged IM_A/SM_A, see DESIGN.md).
+    WmA,
+}
+
+impl CacheState {
+    /// `true` for the stable states I, S, M.
+    pub fn is_stable(self) -> bool {
+        matches!(self, CacheState::I | CacheState::S | CacheState::M)
+    }
+
+    /// All seven states in action-library order.
+    pub const ALL: [CacheState; 7] = [
+        CacheState::I,
+        CacheState::S,
+        CacheState::M,
+        CacheState::IsD,
+        CacheState::ImAd,
+        CacheState::SmAd,
+        CacheState::WmA,
+    ];
+}
+
+/// Stable and busy states of the directory controller (7 total — the radix
+/// of the directory "next state" action library in §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DirState {
+    /// No copies cached.
+    I,
+    /// Read-only copies at the tracked sharers.
+    S,
+    /// Exclusive copy at the tracked owner.
+    M,
+    /// Busy completing a read miss; unblocks to S.
+    IsB,
+    /// Busy completing a write; unblocks to M (entered from I or on
+    /// ownership transfer).
+    ImB,
+    /// Busy completing a write from S; unblocks to M. Behaviourally
+    /// interchangeable with [`DirState::ImB`] — deliberately so: the paper
+    /// observes that distinct solutions may "behave equivalently" (§III),
+    /// and this pair is one source of such equivalence.
+    SmB,
+    /// Busy downgrading the owner on a read miss; waits for the owner's
+    /// writeback *and* the requester's completion ack (in either order).
+    MsB,
+}
+
+impl DirState {
+    /// `true` for the stable states I, S, M.
+    pub fn is_stable(self) -> bool {
+        matches!(self, DirState::I | DirState::S | DirState::M)
+    }
+
+    /// All seven states in action-library order.
+    pub const ALL: [DirState; 7] = [
+        DirState::I,
+        DirState::S,
+        DirState::M,
+        DirState::IsB,
+        DirState::ImB,
+        DirState::SmB,
+        DirState::MsB,
+    ];
+}
+
+/// The message vocabulary of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgKind {
+    /// Read request, cache → directory.
+    GetS,
+    /// Write request, cache → directory.
+    GetM,
+    /// Read request forwarded to the owner, directory → cache.
+    FwdGetS,
+    /// Write request forwarded to the owner, directory → cache.
+    FwdGetM,
+    /// Invalidation, directory → sharer; acknowledged to the requester.
+    Inv,
+    /// Data, directory/owner → requester, or owner → directory (writeback).
+    Data,
+    /// Acknowledgement: sharer → requester (invalidation ack) or
+    /// requester/owner → directory (completion/unblock).
+    Ack,
+}
+
+/// One in-flight message.
+///
+/// `to` is the destination agent (cache index, or [`Msg::dir_id`] for the
+/// directory). `req` identifies the cache the message concerns: the
+/// requester for requests/forwards/invalidations/directory-sent data, the
+/// *sender* for cache-sent data and acknowledgements. `acks` is only
+/// meaningful on data sent to a write requester: the number of invalidation
+/// acks to collect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Msg {
+    /// Message class.
+    pub kind: MsgKind,
+    /// Destination agent id (cache index or directory id).
+    pub to: u8,
+    /// Cache this message concerns (requester or sender; see type docs).
+    pub req: u8,
+    /// Invalidation acks the recipient must collect (data messages only).
+    pub acks: u8,
+    /// Carried data value (data messages, with value tracking enabled).
+    pub val: u8,
+}
+
+/// Protocol-level error conditions, modelled as poison states so that the
+/// checker reports them as invariant violations with a full trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtocolError {
+    /// An agent received a message its current state has no rule for.
+    UnexpectedMessage,
+    /// A response action needed to forward to the owner, but none is tracked.
+    NoOwner,
+    /// The bounded network capacity was exceeded (runaway candidate).
+    NetworkOverflow,
+}
+
+/// Per-cache-line controller state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheLine {
+    /// Controller state.
+    pub state: CacheState,
+    /// Invalidation acks received so far for the in-flight write.
+    pub got: u8,
+    /// Invalidation acks required (recorded from the data response).
+    pub need: u8,
+    /// Cached copy of the data value (only meaningful when the model is
+    /// configured with data-value tracking).
+    pub val: u8,
+}
+
+impl CacheLine {
+    /// A line in the Invalid state with clear counters.
+    pub fn invalid() -> Self {
+        CacheLine { state: CacheState::I, got: 0, need: 0, val: 0 }
+    }
+
+    /// Resets the ack counters (on entering any stable state).
+    pub fn reset_counters(&mut self) {
+        self.got = 0;
+        self.need = 0;
+    }
+}
+
+/// Directory controller state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Directory {
+    /// Controller state.
+    pub state: DirState,
+    /// Tracked exclusive owner.
+    pub owner: Option<u8>,
+    /// Tracked sharers, as a bitset over cache indices.
+    pub sharers: u8,
+    /// Messages still outstanding before a [`DirState::MsB`] transaction
+    /// completes (the owner writeback and the requester ack).
+    pub pending: u8,
+}
+
+impl Directory {
+    /// The initial directory: Invalid, nothing tracked.
+    pub fn invalid() -> Self {
+        Directory { state: DirState::I, owner: None, sharers: 0, pending: 0 }
+    }
+
+    /// `true` if cache `c` is a tracked sharer.
+    pub fn is_sharer(&self, c: u8) -> bool {
+        self.sharers & (1 << c) != 0
+    }
+
+    /// Adds cache `c` to the sharer set.
+    pub fn add_sharer(&mut self, c: u8) {
+        self.sharers |= 1 << c;
+    }
+
+    /// Number of tracked sharers excluding cache `c`.
+    pub fn sharers_except(&self, c: u8) -> u32 {
+        (self.sharers & !(1 << c)).count_ones()
+    }
+
+    /// Iterates over tracked sharers other than `except`.
+    pub fn sharer_ids_except(&self, except: u8) -> impl Iterator<Item = u8> + '_ {
+        let mask = self.sharers & !(1 << except);
+        (0..8).filter(move |&c| mask & (1 << c) != 0)
+    }
+}
+
+/// A global protocol state: all cache lines, the directory, and the network.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsiState {
+    /// Per-cache controller states, indexed by cache id.
+    pub caches: Vec<CacheLine>,
+    /// The directory controller.
+    pub dir: Directory,
+    /// The unordered interconnect.
+    pub net: Multiset<Msg>,
+    /// Memory value held at the directory (data-value tracking only).
+    pub mem: u8,
+    /// The value of the most recent completed store (data-value tracking
+    /// only); the data-integrity invariant compares copies against it.
+    pub last_written: u8,
+    /// Poison marker: a protocol error occurred reaching this state.
+    pub error: Option<ProtocolError>,
+}
+
+impl MsiState {
+    /// The initial state for `n` caches: everything invalid, network empty.
+    pub fn initial(n: usize) -> Self {
+        MsiState {
+            caches: vec![CacheLine::invalid(); n],
+            dir: Directory::invalid(),
+            net: Multiset::new(),
+            mem: 0,
+            last_written: 0,
+            error: None,
+        }
+    }
+
+    /// The directory's agent id (caches are `0..n`).
+    pub fn dir_id(&self) -> u8 {
+        self.caches.len() as u8
+    }
+
+    /// `true` when every controller is stable and the network is drained —
+    /// the quiescence predicate of the liveness property.
+    pub fn is_quiescent(&self) -> bool {
+        self.error.is_none()
+            && self.net.is_empty()
+            && self.dir.state.is_stable()
+            && self.caches.iter().all(|c| c.state.is_stable())
+    }
+
+    /// Number of caches in state `q`.
+    pub fn count_cache_state(&self, q: CacheState) -> usize {
+        self.caches.iter().filter(|c| c.state == q).count()
+    }
+
+    /// The Single-Writer–Multiple-Reader invariant: at most one writer (M),
+    /// and no readers (S) while a writer exists.
+    pub fn swmr_holds(&self) -> bool {
+        let writers = self.count_cache_state(CacheState::M);
+        let readers = self.count_cache_state(CacheState::S);
+        writers <= 1 && (writers == 0 || readers == 0)
+    }
+
+    /// The data-integrity invariant (only checked with value tracking):
+    /// every valid copy — readers in S and the writer in M — holds the most
+    /// recently written value.
+    pub fn data_integrity_holds(&self) -> bool {
+        self.caches.iter().all(|c| {
+            !matches!(c.state, CacheState::S | CacheState::M) || c.val == self.last_written
+        })
+    }
+}
+
+impl Symmetric for MsiState {
+    fn apply_perm(&self, perm: &[u8]) -> Self {
+        let n = self.caches.len();
+        debug_assert_eq!(perm.len(), n);
+
+        let mut caches = vec![CacheLine::invalid(); n];
+        for (old, line) in self.caches.iter().enumerate() {
+            caches[perm[old] as usize] = *line;
+        }
+
+        let mut sharers = 0u8;
+        for c in 0..n as u8 {
+            if self.dir.is_sharer(c) {
+                sharers |= 1 << apply_perm_to_index(perm, c);
+            }
+        }
+        let dir = Directory {
+            state: self.dir.state,
+            owner: self.dir.owner.map(|o| apply_perm_to_index(perm, o)),
+            sharers,
+            pending: self.dir.pending,
+        };
+
+        let dir_id = self.dir_id();
+        let net: Multiset<Msg> = self
+            .net
+            .iter()
+            .map(|m| Msg {
+                kind: m.kind,
+                to: if m.to < dir_id { apply_perm_to_index(perm, m.to) } else { m.to },
+                req: apply_perm_to_index(perm, m.req),
+                acks: m.acks,
+                val: m.val,
+            })
+            .collect();
+
+        MsiState {
+            caches,
+            dir,
+            net,
+            mem: self.mem,
+            last_written: self.last_written,
+            error: self.error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verc3_mck::all_permutations;
+
+    #[test]
+    fn initial_state_is_quiescent_and_safe() {
+        let s = MsiState::initial(3);
+        assert!(s.is_quiescent());
+        assert!(s.swmr_holds());
+        assert_eq!(s.dir_id(), 3);
+    }
+
+    #[test]
+    fn swmr_detects_violations() {
+        let mut s = MsiState::initial(3);
+        s.caches[0].state = CacheState::M;
+        assert!(s.swmr_holds());
+        s.caches[1].state = CacheState::S;
+        assert!(!s.swmr_holds(), "writer plus reader");
+        s.caches[1].state = CacheState::M;
+        assert!(!s.swmr_holds(), "two writers");
+        s.caches[0].state = CacheState::S;
+        s.caches[1].state = CacheState::S;
+        assert!(s.swmr_holds(), "multiple readers are fine");
+    }
+
+    #[test]
+    fn sharer_bitset_operations() {
+        let mut d = Directory::invalid();
+        d.add_sharer(0);
+        d.add_sharer(2);
+        assert!(d.is_sharer(0));
+        assert!(!d.is_sharer(1));
+        assert_eq!(d.sharers_except(0), 1);
+        assert_eq!(d.sharer_ids_except(0).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(d.sharer_ids_except(7).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn permutation_moves_all_index_fields() {
+        let mut s = MsiState::initial(3);
+        s.caches[0].state = CacheState::M;
+        s.dir.state = DirState::M;
+        s.dir.owner = Some(0);
+        s.dir.add_sharer(1);
+        s.net.insert(Msg { kind: MsgKind::Data, to: 0, req: 0, acks: 1, val: 0 });
+        s.net.insert(Msg { kind: MsgKind::Ack, to: 3, req: 2, acks: 0, val: 0 });
+
+        // Swap caches 0 and 2.
+        let p = vec![2, 1, 0];
+        let t = s.apply_perm(&p);
+        assert_eq!(t.caches[2].state, CacheState::M);
+        assert_eq!(t.dir.owner, Some(2));
+        assert!(t.dir.is_sharer(1));
+        assert!(t.net.contains(&Msg { kind: MsgKind::Data, to: 2, req: 2, acks: 1, val: 0 }));
+        // Directory destination is not a cache index: unchanged.
+        assert!(t.net.contains(&Msg { kind: MsgKind::Ack, to: 3, req: 0, acks: 0, val: 0 }));
+    }
+
+    #[test]
+    fn canonicalization_merges_symmetric_states() {
+        let perms = all_permutations(3);
+        let mut a = MsiState::initial(3);
+        a.caches[0].state = CacheState::S;
+        a.dir.add_sharer(0);
+        let mut b = MsiState::initial(3);
+        b.caches[2].state = CacheState::S;
+        b.dir.add_sharer(2);
+        assert_eq!(a.canonicalize(&perms), b.canonicalize(&perms));
+
+        let mut c = MsiState::initial(3);
+        c.caches[1].state = CacheState::M;
+        assert_ne!(a.canonicalize(&perms), c.canonicalize(&perms));
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let perms = all_permutations(3);
+        let mut s = MsiState::initial(3);
+        s.caches[1].state = CacheState::SmAd;
+        s.caches[2].state = CacheState::M;
+        s.dir.owner = Some(2);
+        s.net.insert(Msg { kind: MsgKind::GetM, to: 3, req: 1, acks: 0, val: 0 });
+        let c1 = s.canonicalize(&perms);
+        let c2 = c1.canonicalize(&perms);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,542 @@
+//! A minimal VI (Valid/Invalid) coherence protocol.
+//!
+//! The smallest realistic instance of the paper's methodology: a single
+//! *Valid* state grants read/write permission to one cache at a time; the
+//! directory forwards invalidations to migrate the copy. One cache transient
+//! (`IV_D`, awaiting data) and one directory transient (`B`, awaiting the
+//! completion ack) suffice — and their actions make a 2-rule, 5-hole
+//! synthesis problem with a 162-candidate space, ideal for quickstarts and
+//! unit tests.
+//!
+//! The model deliberately mirrors the MSI module's structure (stalling
+//! directory, dual-purpose ack, poison states for protocol errors) at a
+//! fraction of the size; read it first if the MSI model feels dense.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use verc3_mck::scalarset::{apply_perm_to_index, Symmetric};
+use verc3_mck::{
+    all_permutations, HoleResolver, HoleSpec, Multiset, Perm, Property, Rule, RuleOutcome,
+    TransitionSystem,
+};
+
+/// Cache-controller states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VCacheState {
+    /// No copy.
+    I,
+    /// The (single) valid read/write copy.
+    V,
+    /// Get issued, awaiting data.
+    IvD,
+}
+
+impl VCacheState {
+    /// All states, in next-state action-library order.
+    pub const ALL: [VCacheState; 3] = [VCacheState::I, VCacheState::V, VCacheState::IvD];
+    const NAMES: [&'static str; 3] = ["I", "V", "IV_D"];
+}
+
+/// Directory states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VDirState {
+    /// No cached copy.
+    I,
+    /// A cache holds the valid copy.
+    V,
+    /// Busy: transaction in flight, requests stall.
+    B,
+}
+
+impl VDirState {
+    /// All states, in next-state action-library order.
+    pub const ALL: [VDirState; 3] = [VDirState::I, VDirState::V, VDirState::B];
+    const NAMES: [&'static str; 3] = ["I", "V", "B"];
+}
+
+/// Message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VMsgKind {
+    /// Request for the valid copy, cache → directory.
+    Get,
+    /// Invalidate-and-forward, directory → current owner.
+    Inv,
+    /// The data, directory/owner → requester.
+    Data,
+    /// Completion ack, requester → directory.
+    Ack,
+}
+
+/// One in-flight message; `req` is the requester (or sender, for acks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VMsg {
+    /// Message class.
+    pub kind: VMsgKind,
+    /// Destination agent (cache index or the directory id `n`).
+    pub to: u8,
+    /// Requester / sender cache index.
+    pub req: u8,
+}
+
+/// Global state of the VI protocol.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ViState {
+    /// Per-cache controller states.
+    pub caches: Vec<VCacheState>,
+    /// Directory state.
+    pub dir: VDirState,
+    /// Tracked owner of the valid copy.
+    pub owner: Option<u8>,
+    /// The unordered network.
+    pub net: Multiset<VMsg>,
+    /// Poison flag: an agent received an unexpected message.
+    pub error: bool,
+}
+
+impl ViState {
+    /// Initial state: everything invalid.
+    pub fn initial(n: usize) -> Self {
+        ViState {
+            caches: vec![VCacheState::I; n],
+            dir: VDirState::I,
+            owner: None,
+            net: Multiset::new(),
+            error: false,
+        }
+    }
+
+    /// At most one valid copy exists — the protocol's core invariant.
+    pub fn single_valid_copy(&self) -> bool {
+        self.caches.iter().filter(|&&c| c == VCacheState::V).count() <= 1
+    }
+
+    /// All controllers stable and the network drained.
+    pub fn is_quiescent(&self) -> bool {
+        !self.error
+            && self.net.is_empty()
+            && self.dir != VDirState::B
+            && self.caches.iter().all(|&c| c != VCacheState::IvD)
+    }
+}
+
+impl Symmetric for ViState {
+    fn apply_perm(&self, perm: &[u8]) -> Self {
+        let n = self.caches.len();
+        let mut caches = vec![VCacheState::I; n];
+        for (old, &c) in self.caches.iter().enumerate() {
+            caches[perm[old] as usize] = c;
+        }
+        let net = self
+            .net
+            .iter()
+            .map(|m| VMsg {
+                kind: m.kind,
+                to: if (m.to as usize) < n { apply_perm_to_index(perm, m.to) } else { m.to },
+                req: apply_perm_to_index(perm, m.req),
+            })
+            .collect();
+        ViState {
+            caches,
+            dir: self.dir,
+            owner: self.owner.map(|o| apply_perm_to_index(perm, o)),
+            net,
+            error: self.error,
+        }
+    }
+}
+
+/// Which transient rules are synthesis holes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViRule {
+    /// Cache `IV_D` receives data (2 holes: response × next state).
+    CacheIvDData,
+    /// Directory `B` receives the completion ack (3 holes: response × next
+    /// state × track).
+    DirBAck,
+}
+
+/// Configuration of a [`ViModel`].
+#[derive(Debug, Clone)]
+pub struct ViConfig {
+    /// Number of caches (2..=6).
+    pub n_caches: usize,
+    /// Canonicalize under cache permutations.
+    pub symmetry: bool,
+    /// Rules whose actions are synthesis holes.
+    pub holes: BTreeSet<ViRule>,
+}
+
+impl Default for ViConfig {
+    fn default() -> Self {
+        ViConfig { n_caches: 2, symmetry: true, holes: BTreeSet::new() }
+    }
+}
+
+impl ViConfig {
+    /// The complete protocol (verification only).
+    pub fn golden() -> Self {
+        ViConfig::default()
+    }
+
+    /// The quickstart synthesis problem: the cache `IV_D+Data` rule
+    /// (2 holes, 9 candidates).
+    pub fn synth_cache() -> Self {
+        let mut cfg = ViConfig::default();
+        cfg.holes.insert(ViRule::CacheIvDData);
+        cfg
+    }
+
+    /// Both transient rules (5 holes, 162 candidates).
+    pub fn synth_full() -> Self {
+        let mut cfg = ViConfig::synth_cache();
+        cfg.holes.insert(ViRule::DirBAck);
+        cfg
+    }
+}
+
+struct ViCore {
+    dir_id: u8,
+    holes: BTreeSet<ViRule>,
+    cache_resp: HoleSpec,
+    cache_next: HoleSpec,
+    dir_resp: HoleSpec,
+    dir_next: HoleSpec,
+    dir_track: HoleSpec,
+}
+
+/// The VI protocol as an explorable transition system.
+///
+/// # Examples
+///
+/// ```
+/// use verc3_protocols::vi::{ViConfig, ViModel};
+/// use verc3_core::{SynthOptions, Synthesizer};
+///
+/// let model = ViModel::new(ViConfig::synth_cache());
+/// let report = Synthesizer::new(SynthOptions::default()).run(&model);
+/// assert_eq!(report.solutions().len(), 1); // ack the directory, go to V
+/// ```
+pub struct ViModel {
+    config: ViConfig,
+    perms: Vec<Perm>,
+    rules: Vec<Rule<ViState>>,
+    properties: Vec<Property<ViState>>,
+}
+
+impl std::fmt::Debug for ViModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViModel").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl ViModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= n_caches <= 6`.
+    pub fn new(config: ViConfig) -> Self {
+        let n = config.n_caches;
+        assert!((2..=6).contains(&n), "n_caches must be in 2..=6, got {n}");
+        let core = Arc::new(ViCore {
+            dir_id: n as u8,
+            holes: config.holes.clone(),
+            cache_resp: HoleSpec::new("vi/cache/IV_D+Data/resp", ["none", "send_data", "send_ack"]),
+            cache_next: HoleSpec::new("vi/cache/IV_D+Data/next", VCacheState::NAMES),
+            dir_resp: HoleSpec::new("vi/dir/B+Ack/resp", ["none", "send_data", "fwd_inv"]),
+            dir_next: HoleSpec::new("vi/dir/B+Ack/next", VDirState::NAMES),
+            dir_track: HoleSpec::new("vi/dir/B+Ack/track", ["none", "set_owner"]),
+        });
+
+        let mut rules: Vec<Rule<ViState>> = Vec::new();
+
+        // Requests: a cache in I asks for the copy.
+        for c in 0..n {
+            let core_ = Arc::clone(&core);
+            rules.push(Rule::new(format!("access[{c}]"), move |s: &ViState, _ctx| {
+                if s.error || s.caches[c] != VCacheState::I {
+                    return RuleOutcome::Disabled;
+                }
+                let mut ns = s.clone();
+                ns.net.insert(VMsg { kind: VMsgKind::Get, to: core_.dir_id, req: c as u8 });
+                ns.caches[c] = VCacheState::IvD;
+                RuleOutcome::Next(ns)
+            }));
+        }
+
+        // Cache deliveries.
+        for c in 0..n {
+            for kind in [VMsgKind::Data, VMsgKind::Inv] {
+                let core_ = Arc::clone(&core);
+                rules.push(Rule::new(
+                    format!("cache[{c}]:recv-{kind:?}"),
+                    move |s: &ViState, ctx| cache_deliver(&core_, s, c, kind, ctx),
+                ));
+            }
+        }
+
+        // Directory deliveries.
+        for kind in [VMsgKind::Get, VMsgKind::Ack] {
+            for rank in 0..n {
+                let core_ = Arc::clone(&core);
+                rules.push(Rule::new(
+                    format!("dir:recv-{kind:?}#{rank}"),
+                    move |s: &ViState, ctx| dir_deliver(&core_, s, kind, rank, ctx),
+                ));
+            }
+        }
+
+        let properties = vec![
+            Property::invariant("single valid copy", ViState::single_valid_copy),
+            Property::invariant("no protocol error", |s: &ViState| !s.error),
+            Property::reachable("some cache reaches V", |s: &ViState| {
+                s.caches.contains(&VCacheState::V)
+            }),
+            Property::eventually_quiescent("drains to quiescence", ViState::is_quiescent),
+        ];
+
+        let perms = all_permutations(n);
+        ViModel { config, perms, rules, properties }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &ViConfig {
+        &self.config
+    }
+}
+
+fn find_msg(s: &ViState, to: u8, kind: VMsgKind, rank: usize) -> Option<VMsg> {
+    s.net.iter().filter(|m| m.to == to && m.kind == kind).nth(rank).copied()
+}
+
+fn cache_deliver(
+    core: &ViCore,
+    s: &ViState,
+    c: usize,
+    kind: VMsgKind,
+    ctx: &mut dyn HoleResolver,
+) -> RuleOutcome<ViState> {
+    if s.error {
+        return RuleOutcome::Disabled;
+    }
+    let Some(m) = find_msg(s, c as u8, kind, 0) else {
+        return RuleOutcome::Disabled;
+    };
+
+    match (s.caches[c], kind) {
+        // The synthesizable transient: data arrives for our request.
+        (VCacheState::IvD, VMsgKind::Data) => {
+            let (resp, next) = if core.holes.contains(&ViRule::CacheIvDData) {
+                let r = ctx.choose(&core.cache_resp);
+                let x = ctx.choose(&core.cache_next);
+                match (r.action(), x.action()) {
+                    (Some(r), Some(x)) => (r, VCacheState::ALL[x]),
+                    _ => return RuleOutcome::Blocked,
+                }
+            } else {
+                (2, VCacheState::V) // golden: ack the directory, become V
+            };
+            let mut ns = s.clone();
+            ns.net.remove(&m);
+            match resp {
+                0 => {}
+                1 => {
+                    ns.net.insert(VMsg { kind: VMsgKind::Data, to: core.dir_id, req: c as u8 });
+                }
+                _ => {
+                    ns.net.insert(VMsg { kind: VMsgKind::Ack, to: core.dir_id, req: c as u8 });
+                }
+            }
+            ns.caches[c] = next;
+            RuleOutcome::Next(ns)
+        }
+        // Hardwired: the owner surrenders the copy, forwarding the data.
+        (VCacheState::V, VMsgKind::Inv) => {
+            let mut ns = s.clone();
+            ns.net.remove(&m);
+            ns.net.insert(VMsg { kind: VMsgKind::Data, to: m.req, req: c as u8 });
+            ns.caches[c] = VCacheState::I;
+            RuleOutcome::Next(ns)
+        }
+        _ => {
+            let mut ns = s.clone();
+            ns.net.remove(&m);
+            ns.error = true;
+            RuleOutcome::Next(ns)
+        }
+    }
+}
+
+fn dir_deliver(
+    core: &ViCore,
+    s: &ViState,
+    kind: VMsgKind,
+    rank: usize,
+    ctx: &mut dyn HoleResolver,
+) -> RuleOutcome<ViState> {
+    if s.error {
+        return RuleOutcome::Disabled;
+    }
+    let Some(m) = find_msg(s, core.dir_id, kind, rank) else {
+        return RuleOutcome::Disabled;
+    };
+
+    match (s.dir, kind) {
+        // Requests stall while busy.
+        (VDirState::B, VMsgKind::Get) => RuleOutcome::Disabled,
+        (VDirState::I, VMsgKind::Get) => {
+            let mut ns = s.clone();
+            ns.net.remove(&m);
+            ns.net.insert(VMsg { kind: VMsgKind::Data, to: m.req, req: m.req });
+            ns.owner = Some(m.req);
+            ns.dir = VDirState::B;
+            RuleOutcome::Next(ns)
+        }
+        (VDirState::V, VMsgKind::Get) => {
+            let mut ns = s.clone();
+            ns.net.remove(&m);
+            match ns.owner {
+                Some(owner) => {
+                    ns.net.insert(VMsg { kind: VMsgKind::Inv, to: owner, req: m.req });
+                    ns.owner = Some(m.req);
+                    ns.dir = VDirState::B;
+                }
+                None => ns.error = true,
+            }
+            RuleOutcome::Next(ns)
+        }
+        // The synthesizable transient: the requester's completion ack.
+        (VDirState::B, VMsgKind::Ack) => {
+            let (resp, next, track) = if core.holes.contains(&ViRule::DirBAck) {
+                let r = ctx.choose(&core.dir_resp);
+                let x = ctx.choose(&core.dir_next);
+                let t = ctx.choose(&core.dir_track);
+                match (r.action(), x.action(), t.action()) {
+                    (Some(r), Some(x), Some(t)) => (r, VDirState::ALL[x], t),
+                    _ => return RuleOutcome::Blocked,
+                }
+            } else {
+                (0, VDirState::V, 0) // golden: nothing to send, back to V
+            };
+            let mut ns = s.clone();
+            ns.net.remove(&m);
+            match resp {
+                0 => {}
+                1 => {
+                    ns.net.insert(VMsg { kind: VMsgKind::Data, to: m.req, req: m.req });
+                }
+                _ => match ns.owner {
+                    Some(owner) => {
+                        ns.net.insert(VMsg { kind: VMsgKind::Inv, to: owner, req: m.req });
+                    }
+                    None => ns.error = true,
+                },
+            }
+            if track == 1 {
+                ns.owner = Some(m.req);
+            }
+            ns.dir = next;
+            RuleOutcome::Next(ns)
+        }
+        _ => {
+            let mut ns = s.clone();
+            ns.net.remove(&m);
+            ns.error = true;
+            RuleOutcome::Next(ns)
+        }
+    }
+}
+
+impl TransitionSystem for ViModel {
+    type State = ViState;
+
+    fn initial_states(&self) -> Vec<ViState> {
+        vec![ViState::initial(self.config.n_caches)]
+    }
+
+    fn rules(&self) -> &[Rule<ViState>] {
+        &self.rules
+    }
+
+    fn canonicalize(&self, state: ViState) -> ViState {
+        if self.config.symmetry {
+            state.canonicalize(&self.perms)
+        } else {
+            state
+        }
+    }
+
+    fn properties(&self) -> &[Property<ViState>] {
+        &self.properties
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verc3_core::{SynthOptions, Synthesizer};
+    use verc3_mck::{Checker, CheckerOptions, Verdict};
+
+    #[test]
+    fn golden_vi_verifies() {
+        let model = ViModel::new(ViConfig::golden());
+        let out = Checker::new(CheckerOptions::default()).run(&model);
+        assert_eq!(
+            out.verdict(),
+            Verdict::Success,
+            "golden VI must verify: {:?}",
+            out.failure().map(|f| f.to_string())
+        );
+    }
+
+    #[test]
+    fn golden_vi_three_caches_verifies() {
+        let model = ViModel::new(ViConfig { n_caches: 3, ..ViConfig::golden() });
+        let out = Checker::new(CheckerOptions::default()).run(&model);
+        assert_eq!(out.verdict(), Verdict::Success);
+    }
+
+    #[test]
+    fn synth_cache_rule_has_unique_solution() {
+        let model = ViModel::new(ViConfig::synth_cache());
+        let report = Synthesizer::new(SynthOptions::default()).run(&model);
+        assert_eq!(report.holes().len(), 2);
+        assert_eq!(report.naive_candidate_space(), 9);
+        assert_eq!(report.solutions().len(), 1);
+        let sol = &report.solutions()[0];
+        assert_eq!(
+            sol.display_named(report.holes()),
+            "⟨ vi/cache/IV_D+Data/resp@send_ack, vi/cache/IV_D+Data/next@V ⟩"
+        );
+    }
+
+    #[test]
+    fn synth_full_finds_golden() {
+        let model = ViModel::new(ViConfig::synth_full());
+        let report = Synthesizer::new(SynthOptions::default()).run(&model);
+        assert_eq!(report.holes().len(), 5);
+        assert_eq!(report.naive_candidate_space(), 162);
+        assert!(!report.solutions().is_empty());
+        // Every solution must include the unique cache-side fill.
+        for sol in report.solutions() {
+            let named = sol.display_named(report.holes());
+            assert!(named.contains("IV_D+Data/resp@send_ack"), "{named}");
+            assert!(named.contains("IV_D+Data/next@V"), "{named}");
+        }
+    }
+
+    #[test]
+    fn pruning_and_naive_agree_on_vi() {
+        let model = ViModel::new(ViConfig::synth_full());
+        let pruned = Synthesizer::new(SynthOptions::default()).run(&model);
+        let naive = Synthesizer::new(SynthOptions::default().pruning(false)).run(&model);
+        assert_eq!(naive.stats().evaluated as u128, naive.naive_candidate_space());
+        let key = |r: &verc3_core::SynthReport| {
+            let mut v: Vec<String> =
+                r.solutions().iter().map(|s| s.display_named(r.holes())).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&pruned), key(&naive));
+    }
+}

@@ -1,0 +1,85 @@
+//! Define a concurrent system from scratch with the guarded-command builder
+//! and synthesize one of its decisions.
+//!
+//! The system: a two-lane traffic junction. Each lane's controller cycles
+//! red → green → red; a *sensor* event triggers the switch. The designer
+//! knows the cycle but has left one decision open: when lane A's light turns
+//! green, what must happen to lane B's? The action library offers "nothing",
+//! "also green", and "force red". Only one choice satisfies both safety
+//! (never two greens) and liveness (every lane can always become green
+//! again).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example custom_protocol
+//! ```
+
+use verc3::mck::{Choice, HoleSpec, ModelBuilder, RuleOutcome};
+use verc3::synth::{SynthOptions, Synthesizer};
+
+/// Light states for (lane A, lane B): false = red, true = green.
+type Junction = (bool, bool);
+
+fn main() {
+    let mut b = ModelBuilder::new("junction");
+    b.initial((false, false));
+
+    // Lane A turns green when its sensor fires — and the synthesizer decides
+    // what simultaneously happens to lane B.
+    let on_a_green = HoleSpec::new("on-A-green", ["leave-B", "B-green-too", "force-B-red"]);
+    b.rule("sensor-A", move |&(a, b2): &Junction, ctx| {
+        if a {
+            return RuleOutcome::Disabled; // already green
+        }
+        match ctx.choose(&on_a_green) {
+            Choice::Wildcard => RuleOutcome::Blocked,
+            Choice::Action(0) => RuleOutcome::Next((true, b2)),
+            Choice::Action(1) => RuleOutcome::Next((true, true)),
+            Choice::Action(_) => RuleOutcome::Next((true, false)),
+        }
+    });
+
+    // Lane B's own sensor only yields green while A is red (that interlock
+    // the designer already built), and each lane eventually falls back to
+    // red.
+    b.rule("sensor-B", |&(a, b2): &Junction, _| {
+        if !b2 && !a {
+            RuleOutcome::Next((a, true))
+        } else {
+            RuleOutcome::Disabled
+        }
+    });
+    b.rule("timeout-A", |&(a, b2): &Junction, _| {
+        if a {
+            RuleOutcome::Next((false, b2))
+        } else {
+            RuleOutcome::Disabled
+        }
+    });
+    b.rule("timeout-B", |&(a, b2): &Junction, _| {
+        if b2 {
+            RuleOutcome::Next((a, false))
+        } else {
+            RuleOutcome::Disabled
+        }
+    });
+
+    // Safety: never both green. Liveness: both lanes must be servable.
+    b.invariant("no crossing collision", |&(a, b2): &Junction| !(a && b2));
+    b.reachable("lane A can be green", |&(a, _): &Junction| a);
+    b.reachable("lane B can be green", |&(_, b2): &Junction| b2);
+    let model = b.finish();
+
+    let report = Synthesizer::new(SynthOptions::default()).run(&model);
+    println!("candidates evaluated : {}", report.stats().evaluated);
+    println!("solutions            : {}", report.solutions().len());
+    for s in report.solutions() {
+        println!("  {}", s.display_named(report.holes()));
+    }
+
+    // "leave-B" would let sensor-A fire while B is green -> collision;
+    // "B-green-too" is an immediate collision; only "force-B-red" survives.
+    assert_eq!(report.solutions().len(), 1);
+    assert_eq!(report.solutions()[0].action_for(0), Some(2));
+}

@@ -1,0 +1,57 @@
+//! The paper's case study end-to-end: synthesize the transient-state actions
+//! of a directory-based MSI cache-coherence protocol (§III).
+//!
+//! Runs the MSI-small instance (8 holes = 2 directory + 1 cache transition
+//! rules, 231 525 naïve candidates) with trace-refined candidate pruning and
+//! prints the full report: discovered holes, per-generation statistics, and
+//! every synthesized solution grouped into behavioural equivalence classes.
+//!
+//! Run with (release strongly recommended):
+//!
+//! ```text
+//! cargo run --release --example msi_synthesis
+//! ```
+
+use verc3::protocols::msi::{MsiConfig, MsiModel};
+use verc3::synth::{PatternMode, SynthOptions, Synthesizer};
+
+fn main() {
+    let config = MsiConfig::msi_small();
+    println!(
+        "MSI-small: {} holes over {} transient rules; {} naive candidates",
+        config.hole_count(),
+        config.cache_holes.len() + config.dir_holes.len(),
+        config.candidate_space(),
+    );
+    println!();
+
+    let model = MsiModel::new(config);
+    let report = Synthesizer::new(
+        SynthOptions::default().pattern_mode(PatternMode::Refined),
+    )
+    .run(&model);
+
+    println!("{report}");
+
+    println!("per-generation breakdown (frontier k, space, evaluated, pruned):");
+    for g in &report.stats().generations {
+        println!(
+            "  k={:<2} space={:<12} evaluated={:<8} pruned={}",
+            g.k, g.space, g.evaluated, g.skipped_by_pruning
+        );
+    }
+    println!();
+
+    println!("behavioural equivalence classes (by visited states):");
+    for (states, count) in report.solution_classes() {
+        println!("  {count} solutions exploring {states} states each");
+    }
+    println!();
+    println!(
+        "the paper observed the same phenomenon: its 12 MSI-large solutions \
+         group into 3 classes that \"behave equivalently, yet subtly \
+         different from the other sets\""
+    );
+
+    assert!(!report.solutions().is_empty());
+}

@@ -1,0 +1,70 @@
+//! Integration test: exact reproduction of the paper's Figure 2.
+//!
+//! The worked example is the one place the paper specifies the synthesis
+//! procedure's behaviour run by run, so we assert every column of the table:
+//! the dispatched candidates, the verdicts, which runs record pruning
+//! patterns, and where each hole is discovered.
+
+use verc3::mck::{GraphModel, Verdict};
+use verc3::synth::{SynthOptions, Synthesizer};
+
+#[test]
+fn figure_2_reproduces_exactly() {
+    let model = GraphModel::worked_example();
+    let report = Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+
+    // Headline quantities from the figure caption.
+    assert_eq!(report.naive_candidate_space(), 24, "24 naive candidates");
+    assert_eq!(report.stats().evaluated, 10, "10 runs with pruning");
+    assert_eq!(report.stats().patterns, 5, "5 pruning patterns");
+    assert_eq!(report.solutions().len(), 1);
+    assert_eq!(
+        report.solutions()[0].display_named(report.holes()),
+        "⟨ 1@B, 2@A, 3@B, 4@B ⟩"
+    );
+
+    // The run table, column by column.
+    let log = report.run_log();
+    let expected: [(&str, Verdict, bool, &[&str]); 10] = [
+        ("⟨ ⟩", Verdict::Unknown, false, &["1"]),
+        ("⟨ 1@A ⟩", Verdict::Failure, true, &[]),
+        ("⟨ 1@B ⟩", Verdict::Unknown, false, &["2"]),
+        ("⟨ 1@C, 2@? ⟩", Verdict::Failure, true, &[]),
+        ("⟨ 1@B, 2@A ⟩", Verdict::Unknown, false, &["3"]),
+        ("⟨ 1@B, 2@B, 3@? ⟩", Verdict::Failure, true, &[]),
+        ("⟨ 1@B, 2@A, 3@A ⟩", Verdict::Failure, true, &[]),
+        ("⟨ 1@B, 2@A, 3@B ⟩", Verdict::Unknown, false, &["4"]),
+        ("⟨ 1@B, 2@A, 3@B, 4@A ⟩", Verdict::Failure, true, &[]),
+        ("⟨ 1@B, 2@A, 3@B, 4@B ⟩", Verdict::Success, false, &[]),
+    ];
+    assert_eq!(log.len(), expected.len());
+    for (record, (candidate, verdict, pattern, discovered)) in log.iter().zip(expected) {
+        assert_eq!(record.candidate.display_named(report.holes()), candidate);
+        assert_eq!(record.verdict, verdict, "verdict of {candidate}");
+        assert_eq!(record.pattern_added, pattern, "pattern flag of {candidate}");
+        assert_eq!(record.discovered, discovered, "discoveries of {candidate}");
+    }
+}
+
+#[test]
+fn figure_2_naive_baseline_evaluates_all_24() {
+    let model = GraphModel::worked_example();
+    let report = Synthesizer::new(SynthOptions::default().pruning(false)).run(&model);
+    assert_eq!(report.stats().evaluated, 24);
+    assert_eq!(report.stats().patterns, 0);
+    assert_eq!(report.solutions().len(), 1);
+}
+
+#[test]
+fn figure_2_parallel_finds_the_same_solution() {
+    let model = GraphModel::worked_example();
+    for threads in [2, 4] {
+        let report =
+            Synthesizer::new(SynthOptions::default().threads(threads)).run(&model);
+        assert_eq!(report.solutions().len(), 1, "{threads} threads");
+        assert_eq!(
+            report.solutions()[0].display_named(report.holes()),
+            "⟨ 1@B, 2@A, 3@B, 4@B ⟩"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the model-checking and synthesis kernels:
+//! multiset canonicality, permutation-group laws, odometer arithmetic, and
+//! pattern-table semantics.
+
+use proptest::prelude::*;
+use verc3::mck::{all_permutations, Multiset};
+use verc3::synth::{space_size, Odometer, PatternTable};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- Multiset ---------------------------------------------------------
+
+    #[test]
+    fn multiset_equality_is_order_independent(mut items in prop::collection::vec(0u8..50, 0..12)) {
+        let a: Multiset<u8> = items.iter().copied().collect();
+        items.reverse();
+        let b: Multiset<u8> = items.iter().copied().collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.as_slice().windows(2).all(|w| w[0] <= w[1]), "canonical order");
+    }
+
+    #[test]
+    fn multiset_insert_remove_roundtrip(items in prop::collection::vec(0u8..50, 1..12), pick in 0usize..12) {
+        let mut m: Multiset<u8> = items.iter().copied().collect();
+        let item = items[pick % items.len()];
+        let before = m.count(&item);
+        m.insert(item);
+        prop_assert_eq!(m.count(&item), before + 1);
+        prop_assert_eq!(m.remove(&item), Some(item));
+        prop_assert_eq!(m.count(&item), before);
+    }
+
+    // ---- Permutation group --------------------------------------------------
+
+    #[test]
+    fn permutations_compose(n in 2usize..5, i in 0usize..120, j in 0usize..120) {
+        let perms = all_permutations(n);
+        let p = &perms[i % perms.len()];
+        let q = &perms[j % perms.len()];
+        // Composition of two permutations of the set is again in the set.
+        let composed: Vec<u8> = (0..n).map(|x| q[p[x] as usize]).collect();
+        prop_assert!(perms.contains(&composed));
+    }
+
+    // ---- Odometer -----------------------------------------------------------
+
+    #[test]
+    fn odometer_enumerates_the_whole_space(radices in prop::collection::vec(1u32..5, 1..5)) {
+        let total = space_size(&radices);
+        let mut odo = Odometer::new(radices.clone());
+        let mut seen = std::collections::HashSet::new();
+        while let Some(digits) = odo.current() {
+            prop_assert!(digits.iter().zip(&radices).all(|(&d, &r)| (d as u32) < r));
+            prop_assert!(seen.insert(digits.to_vec()), "no duplicates");
+            if !odo.advance() {
+                break;
+            }
+        }
+        prop_assert_eq!(seen.len() as u128, total);
+    }
+
+    #[test]
+    fn odometer_ranges_partition(radices in prop::collection::vec(1u32..5, 1..5), cut_at in 0u32..100) {
+        let total = space_size(&radices);
+        let cut = (cut_at as u128) % (total + 1);
+        let collect = |mut o: Odometer| {
+            let mut v = Vec::new();
+            while let Some(d) = o.current() {
+                v.push(d.to_vec());
+                if !o.advance() { break; }
+            }
+            v
+        };
+        let mut joined = collect(Odometer::over_range(radices.clone(), 0, cut));
+        joined.extend(collect(Odometer::over_range(radices.clone(), cut, total)));
+        prop_assert_eq!(joined, collect(Odometer::new(radices)));
+    }
+
+    #[test]
+    fn odometer_skip_counts_are_exact(
+        radices in prop::collection::vec(2u32..4, 2..5),
+        prune_digit in 0u16..4,
+    ) {
+        // Prune every subtree whose first digit equals `prune_digit` and
+        // check visited + skipped covers the space exactly.
+        let total = space_size(&radices);
+        let mut odo = Odometer::new(radices.clone());
+        let mut visited = 0u128;
+        let mut skipped = 0u128;
+        while let Some(digits) = odo.current() {
+            if digits[0] == prune_digit {
+                skipped += odo.skip_subtree(1);
+                continue;
+            }
+            visited += 1;
+            if !odo.advance() {
+                break;
+            }
+        }
+        prop_assert_eq!(visited + skipped, total);
+    }
+
+    // ---- Pattern table --------------------------------------------------------
+
+    #[test]
+    fn pattern_subtree_check_matches_reference_semantics(
+        radices in prop::collection::vec(2u32..4, 2..5),
+        patterns in prop::collection::vec(prop::collection::vec(0u16..4, 1..4), 0..6),
+    ) {
+        let mut table = PatternTable::new();
+        for p in &patterns {
+            // Clamp the pattern into the candidate space shape.
+            let clamped: Vec<u16> = p
+                .iter()
+                .take(radices.len())
+                .zip(&radices)
+                .map(|(&d, &r)| d % r as u16)
+                .collect();
+            table.insert_prefix(&clamped);
+        }
+
+        // Enumerate with subtree pruning; independently classify every
+        // candidate with the reference matcher.
+        let mut odo = Odometer::new(radices.clone());
+        let mut enumerated = std::collections::HashSet::new();
+        'outer: while let Some(digits) = odo.current() {
+            for d in 0..=digits.len() {
+                if table.prunes_subtree(&digits[..d]) {
+                    odo.skip_subtree(d);
+                    continue 'outer;
+                }
+            }
+            enumerated.insert(digits.to_vec());
+            if !odo.advance() {
+                break;
+            }
+        }
+
+        let mut reference = Odometer::new(radices);
+        while let Some(digits) = reference.current() {
+            let expected = !table.matches_candidate(digits);
+            prop_assert_eq!(
+                enumerated.contains(digits),
+                expected,
+                "candidate {:?}",
+                digits
+            );
+            if !reference.advance() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end synthesis of the MSI case study at test-friendly scale, with
+//! independent re-verification of every synthesized solution.
+
+use verc3::mck::{Checker, CheckerOptions, FixedResolver, Verdict};
+use verc3::protocols::msi::{MsiConfig, MsiModel};
+use verc3::synth::{PatternMode, SynthOptions, Synthesizer, SynthReport};
+
+fn named_solutions(report: &SynthReport) -> Vec<Vec<(String, u16)>> {
+    let mut out: Vec<Vec<(String, u16)>> = report
+        .solutions()
+        .iter()
+        .map(|s| {
+            let mut v: Vec<(String, u16)> = s
+                .assignment
+                .iter()
+                .map(|&(h, a)| (report.holes()[h].name.clone(), a))
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn msi_tiny_pruned_naive_and_parallel_agree() {
+    let model = MsiModel::new(MsiConfig::msi_tiny());
+    let refined = Synthesizer::new(
+        SynthOptions::default().pattern_mode(PatternMode::Refined),
+    )
+    .run(&model);
+    let exact =
+        Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Exact)).run(&model);
+    let naive = Synthesizer::new(SynthOptions::default().pruning(false)).run(&model);
+    let parallel = Synthesizer::new(
+        SynthOptions::default().pattern_mode(PatternMode::Refined).threads(4),
+    )
+    .run(&model);
+
+    assert_eq!(named_solutions(&refined), named_solutions(&naive));
+    assert_eq!(named_solutions(&exact), named_solutions(&naive));
+    assert_eq!(named_solutions(&parallel), named_solutions(&naive));
+
+    assert_eq!(naive.stats().evaluated as u128, naive.naive_candidate_space());
+    // MSI-tiny is a *single*-rule problem: every failing trace touches all
+    // three of its holes, so no pattern can prune a strict subset and the
+    // only cost is the one wildcard discovery run — the degenerate case the
+    // paper acknowledges when it notes the extra wildcard configurations
+    // must be "offset by the net reduction".
+    assert_eq!(refined.stats().evaluated, naive.stats().evaluated + 1);
+}
+
+#[test]
+fn msi_tiny_solutions_verify_independently() {
+    let model = MsiModel::new(MsiConfig::msi_tiny());
+    let report = Synthesizer::new(
+        SynthOptions::default().pattern_mode(PatternMode::Refined),
+    )
+    .run(&model);
+    assert!(!report.solutions().is_empty());
+
+    for solution in report.solutions() {
+        // Rebuild the candidate as a plain name-keyed assignment and verify
+        // it through a fresh checker, bypassing the synthesis engine.
+        let mut resolver = FixedResolver::new();
+        for &(hole, action) in &solution.assignment {
+            resolver.assign(report.holes()[hole].name.clone(), action as usize);
+        }
+        let out = Checker::new(CheckerOptions::default()).run_with(&model, &mut resolver);
+        assert_eq!(
+            out.verdict(),
+            Verdict::Success,
+            "synthesized solution failed independent verification: {}",
+            solution.display_named(report.holes())
+        );
+        assert_eq!(
+            out.stats().states_visited,
+            solution.visited_states,
+            "state count must be reproducible"
+        );
+    }
+}
+
+#[test]
+fn msi_tiny_non_solutions_fail_independently() {
+    // Complement check on a sample: candidates the synthesizer did NOT
+    // report must fail (or at least not verify) when checked directly.
+    let model = MsiModel::new(MsiConfig::msi_tiny());
+    let report = Synthesizer::new(
+        SynthOptions::default().pattern_mode(PatternMode::Refined),
+    )
+    .run(&model);
+    let solutions = named_solutions(&report);
+    let space = MsiConfig::msi_tiny().hole_space();
+
+    let mut failures = 0;
+    for raw in 0..105usize {
+        // Decode a mixed-radix candidate over (5, 7, 3).
+        let digits = [raw / 21, (raw / 3) % 7, raw % 3];
+        let mut assignment: Vec<(String, u16)> = space
+            .iter()
+            .zip(digits)
+            .map(|((name, _), d)| (name.clone(), d as u16))
+            .collect();
+        assignment.sort();
+        let is_solution = solutions.iter().any(|sol| {
+            // A reported solution constrains only touched holes; compare on
+            // those.
+            sol.iter().all(|(n, a)| assignment.iter().any(|(n2, a2)| n2 == n && a2 == a))
+        });
+        let mut resolver = FixedResolver::new();
+        for (name, action) in &assignment {
+            resolver.assign(name.clone(), *action as usize);
+        }
+        let out = Checker::new(CheckerOptions::default()).run_with(&model, &mut resolver);
+        match (is_solution, out.verdict()) {
+            (true, Verdict::Success) => {}
+            (false, Verdict::Failure) => failures += 1,
+            (expected, got) => {
+                panic!("candidate {assignment:?}: expected solution={expected}, verdict={got}")
+            }
+        }
+    }
+    assert_eq!(failures, 105 - 2, "exactly two of the 105 candidates verify");
+}
+
+#[test]
+fn refined_pruning_pays_off_at_multi_rule_scale() {
+    // With three transient rules (MSI-small), a failure in one rule's
+    // sub-problem dooms every combination of the other rules' actions:
+    // trace-refined patterns capture exactly that, cutting the 231 525
+    // candidate space to a few hundred dispatches (paper: 855). The exact
+    // prefix mode degenerates here because all holes are discovered in the
+    // very first run (see EXPERIMENTS.md), so we assert against the space
+    // rather than running the 40-second exact/naive baselines in a test.
+    let model = MsiModel::new(MsiConfig::msi_small());
+    let refined = Synthesizer::new(
+        SynthOptions::default().pattern_mode(PatternMode::Refined),
+    )
+    .run(&model);
+    assert_eq!(refined.naive_candidate_space(), 231_525);
+    assert!(
+        refined.stats().evaluated < 2_000,
+        "refined pruning must collapse the space: evaluated {}",
+        refined.stats().evaluated
+    );
+    assert!(!refined.solutions().is_empty());
+    // Sanity: skipped + evaluated covers the final generation's space.
+    let last = refined.stats().generations.last().unwrap();
+    assert_eq!(
+        last.skipped_by_pruning + last.evaluated as u128 + last.deduped as u128,
+        last.space
+    );
+}
