@@ -22,7 +22,10 @@ fn bench_checker(c: &mut Criterion) {
         })
     });
 
-    let msi_nosym = MsiModel::new(MsiConfig { symmetry: false, ..MsiConfig::golden() });
+    let msi_nosym = MsiModel::new(MsiConfig {
+        symmetry: false,
+        ..MsiConfig::golden()
+    });
     group.bench_function("msi_golden_3caches_nosym", |b| {
         b.iter(|| {
             let out = Checker::new(CheckerOptions::default()).run(&msi_nosym);
@@ -31,19 +34,40 @@ fn bench_checker(c: &mut Criterion) {
         })
     });
 
-    let msi4 = MsiModel::new(MsiConfig { n_caches: 4, ..MsiConfig::golden() });
+    let msi4 = MsiModel::new(MsiConfig {
+        n_caches: 4,
+        ..MsiConfig::golden()
+    });
     group.bench_function("msi_golden_4caches_sym", |b| {
-        b.iter(|| Checker::new(CheckerOptions::default()).run(&msi4).stats().states_visited)
+        b.iter(|| {
+            Checker::new(CheckerOptions::default())
+                .run(&msi4)
+                .stats()
+                .states_visited
+        })
     });
 
     let mesi = MesiModel::new(MesiConfig::golden());
     group.bench_function("mesi_golden_3caches_sym", |b| {
-        b.iter(|| Checker::new(CheckerOptions::default()).run(&mesi).stats().states_visited)
+        b.iter(|| {
+            Checker::new(CheckerOptions::default())
+                .run(&mesi)
+                .stats()
+                .states_visited
+        })
     });
 
-    let vi = ViModel::new(ViConfig { n_caches: 3, ..ViConfig::golden() });
+    let vi = ViModel::new(ViConfig {
+        n_caches: 3,
+        ..ViConfig::golden()
+    });
     group.bench_function("vi_golden_3caches_sym", |b| {
-        b.iter(|| Checker::new(CheckerOptions::default()).run(&vi).stats().states_visited)
+        b.iter(|| {
+            Checker::new(CheckerOptions::default())
+                .run(&vi)
+                .stats()
+                .states_visited
+        })
     });
 
     group.finish();

@@ -24,14 +24,12 @@ fn bench_pruning_modes(c: &mut Criterion) {
     });
     group.bench_function("graph9/exact", |b| {
         b.iter(|| {
-            Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Exact))
-                .run(&model)
+            Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Exact)).run(&model)
         })
     });
     group.bench_function("graph9/refined", |b| {
         b.iter(|| {
-            Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Refined))
-                .run(&model)
+            Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Refined)).run(&model)
         })
     });
 

@@ -33,7 +33,12 @@ fn bench_synthesis(c: &mut Criterion) {
 
     group.bench_function("vi_full_pruning", |b| {
         let model = ViModel::new(ViConfig::synth_full());
-        b.iter(|| Synthesizer::new(SynthOptions::default()).run(&model).stats().evaluated)
+        b.iter(|| {
+            Synthesizer::new(SynthOptions::default())
+                .run(&model)
+                .stats()
+                .evaluated
+        })
     });
 
     group.bench_function("msi_tiny_refined", |b| {
@@ -49,10 +54,8 @@ fn bench_synthesis(c: &mut Criterion) {
     group.bench_function("msi_small_refined", |b| {
         let model = MsiModel::new(MsiConfig::msi_small());
         b.iter(|| {
-            let r = Synthesizer::new(
-                SynthOptions::default().pattern_mode(PatternMode::Refined),
-            )
-            .run(&model);
+            let r = Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Refined))
+                .run(&model);
             assert!(!r.solutions().is_empty());
             r.stats().evaluated
         })

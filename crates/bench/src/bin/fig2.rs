@@ -20,17 +20,25 @@ fn main() {
     println!("==============================================================");
     println!();
 
-    let report =
-        Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+    let report = Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
     println!("{}", report.run_table());
 
     let naive = Synthesizer::new(SynthOptions::default().pruning(false)).run(&model);
 
-    println!("with pruning : {} candidates evaluated (paper: 10)", report.stats().evaluated);
-    println!("naive        : {} candidates evaluated (paper: 24)", naive.stats().evaluated);
+    println!(
+        "with pruning : {} candidates evaluated (paper: 10)",
+        report.stats().evaluated
+    );
+    println!(
+        "naive        : {} candidates evaluated (paper: 24)",
+        naive.stats().evaluated
+    );
     println!("patterns     : {} (paper: 5)", report.stats().patterns);
     for s in report.solutions() {
-        println!("solution     : {} (paper: ⟨ 1@B, 2@A, 3@B, 4@B ⟩)", s.display_named(report.holes()));
+        println!(
+            "solution     : {} (paper: ⟨ 1@B, 2@A, 3@B, 4@B ⟩)",
+            s.display_named(report.holes())
+        );
     }
 
     assert_eq!(report.stats().evaluated, 10, "must match the paper");

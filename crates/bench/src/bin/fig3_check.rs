@@ -34,29 +34,42 @@ fn main() {
     };
 
     for n in [2usize, 3, 4] {
-        let model = MsiModel::new(MsiConfig { n_caches: n, ..MsiConfig::golden() });
+        let model = MsiModel::new(MsiConfig {
+            n_caches: n,
+            ..MsiConfig::golden()
+        });
         let (v, s, t) = verify(&model);
         run(&format!("MSI golden ({n} caches)"), v, s, t);
     }
     {
-        let model =
-            MsiModel::new(MsiConfig { symmetry: false, ..MsiConfig::golden() });
+        let model = MsiModel::new(MsiConfig {
+            symmetry: false,
+            ..MsiConfig::golden()
+        });
         let (v, s, t) = verify(&model);
         run("MSI golden (3, no symmetry)", v, s, t);
     }
     {
-        let model =
-            MsiModel::new(MsiConfig { data_values: true, ..MsiConfig::golden() });
+        let model = MsiModel::new(MsiConfig {
+            data_values: true,
+            ..MsiConfig::golden()
+        });
         let (v, s, t) = verify(&model);
         run("MSI golden (3, data values)", v, s, t);
     }
     for n in [2usize, 3] {
-        let model = MesiModel::new(MesiConfig { n_caches: n, ..MesiConfig::golden() });
+        let model = MesiModel::new(MesiConfig {
+            n_caches: n,
+            ..MesiConfig::golden()
+        });
         let (v, s, t) = verify(&model);
         run(&format!("MESI golden ({n} caches)"), v, s, t);
     }
     for n in [2usize, 3] {
-        let model = ViModel::new(ViConfig { n_caches: n, ..ViConfig::golden() });
+        let model = ViModel::new(ViConfig {
+            n_caches: n,
+            ..ViConfig::golden()
+        });
         let (v, s, t) = verify(&model);
         run(&format!("VI golden ({n} caches)"), v, s, t);
     }

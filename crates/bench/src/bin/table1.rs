@@ -36,17 +36,29 @@ fn main() {
     let mut reports = Vec::new();
 
     if small {
-        let (row, _) =
-            run_synthesis_row("MSI-small 1 thread, no pruning", MsiConfig::msi_small(), false, 1);
+        let (row, _) = run_synthesis_row(
+            "MSI-small 1 thread, no pruning",
+            MsiConfig::msi_small(),
+            false,
+            1,
+        );
         println!("{}", row.format());
         rows.push(row);
-        let (row, report) =
-            run_synthesis_row("MSI-small 1 thread, pruning", MsiConfig::msi_small(), true, 1);
+        let (row, report) = run_synthesis_row(
+            "MSI-small 1 thread, pruning",
+            MsiConfig::msi_small(),
+            true,
+            1,
+        );
         println!("{}", row.format());
         rows.push(row);
         reports.push(("MSI-small", report));
-        let (row, _) =
-            run_synthesis_row("MSI-small 4 threads, pruning", MsiConfig::msi_small(), true, 4);
+        let (row, _) = run_synthesis_row(
+            "MSI-small 4 threads, pruning",
+            MsiConfig::msi_small(),
+            true,
+            4,
+        );
         println!("{}", row.format());
         rows.push(row);
     }
@@ -70,13 +82,21 @@ fn main() {
         };
         println!("{}", naive_row.format());
         rows.push(naive_row);
-        let (row, report) =
-            run_synthesis_row("MSI-large 1 thread, pruning", MsiConfig::msi_large(), true, 1);
+        let (row, report) = run_synthesis_row(
+            "MSI-large 1 thread, pruning",
+            MsiConfig::msi_large(),
+            true,
+            1,
+        );
         println!("{}", row.format());
         rows.push(row);
         reports.push(("MSI-large", report));
-        let (row, _) =
-            run_synthesis_row("MSI-large 4 threads, pruning", MsiConfig::msi_large(), true, 4);
+        let (row, _) = run_synthesis_row(
+            "MSI-large 4 threads, pruning",
+            MsiConfig::msi_large(),
+            true,
+            4,
+        );
         println!("{}", row.format());
         rows.push(row);
     }
@@ -104,10 +124,12 @@ fn main() {
     // Headline ratios, paper vs measured.
     println!();
     for size in ["MSI-small", "MSI-large"] {
-        let naive = rows.iter().find(|r| r.label.contains(size) && r.patterns.is_none());
-        let pruned = rows
+        let naive = rows
             .iter()
-            .find(|r| r.label.contains(size) && r.patterns.is_some() && r.label.contains("1 thread"));
+            .find(|r| r.label.contains(size) && r.patterns.is_none());
+        let pruned = rows.iter().find(|r| {
+            r.label.contains(size) && r.patterns.is_some() && r.label.contains("1 thread")
+        });
         if let (Some(n), Some(p)) = (naive, pruned) {
             let reduction = 100.0 * (1.0 - p.evaluated as f64 / n.evaluated as f64);
             let speedup = n.wall.as_secs_f64() / p.wall.as_secs_f64().max(1e-9);
@@ -116,7 +138,11 @@ fn main() {
             println!(
                 "{size}: evaluated-candidate reduction {reduction:.2}% (paper: {paper_red}%), \
                  speedup {speedup:.1}x (paper: {paper_speedup}x){}",
-                if n.estimated { " [naive extrapolated]" } else { "" },
+                if n.estimated {
+                    " [naive extrapolated]"
+                } else {
+                    ""
+                },
             );
         }
     }
@@ -130,7 +156,11 @@ fn main() {
             let classes = report.solution_classes();
             println!("  {label}: {classes:?}");
             for s in report.solutions() {
-                println!("    {} ({} states)", s.display_named(report.holes()), s.visited_states);
+                println!(
+                    "    {} ({} states)",
+                    s.display_named(report.holes()),
+                    s.visited_states
+                );
             }
         }
     }

@@ -135,7 +135,11 @@ impl MeasuredRow {
             self.evaluated,
             self.solutions,
             format!("{:.1?}", self.wall),
-            if self.estimated { "  (extrapolated)" } else { "" },
+            if self.estimated {
+                "  (extrapolated)"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -232,7 +236,11 @@ pub fn estimate_naive_row(
 /// Verifies a complete model and reports `(verdict, states, transitions)`.
 pub fn verify<M: TransitionSystem>(model: &M) -> (Verdict, usize, usize) {
     let out = Checker::new(CheckerOptions::default()).run(model);
-    (out.verdict(), out.stats().states_visited, out.stats().transitions)
+    (
+        out.verdict(),
+        out.stats().states_visited,
+        out.stats().transitions,
+    )
 }
 
 #[cfg(test)]

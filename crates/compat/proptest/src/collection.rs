@@ -1,0 +1,52 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Generates vectors whose length is drawn from `len` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        len.start < len.end,
+        "empty length range {}..{}",
+        len.start,
+        len.end
+    );
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.len.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_respect_bounds() {
+        let strat = vec(2u32..9, 0..5);
+        let mut rng = TestRng::for_case(3);
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 5);
+            assert!(v.iter().all(|&x| (2..9).contains(&x)));
+            saw_empty |= v.is_empty();
+        }
+        assert!(saw_empty, "length 0 must be reachable from a 0.. range");
+    }
+}

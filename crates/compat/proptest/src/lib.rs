@@ -1,0 +1,183 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header,
+//! * integer-range strategies (`0u64..50_000`) and
+//!   `prop::collection::vec(strategy, len_range)`,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Cases are generated from a fixed, deterministic per-case seed so failures
+//! are reproducible run to run; there is **no shrinking** — a failing case
+//! reports its case index instead. See `crates/compat/README.md`.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of proptest's `prelude::prop` module.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Declares property tests over strategy-generated inputs.
+///
+/// Supported grammar (the subset of real proptest this workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///
+///     #[test]
+///     fn name(pattern in strategy_expr, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            (<$crate::test_runner::Config as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run_cases(|__proptest_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            __proptest_rng,
+                        );
+                    )+
+                    let __proptest_result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                    __proptest_result
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition, failing the current case (not the process) on `false`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality, failing the current case on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality, failing the current case on equality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in 0usize..3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(mut items in prop::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..6).contains(&items.len()));
+            items.sort();
+            prop_assert!(items.iter().all(|&v| v < 5));
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_case_index() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner =
+                crate::test_runner::TestRunner::new(crate::test_runner::Config::with_cases(4));
+            runner.run_cases(|_rng| Err(crate::test_runner::TestCaseError::fail("forced failure")));
+        });
+        let err = result.expect_err("runner must panic on a failing case");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(msg.contains("case 0"), "{msg}");
+        assert!(msg.contains("forced failure"), "{msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u16..100, 3..7);
+        let run = || {
+            let mut rng = crate::test_runner::TestRng::for_case(5);
+            crate::strategy::Strategy::generate(&strat, &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,92 @@
+//! The [`Strategy`] trait and the built-in integer-range strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// The shim collapses proptest's `Strategy`/`ValueTree` pair into a single
+/// generation method — no shrinking (see `crates/compat/README.md`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "cannot sample from empty range {}..{}", self.start, self.end);
+                let span = (hi - lo) as u128;
+                (lo + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "cannot sample from empty inclusive range");
+                let span = (hi - lo) as u128 + 1;
+                (lo + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_open_range_never_yields_the_end() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..500 {
+            let v = (0u8..3).generate(&mut rng);
+            assert!(v < 3);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_can_yield_the_end() {
+        let mut rng = TestRng::for_case(1);
+        let mut saw_end = false;
+        for _ in 0..200 {
+            let v = (0u8..=2).generate(&mut rng);
+            assert!(v <= 2);
+            saw_end |= v == 2;
+        }
+        assert!(saw_end);
+    }
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let mut rng = TestRng::for_case(2);
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let v = (-4i32..4).generate(&mut rng);
+            assert!((-4..4).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+}

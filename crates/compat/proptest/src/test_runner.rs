@@ -1,0 +1,101 @@
+//! Case runner, configuration, and the deterministic RNG behind strategies.
+
+/// Property-test configuration (proptest's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// A failed test case, carrying its failure message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+/// Deterministic SplitMix64 generator feeding the strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for the `case`-th case of a test run. Fixed seeds make
+    /// every run (and every CI machine) generate the same inputs.
+    pub fn for_case(case: u32) -> Self {
+        TestRng {
+            state: 0x5157_8a1c_6e4f_20d9 ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drives the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `body` once per case with a fresh deterministic RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first case whose body
+    /// returns an error, reporting the case index for replay.
+    pub fn run_cases<F>(&mut self, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::for_case(case);
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "proptest case {case} of {} failed: {}",
+                    self.config.cases,
+                    e.message()
+                );
+            }
+        }
+    }
+}

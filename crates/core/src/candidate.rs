@@ -77,7 +77,10 @@ impl CandidateVec {
 
     /// The length of the leading run of concrete actions.
     pub fn concrete_prefix_len(&self) -> usize {
-        self.slots.iter().take_while(|s| matches!(s, Slot::Action(_))).count()
+        self.slots
+            .iter()
+            .take_while(|s| matches!(s, Slot::Action(_)))
+            .count()
     }
 
     /// Renders the candidate with hole and action *names*, Figure-2 style:
@@ -91,7 +94,10 @@ impl CandidateVec {
     /// Panics if `holes` is shorter than the candidate, or an action index is
     /// out of range for its hole.
     pub fn display_named(&self, holes: &[HoleInfo]) -> String {
-        assert!(holes.len() >= self.slots.len(), "hole table shorter than candidate");
+        assert!(
+            holes.len() >= self.slots.len(),
+            "hole table shorter than candidate"
+        );
         let mut out = String::from("⟨");
         for (i, slot) in self.slots.iter().enumerate() {
             if i > 0 {
@@ -128,7 +134,9 @@ impl fmt::Display for CandidateVec {
 
 impl FromIterator<Slot> for CandidateVec {
     fn from_iter<I: IntoIterator<Item = Slot>>(iter: I) -> Self {
-        CandidateVec { slots: iter.into_iter().collect() }
+        CandidateVec {
+            slots: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -138,8 +146,14 @@ mod tests {
 
     fn holes() -> Vec<HoleInfo> {
         vec![
-            HoleInfo { name: "1".into(), actions: vec!["A".into(), "B".into(), "C".into()] },
-            HoleInfo { name: "2".into(), actions: vec!["A".into(), "B".into()] },
+            HoleInfo {
+                name: "1".into(),
+                actions: vec!["A".into(), "B".into(), "C".into()],
+            },
+            HoleInfo {
+                name: "2".into(),
+                actions: vec!["A".into(), "B".into()],
+            },
         ]
     }
 

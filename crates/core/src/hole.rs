@@ -110,7 +110,11 @@ impl HoleRegistry {
         let known = &inner.holes[id];
         assert!(
             known.actions.len() == spec.arity()
-                && known.actions.iter().zip(spec.actions()).all(|(a, b)| a == b),
+                && known
+                    .actions
+                    .iter()
+                    .zip(spec.actions())
+                    .all(|(a, b)| a == b),
             "hole `{}` re-declared with a different action library \
              (was {:?}, now {:?})",
             spec.name(),
@@ -148,7 +152,13 @@ impl HoleRegistry {
     /// holes discovered since `len()` was last observed as `start`.
     pub fn names_from(&self, start: usize) -> Vec<String> {
         let inner = self.inner.read();
-        inner.holes.get(start..).unwrap_or(&[]).iter().map(|h| h.name.clone()).collect()
+        inner
+            .holes
+            .get(start..)
+            .unwrap_or(&[])
+            .iter()
+            .map(|h| h.name.clone())
+            .collect()
     }
 }
 

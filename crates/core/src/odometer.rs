@@ -49,7 +49,10 @@ impl Odometer {
     pub fn over_range(radices: Vec<u32>, start: u128, end: u128) -> Self {
         assert!(radices.iter().all(|&r| r > 0), "zero radix");
         let total = space_size(&radices);
-        assert!(start <= end && end <= total, "range [{start}, {end}) out of bounds ({total})");
+        assert!(
+            start <= end && end <= total,
+            "range [{start}, {end}) out of bounds ({total})"
+        );
         let mut weight = vec![1u128; radices.len() + 1];
         for i in (0..radices.len()).rev() {
             weight[i] = weight[i + 1] * radices[i] as u128;
@@ -60,7 +63,13 @@ impl Odometer {
             digits[i] = (rem / weight[i + 1]) as u16;
             rem %= weight[i + 1];
         }
-        Odometer { radices, digits, index: start, end, weight }
+        Odometer {
+            radices,
+            digits,
+            index: start,
+            end,
+            weight,
+        }
     }
 
     /// Number of digits (holes) in the space.

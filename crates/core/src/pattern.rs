@@ -150,11 +150,10 @@ impl PatternTable {
             }
         }
         self.sparse_seen.contains(&Vec::new())
-            || self
-                .sparse
-                .iter()
-                .flatten()
-                .any(|pat| pat.iter().all(|&(p, a)| (p as usize) < digits.len() && digits[p as usize] == a))
+            || self.sparse.iter().flatten().any(|pat| {
+                pat.iter()
+                    .all(|&(p, a)| (p as usize) < digits.len() && digits[p as usize] == a)
+            })
     }
 
     /// Merges another table's patterns into this one (used when worker
@@ -204,7 +203,10 @@ mod tests {
         let mut t = PatternTable::new();
         // "hole 0 = A and hole 2 = B fails, whatever hole 1 is"
         assert!(t.insert_sparse(vec![(2, 1), (0, 0)]));
-        assert!(!t.insert_sparse(vec![(0, 0), (2, 1)]), "same pattern, sorted");
+        assert!(
+            !t.insert_sparse(vec![(0, 0), (2, 1)]),
+            "same pattern, sorted"
+        );
 
         // Subtree checks: nothing decidable before hole 2 is fixed.
         assert!(!t.prunes_subtree(&[0]));

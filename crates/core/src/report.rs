@@ -45,7 +45,10 @@ impl Solution {
 
     /// The action assigned to `hole`, if the solution constrains it.
     pub fn action_for(&self, hole: HoleId) -> Option<u16> {
-        self.assignment.iter().find(|&&(h, _)| h == hole).map(|&(_, a)| a)
+        self.assignment
+            .iter()
+            .find(|&&(h, _)| h == hole)
+            .map(|&(_, a)| a)
     }
 }
 
@@ -162,10 +165,16 @@ impl SynthReport {
     /// wildcard-extended space depending on `pruned`), pruning patterns,
     /// evaluated, solutions, execution time.
     pub fn table_row(&self, label: &str, pruned: bool) -> String {
-        let candidates =
-            if pruned { self.wildcard_candidate_space() } else { self.naive_candidate_space() };
-        let patterns =
-            if pruned { self.stats.patterns.to_string() } else { "N/A".to_owned() };
+        let candidates = if pruned {
+            self.wildcard_candidate_space()
+        } else {
+            self.naive_candidate_space()
+        };
+        let patterns = if pruned {
+            self.stats.patterns.to_string()
+        } else {
+            "N/A".to_owned()
+        };
         format!(
             "{label:<28} {holes:>5} {candidates:>15} {patterns:>10} {evaluated:>12} {solutions:>9} {time:>10.1?}",
             holes = self.holes.len(),
@@ -182,8 +191,8 @@ impl SynthReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>4}  {:<34} {:<9} {:<9} {}",
-            "Run", "Candidate", "Verdict", "Pattern", "Discovered Holes"
+            "{:>4}  {:<34} {:<9} {:<9} Discovered Holes",
+            "Run", "Candidate", "Verdict", "Pattern"
         );
         for r in &self.run_log {
             let _ = writeln!(
@@ -207,8 +216,12 @@ impl fmt::Display for SynthReport {
         for h in &self.holes {
             writeln!(f, "    {} ({} actions)", h.name, h.arity())?;
         }
-        writeln!(f, "  candidate space  : {} naive / {} with wildcards",
-            self.naive_candidate_space(), self.wildcard_candidate_space())?;
+        writeln!(
+            f,
+            "  candidate space  : {} naive / {} with wildcards",
+            self.naive_candidate_space(),
+            self.wildcard_candidate_space()
+        )?;
         writeln!(f, "  evaluated        : {}", self.stats.evaluated)?;
         writeln!(f, "  pruned           : {}", self.stats.skipped_by_pruning)?;
         writeln!(f, "  pruning patterns : {}", self.stats.patterns)?;
@@ -233,14 +246,24 @@ mod tests {
 
     fn holes() -> Vec<HoleInfo> {
         vec![
-            HoleInfo { name: "1".into(), actions: vec!["A".into(), "B".into(), "C".into()] },
-            HoleInfo { name: "2".into(), actions: vec!["A".into(), "B".into()] },
+            HoleInfo {
+                name: "1".into(),
+                actions: vec!["A".into(), "B".into(), "C".into()],
+            },
+            HoleInfo {
+                name: "2".into(),
+                actions: vec!["A".into(), "B".into()],
+            },
         ]
     }
 
     #[test]
     fn solution_display_and_lookup() {
-        let s = Solution { assignment: vec![(0, 1), (1, 0)], visited_states: 5, transitions: 7 };
+        let s = Solution {
+            assignment: vec![(0, 1), (1, 0)],
+            visited_states: 5,
+            transitions: 7,
+        };
         assert_eq!(s.display_named(&holes()), "⟨ 1@B, 2@A ⟩");
         assert_eq!(s.action_for(0), Some(1));
         assert_eq!(s.action_for(9), None);
@@ -248,14 +271,21 @@ mod tests {
 
     #[test]
     fn spaces_multiply_arities() {
-        let r = SynthReport { holes: holes(), ..Default::default() };
+        let r = SynthReport {
+            holes: holes(),
+            ..Default::default()
+        };
         assert_eq!(r.naive_candidate_space(), 6);
         assert_eq!(r.wildcard_candidate_space(), 12);
     }
 
     #[test]
     fn solution_classes_group_by_states() {
-        let mk = |v| Solution { assignment: vec![], visited_states: v, transitions: 0 };
+        let mk = |v| Solution {
+            assignment: vec![],
+            visited_states: v,
+            transitions: 0,
+        };
         let r = SynthReport {
             holes: holes(),
             solutions: vec![mk(10), mk(12), mk(10), mk(12), mk(12)],
@@ -266,7 +296,10 @@ mod tests {
 
     #[test]
     fn table_row_formats() {
-        let r = SynthReport { holes: holes(), ..Default::default() };
+        let r = SynthReport {
+            holes: holes(),
+            ..Default::default()
+        };
         let row = r.table_row("demo", true);
         assert!(row.starts_with("demo"));
         assert!(row.contains("12")); // wildcard space

@@ -170,7 +170,10 @@ mod tests {
         let mut r = CandidateResolver::new(&reg, &[], DiscoveryDefault::Wildcard, &mut cache);
         assert_eq!(r.choose(&spec("new", 2)), Choice::Wildcard);
         assert_eq!(r.discovered(), 1);
-        assert!(r.touched().is_empty(), "wildcard resolutions are not touches");
+        assert!(
+            r.touched().is_empty(),
+            "wildcard resolutions are not touches"
+        );
 
         let mut cache = NameCache::new();
         let mut r = CandidateResolver::new(&reg, &[], DiscoveryDefault::ActionZero, &mut cache);
@@ -184,8 +187,7 @@ mod tests {
         let reg = HoleRegistry::new();
         let mut cache = NameCache::new();
         {
-            let mut r =
-                CandidateResolver::new(&reg, &[], DiscoveryDefault::Wildcard, &mut cache);
+            let mut r = CandidateResolver::new(&reg, &[], DiscoveryDefault::Wildcard, &mut cache);
             let _ = r.choose(&spec("h", 2));
             assert_eq!(r.discovered(), 1);
         }

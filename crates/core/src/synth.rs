@@ -228,12 +228,11 @@ impl Synthesizer {
         if threads == 1 {
             worker(model, shared, &gen);
         } else {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|_| worker(model, shared, &gen));
+                    scope.spawn(|| worker(model, shared, &gen));
                 }
-            })
-            .expect("synthesis worker panicked");
+            });
         }
 
         GenStats {
@@ -279,7 +278,10 @@ fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) 
     // The generation space is never larger than u64 in practice (MSI-large
     // is ~1.2e9); guard anyway so a pathological skeleton fails loudly.
     let total: u64 = gen.space.try_into().unwrap_or_else(|_| {
-        panic!("candidate space of {} exceeds the enumerable range", gen.space)
+        panic!(
+            "candidate space of {} exceeds the enumerable range",
+            gen.space
+        )
     });
     let chunk = opts.chunk_size;
 
@@ -311,9 +313,7 @@ fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) 
                         continue 'candidates;
                     }
                 }
-            } else if gen.k > gen.prev_k
-                && digits[gen.prev_k..gen.k].iter().all(|&x| x == 0)
-            {
+            } else if gen.k > gen.prev_k && digits[gen.prev_k..gen.k].iter().all(|&x| x == 0) {
                 // Naïve mode: a candidate whose new digits are all defaults
                 // is identical to one already evaluated last generation.
                 gen.deduped.fetch_add(1, Ordering::Relaxed);
@@ -330,7 +330,14 @@ fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) 
                 }
             }
 
-            evaluate_candidate(model, shared, gen, digits.to_vec(), &mut cache, &mut local_patterns);
+            evaluate_candidate(
+                model,
+                shared,
+                gen,
+                digits.to_vec(),
+                &mut cache,
+                &mut local_patterns,
+            );
             gen.evaluated.fetch_add(1, Ordering::Relaxed);
 
             if !od.advance() {
@@ -351,8 +358,11 @@ fn evaluate_candidate<M: TransitionSystem>(
 ) {
     let opts = shared.options;
     let known_before = shared.registry.len();
-    let default =
-        if opts.pruning { DiscoveryDefault::Wildcard } else { DiscoveryDefault::ActionZero };
+    let default = if opts.pruning {
+        DiscoveryDefault::Wildcard
+    } else {
+        DiscoveryDefault::ActionZero
+    };
 
     let mut resolver = CandidateResolver::new(shared.registry, &digits, default, cache);
     let outcome = shared.checker.run_with(model, &mut resolver);
@@ -481,8 +491,7 @@ mod tests {
     #[test]
     fn fig2_pruning_run_matches_paper() {
         let model = GraphModel::worked_example();
-        let report =
-            Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+        let report = Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
 
         assert_eq!(report.holes().len(), 4);
         assert_eq!(report.naive_candidate_space(), 24);
@@ -500,12 +509,13 @@ mod tests {
     #[test]
     fn fig2_run_log_details() {
         let model = GraphModel::worked_example();
-        let report =
-            Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+        let report = Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
         let log = report.run_log();
         assert_eq!(log.len(), 10);
-        let display: Vec<String> =
-            log.iter().map(|r| r.candidate.display_named(report.holes())).collect();
+        let display: Vec<String> = log
+            .iter()
+            .map(|r| r.candidate.display_named(report.holes()))
+            .collect();
         assert_eq!(
             display,
             vec![
@@ -527,8 +537,7 @@ mod tests {
             patterns,
             vec![false, true, false, true, false, true, true, false, true, false]
         );
-        let discovered: Vec<Vec<String>> =
-            log.iter().map(|r| r.discovered.clone()).collect();
+        let discovered: Vec<Vec<String>> = log.iter().map(|r| r.discovered.clone()).collect();
         assert_eq!(discovered[0], vec!["1"]);
         assert_eq!(discovered[2], vec!["2"]);
         assert_eq!(discovered[4], vec!["3"]);
@@ -553,10 +562,9 @@ mod tests {
         for seed in 0..20 {
             let model = GraphModel::random(seed, 6, 3);
             let exact = Synthesizer::new(SynthOptions::default()).run(&model);
-            let refined = Synthesizer::new(
-                SynthOptions::default().pattern_mode(PatternMode::Refined),
-            )
-            .run(&model);
+            let refined =
+                Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Refined))
+                    .run(&model);
             assert!(
                 refined.stats().evaluated <= exact.stats().evaluated,
                 "seed {seed}: refined {} > exact {}",
@@ -603,8 +611,7 @@ mod tests {
     #[test]
     fn max_evaluations_truncates() {
         let model = GraphModel::worked_example();
-        let report =
-            Synthesizer::new(SynthOptions::default().max_evaluations(3)).run(&model);
+        let report = Synthesizer::new(SynthOptions::default().max_evaluations(3)).run(&model);
         assert!(report.stats().truncated);
         assert!(report.stats().evaluated <= 4);
     }

@@ -31,8 +31,7 @@ fn inherently_faulty_skeleton_fails_immediately() {
     b.error_node(9);
     let model = b.finish();
     for mode in [PatternMode::Exact, PatternMode::Refined] {
-        let report =
-            Synthesizer::new(SynthOptions::default().pattern_mode(mode)).run(&model);
+        let report = Synthesizer::new(SynthOptions::default().pattern_mode(mode)).run(&model);
         assert!(report.solutions().is_empty());
         assert_eq!(report.stats().evaluated, 1, "one run dooms the whole space");
     }
@@ -84,7 +83,11 @@ fn unreachable_holes_are_never_discovered() {
     b.error_node(9);
     let model = b.finish();
     let report = Synthesizer::new(SynthOptions::default()).run(&model);
-    assert_eq!(report.holes().len(), 1, "unreachable holes stay undiscovered");
+    assert_eq!(
+        report.holes().len(),
+        1,
+        "unreachable holes stay undiscovered"
+    );
     assert_eq!(report.naive_candidate_space(), 1);
 }
 
@@ -93,13 +96,14 @@ fn unreachable_holes_are_never_discovered() {
 fn generation_accounting_balances() {
     for seed in [3u64, 17, 99] {
         let model = GraphModel::random(seed, 6, 3);
-        for (pruning, mode) in
-            [(true, PatternMode::Exact), (true, PatternMode::Refined), (false, PatternMode::Exact)]
-        {
-            let report = Synthesizer::new(
-                SynthOptions::default().pruning(pruning).pattern_mode(mode),
-            )
-            .run(&model);
+        for (pruning, mode) in [
+            (true, PatternMode::Exact),
+            (true, PatternMode::Refined),
+            (false, PatternMode::Exact),
+        ] {
+            let report =
+                Synthesizer::new(SynthOptions::default().pruning(pruning).pattern_mode(mode))
+                    .run(&model);
             for g in &report.stats().generations {
                 assert_eq!(
                     g.evaluated as u128 + g.skipped_by_pruning + g.deduped as u128,
@@ -118,9 +122,13 @@ fn report_display_is_complete() {
     let model = GraphModel::worked_example();
     let report = Synthesizer::new(SynthOptions::default()).run(&model);
     let text = report.to_string();
-    for needle in
-        ["holes discovered", "candidate space", "evaluated", "pruning patterns", "solutions"]
-    {
+    for needle in [
+        "holes discovered",
+        "candidate space",
+        "evaluated",
+        "pruning patterns",
+        "solutions",
+    ] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
 }
@@ -131,9 +139,12 @@ fn chunk_size_is_result_invariant() {
     let model = GraphModel::worked_example();
     let baseline = Synthesizer::new(SynthOptions::default()).run(&model);
     for chunk in [1u64, 2, 7, 1000] {
-        let report =
-            Synthesizer::new(SynthOptions::default().chunk_size(chunk)).run(&model);
-        assert_eq!(report.stats().evaluated, baseline.stats().evaluated, "chunk {chunk}");
+        let report = Synthesizer::new(SynthOptions::default().chunk_size(chunk)).run(&model);
+        assert_eq!(
+            report.stats().evaluated,
+            baseline.stats().evaluated,
+            "chunk {chunk}"
+        );
         assert_eq!(report.solutions().len(), baseline.solutions().len());
     }
 }

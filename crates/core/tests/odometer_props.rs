@@ -1,0 +1,114 @@
+//! Property tests for the mixed-radix candidate odometer: full-coverage
+//! enumeration, duplicate freedom, range partitioning, and skip accounting.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use verc3_core::{space_size, Odometer};
+
+fn drain(mut odometer: Odometer) -> Vec<Vec<u16>> {
+    let mut out = Vec::new();
+    while let Some(digits) = odometer.current() {
+        out.push(digits.to_vec());
+        if !odometer.advance() {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The odometer emits exactly `space_size` candidates, with no
+    /// duplicates, every digit within its radix, and in strictly increasing
+    /// lexicographic order.
+    #[test]
+    fn enumeration_covers_exactly_space_size(radices in prop::collection::vec(1u32..6, 0..6)) {
+        let total = space_size(&radices);
+        let all = drain(Odometer::new(radices.clone()));
+
+        prop_assert_eq!(all.len() as u128, total, "exactly the whole space");
+
+        let mut seen: HashSet<Vec<u16>> = HashSet::new();
+        for digits in &all {
+            prop_assert_eq!(digits.len(), radices.len());
+            prop_assert!(
+                digits.iter().zip(&radices).all(|(&d, &r)| u32::from(d) < r),
+                "digit within radix: {:?} vs {:?}",
+                digits,
+                radices
+            );
+            prop_assert!(seen.insert(digits.clone()), "duplicate candidate {:?}", digits);
+        }
+        prop_assert!(all.windows(2).all(|w| w[0] < w[1]), "lexicographic order");
+    }
+
+    /// Any two-way split of the linear range enumerates the same candidates
+    /// as the unsplit walk, in the same order.
+    #[test]
+    fn range_split_is_seamless(
+        radices in prop::collection::vec(1u32..5, 1..5),
+        cut_raw in 0u32..1000,
+    ) {
+        let total = space_size(&radices);
+        let cut = u128::from(cut_raw) % (total + 1);
+        let mut rejoined = drain(Odometer::over_range(radices.clone(), 0, cut));
+        rejoined.extend(drain(Odometer::over_range(radices.clone(), cut, total)));
+        prop_assert_eq!(rejoined, drain(Odometer::new(radices)));
+    }
+
+    /// Skipping a subtree accounts for every candidate exactly once:
+    /// visited + skipped always equals the space size.
+    #[test]
+    fn skip_subtree_counts_partition_the_space(
+        radices in prop::collection::vec(2u32..5, 1..5),
+        prune_digit in 0u16..5,
+        depth_raw in 0usize..5,
+    ) {
+        let total = space_size(&radices);
+        let depth = 1 + depth_raw % radices.len();
+        let mut odometer = Odometer::new(radices.clone());
+        let mut visited = 0u128;
+        let mut skipped = 0u128;
+        while let Some(digits) = odometer.current() {
+            if digits[depth - 1] == prune_digit {
+                skipped += odometer.skip_subtree(depth);
+                continue;
+            }
+            visited += 1;
+            if !odometer.advance() {
+                break;
+            }
+        }
+        prop_assert_eq!(visited + skipped, total);
+    }
+
+    /// After a skip, the next candidate differs from the skipped one within
+    /// the first `depth` digits (the subtree really was left behind).
+    #[test]
+    fn skip_subtree_lands_outside_the_subtree(
+        radices in prop::collection::vec(2u32..5, 1..5),
+        advance_by in 0u32..10,
+        depth_raw in 0usize..5,
+    ) {
+        let depth = 1 + depth_raw % radices.len();
+        let mut odometer = Odometer::new(radices.clone());
+        for _ in 0..advance_by {
+            if !odometer.advance() {
+                break;
+            }
+        }
+        if let Some(before) = odometer.current().map(<[u16]>::to_vec) {
+            odometer.skip_subtree(depth);
+            if let Some(after) = odometer.current() {
+                prop_assert!(
+                    before[..depth] != after[..depth],
+                    "prefix {:?} must change after skipping depth {}",
+                    &before[..depth],
+                    depth
+                );
+                prop_assert!(after[depth..].iter().all(|&d| d == 0), "subtree restarts at zero");
+            }
+        }
+    }
+}

@@ -65,7 +65,7 @@ impl<S: Debug> ExploredGraph<S> {
 
     /// Iterates over all state identifiers.
     pub fn ids(&self) -> impl Iterator<Item = StateId> + '_ {
-        (0..self.states.len() as StateId).into_iter()
+        0..self.states.len() as StateId
     }
 
     /// Iterates over the states in discovery (BFS) order.

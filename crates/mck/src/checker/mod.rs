@@ -161,8 +161,14 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
             .properties()
             .iter()
             .any(|p| matches!(p, Property::EventuallyQuiescent { .. }));
-        let reach_found =
-            vec![false; model.properties().iter().filter(|p| is_reachable(p)).count()];
+        let reach_found = vec![
+            false;
+            model
+                .properties()
+                .iter()
+                .filter(|p| is_reachable(p))
+                .count()
+        ];
         Bfs {
             model,
             options,
@@ -237,7 +243,10 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
         loop {
             let rule = self.pred[cur as usize]
                 .map(|(_, r)| self.model.rules()[r as usize].name().to_owned());
-            rev.push(TraceStep { rule, state: self.states[cur as usize].clone() });
+            rev.push(TraceStep {
+                rule,
+                state: self.states[cur as usize].clone(),
+            });
             match self.pred[cur as usize] {
                 Some((p, _)) => cur = p,
                 None => break,
@@ -278,7 +287,12 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
 
         let initial = self.model.initial_states();
         if initial.is_empty() {
-            return self.finish(start, Verdict::Unknown, None, Some(MckError::NoInitialStates));
+            return self.finish(
+                start,
+                Verdict::Unknown,
+                None,
+                Some(MckError::NoInitialStates),
+            );
         }
         for s0 in initial {
             let s0 = self.model.canonicalize(s0);
@@ -330,7 +344,10 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
                         let touches = self.resolver.application_touches().to_vec();
                         let (nid, new) = self.insert(next, Some((id, ri as u32)), &touches);
                         if let Some(edges) = &mut self.edges {
-                            edges[id as usize].push(Edge { rule: ri as u32, target: nid });
+                            edges[id as usize].push(Edge {
+                                rule: ri as u32,
+                                target: nid,
+                            });
                         }
                         if new {
                             if let Some(name) = self.violated_invariant(nid) {
@@ -361,7 +378,9 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
             }
 
             if self.states.len() > self.options.max_states {
-                incomplete = Some(MckError::StateLimitExceeded { limit: self.options.max_states });
+                incomplete = Some(MckError::StateLimitExceeded {
+                    limit: self.options.max_states,
+                });
                 break;
             }
         }
@@ -414,7 +433,11 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
             }
         }
 
-        let verdict = if tainted { Verdict::Unknown } else { Verdict::Success };
+        let verdict = if tainted {
+            Verdict::Unknown
+        } else {
+            Verdict::Success
+        };
         self.finish(start, verdict, None, incomplete)
     }
 
@@ -431,7 +454,7 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
                 rule_names: rule_names(self.model),
                 states: std::mem::take(&mut self.states),
                 depth: std::mem::take(&mut self.depth),
-                edges: self.edges.take().unwrap_or_else(|| Vec::new()),
+                edges: self.edges.take().unwrap_or_default(),
             })
         } else {
             None
@@ -440,7 +463,9 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
             verdict,
             failure,
             stats: self.stats,
-            timing: Timing { elapsed: start.elapsed() },
+            timing: Timing {
+                elapsed: start.elapsed(),
+            },
             incomplete,
             graph,
         }
@@ -483,8 +508,20 @@ mod tests {
     fn invariant_violation_has_minimal_trace() {
         let mut b = ModelBuilder::new("grow");
         b.initial(0u8);
-        b.rule("slow", |&s: &u8, _| if s < 10 { RuleOutcome::Next(s + 1) } else { RuleOutcome::Disabled });
-        b.rule("fast", |&s: &u8, _| if s < 10 { RuleOutcome::Next(s + 2) } else { RuleOutcome::Disabled });
+        b.rule("slow", |&s: &u8, _| {
+            if s < 10 {
+                RuleOutcome::Next(s + 1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
+        b.rule("fast", |&s: &u8, _| {
+            if s < 10 {
+                RuleOutcome::Next(s + 2)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
         b.invariant("below six", |&s: &u8| s < 6);
         let m = b.finish();
         let out = Checker::new(CheckerOptions::default().allow_deadlock()).run(&m);
@@ -502,7 +539,13 @@ mod tests {
     fn deadlock_detected_and_allowed() {
         let mut b = ModelBuilder::new("sink");
         b.initial(0u8);
-        b.rule("to-sink", |&s: &u8, _| if s == 0 { RuleOutcome::Next(1) } else { RuleOutcome::Disabled });
+        b.rule("to-sink", |&s: &u8, _| {
+            if s == 0 {
+                RuleOutcome::Next(1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
         let m = b.finish();
 
         let out = Checker::new(CheckerOptions::default()).run(&m);
@@ -536,7 +579,13 @@ mod tests {
         // the 1<->2 cycle and can never return: AG EF q fails.
         let mut b = ModelBuilder::new("trap");
         b.initial(0u8);
-        b.rule("leave", |&s: &u8, _| if s == 0 { RuleOutcome::Next(1) } else { RuleOutcome::Disabled });
+        b.rule("leave", |&s: &u8, _| {
+            if s == 0 {
+                RuleOutcome::Next(1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
         b.rule("spin", |&s: &u8, _| match s {
             1 => RuleOutcome::Next(2),
             2 => RuleOutcome::Next(1),
@@ -570,7 +619,10 @@ mod tests {
         let m = b.finish();
         let out = Checker::new(CheckerOptions::default().max_states(100)).run(&m);
         assert_eq!(out.verdict(), Verdict::Unknown);
-        assert!(matches!(out.incomplete(), Some(MckError::StateLimitExceeded { limit: 100 })));
+        assert!(matches!(
+            out.incomplete(),
+            Some(MckError::StateLimitExceeded { limit: 100 })
+        ));
     }
 
     #[test]
@@ -601,16 +653,14 @@ mod tests {
 
         // Wildcard: branch aborted, verdict unknown even though no failure.
         let mut wild = FixedResolver::new();
-        let out =
-            Checker::new(CheckerOptions::default().allow_deadlock()).run_with(&m, &mut wild);
+        let out = Checker::new(CheckerOptions::default().allow_deadlock()).run_with(&m, &mut wild);
         assert_eq!(out.verdict(), Verdict::Unknown);
         assert_eq!(out.stats().wildcard_hits, 1);
         assert_eq!(out.stats().states_visited, 1);
 
         // Concrete choice: fully explored.
         let mut fixed = FixedResolver::from_pairs([("h", 1usize)]);
-        let out =
-            Checker::new(CheckerOptions::default().allow_deadlock()).run_with(&m, &mut fixed);
+        let out = Checker::new(CheckerOptions::default().allow_deadlock()).run_with(&m, &mut fixed);
         assert_eq!(out.verdict(), Verdict::Success);
         assert_eq!(out.stats().states_visited, 2);
     }

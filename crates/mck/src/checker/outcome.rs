@@ -179,6 +179,9 @@ mod tests {
     #[test]
     fn failure_kind_display() {
         assert_eq!(FailureKind::Deadlock.to_string(), "deadlock");
-        assert_eq!(FailureKind::InvariantViolation.to_string(), "invariant violation");
+        assert_eq!(
+            FailureKind::InvariantViolation.to_string(),
+            "invariant violation"
+        );
     }
 }

@@ -31,8 +31,14 @@ impl<S> Trace<S> {
     /// Panics if `steps` is empty or if the first step carries a rule name —
     /// a well-formed trace starts at an initial state.
     pub fn new(steps: Vec<TraceStep<S>>) -> Self {
-        assert!(!steps.is_empty(), "a trace must contain at least the initial state");
-        assert!(steps[0].rule.is_none(), "the first trace step must be an initial state");
+        assert!(
+            !steps.is_empty(),
+            "a trace must contain at least the initial state"
+        );
+        assert!(
+            steps[0].rule.is_none(),
+            "the first trace step must be an initial state"
+        );
         Trace { steps }
     }
 
@@ -82,9 +88,18 @@ mod tests {
 
     fn sample() -> Trace<u8> {
         Trace::new(vec![
-            TraceStep { rule: None, state: 0 },
-            TraceStep { rule: Some("a".into()), state: 1 },
-            TraceStep { rule: Some("b".into()), state: 2 },
+            TraceStep {
+                rule: None,
+                state: 0,
+            },
+            TraceStep {
+                rule: Some("a".into()),
+                state: 1,
+            },
+            TraceStep {
+                rule: Some("b".into()),
+                state: 2,
+            },
         ])
     }
 
@@ -109,7 +124,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "initial state")]
     fn first_step_must_be_initial() {
-        let _ = Trace::new(vec![TraceStep { rule: Some("x".into()), state: 0u8 }]);
+        let _ = Trace::new(vec![TraceStep {
+            rule: Some("x".into()),
+            state: 0u8,
+        }]);
     }
 
     #[test]

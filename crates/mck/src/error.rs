@@ -44,7 +44,10 @@ impl fmt::Display for MckError {
             }
             MckError::NoInitialStates => write!(f, "model declares no initial states"),
             MckError::InconsistentHole { name } => {
-                write!(f, "hole `{name}` re-declared with a different action library")
+                write!(
+                    f,
+                    "hole `{name}` re-declared with a different action library"
+                )
             }
         }
     }

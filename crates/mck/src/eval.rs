@@ -63,7 +63,10 @@ impl HoleSpec {
     {
         let actions: Vec<String> = actions.into_iter().map(Into::into).collect();
         assert!(!actions.is_empty(), "hole must offer at least one action");
-        HoleSpec { name: name.into(), actions }
+        HoleSpec {
+            name: name.into(),
+            actions,
+        }
     }
 
     /// The hole's stable, globally unique name.
@@ -198,7 +201,10 @@ pub struct FixedResolver {
 impl FixedResolver {
     /// Creates a resolver with no assignments and a `Wildcard` fallback.
     pub fn new() -> Self {
-        FixedResolver { assignments: Default::default(), fallback: Choice::Wildcard }
+        FixedResolver {
+            assignments: Default::default(),
+            fallback: Choice::Wildcard,
+        }
     }
 
     /// Assigns action `index` to the hole named `name`.
@@ -253,7 +259,10 @@ pub struct RecordingResolver<R> {
 impl<R: HoleResolver> RecordingResolver<R> {
     /// Wraps `inner`, recording every hole name it is asked to resolve.
     pub fn new(inner: R) -> Self {
-        RecordingResolver { inner, touched: Default::default() }
+        RecordingResolver {
+            inner,
+            touched: Default::default(),
+        }
     }
 
     /// The names of all holes consulted so far, in sorted order.

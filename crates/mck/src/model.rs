@@ -168,7 +168,8 @@ where
     {
         let name = name.into();
         for p in params {
-            self.rules.push(Rule::new(format!("{name}[{p:?}]"), make(p)));
+            self.rules
+                .push(Rule::new(format!("{name}[{p:?}]"), make(p)));
         }
         self
     }
@@ -196,7 +197,8 @@ where
     where
         F: Fn(&S) -> bool + Send + Sync + 'static,
     {
-        self.properties.push(Property::eventually_quiescent(name, quiescent));
+        self.properties
+            .push(Property::eventually_quiescent(name, quiescent));
         self
     }
 
@@ -207,7 +209,11 @@ where
     /// Panics if no initial state was declared — such a model has nothing to
     /// explore and always indicates a construction bug.
     pub fn finish(self) -> BuiltModel<S> {
-        assert!(!self.initial.is_empty(), "model `{}` has no initial states", self.name);
+        assert!(
+            !self.initial.is_empty(),
+            "model `{}` has no initial states",
+            self.name
+        );
         BuiltModel {
             name: self.name,
             initial: self.initial,
@@ -245,7 +251,9 @@ mod tests {
     fn ruleset_expands_instances() {
         let mut b = ModelBuilder::new("m");
         b.initial(0u8);
-        b.ruleset("set", 0..3u8, |i| move |_: &u8, _: &mut dyn HoleResolver| RuleOutcome::Next(i));
+        b.ruleset("set", 0..3u8, |i| {
+            move |_: &u8, _: &mut dyn HoleResolver| RuleOutcome::Next(i)
+        });
         let m = b.finish();
         let names: Vec<_> = m.rules().iter().map(|r| r.name().to_owned()).collect();
         assert_eq!(names, vec!["set[0]", "set[1]", "set[2]"]);

@@ -49,7 +49,9 @@ impl<T: Ord> Multiset<T> {
 
     /// Creates an empty multiset with space reserved for `cap` elements.
     pub fn with_capacity(cap: usize) -> Self {
-        Multiset { items: Vec::with_capacity(cap) }
+        Multiset {
+            items: Vec::with_capacity(cap),
+        }
     }
 
     /// Inserts an element, keeping the canonical order.

@@ -63,7 +63,10 @@ impl<S> Property<S> {
     where
         F: Fn(&S) -> bool + Send + Sync + 'static,
     {
-        Property::Invariant { name: name.into(), pred: Box::new(pred) }
+        Property::Invariant {
+            name: name.into(),
+            pred: Box::new(pred),
+        }
     }
 
     /// Creates a reachability obligation.
@@ -71,7 +74,10 @@ impl<S> Property<S> {
     where
         F: Fn(&S) -> bool + Send + Sync + 'static,
     {
-        Property::Reachable { name: name.into(), pred: Box::new(pred) }
+        Property::Reachable {
+            name: name.into(),
+            pred: Box::new(pred),
+        }
     }
 
     /// Creates an eventual-quiescence (liveness) property.
@@ -79,7 +85,10 @@ impl<S> Property<S> {
     where
         F: Fn(&S) -> bool + Send + Sync + 'static,
     {
-        Property::EventuallyQuiescent { name: name.into(), quiescent: Box::new(quiescent) }
+        Property::EventuallyQuiescent {
+            name: name.into(),
+            quiescent: Box::new(quiescent),
+        }
     }
 
     /// The property's name.

@@ -68,7 +68,10 @@ impl<S> Rule<S> {
     where
         F: Fn(&S, &mut dyn HoleResolver) -> RuleOutcome<S> + Send + Sync + 'static,
     {
-        Rule { name: name.into(), apply: Box::new(apply) }
+        Rule {
+            name: name.into(),
+            apply: Box::new(apply),
+        }
     }
 
     /// The rule's human-readable name, used in traces and diagnostics.
@@ -85,7 +88,9 @@ impl<S> Rule<S> {
 
 impl<S> fmt::Debug for Rule<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Rule").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("Rule")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -120,7 +125,9 @@ mod tests {
 
     #[test]
     fn debug_is_nonempty() {
-        let r = Rule::new("noop", |_: &u8, _: &mut dyn HoleResolver| RuleOutcome::Disabled);
+        let r = Rule::new("noop", |_: &u8, _: &mut dyn HoleResolver| {
+            RuleOutcome::Disabled
+        });
         assert!(format!("{r:?}").contains("noop"));
     }
 }

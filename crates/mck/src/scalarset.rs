@@ -41,7 +41,10 @@ pub type Perm = Vec<u8>;
 /// assert_eq!(perms[0], vec![0, 1, 2]); // identity first
 /// ```
 pub fn all_permutations(n: usize) -> Vec<Perm> {
-    assert!(n <= 8, "scalarset of size {n} is too large for exhaustive canonicalization");
+    assert!(
+        n <= 8,
+        "scalarset of size {n} is too large for exhaustive canonicalization"
+    );
     let mut out = Vec::with_capacity((1..=n).product::<usize>().max(1));
     let mut current: Perm = (0..n as u8).collect();
     permute_rec(&mut current, 0, &mut out);
@@ -141,25 +144,40 @@ mod tests {
             for (old, &v) in self.slots.iter().enumerate() {
                 slots[perm[old] as usize] = v;
             }
-            Pair { slots, pointer: apply_perm_to_index(perm, self.pointer) }
+            Pair {
+                slots,
+                pointer: apply_perm_to_index(perm, self.pointer),
+            }
         }
     }
 
     #[test]
     fn canonicalize_identifies_orbit_members() {
         let perms = all_permutations(3);
-        let a = Pair { slots: vec![7, 0, 0], pointer: 0 };
-        let b = Pair { slots: vec![0, 0, 7], pointer: 2 }; // same orbit: move proc 0 -> 2
+        let a = Pair {
+            slots: vec![7, 0, 0],
+            pointer: 0,
+        };
+        let b = Pair {
+            slots: vec![0, 0, 7],
+            pointer: 2,
+        }; // same orbit: move proc 0 -> 2
         assert_eq!(a.canonicalize(&perms), b.canonicalize(&perms));
 
-        let c = Pair { slots: vec![0, 0, 7], pointer: 0 }; // different orbit
+        let c = Pair {
+            slots: vec![0, 0, 7],
+            pointer: 0,
+        }; // different orbit
         assert_ne!(a.canonicalize(&perms), c.canonicalize(&perms));
     }
 
     #[test]
     fn canonicalize_is_idempotent() {
         let perms = all_permutations(3);
-        let a = Pair { slots: vec![3, 1, 2], pointer: 1 };
+        let a = Pair {
+            slots: vec![3, 1, 2],
+            pointer: 1,
+        };
         let c = a.canonicalize(&perms);
         assert_eq!(c.canonicalize(&perms), c);
     }
@@ -167,7 +185,10 @@ mod tests {
     #[test]
     fn identity_law() {
         let id: Perm = vec![0, 1, 2];
-        let a = Pair { slots: vec![3, 1, 2], pointer: 1 };
+        let a = Pair {
+            slots: vec![3, 1, 2],
+            pointer: 1,
+        };
         assert_eq!(a.apply_perm(&id), a);
     }
 }

@@ -3,9 +3,7 @@
 //! between symmetric API paths.
 
 use proptest::prelude::*;
-use verc3_mck::{
-    Checker, CheckerOptions, FixedResolver, GraphModel, GraphModelBuilder, Verdict,
-};
+use verc3_mck::{Checker, CheckerOptions, FixedResolver, GraphModel, GraphModelBuilder, Verdict};
 
 /// Assigns action 0 to every hole so random models become deterministic
 /// complete systems.

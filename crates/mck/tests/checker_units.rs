@@ -1,0 +1,152 @@
+//! Checker unit tests: deadlock policy handling, state-limit truncation, and
+//! BFS counterexample minimality on hand-built graph models.
+
+use verc3_mck::{
+    Checker, CheckerOptions, DeadlockPolicy, FailureKind, GraphModelBuilder, MckError,
+    ModelBuilder, RuleOutcome, Verdict,
+};
+
+/// A three-node chain ending in a successor-less sink.
+fn chain_to_sink() -> verc3_mck::GraphModel {
+    let mut b = GraphModelBuilder::new("chain");
+    b.edge(0, 1);
+    b.edge(1, 2);
+    b.finish()
+}
+
+#[test]
+fn deadlock_policy_disallow_reports_the_sink() {
+    let model = chain_to_sink();
+    let out =
+        Checker::new(CheckerOptions::default().deadlock(DeadlockPolicy::Disallow)).run(&model);
+    assert_eq!(out.verdict(), Verdict::Failure);
+    let failure = out.failure().expect("deadlock must be reported");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert_eq!(failure.property, "deadlock freedom");
+    // The minimal witness is the two-hop path 0 -> 1 -> 2 to the sink.
+    let trace = failure.trace.as_ref().expect("deadlocks carry a trace");
+    assert_eq!(trace.len(), 2);
+    assert_eq!(*trace.last_state(), 2);
+}
+
+#[test]
+fn deadlock_policy_disallow_is_the_default() {
+    let model = chain_to_sink();
+    let explicit =
+        Checker::new(CheckerOptions::default().deadlock(DeadlockPolicy::Disallow)).run(&model);
+    let implicit = Checker::new(CheckerOptions::default()).run(&model);
+    assert_eq!(explicit.verdict(), implicit.verdict());
+    assert_eq!(
+        explicit.failure().unwrap().kind,
+        implicit.failure().unwrap().kind
+    );
+}
+
+#[test]
+fn deadlock_policy_allow_accepts_terminal_states() {
+    let model = chain_to_sink();
+    let out = Checker::new(CheckerOptions::default().deadlock(DeadlockPolicy::Allow)).run(&model);
+    assert_eq!(out.verdict(), Verdict::Success);
+    assert!(out.failure().is_none());
+    assert_eq!(out.stats().states_visited, 3);
+    // The convenience builder method selects the same policy.
+    let out = Checker::new(CheckerOptions::default().allow_deadlock()).run(&model);
+    assert_eq!(out.verdict(), Verdict::Success);
+}
+
+#[test]
+fn max_states_truncation_yields_unknown_with_incomplete_reason() {
+    // An unbounded counter: exploration can never finish.
+    let mut b = ModelBuilder::new("unbounded");
+    b.initial(0u64);
+    b.rule("inc", |&s: &u64, _| RuleOutcome::Next(s + 1));
+    let model = b.finish();
+
+    let out = Checker::new(CheckerOptions::default().max_states(250)).run(&model);
+    assert_eq!(
+        out.verdict(),
+        Verdict::Unknown,
+        "a truncated run proves nothing"
+    );
+    assert!(
+        out.failure().is_none(),
+        "truncation is not a property violation"
+    );
+    match out.incomplete() {
+        Some(MckError::StateLimitExceeded { limit }) => assert_eq!(*limit, 250),
+        other => panic!("expected StateLimitExceeded, got {other:?}"),
+    }
+    // The limit is a cap on retained states, checked after each expansion.
+    assert!(out.stats().states_visited > 250);
+    assert!(
+        out.stats().states_visited < 1_000,
+        "exploration must stop near the cap"
+    );
+}
+
+#[test]
+fn max_states_large_enough_does_not_truncate() {
+    let mut b = ModelBuilder::new("bounded");
+    b.initial(0u8);
+    b.rule("inc", |&s: &u8, _| {
+        if s < 9 {
+            RuleOutcome::Next(s + 1)
+        } else {
+            RuleOutcome::Disabled
+        }
+    });
+    let model = b.finish();
+    let out =
+        Checker::new(CheckerOptions::default().max_states(1_000).allow_deadlock()).run(&model);
+    assert_eq!(out.verdict(), Verdict::Success);
+    assert!(out.incomplete().is_none());
+    assert_eq!(out.stats().states_visited, 10);
+}
+
+#[test]
+fn bfs_reports_the_shortest_of_competing_counterexample_paths() {
+    // Three routes to the error node 9: a 4-hop, a 2-hop, and a 3-hop. The
+    // declaration order deliberately puts the longest first — BFS must still
+    // report the 2-hop trace.
+    let mut b = GraphModelBuilder::new("routes");
+    b.edge(0, 1);
+    b.edge(1, 2);
+    b.edge(2, 3);
+    b.edge(3, 9); // 4 hops
+    b.edge(0, 4);
+    b.edge(4, 9); // 2 hops (minimal)
+    b.edge(0, 5);
+    b.edge(5, 6);
+    b.edge(6, 9); // 3 hops
+    b.error_node(9);
+    let model = b.finish();
+
+    let out = Checker::new(CheckerOptions::default().allow_deadlock()).run(&model);
+    assert_eq!(out.verdict(), Verdict::Failure);
+    let failure = out.failure().unwrap();
+    assert_eq!(failure.kind, FailureKind::InvariantViolation);
+    let trace = failure.trace.as_ref().unwrap();
+    assert_eq!(trace.len(), 2, "BFS must find the 2-hop route");
+    assert_eq!(
+        trace.steps()[0].state,
+        0,
+        "traces start at the initial state"
+    );
+    assert_eq!(*trace.last_state(), 9);
+    // The minimal route goes through node 4.
+    assert_eq!(trace.steps()[1].state, 4);
+}
+
+#[test]
+fn bfs_minimality_holds_at_depth_zero_ties() {
+    // The error node is one hop away via two distinct edges; the trace must
+    // have exactly one transition whichever edge wins.
+    let mut b = GraphModelBuilder::new("tie");
+    b.edge(0, 9);
+    b.edge(0, 9);
+    b.error_node(9);
+    let model = b.finish();
+    let out = Checker::new(CheckerOptions::default().allow_deadlock()).run(&model);
+    let trace = out.failure().unwrap().trace.as_ref().unwrap().clone();
+    assert_eq!(trace.len(), 1);
+}

@@ -1,0 +1,148 @@
+//! Property tests for the canonicalization kernels: multiset canonical order
+//! and scalarset symmetry reduction (idempotence, permutation invariance,
+//! permutation-invariant hashing).
+
+use proptest::prelude::*;
+use verc3_mck::hashers::fingerprint;
+use verc3_mck::scalarset::Symmetric;
+use verc3_mck::{all_permutations, Multiset};
+
+// ---- Multiset canonicalization --------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Rebuilding a multiset from its own canonical contents is the identity:
+    /// canonicalization is idempotent.
+    #[test]
+    fn multiset_canonicalization_is_idempotent(items in prop::collection::vec(0u8..40, 0..16)) {
+        let once: Multiset<u8> = items.iter().copied().collect();
+        let twice: Multiset<u8> = once.iter().copied().collect();
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.as_slice().windows(2).all(|w| w[0] <= w[1]), "sorted invariant");
+    }
+
+    /// Hashing is invariant under any permutation of the insertion order.
+    #[test]
+    fn multiset_hash_is_permutation_invariant(
+        items in prop::collection::vec(0u8..40, 1..12),
+        rot in 0usize..12,
+        swap in 0usize..12,
+    ) {
+        let reference: Multiset<u8> = items.iter().copied().collect();
+
+        // Rotate and swap generate the full symmetric group, so checking
+        // both suffices for arbitrary reorderings.
+        let mut rotated = items.clone();
+        rotated.rotate_left(rot % items.len());
+        let a = swap % items.len();
+        let b = (swap / 2) % items.len();
+        rotated.swap(a, b);
+        let permuted: Multiset<u8> = rotated.into_iter().collect();
+
+        prop_assert_eq!(&reference, &permuted);
+        prop_assert_eq!(fingerprint(&reference), fingerprint(&permuted));
+    }
+
+    /// Mutating elements in place and restoring order re-establishes the
+    /// canonical form (the symmetry-reduction escape hatch).
+    #[test]
+    fn multiset_restore_after_mutation_is_canonical(
+        items in prop::collection::vec(0i32..40, 0..12),
+    ) {
+        let mut mutated: Multiset<i32> = items.iter().copied().collect();
+        for item in mutated.items_mut() {
+            *item = -*item;
+        }
+        mutated.restore_canonical_order();
+        let direct: Multiset<i32> = items.iter().map(|&x| -x).collect();
+        prop_assert_eq!(&mutated, &direct);
+        prop_assert_eq!(fingerprint(&mutated), fingerprint(&direct));
+    }
+}
+
+// ---- Scalarset symmetry ----------------------------------------------------
+
+/// A toy symmetric state: a per-process array plus one process-valued field —
+/// the same shape as the protocol states (caches array + owner pointer).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct ToyState {
+    slots: Vec<u8>,
+    pointer: u8,
+}
+
+impl Symmetric for ToyState {
+    fn apply_perm(&self, perm: &[u8]) -> Self {
+        let mut slots = vec![0; self.slots.len()];
+        for (old, &value) in self.slots.iter().enumerate() {
+            slots[perm[old] as usize] = value;
+        }
+        ToyState {
+            slots,
+            pointer: perm[self.pointer as usize],
+        }
+    }
+}
+
+fn toy_state(n: usize, raw: &[u8], pointer: u8) -> ToyState {
+    ToyState {
+        slots: (0..n)
+            .map(|i| raw.get(i).copied().unwrap_or(0) % 3)
+            .collect(),
+        pointer: pointer % n as u8,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonicalization is idempotent: the representative is its own
+    /// representative.
+    #[test]
+    fn scalarset_canonicalization_is_idempotent(
+        n in 2usize..5,
+        raw in prop::collection::vec(0u8..250, 5..6),
+        pointer in 0u8..250,
+    ) {
+        let perms = all_permutations(n);
+        let state = toy_state(n, &raw, pointer);
+        let once = state.canonicalize(&perms);
+        let twice = once.canonicalize(&perms);
+        prop_assert_eq!(&once, &twice);
+    }
+
+    /// Every member of a symmetry orbit maps to the same representative, so
+    /// hashing the representative is permutation-invariant.
+    #[test]
+    fn scalarset_orbit_members_share_representative_and_hash(
+        n in 2usize..5,
+        raw in prop::collection::vec(0u8..250, 5..6),
+        pointer in 0u8..250,
+        which in 0usize..120,
+    ) {
+        let perms = all_permutations(n);
+        let state = toy_state(n, &raw, pointer);
+        let permuted = state.apply_perm(&perms[which % perms.len()]);
+
+        let canonical = state.canonicalize(&perms);
+        let canonical_permuted = permuted.canonicalize(&perms);
+        prop_assert_eq!(&canonical, &canonical_permuted);
+        prop_assert_eq!(fingerprint(&canonical), fingerprint(&canonical_permuted));
+    }
+
+    /// The representative is the orbit minimum: no permutation produces a
+    /// strictly smaller state.
+    #[test]
+    fn scalarset_representative_is_the_orbit_minimum(
+        n in 2usize..5,
+        raw in prop::collection::vec(0u8..250, 5..6),
+        pointer in 0u8..250,
+    ) {
+        let perms = all_permutations(n);
+        let state = toy_state(n, &raw, pointer);
+        let canonical = state.canonicalize(&perms);
+        for perm in &perms {
+            prop_assert!(canonical <= state.apply_perm(perm));
+        }
+    }
+}

@@ -61,7 +61,10 @@ impl ECacheState {
 
     /// `true` for I, S, E, M.
     pub fn is_stable(self) -> bool {
-        matches!(self, ECacheState::I | ECacheState::S | ECacheState::E | ECacheState::M)
+        matches!(
+            self,
+            ECacheState::I | ECacheState::S | ECacheState::E | ECacheState::M
+        )
     }
 
     /// `true` for the exclusive-permission states E and M.
@@ -199,7 +202,11 @@ impl Symmetric for MesiState {
             .iter()
             .map(|m| EMsg {
                 kind: m.kind,
-                to: if (m.to as usize) < n { apply_perm_to_index(perm, m.to) } else { m.to },
+                to: if (m.to as usize) < n {
+                    apply_perm_to_index(perm, m.to)
+                } else {
+                    m.to
+                },
                 req: apply_perm_to_index(perm, m.req),
                 acks: m.acks,
                 excl: m.excl,
@@ -242,7 +249,12 @@ pub struct MesiConfig {
 
 impl Default for MesiConfig {
     fn default() -> Self {
-        MesiConfig { n_caches: 3, symmetry: true, holes: BTreeSet::new(), net_capacity: 16 }
+        MesiConfig {
+            n_caches: 3,
+            symmetry: true,
+            holes: BTreeSet::new(),
+            net_capacity: 16,
+        }
     }
 }
 
@@ -298,12 +310,20 @@ pub struct MesiModel {
 
 impl std::fmt::Debug for MesiModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MesiModel").field("config", &self.config).finish_non_exhaustive()
+        f.debug_struct("MesiModel")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
     }
 }
 
 fn emsg(kind: EMsgKind, to: u8, req: u8) -> EMsg {
-    EMsg { kind, to, req, acks: 0, excl: false }
+    EMsg {
+        kind,
+        to,
+        req,
+        acks: 0,
+        excl: false,
+    }
 }
 
 fn esend(ns: &mut MesiState, m: EMsg, cap: usize) {
@@ -315,7 +335,11 @@ fn esend(ns: &mut MesiState, m: EMsg, cap: usize) {
 }
 
 fn efind(s: &MesiState, to: u8, kind: EMsgKind, rank: usize) -> Option<EMsg> {
-    s.net.iter().filter(|m| m.to == to && m.kind == kind).nth(rank).copied()
+    s.net
+        .iter()
+        .filter(|m| m.to == to && m.kind == kind)
+        .nth(rank)
+        .copied()
 }
 
 impl MesiModel {
@@ -353,7 +377,11 @@ impl MesiModel {
                     return RuleOutcome::Disabled;
                 }
                 let mut ns = s.clone();
-                esend(&mut ns, emsg(EMsgKind::GetS, core_.dir_id, c as u8), core_.cap);
+                esend(
+                    &mut ns,
+                    emsg(EMsgKind::GetS, core_.dir_id, c as u8),
+                    core_.cap,
+                );
                 ns.caches[c].0 = ECacheState::IsD;
                 RuleOutcome::Next(ns)
             }));
@@ -365,11 +393,19 @@ impl MesiModel {
                 let mut ns = s.clone();
                 match s.caches[c].0 {
                     ECacheState::I => {
-                        esend(&mut ns, emsg(EMsgKind::GetM, core_.dir_id, c as u8), core_.cap);
+                        esend(
+                            &mut ns,
+                            emsg(EMsgKind::GetM, core_.dir_id, c as u8),
+                            core_.cap,
+                        );
                         ns.caches[c].0 = ECacheState::ImAd;
                     }
                     ECacheState::S => {
-                        esend(&mut ns, emsg(EMsgKind::GetM, core_.dir_id, c as u8), core_.cap);
+                        esend(
+                            &mut ns,
+                            emsg(EMsgKind::GetM, core_.dir_id, c as u8),
+                            core_.cap,
+                        );
                         ns.caches[c].0 = ECacheState::SmAd;
                     }
                     // The MESI point: upgrading a clean exclusive copy is
@@ -382,8 +418,13 @@ impl MesiModel {
         }
 
         // Cache deliveries.
-        let kinds =
-            [EMsgKind::Data, EMsgKind::Ack, EMsgKind::Inv, EMsgKind::FwdGetS, EMsgKind::FwdGetM];
+        let kinds = [
+            EMsgKind::Data,
+            EMsgKind::Ack,
+            EMsgKind::Inv,
+            EMsgKind::FwdGetS,
+            EMsgKind::FwdGetM,
+        ];
         for c in 0..n {
             for kind in kinds {
                 for rank in 0..n {
@@ -405,7 +446,12 @@ impl MesiModel {
         }
 
         // Directory deliveries.
-        for kind in [EMsgKind::GetS, EMsgKind::GetM, EMsgKind::Data, EMsgKind::Ack] {
+        for kind in [
+            EMsgKind::GetS,
+            EMsgKind::GetM,
+            EMsgKind::Data,
+            EMsgKind::Ack,
+        ] {
             for rank in 0..n {
                 let core_ = Arc::clone(&core);
                 rules.push(Rule::new(
@@ -439,7 +485,12 @@ impl MesiModel {
         ];
 
         let perms = all_permutations(n);
-        MesiModel { config, perms, rules, properties }
+        MesiModel {
+            config,
+            perms,
+            rules,
+            properties,
+        }
     }
 
     /// The model's configuration.
@@ -461,7 +512,11 @@ fn cache_deliver(
 
     // The synthesizable read-completion rules.
     if state == Q::IsD && m.kind == K::Data {
-        let rule = if m.excl { MesiRule::IsDDataExcl } else { MesiRule::IsDDataShared };
+        let rule = if m.excl {
+            MesiRule::IsDDataExcl
+        } else {
+            MesiRule::IsDDataShared
+        };
         let golden_next = if m.excl { Q::E } else { Q::S };
         let (resp, next) = if core.holes.contains(&rule) {
             let (rs, nx) = if m.excl {
@@ -553,7 +608,13 @@ fn dir_deliver(core: &MesiCore, s: &MesiState, m: EMsg) -> RuleOutcome<MesiState
         (D::I, K::GetS) => {
             esend(
                 &mut ns,
-                EMsg { kind: K::Data, to: m.req, req: m.req, acks: 0, excl: true },
+                EMsg {
+                    kind: K::Data,
+                    to: m.req,
+                    req: m.req,
+                    acks: 0,
+                    excl: true,
+                },
                 core.cap,
             );
             ns.owner = Some(m.req);
@@ -575,7 +636,13 @@ fn dir_deliver(core: &MesiCore, s: &MesiState, m: EMsg) -> RuleOutcome<MesiState
             let acks = others.count_ones() as u8;
             esend(
                 &mut ns,
-                EMsg { kind: K::Data, to: m.req, req: m.req, acks, excl: false },
+                EMsg {
+                    kind: K::Data,
+                    to: m.req,
+                    req: m.req,
+                    acks,
+                    excl: false,
+                },
                 core.cap,
             );
             for sh in 0..8u8 {
@@ -665,7 +732,10 @@ mod tests {
 
     #[test]
     fn golden_mesi_two_caches_verifies() {
-        let model = MesiModel::new(MesiConfig { n_caches: 2, ..MesiConfig::golden() });
+        let model = MesiModel::new(MesiConfig {
+            n_caches: 2,
+            ..MesiConfig::golden()
+        });
         let out = Checker::new(CheckerOptions::default()).run(&model);
         assert_eq!(out.verdict(), Verdict::Success);
     }
@@ -676,7 +746,10 @@ mod tests {
         s.caches[0].0 = ECacheState::E;
         assert!(s.exclusivity_holds());
         s.caches[1].0 = ECacheState::S;
-        assert!(!s.exclusivity_holds(), "E plus a reader violates MESI exclusivity");
+        assert!(
+            !s.exclusivity_holds(),
+            "E plus a reader violates MESI exclusivity"
+        );
         s.caches[0].0 = ECacheState::S;
         assert!(s.exclusivity_holds());
     }
@@ -699,7 +772,11 @@ mod tests {
         let model = MesiModel::new(MesiConfig::synth_read_completions());
         let report = Synthesizer::new(SynthOptions::default()).run(&model);
         assert_eq!(report.naive_candidate_space(), 576);
-        assert_eq!(report.solutions().len(), 1, "E for exclusive grants, S for shared data");
+        assert_eq!(
+            report.solutions().len(),
+            1,
+            "E for exclusive grants, S for shared data"
+        );
         let named = report.solutions()[0].display_named(report.holes());
         assert!(named.contains("[excl]/next@E"), "{named}");
         assert!(named.contains("[shared]/next@S"), "{named}");

@@ -35,8 +35,11 @@ pub enum CacheResponse {
 
 impl CacheResponse {
     /// Library order (action indices used in candidate vectors).
-    pub const ALL: [CacheResponse; 3] =
-        [CacheResponse::None, CacheResponse::SendData, CacheResponse::SendAck];
+    pub const ALL: [CacheResponse; 3] = [
+        CacheResponse::None,
+        CacheResponse::SendData,
+        CacheResponse::SendAck,
+    ];
 
     /// Action names, index-aligned with [`CacheResponse::ALL`].
     pub const NAMES: [&'static str; 3] = ["none", "send_data", "send_ack"];
@@ -47,8 +50,7 @@ pub type CacheNext = CacheState;
 
 /// Names of the cache next-state actions, index-aligned with
 /// [`CacheState::ALL`].
-pub const CACHE_NEXT_NAMES: [&'static str; 7] =
-    ["I", "S", "M", "IS_D", "IM_AD", "SM_AD", "WM_A"];
+pub const CACHE_NEXT_NAMES: [&str; 7] = ["I", "S", "M", "IS_D", "IM_AD", "SM_AD", "WM_A"];
 
 /// Directory response actions (library size 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,8 +79,13 @@ impl DirResponse {
     ];
 
     /// Action names, index-aligned with [`DirResponse::ALL`].
-    pub const NAMES: [&'static str; 5] =
-        ["none", "send_data", "send_data_invs", "fwd_gets", "fwd_getm"];
+    pub const NAMES: [&'static str; 5] = [
+        "none",
+        "send_data",
+        "send_data_invs",
+        "fwd_gets",
+        "fwd_getm",
+    ];
 }
 
 /// Directory next-state actions (library size 7): one per state.
@@ -86,7 +93,7 @@ pub type DirNext = DirState;
 
 /// Names of the directory next-state actions, index-aligned with
 /// [`DirState::ALL`].
-pub const DIR_NEXT_NAMES: [&'static str; 7] = ["I", "S", "M", "IS_B", "IM_B", "SM_B", "MS_B"];
+pub const DIR_NEXT_NAMES: [&str; 7] = ["I", "S", "M", "IS_B", "IM_B", "SM_B", "MS_B"];
 
 /// Directory track actions (library size 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,8 +240,16 @@ mod tests {
     fn library_sizes_match_paper() {
         assert_eq!(CacheResponse::ALL.len(), 3, "cache response library (§III)");
         assert_eq!(CacheState::ALL.len(), 7, "cache next-state library (§III)");
-        assert_eq!(DirResponse::ALL.len(), 5, "directory response library (§III)");
-        assert_eq!(DirState::ALL.len(), 7, "directory next-state library (§III)");
+        assert_eq!(
+            DirResponse::ALL.len(),
+            5,
+            "directory response library (§III)"
+        );
+        assert_eq!(
+            DirState::ALL.len(),
+            7,
+            "directory next-state library (§III)"
+        );
         assert_eq!(DirTrack::ALL.len(), 3, "directory track library (§III)");
     }
 
@@ -242,7 +257,11 @@ mod tests {
     fn candidate_space_sizes_match_table_1() {
         let dir_rule: u64 = 5 * 7 * 3;
         let cache_rule: u64 = 3 * 7;
-        assert_eq!(dir_rule * dir_rule * cache_rule, 231_525, "MSI-small, Table I");
+        assert_eq!(
+            dir_rule * dir_rule * cache_rule,
+            231_525,
+            "MSI-small, Table I"
+        );
         assert_eq!(
             dir_rule * dir_rule * cache_rule.pow(3),
             102_102_525,

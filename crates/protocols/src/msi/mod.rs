@@ -35,4 +35,6 @@ pub mod types;
 
 pub use actions::{CacheResponse, CacheRule, DirResponse, DirRule, DirTrack};
 pub use model::{MsiConfig, MsiModel};
-pub use types::{CacheLine, CacheState, Directory, DirState, Msg, MsgKind, MsiState, ProtocolError};
+pub use types::{
+    CacheLine, CacheState, DirState, Directory, Msg, MsgKind, MsiState, ProtocolError,
+};

@@ -25,16 +25,13 @@
 use super::actions::{
     CacheResponse, CacheRule, DirResponse, DirRule, DirTrack, CACHE_NEXT_NAMES, DIR_NEXT_NAMES,
 };
-use super::types::{
-    CacheState, DirState, Msg, MsgKind, MsiState, ProtocolError,
-};
+use super::types::{CacheState, DirState, Msg, MsgKind, MsiState, ProtocolError};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use verc3_mck::scalarset::Symmetric;
 use verc3_mck::{
-    all_permutations, HoleResolver, HoleSpec, Perm, Property, Rule, RuleOutcome,
-    TransitionSystem,
+    all_permutations, HoleResolver, HoleSpec, Perm, Property, Rule, RuleOutcome, TransitionSystem,
 };
 
 /// Configuration of an [`MsiModel`]: process count, symmetry, and which
@@ -191,31 +188,48 @@ impl MsiModel {
         // --- Request rules -------------------------------------------------
         for c in 0..n {
             let core_ = Arc::clone(&core);
-            rules.push(Rule::new(format!("read[{c}]"), move |s: &MsiState, _ctx| {
-                if s.error.is_some() || s.caches[c].state != CacheState::I {
-                    return RuleOutcome::Disabled;
-                }
-                let mut ns = s.clone();
-                send(&mut ns, msg(MsgKind::GetS, core_.dir_id, c as u8, 0), core_.cap);
-                ns.caches[c].state = CacheState::IsD;
-                RuleOutcome::Next(ns)
-            }));
+            rules.push(Rule::new(
+                format!("read[{c}]"),
+                move |s: &MsiState, _ctx| {
+                    if s.error.is_some() || s.caches[c].state != CacheState::I {
+                        return RuleOutcome::Disabled;
+                    }
+                    let mut ns = s.clone();
+                    send(
+                        &mut ns,
+                        msg(MsgKind::GetS, core_.dir_id, c as u8, 0),
+                        core_.cap,
+                    );
+                    ns.caches[c].state = CacheState::IsD;
+                    RuleOutcome::Next(ns)
+                },
+            ));
 
             let core_ = Arc::clone(&core);
-            rules.push(Rule::new(format!("write[{c}]"), move |s: &MsiState, _ctx| {
-                if s.error.is_some() {
-                    return RuleOutcome::Disabled;
-                }
-                let from = s.caches[c].state;
-                if from != CacheState::I && from != CacheState::S {
-                    return RuleOutcome::Disabled;
-                }
-                let mut ns = s.clone();
-                send(&mut ns, msg(MsgKind::GetM, core_.dir_id, c as u8, 0), core_.cap);
-                ns.caches[c].state =
-                    if from == CacheState::I { CacheState::ImAd } else { CacheState::SmAd };
-                RuleOutcome::Next(ns)
-            }));
+            rules.push(Rule::new(
+                format!("write[{c}]"),
+                move |s: &MsiState, _ctx| {
+                    if s.error.is_some() {
+                        return RuleOutcome::Disabled;
+                    }
+                    let from = s.caches[c].state;
+                    if from != CacheState::I && from != CacheState::S {
+                        return RuleOutcome::Disabled;
+                    }
+                    let mut ns = s.clone();
+                    send(
+                        &mut ns,
+                        msg(MsgKind::GetM, core_.dir_id, c as u8, 0),
+                        core_.cap,
+                    );
+                    ns.caches[c].state = if from == CacheState::I {
+                        CacheState::ImAd
+                    } else {
+                        CacheState::SmAd
+                    };
+                    RuleOutcome::Next(ns)
+                },
+            ));
         }
 
         // Repeated stores: a cache already in M may write again, producing a
@@ -224,23 +238,31 @@ impl MsiModel {
         if config.data_values {
             for c in 0..n {
                 let core_ = Arc::clone(&core);
-                rules.push(Rule::new(format!("store[{c}]"), move |s: &MsiState, _ctx| {
-                    if s.error.is_some() || s.caches[c].state != CacheState::M {
-                        return RuleOutcome::Disabled;
-                    }
-                    let mut ns = s.clone();
-                    let fresh = (ns.last_written + 1) % 4;
-                    ns.caches[c].val = fresh;
-                    ns.last_written = fresh;
-                    let _ = &core_; // shared ownership keeps rule lifetimes uniform
-                    RuleOutcome::Next(ns)
-                }));
+                rules.push(Rule::new(
+                    format!("store[{c}]"),
+                    move |s: &MsiState, _ctx| {
+                        if s.error.is_some() || s.caches[c].state != CacheState::M {
+                            return RuleOutcome::Disabled;
+                        }
+                        let mut ns = s.clone();
+                        let fresh = (ns.last_written + 1) % 4;
+                        ns.caches[c].val = fresh;
+                        ns.last_written = fresh;
+                        let _ = &core_; // shared ownership keeps rule lifetimes uniform
+                        RuleOutcome::Next(ns)
+                    },
+                ));
             }
         }
 
         // --- Cache delivery rules ------------------------------------------
-        let cache_kinds =
-            [MsgKind::Data, MsgKind::Ack, MsgKind::Inv, MsgKind::FwdGetS, MsgKind::FwdGetM];
+        let cache_kinds = [
+            MsgKind::Data,
+            MsgKind::Ack,
+            MsgKind::Inv,
+            MsgKind::FwdGetS,
+            MsgKind::FwdGetM,
+        ];
         for c in 0..n {
             for kind in cache_kinds {
                 for rank in 0..n {
@@ -285,18 +307,22 @@ impl MsiModel {
             Property::invariant("no protocol error", |s: &MsiState| s.error.is_none()),
         ];
         if config.reachability {
-            properties.push(Property::reachable("some cache reaches S", |s: &MsiState| {
-                s.count_cache_state(CacheState::S) > 0
-            }));
-            properties.push(Property::reachable("some cache reaches M", |s: &MsiState| {
-                s.count_cache_state(CacheState::M) > 0
-            }));
-            properties.push(Property::reachable("directory reaches S", |s: &MsiState| {
-                s.dir.state == DirState::S
-            }));
-            properties.push(Property::reachable("directory reaches M", |s: &MsiState| {
-                s.dir.state == DirState::M
-            }));
+            properties.push(Property::reachable(
+                "some cache reaches S",
+                |s: &MsiState| s.count_cache_state(CacheState::S) > 0,
+            ));
+            properties.push(Property::reachable(
+                "some cache reaches M",
+                |s: &MsiState| s.count_cache_state(CacheState::M) > 0,
+            ));
+            properties.push(Property::reachable(
+                "directory reaches S",
+                |s: &MsiState| s.dir.state == DirState::S,
+            ));
+            properties.push(Property::reachable(
+                "directory reaches M",
+                |s: &MsiState| s.dir.state == DirState::M,
+            ));
         }
         if config.liveness {
             properties.push(Property::eventually_quiescent(
@@ -312,7 +338,12 @@ impl MsiModel {
         }
 
         let perms = all_permutations(n);
-        MsiModel { config, perms, rules, properties }
+        MsiModel {
+            config,
+            perms,
+            rules,
+            properties,
+        }
     }
 
     /// The model's configuration.
@@ -348,11 +379,23 @@ impl TransitionSystem for MsiModel {
 // --- Message helpers -------------------------------------------------------
 
 fn msg(kind: MsgKind, to: u8, req: u8, acks: u8) -> Msg {
-    Msg { kind, to, req, acks, val: 0 }
+    Msg {
+        kind,
+        to,
+        req,
+        acks,
+        val: 0,
+    }
 }
 
 fn msg_val(kind: MsgKind, to: u8, req: u8, acks: u8, val: u8) -> Msg {
-    Msg { kind, to, req, acks, val }
+    Msg {
+        kind,
+        to,
+        req,
+        acks,
+        val,
+    }
 }
 
 /// Sends a message, poisoning the state on overflow.
@@ -373,7 +416,11 @@ fn poison(ns: &mut MsiState, e: ProtocolError) {
 /// Finds the `rank`-th message (in canonical network order) addressed to
 /// `to` with the given kind.
 fn find_nth(s: &MsiState, to: u8, kind: MsgKind, rank: usize) -> Option<Msg> {
-    s.net.iter().filter(|m| m.to == to && m.kind == kind).nth(rank).copied()
+    s.net
+        .iter()
+        .filter(|m| m.to == to && m.kind == kind)
+        .nth(rank)
+        .copied()
 }
 
 // --- Cache controller ------------------------------------------------------
@@ -399,7 +446,10 @@ fn resolve_cache_actions(
         // rule" (§III).
         let r = ctx.choose(resp_spec);
         let n = ctx.choose(next_spec);
-        Some((CacheResponse::ALL[r.action()?], CacheState::ALL[n.action()?]))
+        Some((
+            CacheResponse::ALL[r.action()?],
+            CacheState::ALL[n.action()?],
+        ))
     } else {
         Some(rule.golden())
     }
@@ -476,7 +526,11 @@ fn cache_deliver(
         (Q::M, K::FwdGetS) => {
             let val = ns.caches[c].val;
             send(&mut ns, msg_val(K::Data, m.req, c as u8, 0, val), core.cap);
-            send(&mut ns, msg_val(K::Data, core.dir_id, c as u8, 0, val), core.cap);
+            send(
+                &mut ns,
+                msg_val(K::Data, core.dir_id, c as u8, 0, val),
+                core.cap,
+            );
             set_cache_state(core, &mut ns, c, Q::S);
         }
         (Q::M, K::FwdGetM) => {
@@ -534,7 +588,10 @@ fn set_cache_state(core: &Core, ns: &mut MsiState, c: usize, next: CacheState) {
 fn consume(s: &MsiState, m: &Msg) -> MsiState {
     let mut ns = s.clone();
     let removed = ns.net.remove(m);
-    debug_assert!(removed.is_some(), "delivered message must be in the network");
+    debug_assert!(
+        removed.is_some(),
+        "delivered message must be in the network"
+    );
     ns
 }
 
@@ -561,7 +618,11 @@ fn resolve_dir_actions(
         let r = ctx.choose(resp_spec);
         let n = ctx.choose(next_spec);
         let t = ctx.choose(track_spec);
-        Some((DirResponse::ALL[r.action()?], DirState::ALL[n.action()?], DirTrack::ALL[t.action()?]))
+        Some((
+            DirResponse::ALL[r.action()?],
+            DirState::ALL[n.action()?],
+            DirTrack::ALL[t.action()?],
+        ))
     } else {
         Some(rule.golden())
     }
@@ -584,12 +645,16 @@ fn dir_deliver(
         (D::IsB, K::Ack) => Some(DirRule::IsBAck),
         (D::ImB, K::Ack) => Some(DirRule::ImBAck),
         (D::SmB, K::Ack) => Some(DirRule::SmBAck),
-        (D::MsB, K::Data) => {
-            Some(if dir.pending <= 1 { DirRule::MsBDataLast } else { DirRule::MsBDataNotLast })
-        }
-        (D::MsB, K::Ack) => {
-            Some(if dir.pending <= 1 { DirRule::MsBAckLast } else { DirRule::MsBAckNotLast })
-        }
+        (D::MsB, K::Data) => Some(if dir.pending <= 1 {
+            DirRule::MsBDataLast
+        } else {
+            DirRule::MsBDataNotLast
+        }),
+        (D::MsB, K::Ack) => Some(if dir.pending <= 1 {
+            DirRule::MsBAckLast
+        } else {
+            DirRule::MsBAckNotLast
+        }),
         _ => None,
     };
 
@@ -675,12 +740,20 @@ fn dir_respond(core: &Core, ns: &mut MsiState, trigger: &Msg, resp: DirResponse)
         DirResponse::None => {}
         DirResponse::SendData => {
             let mem = ns.mem;
-            send(ns, msg_val(K::Data, trigger.req, trigger.req, 0, mem), core.cap);
+            send(
+                ns,
+                msg_val(K::Data, trigger.req, trigger.req, 0, mem),
+                core.cap,
+            );
         }
         DirResponse::SendDataInvs => {
             let acks = ns.dir.sharers_except(trigger.req) as u8;
             let mem = ns.mem;
-            send(ns, msg_val(K::Data, trigger.req, trigger.req, acks, mem), core.cap);
+            send(
+                ns,
+                msg_val(K::Data, trigger.req, trigger.req, acks, mem),
+                core.cap,
+            );
             let sharers: Vec<u8> = ns.dir.sharer_ids_except(trigger.req).collect();
             for sh in sharers {
                 send(ns, msg(K::Inv, sh, trigger.req, 0), core.cap);
@@ -688,8 +761,11 @@ fn dir_respond(core: &Core, ns: &mut MsiState, trigger: &Msg, resp: DirResponse)
         }
         DirResponse::FwdGetS | DirResponse::FwdGetM => match ns.dir.owner {
             Some(owner) => {
-                let kind =
-                    if resp == DirResponse::FwdGetS { K::FwdGetS } else { K::FwdGetM };
+                let kind = if resp == DirResponse::FwdGetS {
+                    K::FwdGetS
+                } else {
+                    K::FwdGetM
+                };
                 send(ns, msg(kind, owner, trigger.req, 0), core.cap);
             }
             None => poison(ns, ProtocolError::NoOwner),
@@ -738,18 +814,27 @@ mod tests {
             "golden MSI must verify: {:?}",
             out.failure().map(|f| f.to_string())
         );
-        assert!(out.stats().states_visited > 100, "state space is non-trivial");
+        assert!(
+            out.stats().states_visited > 100,
+            "state space is non-trivial"
+        );
     }
 
     #[test]
     fn golden_two_caches_verifies() {
-        let out = check(MsiConfig { n_caches: 2, ..MsiConfig::default() });
+        let out = check(MsiConfig {
+            n_caches: 2,
+            ..MsiConfig::default()
+        });
         assert_eq!(out.verdict(), Verdict::Success);
     }
 
     #[test]
     fn golden_with_data_values_verifies() {
-        let out = check(MsiConfig { data_values: true, ..MsiConfig::default() });
+        let out = check(MsiConfig {
+            data_values: true,
+            ..MsiConfig::default()
+        });
         assert_eq!(
             out.verdict(),
             Verdict::Success,
@@ -792,7 +877,10 @@ mod tests {
     #[test]
     fn symmetry_reduces_state_count() {
         let sym = check(MsiConfig::default());
-        let raw = check(MsiConfig { symmetry: false, ..MsiConfig::default() });
+        let raw = check(MsiConfig {
+            symmetry: false,
+            ..MsiConfig::default()
+        });
         assert_eq!(raw.verdict(), Verdict::Success);
         assert!(
             sym.stats().states_visited < raw.stats().states_visited,
@@ -814,6 +902,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "n_caches")]
     fn single_cache_rejected() {
-        let _ = MsiModel::new(MsiConfig { n_caches: 1, ..MsiConfig::default() });
+        let _ = MsiModel::new(MsiConfig {
+            n_caches: 1,
+            ..MsiConfig::default()
+        });
     }
 }

@@ -69,8 +69,16 @@ mod tests {
     fn hole_counts_match_paper() {
         assert_eq!(MsiConfig::golden().hole_count(), 0);
         assert_eq!(MsiConfig::msi_tiny().hole_count(), 3);
-        assert_eq!(MsiConfig::msi_small().hole_count(), 8, "paper: MSI-small has 8 holes");
-        assert_eq!(MsiConfig::msi_large().hole_count(), 12, "paper: MSI-large has 12 holes");
+        assert_eq!(
+            MsiConfig::msi_small().hole_count(),
+            8,
+            "paper: MSI-small has 8 holes"
+        );
+        assert_eq!(
+            MsiConfig::msi_large().hole_count(),
+            12,
+            "paper: MSI-large has 12 holes"
+        );
         assert_eq!(MsiConfig::msi_xl().hole_count(), 14);
     }
 

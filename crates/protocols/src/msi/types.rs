@@ -175,7 +175,12 @@ pub struct CacheLine {
 impl CacheLine {
     /// A line in the Invalid state with clear counters.
     pub fn invalid() -> Self {
-        CacheLine { state: CacheState::I, got: 0, need: 0, val: 0 }
+        CacheLine {
+            state: CacheState::I,
+            got: 0,
+            need: 0,
+            val: 0,
+        }
     }
 
     /// Resets the ack counters (on entering any stable state).
@@ -202,7 +207,12 @@ pub struct Directory {
 impl Directory {
     /// The initial directory: Invalid, nothing tracked.
     pub fn invalid() -> Self {
-        Directory { state: DirState::I, owner: None, sharers: 0, pending: 0 }
+        Directory {
+            state: DirState::I,
+            owner: None,
+            sharers: 0,
+            pending: 0,
+        }
     }
 
     /// `true` if cache `c` is a tracked sharer.
@@ -324,7 +334,11 @@ impl Symmetric for MsiState {
             .iter()
             .map(|m| Msg {
                 kind: m.kind,
-                to: if m.to < dir_id { apply_perm_to_index(perm, m.to) } else { m.to },
+                to: if m.to < dir_id {
+                    apply_perm_to_index(perm, m.to)
+                } else {
+                    m.to
+                },
                 req: apply_perm_to_index(perm, m.req),
                 acks: m.acks,
                 val: m.val,
@@ -388,8 +402,20 @@ mod tests {
         s.dir.state = DirState::M;
         s.dir.owner = Some(0);
         s.dir.add_sharer(1);
-        s.net.insert(Msg { kind: MsgKind::Data, to: 0, req: 0, acks: 1, val: 0 });
-        s.net.insert(Msg { kind: MsgKind::Ack, to: 3, req: 2, acks: 0, val: 0 });
+        s.net.insert(Msg {
+            kind: MsgKind::Data,
+            to: 0,
+            req: 0,
+            acks: 1,
+            val: 0,
+        });
+        s.net.insert(Msg {
+            kind: MsgKind::Ack,
+            to: 3,
+            req: 2,
+            acks: 0,
+            val: 0,
+        });
 
         // Swap caches 0 and 2.
         let p = vec![2, 1, 0];
@@ -397,9 +423,21 @@ mod tests {
         assert_eq!(t.caches[2].state, CacheState::M);
         assert_eq!(t.dir.owner, Some(2));
         assert!(t.dir.is_sharer(1));
-        assert!(t.net.contains(&Msg { kind: MsgKind::Data, to: 2, req: 2, acks: 1, val: 0 }));
+        assert!(t.net.contains(&Msg {
+            kind: MsgKind::Data,
+            to: 2,
+            req: 2,
+            acks: 1,
+            val: 0
+        }));
         // Directory destination is not a cache index: unchanged.
-        assert!(t.net.contains(&Msg { kind: MsgKind::Ack, to: 3, req: 0, acks: 0, val: 0 }));
+        assert!(t.net.contains(&Msg {
+            kind: MsgKind::Ack,
+            to: 3,
+            req: 0,
+            acks: 0,
+            val: 0
+        }));
     }
 
     #[test]
@@ -425,7 +463,13 @@ mod tests {
         s.caches[1].state = CacheState::SmAd;
         s.caches[2].state = CacheState::M;
         s.dir.owner = Some(2);
-        s.net.insert(Msg { kind: MsgKind::GetM, to: 3, req: 1, acks: 0, val: 0 });
+        s.net.insert(Msg {
+            kind: MsgKind::GetM,
+            to: 3,
+            req: 1,
+            acks: 0,
+            val: 0,
+        });
         let c1 = s.canonicalize(&perms);
         let c2 = c1.canonicalize(&perms);
         assert_eq!(c1, c2);

@@ -46,7 +46,11 @@ pub struct MutexState {
 impl MutexState {
     /// Both processes idle, no intent, turn at process 0.
     pub fn initial() -> Self {
-        MutexState { pc: [Pc::Idle, Pc::Idle], flag: [false, false], turn: 0 }
+        MutexState {
+            pc: [Pc::Idle, Pc::Idle],
+            flag: [false, false],
+            turn: 0,
+        }
     }
 
     /// Mutual exclusion: both processes in the critical section is an error.
@@ -56,18 +60,12 @@ impl MutexState {
 }
 
 /// Configuration: which parts of the algorithm are holes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MutexConfig {
     /// Synthesize the `turn :=` assignment in the request step.
     pub synth_turn: bool,
     /// Synthesize the turn comparison in the entry guard.
     pub synth_guard: bool,
-}
-
-impl Default for MutexConfig {
-    fn default() -> Self {
-        MutexConfig { synth_turn: false, synth_guard: false }
-    }
 }
 
 impl MutexConfig {
@@ -78,7 +76,10 @@ impl MutexConfig {
 
     /// Both holes open: 4 candidates, 2 (isomorphic) solutions.
     pub fn synth_both() -> Self {
-        MutexConfig { synth_turn: true, synth_guard: true }
+        MutexConfig {
+            synth_turn: true,
+            synth_guard: true,
+        }
     }
 }
 
@@ -109,7 +110,9 @@ pub struct MutexModel {
 
 impl std::fmt::Debug for MutexModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MutexModel").field("config", &self.config).finish_non_exhaustive()
+        f.debug_struct("MutexModel")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
     }
 }
 
@@ -128,60 +131,69 @@ impl MutexModel {
 
             // request: raise the flag and surrender (or grab) the turn.
             let core_ = Arc::clone(&core);
-            rules.push(Rule::new(format!("request[{p}]"), move |s: &MutexState, ctx| {
-                if s.pc[p] != Pc::Idle {
-                    return RuleOutcome::Disabled;
-                }
-                let give_to_other = if core_.config.synth_turn {
-                    match ctx.choose(&core_.turn_spec).action() {
-                        Some(a) => a == 1,
-                        None => return RuleOutcome::Blocked,
+            rules.push(Rule::new(
+                format!("request[{p}]"),
+                move |s: &MutexState, ctx| {
+                    if s.pc[p] != Pc::Idle {
+                        return RuleOutcome::Disabled;
                     }
-                } else {
-                    true // golden: turn := other
-                };
-                let mut ns = *s;
-                ns.flag[p] = true;
-                ns.turn = if give_to_other { other as u8 } else { p as u8 };
-                ns.pc[p] = Pc::Waiting;
-                RuleOutcome::Next(ns)
-            }));
+                    let give_to_other = if core_.config.synth_turn {
+                        match ctx.choose(&core_.turn_spec).action() {
+                            Some(a) => a == 1,
+                            None => return RuleOutcome::Blocked,
+                        }
+                    } else {
+                        true // golden: turn := other
+                    };
+                    let mut ns = *s;
+                    ns.flag[p] = true;
+                    ns.turn = if give_to_other { other as u8 } else { p as u8 };
+                    ns.pc[p] = Pc::Waiting;
+                    RuleOutcome::Next(ns)
+                },
+            ));
 
             // enter: pass the gate when the other is not competing or the
             // turn comparison favours us.
             let core_ = Arc::clone(&core);
-            rules.push(Rule::new(format!("enter[{p}]"), move |s: &MutexState, ctx| {
-                if s.pc[p] != Pc::Waiting {
-                    return RuleOutcome::Disabled;
-                }
-                let wait_for_me = if core_.config.synth_guard {
-                    match ctx.choose(&core_.guard_spec).action() {
-                        Some(a) => a == 0,
-                        None => return RuleOutcome::Blocked,
+            rules.push(Rule::new(
+                format!("enter[{p}]"),
+                move |s: &MutexState, ctx| {
+                    if s.pc[p] != Pc::Waiting {
+                        return RuleOutcome::Disabled;
                     }
-                } else {
-                    true // golden: enter when turn == me
-                };
-                let favoured = if wait_for_me { p as u8 } else { other as u8 };
-                if !s.flag[other] || s.turn == favoured {
-                    let mut ns = *s;
-                    ns.pc[p] = Pc::Critical;
-                    RuleOutcome::Next(ns)
-                } else {
-                    RuleOutcome::Disabled
-                }
-            }));
+                    let wait_for_me = if core_.config.synth_guard {
+                        match ctx.choose(&core_.guard_spec).action() {
+                            Some(a) => a == 0,
+                            None => return RuleOutcome::Blocked,
+                        }
+                    } else {
+                        true // golden: enter when turn == me
+                    };
+                    let favoured = if wait_for_me { p as u8 } else { other as u8 };
+                    if !s.flag[other] || s.turn == favoured {
+                        let mut ns = *s;
+                        ns.pc[p] = Pc::Critical;
+                        RuleOutcome::Next(ns)
+                    } else {
+                        RuleOutcome::Disabled
+                    }
+                },
+            ));
 
             // exit: leave the critical section and lower the flag.
-            rules.push(Rule::new(format!("exit[{p}]"), move |s: &MutexState, _ctx| {
-                if s.pc[p] != Pc::Critical {
-                    return RuleOutcome::Disabled;
-                }
-                let mut ns = *s;
-                ns.pc[p] = Pc::Idle;
-                ns.flag[p] = false;
-                RuleOutcome::Next(ns)
-            }));
+            rules.push(Rule::new(
+                format!("exit[{p}]"),
+                move |s: &MutexState, _ctx| {
+                    if s.pc[p] != Pc::Critical {
+                        return RuleOutcome::Disabled;
+                    }
+                    let mut ns = *s;
+                    ns.pc[p] = Pc::Idle;
+                    ns.flag[p] = false;
+                    RuleOutcome::Next(ns)
+                },
+            ));
         }
 
         let properties = vec![
@@ -197,7 +209,11 @@ impl MutexModel {
             }),
         ];
 
-        MutexModel { config, rules, properties }
+        MutexModel {
+            config,
+            rules,
+            properties,
+        }
     }
 
     /// The model's configuration.
@@ -245,8 +261,11 @@ mod tests {
         let model = MutexModel::new(MutexConfig::synth_both());
         let report = Synthesizer::new(SynthOptions::default()).run(&model);
         assert_eq!(report.naive_candidate_space(), 4);
-        let mut named: Vec<String> =
-            report.solutions().iter().map(|s| s.display_named(report.holes())).collect();
+        let mut named: Vec<String> = report
+            .solutions()
+            .iter()
+            .map(|s| s.display_named(report.holes()))
+            .collect();
         named.sort();
         assert_eq!(
             named,

@@ -131,7 +131,11 @@ impl Symmetric for ViState {
             .iter()
             .map(|m| VMsg {
                 kind: m.kind,
-                to: if (m.to as usize) < n { apply_perm_to_index(perm, m.to) } else { m.to },
+                to: if (m.to as usize) < n {
+                    apply_perm_to_index(perm, m.to)
+                } else {
+                    m.to
+                },
                 req: apply_perm_to_index(perm, m.req),
             })
             .collect();
@@ -168,7 +172,11 @@ pub struct ViConfig {
 
 impl Default for ViConfig {
     fn default() -> Self {
-        ViConfig { n_caches: 2, symmetry: true, holes: BTreeSet::new() }
+        ViConfig {
+            n_caches: 2,
+            symmetry: true,
+            holes: BTreeSet::new(),
+        }
     }
 }
 
@@ -225,7 +233,9 @@ pub struct ViModel {
 
 impl std::fmt::Debug for ViModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ViModel").field("config", &self.config).finish_non_exhaustive()
+        f.debug_struct("ViModel")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
     }
 }
 
@@ -253,15 +263,22 @@ impl ViModel {
         // Requests: a cache in I asks for the copy.
         for c in 0..n {
             let core_ = Arc::clone(&core);
-            rules.push(Rule::new(format!("access[{c}]"), move |s: &ViState, _ctx| {
-                if s.error || s.caches[c] != VCacheState::I {
-                    return RuleOutcome::Disabled;
-                }
-                let mut ns = s.clone();
-                ns.net.insert(VMsg { kind: VMsgKind::Get, to: core_.dir_id, req: c as u8 });
-                ns.caches[c] = VCacheState::IvD;
-                RuleOutcome::Next(ns)
-            }));
+            rules.push(Rule::new(
+                format!("access[{c}]"),
+                move |s: &ViState, _ctx| {
+                    if s.error || s.caches[c] != VCacheState::I {
+                        return RuleOutcome::Disabled;
+                    }
+                    let mut ns = s.clone();
+                    ns.net.insert(VMsg {
+                        kind: VMsgKind::Get,
+                        to: core_.dir_id,
+                        req: c as u8,
+                    });
+                    ns.caches[c] = VCacheState::IvD;
+                    RuleOutcome::Next(ns)
+                },
+            ));
         }
 
         // Cache deliveries.
@@ -296,7 +313,12 @@ impl ViModel {
         ];
 
         let perms = all_permutations(n);
-        ViModel { config, perms, rules, properties }
+        ViModel {
+            config,
+            perms,
+            rules,
+            properties,
+        }
     }
 
     /// The model's configuration.
@@ -306,7 +328,11 @@ impl ViModel {
 }
 
 fn find_msg(s: &ViState, to: u8, kind: VMsgKind, rank: usize) -> Option<VMsg> {
-    s.net.iter().filter(|m| m.to == to && m.kind == kind).nth(rank).copied()
+    s.net
+        .iter()
+        .filter(|m| m.to == to && m.kind == kind)
+        .nth(rank)
+        .copied()
 }
 
 fn cache_deliver(
@@ -341,10 +367,18 @@ fn cache_deliver(
             match resp {
                 0 => {}
                 1 => {
-                    ns.net.insert(VMsg { kind: VMsgKind::Data, to: core.dir_id, req: c as u8 });
+                    ns.net.insert(VMsg {
+                        kind: VMsgKind::Data,
+                        to: core.dir_id,
+                        req: c as u8,
+                    });
                 }
                 _ => {
-                    ns.net.insert(VMsg { kind: VMsgKind::Ack, to: core.dir_id, req: c as u8 });
+                    ns.net.insert(VMsg {
+                        kind: VMsgKind::Ack,
+                        to: core.dir_id,
+                        req: c as u8,
+                    });
                 }
             }
             ns.caches[c] = next;
@@ -354,7 +388,11 @@ fn cache_deliver(
         (VCacheState::V, VMsgKind::Inv) => {
             let mut ns = s.clone();
             ns.net.remove(&m);
-            ns.net.insert(VMsg { kind: VMsgKind::Data, to: m.req, req: c as u8 });
+            ns.net.insert(VMsg {
+                kind: VMsgKind::Data,
+                to: m.req,
+                req: c as u8,
+            });
             ns.caches[c] = VCacheState::I;
             RuleOutcome::Next(ns)
         }
@@ -387,7 +425,11 @@ fn dir_deliver(
         (VDirState::I, VMsgKind::Get) => {
             let mut ns = s.clone();
             ns.net.remove(&m);
-            ns.net.insert(VMsg { kind: VMsgKind::Data, to: m.req, req: m.req });
+            ns.net.insert(VMsg {
+                kind: VMsgKind::Data,
+                to: m.req,
+                req: m.req,
+            });
             ns.owner = Some(m.req);
             ns.dir = VDirState::B;
             RuleOutcome::Next(ns)
@@ -397,7 +439,11 @@ fn dir_deliver(
             ns.net.remove(&m);
             match ns.owner {
                 Some(owner) => {
-                    ns.net.insert(VMsg { kind: VMsgKind::Inv, to: owner, req: m.req });
+                    ns.net.insert(VMsg {
+                        kind: VMsgKind::Inv,
+                        to: owner,
+                        req: m.req,
+                    });
                     ns.owner = Some(m.req);
                     ns.dir = VDirState::B;
                 }
@@ -423,11 +469,19 @@ fn dir_deliver(
             match resp {
                 0 => {}
                 1 => {
-                    ns.net.insert(VMsg { kind: VMsgKind::Data, to: m.req, req: m.req });
+                    ns.net.insert(VMsg {
+                        kind: VMsgKind::Data,
+                        to: m.req,
+                        req: m.req,
+                    });
                 }
                 _ => match ns.owner {
                     Some(owner) => {
-                        ns.net.insert(VMsg { kind: VMsgKind::Inv, to: owner, req: m.req });
+                        ns.net.insert(VMsg {
+                            kind: VMsgKind::Inv,
+                            to: owner,
+                            req: m.req,
+                        });
                     }
                     None => ns.error = true,
                 },
@@ -491,7 +545,10 @@ mod tests {
 
     #[test]
     fn golden_vi_three_caches_verifies() {
-        let model = ViModel::new(ViConfig { n_caches: 3, ..ViConfig::golden() });
+        let model = ViModel::new(ViConfig {
+            n_caches: 3,
+            ..ViConfig::golden()
+        });
         let out = Checker::new(CheckerOptions::default()).run(&model);
         assert_eq!(out.verdict(), Verdict::Success);
     }
@@ -530,10 +587,16 @@ mod tests {
         let model = ViModel::new(ViConfig::synth_full());
         let pruned = Synthesizer::new(SynthOptions::default()).run(&model);
         let naive = Synthesizer::new(SynthOptions::default().pruning(false)).run(&model);
-        assert_eq!(naive.stats().evaluated as u128, naive.naive_candidate_space());
+        assert_eq!(
+            naive.stats().evaluated as u128,
+            naive.naive_candidate_space()
+        );
         let key = |r: &verc3_core::SynthReport| {
-            let mut v: Vec<String> =
-                r.solutions().iter().map(|s| s.display_named(r.holes())).collect();
+            let mut v: Vec<String> = r
+                .solutions()
+                .iter()
+                .map(|s| s.display_named(r.holes()))
+                .collect();
             v.sort();
             v
         };

@@ -19,8 +19,7 @@ fn main() {
         model.candidate_space()
     );
 
-    let report =
-        Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+    let report = Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
 
     for r in report.run_log() {
         let candidate = r.candidate.display_named(report.holes());

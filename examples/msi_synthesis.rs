@@ -26,10 +26,8 @@ fn main() {
     println!();
 
     let model = MsiModel::new(config);
-    let report = Synthesizer::new(
-        SynthOptions::default().pattern_mode(PatternMode::Refined),
-    )
-    .run(&model);
+    let report =
+        Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Refined)).run(&model);
 
     println!("{report}");
 

@@ -20,7 +20,10 @@ use verc3::synth::{PatternMode, SynthOptions, Synthesizer};
 fn main() {
     let model = MsiModel::new(MsiConfig::msi_small());
 
-    println!("{:>8} {:>12} {:>10} {:>10} {:>12}", "threads", "evaluated", "patterns", "solutions", "time");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>12}",
+        "threads", "evaluated", "patterns", "solutions", "time"
+    );
     let mut baseline = None;
     for threads in [1usize, 2, 4, 8] {
         let start = Instant::now();
@@ -47,6 +50,9 @@ fn main() {
             report.solutions().len(),
             elapsed,
         );
-        assert!(!report.solutions().is_empty(), "every configuration must solve");
+        assert!(
+            !report.solutions().is_empty(),
+            "every configuration must solve"
+        );
     }
 }

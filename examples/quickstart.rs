@@ -44,5 +44,9 @@ fn main() {
         );
     }
 
-    assert_eq!(report.solutions().len(), 1, "VI has a unique correct completion");
+    assert_eq!(
+        report.solutions().len(),
+        1,
+        "VI has a unique correct completion"
+    );
 }

@@ -28,7 +28,12 @@
 //!
 //! assert_eq!(report.solutions().len(), 1);
 //! assert_eq!(report.stats().evaluated, 10);     // paper: 10 runs
+//! assert_eq!(report.stats().patterns, 5);       // paper: 5 pruning patterns
 //! assert_eq!(report.naive_candidate_space(), 24); // paper: 24 naïve
+//! assert_eq!(
+//!     report.solutions()[0].display_named(report.holes()),
+//!     "⟨ 1@B, 2@A, 3@B, 4@B ⟩",               // paper: the unique solution
+//! );
 //! ```
 //!
 //! See `examples/` for richer entry points, DESIGN.md for the architecture,

@@ -59,8 +59,7 @@ fn figure_2_naive_baseline_evaluates_all_24() {
 fn figure_2_parallel_finds_the_same_solution() {
     let model = GraphModel::worked_example();
     for threads in [2, 4] {
-        let report =
-            Synthesizer::new(SynthOptions::default().threads(threads)).run(&model);
+        let report = Synthesizer::new(SynthOptions::default().threads(threads)).run(&model);
         assert_eq!(report.solutions().len(), 1, "{threads} threads");
         assert_eq!(
             report.solutions()[0].display_named(report.holes()),

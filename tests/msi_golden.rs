@@ -7,7 +7,10 @@ use verc3::protocols::msi::{CacheRule, DirRule, MsiConfig, MsiModel};
 #[test]
 fn golden_msi_satisfies_all_properties() {
     for n in [2, 3, 4] {
-        let model = MsiModel::new(MsiConfig { n_caches: n, ..MsiConfig::golden() });
+        let model = MsiModel::new(MsiConfig {
+            n_caches: n,
+            ..MsiConfig::golden()
+        });
         let out = Checker::new(CheckerOptions::default()).run(&model);
         assert_eq!(
             out.verdict(),
@@ -59,11 +62,17 @@ fn dropping_the_invalidation_ack_wedges_the_writer() {
     assert_eq!(out.verdict(), Verdict::Failure);
     let failure = out.failure().unwrap();
     assert!(
-        matches!(failure.kind, FailureKind::Deadlock | FailureKind::QuiescenceViolation),
+        matches!(
+            failure.kind,
+            FailureKind::Deadlock | FailureKind::QuiescenceViolation
+        ),
         "expected a progress failure, got {:?}",
         failure.kind
     );
-    assert!(failure.trace.is_some(), "progress failures carry a witness trace");
+    assert!(
+        failure.trace.is_some(),
+        "progress failures carry a witness trace"
+    );
 }
 
 #[test]
@@ -82,7 +91,10 @@ fn answering_an_invalidation_with_data_violates_safety() {
         "unexpected property: {}",
         failure.property
     );
-    assert!(failure.trace.is_some(), "safety violations carry a minimal trace");
+    assert!(
+        failure.trace.is_some(),
+        "safety violations carry a minimal trace"
+    );
 }
 
 #[test]
@@ -112,7 +124,11 @@ fn returning_to_invalid_after_a_read_is_rejected_as_degenerate() {
 fn msi_large_skeleton_accepts_the_golden_candidate() {
     let model = MsiModel::new(MsiConfig::msi_large());
     let mut r = FixedResolver::new();
-    for rule in [CacheRule::SmAdInv, CacheRule::IsDData, CacheRule::ImAdDataComplete] {
+    for rule in [
+        CacheRule::SmAdInv,
+        CacheRule::IsDData,
+        CacheRule::ImAdDataComplete,
+    ] {
         let stem = rule.stem();
         let (resp, next) = rule.golden();
         let resp_idx = verc3::protocols::msi::CacheResponse::ALL

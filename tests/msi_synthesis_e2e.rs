@@ -3,7 +3,7 @@
 
 use verc3::mck::{Checker, CheckerOptions, FixedResolver, Verdict};
 use verc3::protocols::msi::{MsiConfig, MsiModel};
-use verc3::synth::{PatternMode, SynthOptions, Synthesizer, SynthReport};
+use verc3::synth::{PatternMode, SynthOptions, SynthReport, Synthesizer};
 
 fn named_solutions(report: &SynthReport) -> Vec<Vec<(String, u16)>> {
     let mut out: Vec<Vec<(String, u16)>> = report
@@ -26,15 +26,15 @@ fn named_solutions(report: &SynthReport) -> Vec<Vec<(String, u16)>> {
 #[test]
 fn msi_tiny_pruned_naive_and_parallel_agree() {
     let model = MsiModel::new(MsiConfig::msi_tiny());
-    let refined = Synthesizer::new(
-        SynthOptions::default().pattern_mode(PatternMode::Refined),
-    )
-    .run(&model);
+    let refined =
+        Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Refined)).run(&model);
     let exact =
         Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Exact)).run(&model);
     let naive = Synthesizer::new(SynthOptions::default().pruning(false)).run(&model);
     let parallel = Synthesizer::new(
-        SynthOptions::default().pattern_mode(PatternMode::Refined).threads(4),
+        SynthOptions::default()
+            .pattern_mode(PatternMode::Refined)
+            .threads(4),
     )
     .run(&model);
 
@@ -42,7 +42,10 @@ fn msi_tiny_pruned_naive_and_parallel_agree() {
     assert_eq!(named_solutions(&exact), named_solutions(&naive));
     assert_eq!(named_solutions(&parallel), named_solutions(&naive));
 
-    assert_eq!(naive.stats().evaluated as u128, naive.naive_candidate_space());
+    assert_eq!(
+        naive.stats().evaluated as u128,
+        naive.naive_candidate_space()
+    );
     // MSI-tiny is a *single*-rule problem: every failing trace touches all
     // three of its holes, so no pattern can prune a strict subset and the
     // only cost is the one wildcard discovery run — the degenerate case the
@@ -54,10 +57,8 @@ fn msi_tiny_pruned_naive_and_parallel_agree() {
 #[test]
 fn msi_tiny_solutions_verify_independently() {
     let model = MsiModel::new(MsiConfig::msi_tiny());
-    let report = Synthesizer::new(
-        SynthOptions::default().pattern_mode(PatternMode::Refined),
-    )
-    .run(&model);
+    let report =
+        Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Refined)).run(&model);
     assert!(!report.solutions().is_empty());
 
     for solution in report.solutions() {
@@ -87,10 +88,8 @@ fn msi_tiny_non_solutions_fail_independently() {
     // Complement check on a sample: candidates the synthesizer did NOT
     // report must fail (or at least not verify) when checked directly.
     let model = MsiModel::new(MsiConfig::msi_tiny());
-    let report = Synthesizer::new(
-        SynthOptions::default().pattern_mode(PatternMode::Refined),
-    )
-    .run(&model);
+    let report =
+        Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Refined)).run(&model);
     let solutions = named_solutions(&report);
     let space = MsiConfig::msi_tiny().hole_space();
 
@@ -107,7 +106,8 @@ fn msi_tiny_non_solutions_fail_independently() {
         let is_solution = solutions.iter().any(|sol| {
             // A reported solution constrains only touched holes; compare on
             // those.
-            sol.iter().all(|(n, a)| assignment.iter().any(|(n2, a2)| n2 == n && a2 == a))
+            sol.iter()
+                .all(|(n, a)| assignment.iter().any(|(n2, a2)| n2 == n && a2 == a))
         });
         let mut resolver = FixedResolver::new();
         for (name, action) in &assignment {
@@ -122,7 +122,11 @@ fn msi_tiny_non_solutions_fail_independently() {
             }
         }
     }
-    assert_eq!(failures, 105 - 2, "exactly two of the 105 candidates verify");
+    assert_eq!(
+        failures,
+        105 - 2,
+        "exactly two of the 105 candidates verify"
+    );
 }
 
 #[test]
@@ -135,10 +139,8 @@ fn refined_pruning_pays_off_at_multi_rule_scale() {
     // very first run (see EXPERIMENTS.md), so we assert against the space
     // rather than running the 40-second exact/naive baselines in a test.
     let model = MsiModel::new(MsiConfig::msi_small());
-    let refined = Synthesizer::new(
-        SynthOptions::default().pattern_mode(PatternMode::Refined),
-    )
-    .run(&model);
+    let refined =
+        Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Refined)).run(&model);
     assert_eq!(refined.naive_candidate_space(), 231_525);
     assert!(
         refined.stats().evaluated < 2_000,
