@@ -1,0 +1,125 @@
+//! Parallel-checker scaling bench: wall time of one full verification at
+//! 1/2/4/8 worker threads, on the checker-bound models that dominate the
+//! Table I unit cost.
+//!
+//! Beyond the printed table, this bench emits **BENCH_checker.json** at the
+//! workspace root — `(model, threads, states, transitions, wall_ms)` rows —
+//! so future PRs can track the checker's perf trajectory without parsing
+//! log output. The bench also *asserts* the equivalence contract along the
+//! way: every thread count must report the same verdict, state count, and
+//! transition count.
+//!
+//! ```text
+//! cargo bench -p verc3-bench --bench parallel_check
+//! ```
+
+use criterion::black_box;
+use std::fmt::Write as _;
+use std::time::Instant;
+use verc3_mck::{Checker, CheckerOptions, TransitionSystem, Verdict};
+use verc3_protocols::msi::{MsiConfig, MsiModel};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SAMPLES: usize = 15;
+
+struct Row {
+    model: &'static str,
+    threads: usize,
+    states: usize,
+    transitions: usize,
+    wall_ms: f64,
+}
+
+/// Times `samples` full verifications (after one warm-up) and returns the
+/// median wall time together with the run's statistics.
+fn measure<M: TransitionSystem>(model: &M, threads: usize) -> (f64, usize, usize) {
+    let checker = Checker::new(CheckerOptions::default().threads(threads));
+    let warmup = checker.run(model);
+    assert_eq!(
+        warmup.verdict(),
+        Verdict::Success,
+        "golden model must verify"
+    );
+    let (states, transitions) = (warmup.stats().states_visited, warmup.stats().transitions);
+
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            let out = checker.run(model);
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(black_box(out).stats().states_visited, states);
+            elapsed
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (samples[samples.len() / 2], states, transitions)
+}
+
+fn bench_model<M: TransitionSystem>(name: &'static str, model: &M, rows: &mut Vec<Row>) {
+    let mut serial: Option<(usize, usize, f64)> = None;
+    for threads in THREAD_COUNTS {
+        let (wall_ms, states, transitions) = measure(model, threads);
+        match serial {
+            None => serial = Some((states, transitions, wall_ms)),
+            Some((s, t, base_ms)) => {
+                assert_eq!(states, s, "{name}: states diverged at {threads} threads");
+                assert_eq!(
+                    transitions, t,
+                    "{name}: transitions diverged at {threads} threads"
+                );
+                println!(
+                    "  {name:<28} {threads} threads: {wall_ms:8.3} ms  ({:.2}x)",
+                    base_ms / wall_ms
+                );
+            }
+        }
+        if threads == 1 {
+            println!("  {name:<28} 1 threads: {wall_ms:8.3} ms  (baseline, {states} states)");
+        }
+        rows.push(Row {
+            model: name,
+            threads,
+            states,
+            transitions,
+            wall_ms,
+        });
+    }
+}
+
+fn main() {
+    println!("group parallel_check");
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    let msi4 = MsiModel::new(MsiConfig {
+        n_caches: 4,
+        ..MsiConfig::golden()
+    });
+    bench_model("msi_golden_4caches_sym", &msi4, &mut rows);
+
+    let msi3_data = MsiModel::new(MsiConfig {
+        data_values: true,
+        ..MsiConfig::golden()
+    });
+    bench_model("msi_golden_3caches_data", &msi3_data, &mut rows);
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "  {{\"model\": \"{}\", \"threads\": {}, \"states\": {}, \
+             \"transitions\": {}, \"wall_ms\": {:.3}}}{}",
+            r.model,
+            r.threads,
+            r.states,
+            r.transitions,
+            r.wall_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("]\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checker.json");
+    std::fs::write(path, &json).expect("write BENCH_checker.json");
+    println!("wrote BENCH_checker.json ({} rows)", rows.len());
+}

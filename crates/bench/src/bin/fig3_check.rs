@@ -3,20 +3,26 @@
 //! models, reporting state-space statistics.
 //!
 //! ```text
-//! cargo run --release -p verc3-bench --bin fig3_check [--dot]
+//! cargo run --release -p verc3-bench --bin fig3_check [--dot] [--check-threads N]
 //! ```
+//!
+//! `--check-threads N` runs every verification through the layer-synchronized
+//! parallel checker with `N` workers; the printed states/transitions are
+//! guaranteed identical to the serial run (CI diffs the two).
 //!
 //! `--dot` additionally writes the full explored state graph of the 2-cache
 //! VI protocol to `vi_2cache.dot` (small enough to render with Graphviz).
 
-use verc3_bench::verify;
+use verc3_bench::{parse_check_threads, verify};
 use verc3_mck::{Checker, CheckerOptions, Verdict};
 use verc3_protocols::mesi::{MesiConfig, MesiModel};
 use verc3_protocols::msi::{MsiConfig, MsiModel};
 use verc3_protocols::vi::{ViConfig, ViModel};
 
 fn main() {
-    let dot = std::env::args().any(|a| a == "--dot");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dot = args.iter().any(|a| a == "--dot");
+    let threads = parse_check_threads(&args);
 
     println!("Figure 3 — protocol verification (golden models, all properties)");
     println!("=================================================================");
@@ -38,7 +44,7 @@ fn main() {
             n_caches: n,
             ..MsiConfig::golden()
         });
-        let (v, s, t) = verify(&model);
+        let (v, s, t) = verify(&model, threads);
         run(&format!("MSI golden ({n} caches)"), v, s, t);
     }
     {
@@ -46,7 +52,7 @@ fn main() {
             symmetry: false,
             ..MsiConfig::golden()
         });
-        let (v, s, t) = verify(&model);
+        let (v, s, t) = verify(&model, threads);
         run("MSI golden (3, no symmetry)", v, s, t);
     }
     {
@@ -54,7 +60,7 @@ fn main() {
             data_values: true,
             ..MsiConfig::golden()
         });
-        let (v, s, t) = verify(&model);
+        let (v, s, t) = verify(&model, threads);
         run("MSI golden (3, data values)", v, s, t);
     }
     for n in [2usize, 3] {
@@ -62,7 +68,7 @@ fn main() {
             n_caches: n,
             ..MesiConfig::golden()
         });
-        let (v, s, t) = verify(&model);
+        let (v, s, t) = verify(&model, threads);
         run(&format!("MESI golden ({n} caches)"), v, s, t);
     }
     for n in [2usize, 3] {
@@ -70,7 +76,7 @@ fn main() {
             n_caches: n,
             ..ViConfig::golden()
         });
-        let (v, s, t) = verify(&model);
+        let (v, s, t) = verify(&model, threads);
         run(&format!("VI golden ({n} caches)"), v, s, t);
     }
 

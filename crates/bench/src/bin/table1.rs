@@ -3,14 +3,20 @@
 //!
 //! ```text
 //! cargo run --release -p verc3-bench --bin table1 -- [--small] [--large]
-//!     [--naive-large-full] [--classify] [--samples N]
+//!     [--naive-large-full] [--classify] [--samples N] [--check-threads N]
 //! ```
+//!
+//! `--check-threads N` parallelizes every model-checker dispatch inside
+//! synthesis with `N` workers (orthogonal to the table's cross-candidate
+//! "4 threads" rows); dispatch counts and solutions are unaffected.
 //!
 //! By default both problem sizes run; the MSI-large naïve baseline — which
 //! took the paper 31 573 s — is extrapolated from a uniform random sample of
 //! candidates unless `--naive-large-full` forces the real thing.
 
-use verc3_bench::{estimate_naive_row, paper, row_header, run_synthesis_row, MeasuredRow};
+use verc3_bench::{
+    estimate_naive_row, paper, parse_check_threads, row_header, run_synthesis_row, MeasuredRow,
+};
 use verc3_protocols::msi::MsiConfig;
 
 fn main() {
@@ -25,6 +31,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
+    let check_threads = parse_check_threads(&args);
 
     println!("Table I — MSI coherence protocol case study (reproduction)");
     println!("===========================================================");
@@ -41,6 +48,7 @@ fn main() {
             MsiConfig::msi_small(),
             false,
             1,
+            check_threads,
         );
         println!("{}", row.format());
         rows.push(row);
@@ -49,6 +57,7 @@ fn main() {
             MsiConfig::msi_small(),
             true,
             1,
+            check_threads,
         );
         println!("{}", row.format());
         rows.push(row);
@@ -58,6 +67,7 @@ fn main() {
             MsiConfig::msi_small(),
             true,
             4,
+            check_threads,
         );
         println!("{}", row.format());
         rows.push(row);
@@ -70,6 +80,7 @@ fn main() {
                 MsiConfig::msi_large(),
                 false,
                 1,
+                check_threads,
             );
             row
         } else {
@@ -87,6 +98,7 @@ fn main() {
             MsiConfig::msi_large(),
             true,
             1,
+            check_threads,
         );
         println!("{}", row.format());
         rows.push(row);
@@ -96,6 +108,7 @@ fn main() {
             MsiConfig::msi_large(),
             true,
             4,
+            check_threads,
         );
         println!("{}", row.format());
         rows.push(row);

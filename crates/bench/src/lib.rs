@@ -153,14 +153,21 @@ pub fn row_header() -> String {
 }
 
 /// Runs one synthesis configuration and measures a Table-I row.
+///
+/// `threads` is the cross-candidate axis; `check_threads` parallelizes each
+/// individual model-checker dispatch (both default to 1 in Table I proper).
 pub fn run_synthesis_row(
     label: &str,
     config: MsiConfig,
     pruning: bool,
     threads: usize,
+    check_threads: usize,
 ) -> (MeasuredRow, SynthReport) {
     let model = MsiModel::new(config);
-    let mut opts = SynthOptions::default().pruning(pruning).threads(threads);
+    let mut opts = SynthOptions::default()
+        .pruning(pruning)
+        .threads(threads)
+        .check_threads(check_threads);
     if pruning {
         // Trace-refined patterns are the paper's stated ideal (prune on the
         // holes the failure trace touched, Cₜ); see EXPERIMENTS.md for why
@@ -233,9 +240,26 @@ pub fn estimate_naive_row(
     }
 }
 
-/// Verifies a complete model and reports `(verdict, states, transitions)`.
-pub fn verify<M: TransitionSystem>(model: &M) -> (Verdict, usize, usize) {
-    let out = Checker::new(CheckerOptions::default()).run(model);
+/// Parses the shared `--check-threads N` CLI flag: absent → 1 (serial),
+/// present with anything but a positive integer → a loud usage panic (a
+/// silent serial fallback would make parallel smoke steps vacuous).
+pub fn parse_check_threads(args: &[String]) -> usize {
+    match args.iter().position(|a| a == "--check-threads") {
+        None => 1,
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .expect("--check-threads requires a positive integer argument"),
+    }
+}
+
+/// Verifies a complete model with the given checker thread count and
+/// reports `(verdict, states, transitions)`. The counts are
+/// thread-count-independent by the parallel checker's equivalence
+/// guarantee — which is exactly what the CI smoke step diffs.
+pub fn verify<M: TransitionSystem>(model: &M, threads: usize) -> (Verdict, usize, usize) {
+    let out = Checker::new(CheckerOptions::default().threads(threads)).run(model);
     (
         out.verdict(),
         out.stats().states_visited,
@@ -277,10 +301,47 @@ mod tests {
 
     #[test]
     fn tiny_row_runs_end_to_end() {
-        let (row, report) = run_synthesis_row("tiny", MsiConfig::msi_tiny(), true, 1);
+        let (row, report) = run_synthesis_row("tiny", MsiConfig::msi_tiny(), true, 1, 1);
         assert_eq!(row.holes, 3);
         assert_eq!(row.solutions, 2);
         assert_eq!(report.naive_candidate_space(), 105);
+    }
+
+    #[test]
+    fn tiny_row_is_check_thread_invariant() {
+        let (serial, _) = run_synthesis_row("tiny", MsiConfig::msi_tiny(), true, 1, 1);
+        let (par, _) = run_synthesis_row("tiny", MsiConfig::msi_tiny(), true, 1, 4);
+        assert_eq!(par.holes, serial.holes);
+        assert_eq!(par.evaluated, serial.evaluated);
+        assert_eq!(par.patterns, serial.patterns);
+        assert_eq!(par.solutions, serial.solutions);
+    }
+
+    #[test]
+    fn check_threads_flag_parses_strictly() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_check_threads(&args(&["--small"])), 1);
+        assert_eq!(parse_check_threads(&args(&["--check-threads", "4"])), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn check_threads_flag_rejects_garbage() {
+        let args: Vec<String> = vec!["--check-threads".into(), "abc".into()];
+        let _ = parse_check_threads(&args);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn check_threads_flag_rejects_zero() {
+        let args: Vec<String> = vec!["--check-threads".into(), "0".into()];
+        let _ = parse_check_threads(&args);
+    }
+
+    #[test]
+    fn verify_is_thread_invariant() {
+        let model = MsiModel::new(MsiConfig::golden());
+        assert_eq!(verify(&model, 1), verify(&model, 4));
     }
 
     #[test]

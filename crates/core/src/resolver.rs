@@ -18,8 +18,9 @@
 //! run are genuine don't-cares).
 
 use crate::hole::{HoleId, HoleRegistry};
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use verc3_mck::{Choice, HoleResolver, HoleSpec};
+use verc3_mck::{Choice, HoleResolver, HoleSpec, SharedResolver};
 
 /// What undiscovered/unassigned holes resolve to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,26 +111,156 @@ impl<'a> CandidateResolver<'a> {
     }
 }
 
+/// The one candidate-resolution rule, shared by the serial and the
+/// thread-shareable resolver so the two can never desynchronize: holes
+/// inside the concrete prefix answer their digit; holes beyond it answer
+/// the discovery default. `Some(action)` is a concrete answer the caller
+/// must record as a touch; `None` is the wildcard.
+fn resolve_digit(
+    digits: &[u16],
+    default: DiscoveryDefault,
+    id: HoleId,
+    spec: &HoleSpec,
+) -> Option<u16> {
+    if id < digits.len() {
+        let action = digits[id];
+        debug_assert!(
+            (action as usize) < spec.arity(),
+            "candidate digit {action} out of range for hole `{}`",
+            spec.name()
+        );
+        Some(action)
+    } else {
+        match default {
+            DiscoveryDefault::Wildcard => None,
+            DiscoveryDefault::ActionZero => Some(0),
+        }
+    }
+}
+
 impl HoleResolver for CandidateResolver<'_> {
     fn choose(&mut self, spec: &HoleSpec) -> Choice {
         let id = self.lookup(spec);
-        if id < self.digits.len() {
-            let action = self.digits[id];
-            debug_assert!(
-                (action as usize) < spec.arity(),
-                "candidate digit {action} out of range for hole `{}`",
-                spec.name()
-            );
-            self.record(id, action);
-            Choice::Action(action as usize)
-        } else {
-            match self.default {
-                DiscoveryDefault::Wildcard => Choice::Wildcard,
-                DiscoveryDefault::ActionZero => {
-                    self.record(id, 0);
-                    Choice::Action(0)
-                }
+        match resolve_digit(self.digits, self.default, id, spec) {
+            Some(action) => {
+                self.record(id, action);
+                Choice::Action(action as usize)
             }
+            None => Choice::Wildcard,
+        }
+    }
+
+    fn begin_application(&mut self) {
+        self.app_touches.clear();
+    }
+
+    fn application_touches(&self) -> &[(usize, u16)] {
+        &self.app_touches
+    }
+}
+
+/// Thread-shareable variant of [`CandidateResolver`] for parallel candidate
+/// checks (`SynthOptions::check_threads`).
+///
+/// One instance lives for exactly one model-checking run, like its serial
+/// sibling, but the parallel checker's workers each obtain their own
+/// [`HoleResolver`] through the [`SharedResolver`] trait. Choices are pure
+/// functions of the shared `(registry, digits, default)` triple, so every
+/// worker answers every hole identically — the consistency contract the
+/// parallel checker relies on. Each worker keeps:
+///
+/// * a private name→id cache (lock-free fast path; the shared registry is
+///   consulted once per hole per worker), and
+/// * a private per-application touch log, feeding the checker's per-edge
+///   `Cₜ` attribution without cross-thread traffic.
+///
+/// Concrete resolutions are merged into one shared touched set (first touch
+/// per hole per worker takes a short lock; repeats stay thread-local).
+/// [`SharedCandidateResolver::into_touched`] returns it sorted by hole id —
+/// resolutions are deterministic, so the *set* is thread-count-independent
+/// even though consultation order is not.
+#[derive(Debug)]
+pub struct SharedCandidateResolver<'a> {
+    registry: &'a HoleRegistry,
+    digits: &'a [u16],
+    default: DiscoveryDefault,
+    touched: Mutex<Vec<(HoleId, u16)>>,
+}
+
+impl<'a> SharedCandidateResolver<'a> {
+    /// Creates a shareable resolver for the candidate whose concrete prefix
+    /// is `digits`.
+    pub fn new(registry: &'a HoleRegistry, digits: &'a [u16], default: DiscoveryDefault) -> Self {
+        SharedCandidateResolver {
+            registry,
+            digits,
+            default,
+            touched: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Consumes the resolver, returning the union of all workers' concrete
+    /// resolutions, sorted by hole id.
+    pub fn into_touched(self) -> Vec<(HoleId, u16)> {
+        let mut touched = self.touched.into_inner();
+        touched.sort_unstable();
+        touched
+    }
+}
+
+impl SharedResolver for SharedCandidateResolver<'_> {
+    fn worker(&self) -> Box<dyn HoleResolver + '_> {
+        Box::new(WorkerCandidateResolver {
+            shared: self,
+            cache: NameCache::new(),
+            seen: Vec::new(),
+            app_touches: Vec::new(),
+        })
+    }
+}
+
+/// One checker worker's view of a [`SharedCandidateResolver`].
+#[derive(Debug)]
+struct WorkerCandidateResolver<'a> {
+    shared: &'a SharedCandidateResolver<'a>,
+    cache: NameCache,
+    /// Holes this worker has already resolved concretely (locally deduped
+    /// mirror of its contributions to the shared touched set).
+    seen: Vec<(HoleId, u16)>,
+    app_touches: Vec<(HoleId, u16)>,
+}
+
+impl WorkerCandidateResolver<'_> {
+    fn record(&mut self, id: HoleId, action: u16) {
+        if !self.seen.iter().any(|&(h, _)| h == id) {
+            self.seen.push((id, action));
+            let mut touched = self.shared.touched.lock();
+            if !touched.iter().any(|&(h, _)| h == id) {
+                touched.push((id, action));
+            }
+        }
+        if !self.app_touches.iter().any(|&(h, _)| h == id) {
+            self.app_touches.push((id, action));
+        }
+    }
+}
+
+impl HoleResolver for WorkerCandidateResolver<'_> {
+    fn choose(&mut self, spec: &HoleSpec) -> Choice {
+        let id = match self.cache.get(spec.name()) {
+            Some(&id) => id,
+            None => {
+                let (id, _) = self.shared.registry.resolve_or_register(spec);
+                self.cache.insert(spec.name().to_owned(), id);
+                id
+            }
+        };
+        match resolve_digit(self.shared.digits, self.shared.default, id, spec) {
+            Some(action) => {
+                self.record(id, action);
+                Choice::Action(action as usize)
+            }
+            None => Choice::Wildcard,
         }
     }
 
@@ -199,6 +330,42 @@ mod tests {
             assert_eq!(r.discovered(), 0);
         }
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_resolver_workers_agree_and_merge_touches() {
+        let reg = HoleRegistry::new();
+        reg.resolve_or_register(&spec("x", 3));
+        reg.resolve_or_register(&spec("y", 2));
+        let digits = [2u16, 1u16];
+        let shared = SharedCandidateResolver::new(&reg, &digits, DiscoveryDefault::Wildcard);
+        {
+            let mut w1 = shared.worker();
+            let mut w2 = shared.worker();
+            w1.begin_application();
+            assert_eq!(w1.choose(&spec("x", 3)), Choice::Action(2));
+            assert_eq!(w1.application_touches(), &[(0, 2)]);
+            // A second worker resolves the same hole identically; the shared
+            // touched set records it once.
+            assert_eq!(w2.choose(&spec("x", 3)), Choice::Action(2));
+            assert_eq!(w2.choose(&spec("y", 2)), Choice::Action(1));
+            // Lazy discovery through a worker registers on the shared
+            // registry; the wildcard answer is not a touch.
+            assert_eq!(w1.choose(&spec("z", 2)), Choice::Wildcard);
+        }
+        assert_eq!(reg.len(), 3);
+        assert_eq!(shared.into_touched(), vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn shared_resolver_action_zero_default() {
+        let reg = HoleRegistry::new();
+        let shared = SharedCandidateResolver::new(&reg, &[], DiscoveryDefault::ActionZero);
+        {
+            let mut w = shared.worker();
+            assert_eq!(w.choose(&spec("fresh", 4)), Choice::Action(0));
+        }
+        assert_eq!(shared.into_touched(), vec![(0, 0)]);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::hole::{HoleId, HoleRegistry};
 use crate::odometer::{space_size, Odometer};
 use crate::pattern::{PatternMode, PatternTable, SparsePattern};
 use crate::report::{GenStats, RunRecord, Solution, SynthReport, SynthStats};
-use crate::resolver::{CandidateResolver, DiscoveryDefault, NameCache};
+use crate::resolver::{CandidateResolver, DiscoveryDefault, NameCache, SharedCandidateResolver};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -51,6 +51,7 @@ pub struct SynthOptions {
     pruning: bool,
     pattern_mode: PatternMode,
     threads: usize,
+    check_threads: usize,
     checker: CheckerOptions,
     chunk_size: u64,
     max_evaluations: Option<u64>,
@@ -63,6 +64,7 @@ impl Default for SynthOptions {
             pruning: true,
             pattern_mode: PatternMode::Exact,
             threads: 1,
+            check_threads: 1,
             checker: CheckerOptions::default(),
             chunk_size: 32,
             max_evaluations: None,
@@ -98,7 +100,45 @@ impl SynthOptions {
         self
     }
 
-    /// Model-checker options used for every candidate evaluation.
+    /// Number of checker worker threads *per candidate evaluation*
+    /// (default 1): the second parallelism axis, orthogonal to
+    /// [`SynthOptions::threads`].
+    ///
+    /// Cross-candidate threads scale with the width of the candidate space;
+    /// per-check threads scale with the size of a single candidate's state
+    /// space, and are the only axis that helps when few candidates are in
+    /// flight (small generations, the pruning-dense tail of a run, or plain
+    /// golden-model verification). The two compose — `threads(t)` workers
+    /// each drive `check_threads(c)` checker workers, so budget `t * c`
+    /// against the available cores.
+    ///
+    /// Every individual evaluation is verdict-, statistics-, and
+    /// failure-attribution-identical to its serial counterpart (the parallel
+    /// checker's replay guarantees it). Hole *discovery bookkeeping* is the
+    /// one thing that may diverge from a fully serial run: a failing layer
+    /// is expanded in full before the failure is picked, so rule
+    /// applications past the serial stop point can register holes one run
+    /// early, and two fresh holes first consulted by different workers race
+    /// for registration order. Both effects only perturb enumeration order
+    /// and per-run `discovered` logs — the same nondeterminism class as
+    /// cross-candidate [`SynthOptions::threads`] — and never the solution
+    /// set (`parallel_checks_agree_with_serial_checks`,
+    /// `tests/synthesis_equivalence.rs`). On workloads whose BFS layers fit
+    /// one worker chunk (e.g. the Figure-2 models) discovery stays
+    /// serial-ordered and even the exact run log is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn check_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one checker thread is required");
+        self.check_threads = threads;
+        self
+    }
+
+    /// Model-checker options used for every candidate evaluation. A thread
+    /// count set here and [`SynthOptions::check_threads`] combine by
+    /// maximum — setting either one is enough to parallelize dispatches.
     pub fn checker(mut self, options: CheckerOptions) -> Self {
         self.checker = options;
         self
@@ -149,9 +189,14 @@ impl Synthesizer {
     /// Runs synthesis to completion on `model` and reports the results.
     pub fn run<M: TransitionSystem>(&self, model: &M) -> SynthReport {
         let start = Instant::now();
-        let opts = &self.options;
+        // A thread count set directly on the checker options is honored too:
+        // the effective per-dispatch parallelism is the larger of the two
+        // knobs, never a silent reset.
+        let mut opts = self.options.clone();
+        opts.check_threads = opts.check_threads.max(opts.checker.thread_count());
+        let opts = &opts;
         let registry = HoleRegistry::new();
-        let checker = Checker::new(opts.checker.clone());
+        let checker = Checker::new(opts.checker.clone().threads(opts.check_threads));
 
         let shared = Shared {
             registry: &registry,
@@ -364,9 +409,19 @@ fn evaluate_candidate<M: TransitionSystem>(
         DiscoveryDefault::ActionZero
     };
 
-    let mut resolver = CandidateResolver::new(shared.registry, &digits, default, cache);
-    let outcome = shared.checker.run_with(model, &mut resolver);
-    let touched = resolver.into_touched();
+    // Serial checks reuse the worker's long-lived name cache; parallel
+    // checks go through the thread-shareable resolver, whose touched set is
+    // hole-id-sorted so downstream consumers see thread-count-independent
+    // data. Either way the verdict and failure attribution are identical.
+    let (outcome, touched) = if shared.options.check_threads > 1 {
+        let resolver = SharedCandidateResolver::new(shared.registry, &digits, default);
+        let outcome = shared.checker.run_shared(model, &resolver);
+        (outcome, resolver.into_touched())
+    } else {
+        let mut resolver = CandidateResolver::new(shared.registry, &digits, default, cache);
+        let outcome = shared.checker.run_with(model, &mut resolver);
+        (outcome, resolver.into_touched())
+    };
     let run = shared.run_counter.fetch_add(1, Ordering::Relaxed) + 1;
 
     let mut pattern_added = false;
@@ -605,6 +660,60 @@ mod tests {
                 solution_set(&seq),
                 "seed {seed}: parallel must find the same solutions"
             );
+        }
+    }
+
+    #[test]
+    fn fig2_is_exact_under_parallel_checks() {
+        // Per-check parallelism must not disturb the candidate sequencing:
+        // the checker is verdict- and attribution-identical at any thread
+        // count, so even the paper's exact Figure-2 run log is preserved.
+        let model = GraphModel::worked_example();
+        let serial = Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+        let par = Synthesizer::new(SynthOptions::default().record_runs(true).check_threads(4))
+            .run(&model);
+        assert_eq!(par.stats().evaluated, serial.stats().evaluated);
+        assert_eq!(par.stats().patterns, serial.stats().patterns);
+        let fmt = |r: &SynthReport| -> Vec<String> {
+            r.run_log()
+                .iter()
+                .map(|rec| rec.candidate.display_named(r.holes()))
+                .collect()
+        };
+        assert_eq!(fmt(&par), fmt(&serial), "identical run sequence");
+    }
+
+    #[test]
+    fn parallel_checks_agree_with_serial_checks() {
+        for seed in 300..310 {
+            let model = GraphModel::random(seed, 6, 3);
+            for mode in [PatternMode::Exact, PatternMode::Refined] {
+                let seq = Synthesizer::new(SynthOptions::default().pattern_mode(mode)).run(&model);
+                let par =
+                    Synthesizer::new(SynthOptions::default().pattern_mode(mode).check_threads(4))
+                        .run(&model);
+                assert_eq!(
+                    par.stats().evaluated,
+                    seq.stats().evaluated,
+                    "seed {seed}: same dispatch count"
+                );
+                assert_eq!(
+                    solution_set(&par),
+                    solution_set(&seq),
+                    "seed {seed}: same solutions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_parallelism_axes_compose() {
+        for seed in 400..405 {
+            let model = GraphModel::random(seed, 6, 3);
+            let seq = Synthesizer::new(SynthOptions::default()).run(&model);
+            let par =
+                Synthesizer::new(SynthOptions::default().threads(2).check_threads(2)).run(&model);
+            assert_eq!(solution_set(&par), solution_set(&seq), "seed {seed}");
         }
     }
 

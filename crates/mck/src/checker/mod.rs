@@ -7,9 +7,21 @@
 //! a [`Checker`] and consumes the three-valued [`Verdict`] directly, which is
 //! the tight coupling the paper argues for over external-tool pipelines
 //! (§I–II).
+//!
+//! Two exploration drivers share one committed-state core ([`SearchCore`]):
+//!
+//! * the **serial** driver (this module) — a queue-driven BFS; and
+//! * the **parallel** driver ([`parallel`]) — a layer-synchronized BFS that
+//!   expands each frontier layer across `std::thread::scope` workers and a
+//!   sharded visited set, then replays the layer deterministically so that
+//!   verdicts, statistics, and counterexample traces are *identical* to the
+//!   serial driver's, for any thread count.
+//!
+//! Select the parallel driver with [`CheckerOptions::threads`].
 
 mod graph;
 mod outcome;
+mod parallel;
 mod trace;
 
 pub use graph::{Edge, ExploredGraph, StateId};
@@ -17,8 +29,8 @@ pub use outcome::{Failure, FailureKind, Outcome, Stats, Timing, Verdict};
 pub use trace::{Trace, TraceStep};
 
 use crate::error::MckError;
-use crate::eval::{HoleResolver, NoHoles};
-use crate::hashers::FnvHashMap;
+use crate::eval::{HoleResolver, NoHoles, SharedResolver};
+use crate::hashers::{fingerprint, FnvHashMap};
 use crate::model::TransitionSystem;
 use crate::properties::Property;
 use crate::rule::RuleOutcome;
@@ -46,6 +58,7 @@ pub enum DeadlockPolicy {
 /// let opts = CheckerOptions::default()
 ///     .allow_deadlock()
 ///     .max_states(100_000)
+///     .threads(4)
 ///     .keep_graph(true);
 /// # let _ = opts;
 /// ```
@@ -54,6 +67,7 @@ pub struct CheckerOptions {
     max_states: usize,
     deadlock: DeadlockPolicy,
     keep_graph: bool,
+    threads: usize,
 }
 
 impl Default for CheckerOptions {
@@ -62,6 +76,7 @@ impl Default for CheckerOptions {
             max_states: 50_000_000,
             deadlock: DeadlockPolicy::Disallow,
             keep_graph: false,
+            threads: 1,
         }
     }
 }
@@ -69,6 +84,12 @@ impl Default for CheckerOptions {
 impl CheckerOptions {
     /// Caps the number of distinct states explored; exceeding the cap yields
     /// an [`Verdict::Unknown`] outcome flagged via [`Outcome::incomplete`].
+    ///
+    /// The serial driver stops within one state's expansion of the limit.
+    /// The parallel driver ([`CheckerOptions::threads`]) enforces the cap at
+    /// the same deterministic point — committed counts are identical — but
+    /// expands whole layers at a time, so as a *memory* guard the cap may be
+    /// overshot by up to one BFS layer's worth of parked successor states.
     pub fn max_states(mut self, limit: usize) -> Self {
         self.max_states = limit;
         self
@@ -93,6 +114,30 @@ impl CheckerOptions {
         self.keep_graph = keep;
         self
     }
+
+    /// Number of worker threads expanding each BFS layer (default 1: the
+    /// serial driver).
+    ///
+    /// Any thread count produces the same verdict, statistics, and
+    /// counterexample depth — the parallel driver is layer-synchronized and
+    /// commits each layer in the serial driver's deterministic order (see
+    /// [`parallel`]). Only [`Checker::run`] and [`Checker::run_shared`] honor
+    /// this knob; [`Checker::run_with`] takes an exclusive resolver and is
+    /// always serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one checker thread is required");
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
 }
 
 /// The breadth-first explicit-state model checker.
@@ -110,14 +155,16 @@ impl Checker {
         Checker { options }
     }
 
-    /// Verifies a complete (hole-free) model.
+    /// Verifies a complete (hole-free) model, honoring
+    /// [`CheckerOptions::threads`].
     ///
     /// # Panics
     ///
-    /// Panics if the model consults a hole; use [`Checker::run_with`] with an
-    /// appropriate resolver for models containing holes.
+    /// Panics if the model consults a hole; use [`Checker::run_with`] (or
+    /// [`Checker::run_shared`] for parallel runs) with an appropriate
+    /// resolver for models containing holes.
     pub fn run<M: TransitionSystem>(&self, model: &M) -> Outcome<M::State> {
-        self.run_with(model, &mut NoHoles)
+        self.run_shared(model, &NoHoles)
     }
 
     /// Verifies a model, resolving holes through `resolver`.
@@ -125,6 +172,11 @@ impl Checker {
     /// Wildcard resolutions abort their branch and (absent a failure) demote
     /// the verdict to [`Verdict::Unknown`]; see the crate docs for the full
     /// soundness argument.
+    ///
+    /// An exclusive (`&mut`) resolver cannot be shared across workers, so
+    /// this entry point always runs the serial driver regardless of
+    /// [`CheckerOptions::threads`]; use [`Checker::run_shared`] to check in
+    /// parallel.
     pub fn run_with<M: TransitionSystem>(
         &self,
         model: &M,
@@ -132,31 +184,145 @@ impl Checker {
     ) -> Outcome<M::State> {
         Bfs::new(model, &self.options, resolver).explore()
     }
+
+    /// Verifies a model through a thread-shareable resolution strategy,
+    /// honoring [`CheckerOptions::threads`].
+    ///
+    /// With `threads(1)` (the default) this is exactly [`Checker::run_with`]
+    /// over one worker resolver; with more threads the layer-synchronized
+    /// parallel driver is used, which returns bit-identical outcomes (see
+    /// [`parallel`]).
+    pub fn run_shared<M: TransitionSystem>(
+        &self,
+        model: &M,
+        resolver: &dyn SharedResolver,
+    ) -> Outcome<M::State> {
+        if self.options.threads > 1 {
+            parallel::ParallelBfs::new(model, &self.options, resolver).explore()
+        } else {
+            let mut worker = resolver.worker();
+            Bfs::new(model, &self.options, &mut *worker).explore()
+        }
+    }
 }
 
-/// Internal exploration driver; one instance per run.
-struct Bfs<'a, M: TransitionSystem> {
-    model: &'a M,
-    options: &'a CheckerOptions,
-    resolver: &'a mut dyn HoleResolver,
+/// The ids sharing one 64-bit state fingerprint — almost always exactly one.
+///
+/// Storing ids instead of cloned states halves the checker's resident state
+/// memory: the full states live only in [`SearchCore::states`], and every
+/// membership probe re-checks equality against that single store, so hash
+/// collisions stay correct.
+#[derive(Debug, Clone)]
+pub(super) enum IdList {
+    /// The common case: a fingerprint owned by a single state.
+    One(StateId),
+    /// Collision overflow.
+    Many(Vec<StateId>),
+}
 
-    visited: FnvHashMap<M::State, StateId>,
-    states: Vec<M::State>,
-    depth: Vec<u32>,
-    pred: Vec<Option<(StateId, u32)>>,
+impl IdList {
+    pub(super) fn as_slice(&self) -> &[StateId] {
+        match self {
+            IdList::One(id) => std::slice::from_ref(id),
+            IdList::Many(ids) => ids,
+        }
+    }
+
+    pub(super) fn push(&mut self, id: StateId) {
+        match self {
+            IdList::One(first) => *self = IdList::Many(vec![*first, id]),
+            IdList::Many(ids) => ids.push(id),
+        }
+    }
+
+    /// Replaces the entry equal to `old` with `new` (used by the parallel
+    /// driver to promote pending claims to committed ids).
+    pub(super) fn replace(&mut self, old: StateId, new: StateId) {
+        match self {
+            IdList::One(id) => {
+                debug_assert_eq!(*id, old);
+                *id = new;
+            }
+            IdList::Many(ids) => {
+                let slot = ids.iter_mut().find(|id| **id == old);
+                debug_assert!(slot.is_some(), "stale id {old} not present");
+                if let Some(slot) = slot {
+                    *slot = new;
+                }
+            }
+        }
+    }
+}
+
+/// Ceiling on committed [`StateId`]s: the parallel driver reserves ids with
+/// the top bit set as pending-claim markers, and [`SearchCore::commit`]
+/// asserts the store never grows into that range.
+pub(super) const MAX_COMMITTED: StateId = 1 << 31;
+
+/// Adds a committed id to a fingerprint-indexed map (shared by the serial
+/// visited index and the parallel driver's shards).
+pub(super) fn insert_id(map: &mut FnvHashMap<u64, IdList>, hash: u64, id: StateId) {
+    use std::collections::hash_map::Entry;
+    match map.entry(hash) {
+        Entry::Occupied(mut e) => e.get_mut().push(id),
+        Entry::Vacant(e) => {
+            e.insert(IdList::One(id));
+        }
+    }
+}
+
+/// Fingerprint-indexed visited set for the serial driver.
+#[derive(Debug, Default)]
+struct VisitedIndex {
+    map: FnvHashMap<u64, IdList>,
+}
+
+impl VisitedIndex {
+    /// Finds the committed id of `state`, whose fingerprint is `hash`.
+    fn find<S: Eq>(&self, hash: u64, state: &S, states: &[S]) -> Option<StateId> {
+        self.map
+            .get(&hash)?
+            .as_slice()
+            .iter()
+            .copied()
+            .find(|&id| states[id as usize] == *state)
+    }
+
+    /// Records that `hash` now maps to the (new) committed id.
+    fn insert(&mut self, hash: u64, id: StateId) {
+        insert_id(&mut self.map, hash, id);
+    }
+}
+
+/// Consultation record of one tree edge: the `(hole id, action)` pairs the
+/// producing rule application resolved. `None` — no allocation at all — for
+/// the common hole-free edge.
+type TouchRecord = Option<Box<[(usize, u16)]>>;
+
+/// The committed exploration state shared by the serial and parallel
+/// drivers: everything keyed by [`StateId`], plus the post-exploration
+/// property analysis. Drivers differ only in how they *discover and order*
+/// states; once a state is committed here the bookkeeping is identical,
+/// which is what makes the two drivers' outcomes comparable field by field.
+pub(super) struct SearchCore<'a, M: TransitionSystem> {
+    pub(super) model: &'a M,
+    pub(super) options: &'a CheckerOptions,
+
+    pub(super) states: Vec<M::State>,
+    pub(super) depth: Vec<u32>,
+    pub(super) pred: Vec<Option<(StateId, u32)>>,
     /// For each state, the hole resolutions consulted by the rule
     /// application that first produced it (its tree edge) — the per-edge
     /// `Cₜ` bookkeeping behind refined pruning patterns.
-    edge_touches: Vec<Box<[(usize, u16)]>>,
-    edges: Option<Vec<Vec<Edge>>>,
-    queue: VecDeque<StateId>,
+    pub(super) edge_touches: Vec<TouchRecord>,
+    pub(super) edges: Option<Vec<Vec<Edge>>>,
 
-    reach_found: Vec<bool>,
-    stats: Stats,
+    pub(super) reach_found: Vec<bool>,
+    pub(super) stats: Stats,
 }
 
-impl<'a, M: TransitionSystem> Bfs<'a, M> {
-    fn new(model: &'a M, options: &'a CheckerOptions, resolver: &'a mut dyn HoleResolver) -> Self {
+impl<'a, M: TransitionSystem> SearchCore<'a, M> {
+    pub(super) fn new(model: &'a M, options: &'a CheckerOptions) -> Self {
         let has_liveness = model
             .properties()
             .iter()
@@ -169,45 +335,43 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
                 .filter(|p| is_reachable(p))
                 .count()
         ];
-        Bfs {
+        SearchCore {
             model,
             options,
-            resolver,
-            visited: FnvHashMap::default(),
             states: Vec::new(),
             depth: Vec::new(),
             pred: Vec::new(),
             edge_touches: Vec::new(),
             edges: (options.keep_graph || has_liveness).then(Vec::new),
-            queue: VecDeque::new(),
             reach_found,
             stats: Stats::default(),
         }
     }
 
-    /// Inserts `state` (already canonicalized) if new; returns its id and
-    /// whether it was newly inserted. `touches` records the hole resolutions
-    /// of the producing rule application.
-    fn insert(
+    /// Appends `state` (already canonicalized, known to be new) and returns
+    /// its id. `touches` records the hole resolutions of the producing rule
+    /// application.
+    pub(super) fn commit(
         &mut self,
         state: M::State,
         from: Option<(StateId, u32)>,
         touches: &[(usize, u16)],
-    ) -> (StateId, bool) {
-        if let Some(&id) = self.visited.get(&state) {
-            return (id, false);
-        }
+    ) -> StateId {
         let id = self.states.len() as StateId;
+        assert!(
+            id < MAX_COMMITTED,
+            "state store exceeded {MAX_COMMITTED} states; raise CheckerOptions::max_states \
+             only below this id ceiling"
+        );
         let d = from.map_or(0, |(p, _)| self.depth[p as usize] + 1);
-        self.visited.insert(state.clone(), id);
         self.states.push(state);
         self.depth.push(d);
         self.pred.push(from);
-        self.edge_touches.push(touches.to_vec().into_boxed_slice());
+        self.edge_touches
+            .push((!touches.is_empty()).then(|| touches.to_vec().into_boxed_slice()));
         if let Some(edges) = &mut self.edges {
             edges.push(Vec::new());
         }
-        self.queue.push_back(id);
         self.stats.max_depth = self.stats.max_depth.max(d as usize);
 
         // Update reachability goals.
@@ -221,11 +385,20 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
                 ri += 1;
             }
         }
-        (id, true)
+        id
+    }
+
+    /// The tree-edge consultation record of a state (empty for hole-free
+    /// edges — one shared empty slice, no allocation).
+    pub(super) fn touches_of(&self, id: StateId) -> &[(usize, u16)] {
+        const NO_TOUCHES: &[(usize, u16)] = &[];
+        self.edge_touches[id as usize]
+            .as_deref()
+            .unwrap_or(NO_TOUCHES)
     }
 
     /// Checks all invariants against the state with the given id.
-    fn violated_invariant(&self, id: StateId) -> Option<&str> {
+    pub(super) fn violated_invariant(&self, id: StateId) -> Option<&str> {
         let state = &self.states[id as usize];
         for p in self.model.properties() {
             if let Property::Invariant { name, pred } = p {
@@ -237,7 +410,7 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
         None
     }
 
-    fn trace_to(&self, id: StateId) -> Trace<M::State> {
+    pub(super) fn trace_to(&self, id: StateId) -> Trace<M::State> {
         let mut rev: Vec<TraceStep<M::State>> = Vec::new();
         let mut cur = id;
         loop {
@@ -257,135 +430,36 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
     }
 
     /// Union of the hole resolutions along the tree path to `id`, plus any
-    /// `extra` resolutions (used for the deadlocked state's own expansion).
-    fn trace_touched(&self, id: StateId, extra: &[(usize, u16)]) -> Vec<(usize, u16)> {
+    /// `extra` resolutions (used for the deadlocked state's own expansion),
+    /// sorted by hole id.
+    ///
+    /// Resolvers are deterministic within a run, so a hole never appears with
+    /// two different actions and sort-plus-dedup (rather than the quadratic
+    /// first-occurrence scan this replaced) loses nothing.
+    pub(super) fn trace_touched(&self, id: StateId, extra: &[(usize, u16)]) -> Vec<(usize, u16)> {
         let mut out: Vec<(usize, u16)> = Vec::new();
-        let mut push = |pair: (usize, u16)| {
-            if !out.iter().any(|&(h, _)| h == pair.0) {
-                out.push(pair);
-            }
-        };
         let mut cur = id;
         loop {
-            for &pair in self.edge_touches[cur as usize].iter() {
-                push(pair);
-            }
+            out.extend_from_slice(self.touches_of(cur));
             match self.pred[cur as usize] {
                 Some((p, _)) => cur = p,
                 None => break,
             }
         }
-        for &pair in extra {
-            push(pair);
-        }
+        out.extend_from_slice(extra);
         out.sort_unstable();
+        out.dedup_by_key(|pair| pair.0);
         out
     }
 
-    fn explore(mut self) -> Outcome<M::State> {
-        let start = Instant::now();
-
-        let initial = self.model.initial_states();
-        if initial.is_empty() {
-            return self.finish(
-                start,
-                Verdict::Unknown,
-                None,
-                Some(MckError::NoInitialStates),
-            );
-        }
-        for s0 in initial {
-            let s0 = self.model.canonicalize(s0);
-            let (id, new) = self.insert(s0, None, &[]);
-            if new {
-                if let Some(name) = self.violated_invariant(id) {
-                    let failure = Failure {
-                        kind: FailureKind::InvariantViolation,
-                        property: name.to_owned(),
-                        trace: Some(self.trace_to(id)),
-                        touched: Some(Vec::new()),
-                    };
-                    return self.finish(start, Verdict::Failure, Some(failure), None);
-                }
-            }
-        }
-
-        let mut incomplete: Option<MckError> = None;
-
-        while let Some(id) = self.queue.pop_front() {
-            self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len() + 1);
-            let state = self.states[id as usize].clone();
-            let mut any_next = false;
-            let mut any_blocked = false;
-            // Resolutions made anywhere while expanding this state; a
-            // deadlock verdict depends on all of them (they decided that
-            // every rule declined to fire).
-            let mut expansion_touches: Vec<(usize, u16)> = Vec::new();
-
-            for (ri, rule) in self.model.rules().iter().enumerate() {
-                self.resolver.begin_application();
-                let outcome = rule.apply(&state, self.resolver);
-                let touches = self.resolver.application_touches();
-                for &pair in touches {
-                    if !expansion_touches.iter().any(|&(h, _)| h == pair.0) {
-                        expansion_touches.push(pair);
-                    }
-                }
-                match outcome {
-                    RuleOutcome::Disabled => {}
-                    RuleOutcome::Blocked => {
-                        any_blocked = true;
-                        self.stats.wildcard_hits += 1;
-                    }
-                    RuleOutcome::Next(next) => {
-                        any_next = true;
-                        self.stats.transitions += 1;
-                        let next = self.model.canonicalize(next);
-                        let touches = self.resolver.application_touches().to_vec();
-                        let (nid, new) = self.insert(next, Some((id, ri as u32)), &touches);
-                        if let Some(edges) = &mut self.edges {
-                            edges[id as usize].push(Edge {
-                                rule: ri as u32,
-                                target: nid,
-                            });
-                        }
-                        if new {
-                            if let Some(name) = self.violated_invariant(nid) {
-                                let failure = Failure {
-                                    kind: FailureKind::InvariantViolation,
-                                    property: name.to_owned(),
-                                    touched: Some(self.trace_touched(nid, &[])),
-                                    trace: Some(self.trace_to(nid)),
-                                };
-                                return self.finish(start, Verdict::Failure, Some(failure), None);
-                            }
-                        }
-                    }
-                }
-            }
-
-            // A state with no successors is a deadlock — unless a wildcard
-            // aborted some branch, in which case we cannot tell (the aborted
-            // branch might have provided an exit).
-            if !any_next && !any_blocked && self.options.deadlock == DeadlockPolicy::Disallow {
-                let failure = Failure {
-                    kind: FailureKind::Deadlock,
-                    property: "deadlock freedom".to_owned(),
-                    touched: Some(self.trace_touched(id, &expansion_touches)),
-                    trace: Some(self.trace_to(id)),
-                };
-                return self.finish(start, Verdict::Failure, Some(failure), None);
-            }
-
-            if self.states.len() > self.options.max_states {
-                incomplete = Some(MckError::StateLimitExceeded {
-                    limit: self.options.max_states,
-                });
-                break;
-            }
-        }
-
-        // --- Post-exploration analysis -----------------------------------
+    /// Post-exploration property analysis (reachability obligations,
+    /// eventual quiescence) and verdict computation for a run that found no
+    /// failure during exploration.
+    pub(super) fn analyze(
+        mut self,
+        start: Instant,
+        incomplete: Option<MckError>,
+    ) -> Outcome<M::State> {
         self.stats.states_visited = self.states.len();
         let tainted = self.stats.wildcard_hits > 0 || incomplete.is_some();
 
@@ -441,7 +515,7 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
         self.finish(start, verdict, None, incomplete)
     }
 
-    fn finish(
+    pub(super) fn finish(
         mut self,
         start: Instant,
         verdict: Verdict,
@@ -472,12 +546,205 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
     }
 }
 
+/// Serial exploration driver; one instance per run.
+struct Bfs<'a, M: TransitionSystem> {
+    core: SearchCore<'a, M>,
+    resolver: &'a mut dyn HoleResolver,
+    visited: VisitedIndex,
+    queue: VecDeque<StateId>,
+}
+
+impl<'a, M: TransitionSystem> Bfs<'a, M> {
+    fn new(model: &'a M, options: &'a CheckerOptions, resolver: &'a mut dyn HoleResolver) -> Self {
+        Bfs {
+            core: SearchCore::new(model, options),
+            resolver,
+            visited: VisitedIndex::default(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Inserts `state` (already canonicalized) if new; returns its id and
+    /// whether it was newly inserted.
+    fn insert(
+        &mut self,
+        state: M::State,
+        from: Option<(StateId, u32)>,
+        touches: &[(usize, u16)],
+    ) -> (StateId, bool) {
+        let hash = fingerprint(&state);
+        if let Some(id) = self.visited.find(hash, &state, &self.core.states) {
+            return (id, false);
+        }
+        let id = self.core.commit(state, from, touches);
+        self.visited.insert(hash, id);
+        self.queue.push_back(id);
+        (id, true)
+    }
+
+    fn explore(mut self) -> Outcome<M::State> {
+        let start = Instant::now();
+
+        let initial = self.core.model.initial_states();
+        if initial.is_empty() {
+            return self.core.finish(
+                start,
+                Verdict::Unknown,
+                None,
+                Some(MckError::NoInitialStates),
+            );
+        }
+        for s0 in initial {
+            let s0 = self.core.model.canonicalize(s0);
+            let (id, new) = self.insert(s0, None, &[]);
+            if new {
+                if let Some(name) = self.core.violated_invariant(id) {
+                    let failure = Failure {
+                        kind: FailureKind::InvariantViolation,
+                        property: name.to_owned(),
+                        trace: Some(self.core.trace_to(id)),
+                        touched: Some(Vec::new()),
+                    };
+                    return self
+                        .core
+                        .finish(start, Verdict::Failure, Some(failure), None);
+                }
+            }
+        }
+
+        let mut incomplete: Option<MckError> = None;
+
+        while let Some(id) = self.queue.pop_front() {
+            self.core.stats.peak_queue = self.core.stats.peak_queue.max(self.queue.len() + 1);
+            let state = self.core.states[id as usize].clone();
+            let mut any_next = false;
+            let mut any_blocked = false;
+            // Resolutions made anywhere while expanding this state; a
+            // deadlock verdict depends on all of them (they decided that
+            // every rule declined to fire). De-duplicated by `trace_touched`.
+            let mut expansion_touches: Vec<(usize, u16)> = Vec::new();
+
+            for (ri, rule) in self.core.model.rules().iter().enumerate() {
+                self.resolver.begin_application();
+                let outcome = rule.apply(&state, self.resolver);
+                expansion_touches.extend_from_slice(self.resolver.application_touches());
+                match outcome {
+                    RuleOutcome::Disabled => {}
+                    RuleOutcome::Blocked => {
+                        any_blocked = true;
+                        self.core.stats.wildcard_hits += 1;
+                    }
+                    RuleOutcome::Next(next) => {
+                        any_next = true;
+                        self.core.stats.transitions += 1;
+                        let next = self.core.model.canonicalize(next);
+                        let touches = self.resolver.application_touches().to_vec();
+                        let (nid, new) = self.insert(next, Some((id, ri as u32)), &touches);
+                        if let Some(edges) = &mut self.core.edges {
+                            edges[id as usize].push(Edge {
+                                rule: ri as u32,
+                                target: nid,
+                            });
+                        }
+                        if new {
+                            if let Some(name) = self.core.violated_invariant(nid) {
+                                let failure = Failure {
+                                    kind: FailureKind::InvariantViolation,
+                                    property: name.to_owned(),
+                                    touched: Some(self.core.trace_touched(nid, &[])),
+                                    trace: Some(self.core.trace_to(nid)),
+                                };
+                                return self.core.finish(
+                                    start,
+                                    Verdict::Failure,
+                                    Some(failure),
+                                    None,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            // A state with no successors is a deadlock — unless a wildcard
+            // aborted some branch, in which case we cannot tell (the aborted
+            // branch might have provided an exit).
+            if !any_next && !any_blocked && self.core.options.deadlock == DeadlockPolicy::Disallow {
+                let failure = Failure {
+                    kind: FailureKind::Deadlock,
+                    property: "deadlock freedom".to_owned(),
+                    touched: Some(self.core.trace_touched(id, &expansion_touches)),
+                    trace: Some(self.core.trace_to(id)),
+                };
+                return self
+                    .core
+                    .finish(start, Verdict::Failure, Some(failure), None);
+            }
+
+            if self.core.states.len() > self.core.options.max_states {
+                incomplete = Some(MckError::StateLimitExceeded {
+                    limit: self.core.options.max_states,
+                });
+                break;
+            }
+        }
+
+        self.core.analyze(start, incomplete)
+    }
+}
+
 fn is_reachable<S>(p: &Property<S>) -> bool {
     matches!(p, Property::Reachable { .. })
 }
 
 fn rule_names<M: TransitionSystem>(model: &M) -> Vec<String> {
     model.rules().iter().map(|r| r.name().to_owned()).collect()
+}
+
+/// Shared assertion for the serial/parallel equivalence contract: used by
+/// the in-crate parallel tests (the out-of-crate property suite in
+/// `tests/checker_parallel_equivalence.rs` re-implements it over the public
+/// API).
+#[cfg(test)]
+pub(super) mod tests_support {
+    use super::*;
+
+    /// Runs `model` serially and with `threads` workers and asserts the
+    /// outcomes are indistinguishable: verdict, full `Stats`, and failure
+    /// details (kind, property, touched set, and the whole trace).
+    pub(crate) fn assert_equivalent<M: TransitionSystem>(
+        model: &M,
+        resolver: &dyn SharedResolver,
+        threads: usize,
+    ) {
+        let serial = Checker::new(CheckerOptions::default()).run_shared(model, resolver);
+        let par =
+            Checker::new(CheckerOptions::default().threads(threads)).run_shared(model, resolver);
+        assert_eq!(
+            serial.verdict(),
+            par.verdict(),
+            "verdict diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.stats(),
+            par.stats(),
+            "stats diverged at {threads} threads"
+        );
+        match (serial.failure(), par.failure()) {
+            (None, None) => {}
+            (Some(s), Some(p)) => {
+                assert_eq!(s.kind, p.kind);
+                assert_eq!(s.property, p.property);
+                assert_eq!(s.touched, p.touched);
+                assert_eq!(
+                    format!("{:?}", s.trace),
+                    format!("{:?}", p.trace),
+                    "counterexample diverged at {threads} threads"
+                );
+            }
+            (s, p) => panic!("failure presence diverged: serial={s:?} parallel={p:?}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -685,5 +952,16 @@ mod tests {
         // must NOT be reported as deadlock.
         let out = Checker::new(CheckerOptions::default()).run_with(&m, &mut FixedResolver::new());
         assert_eq!(out.verdict(), Verdict::Unknown);
+    }
+
+    #[test]
+    fn id_list_collision_overflow() {
+        let mut l = IdList::One(3);
+        assert_eq!(l.as_slice(), &[3]);
+        l.push(7);
+        l.push(9);
+        assert_eq!(l.as_slice(), &[3, 7, 9]);
+        l.replace(7, 11);
+        assert_eq!(l.as_slice(), &[3, 11, 9]);
     }
 }

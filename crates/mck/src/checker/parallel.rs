@@ -1,0 +1,599 @@
+//! The layer-synchronized parallel BFS driver.
+//!
+//! Parallel explicit-state exploration usually trades determinism for speed:
+//! work-stealing frontiers visit states in racy orders, so two runs (or a
+//! parallel and a serial run) report different statistics and — worse —
+//! different counterexamples. This driver keeps the speed and discards the
+//! race, following the layer-synchronized discipline of Stern & Dill's
+//! parallel Murϕ:
+//!
+//! 1. **Expand** (parallel): the current BFS layer is split into contiguous
+//!    chunks claimed by `std::thread::scope` workers. Each worker applies
+//!    every rule to its states (through its own [`HoleResolver`] obtained
+//!    from the shared [`SharedResolver`]), canonicalizes successors, and
+//!    probes them against a **sharded visited set** — `N` shards of
+//!    `FnvHashMap`, selected by fingerprint prefix, each behind a
+//!    `parking_lot::Mutex` so contention spreads across shards instead of
+//!    serializing on one map. Unknown successors are parked in their shard
+//!    as *pending claims* (this also de-duplicates concurrent discoveries of
+//!    the same state by different workers).
+//! 2. **Replay** (sequential, cheap): the recorded rule outcomes are walked
+//!    in the serial driver's exact order — layer states in commit order,
+//!    rules in table order — committing pending claims, assigning dense
+//!    [`StateId`]s, counting statistics, and checking invariants, deadlocks,
+//!    and the state cap *exactly* where the serial driver would.
+//!
+//! The barrier between layers is what preserves **minimal counterexamples**:
+//! no state of layer `d+1` is expanded before every state of layer `d` has
+//! been, so the first failure found is found at its minimal depth, and the
+//! replay's deterministic order picks the same witness the serial driver
+//! picks. The replay touches only *new* states and rule outcomes (hash
+//! probes for already-visited successors were resolved in parallel during
+//! expansion), so its sequential cost is a small fraction of the expansion
+//! work — rule application and symmetry canonicalization, which dominate,
+//! scale with the worker count.
+//!
+//! The result is a strong invariant, asserted by the equivalence suite
+//! (`tests/checker_parallel_equivalence.rs`): for every model and resolver,
+//! every thread count returns the **same verdict, the same `Stats` (state,
+//! transition, depth, and queue counters), and the same counterexample
+//! trace** as the serial driver.
+//!
+//! Two deliberate, documented divergences remain outside that invariant:
+//! expansion runs a whole layer even when the replay will stop at a failure
+//! or the state cap partway through it, so (a) `max_states` as a *memory*
+//! guard may be overshot by one layer of parked pending states (committed
+//! counts are still exact — see [`CheckerOptions::max_states`]), and (b) a
+//! stateful resolver may be consulted for applications the replay then
+//! discards — harmless for the replay-derived outcome, but visible to
+//! resolvers that log consultations (see `SynthOptions::check_threads` for
+//! the synthesis-level consequences).
+
+use super::{
+    fingerprint, insert_id, CheckerOptions, DeadlockPolicy, Edge, Failure, FailureKind, IdList,
+    MckError, Outcome, SearchCore, StateId, Verdict, MAX_COMMITTED,
+};
+use crate::eval::SharedResolver;
+use crate::hashers::FnvHashMap;
+use crate::model::TransitionSystem;
+use crate::rule::RuleOutcome;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Pending-claim marker: shard-map entries with this bit set index into the
+/// shard's `pending` arena instead of the committed state store. Committed
+/// ids can never collide with it — [`SearchCore::commit`] asserts they stay
+/// below [`MAX_COMMITTED`].
+const PENDING_BIT: StateId = MAX_COMMITTED;
+
+/// Below this many states per worker a layer is expanded inline: thread
+/// spawn latency would exceed the expansion work.
+const MIN_CHUNK: usize = 16;
+
+/// One shard of the visited set. Committed entries hold [`StateId`]s into
+/// `SearchCore::states`; pending entries hold claims parked here during the
+/// expansion phase of the current layer.
+struct Shard<S> {
+    map: FnvHashMap<u64, IdList>,
+    pending: Vec<PendingSlot<S>>,
+}
+
+struct PendingSlot<S> {
+    hash: u64,
+    /// The claimed state; taken when the replay commits it.
+    state: Option<S>,
+    /// The committed id, once the replay assigns one.
+    id: Option<StateId>,
+}
+
+impl<S: Eq> Shard<S> {
+    fn new() -> Self {
+        Shard {
+            map: FnvHashMap::default(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Looks up `state` among committed and pending entries; parks it as a
+    /// new pending claim if absent. Returns the committed id, or the pending
+    /// slot for the replay to resolve.
+    fn probe(&mut self, hash: u64, state: S, states: &[S]) -> Probe {
+        use std::collections::hash_map::Entry;
+        let Shard { map, pending } = self;
+        match map.entry(hash) {
+            Entry::Occupied(mut e) => {
+                for &id in e.get().as_slice() {
+                    if id & PENDING_BIT != 0 {
+                        let slot = (id & !PENDING_BIT) as usize;
+                        if pending[slot].state.as_ref() == Some(&state) {
+                            return Probe::Fresh { slot: slot as u32 };
+                        }
+                    } else if states[id as usize] == state {
+                        return Probe::Known(id);
+                    }
+                }
+                let slot = pending.len() as u32;
+                pending.push(PendingSlot {
+                    hash,
+                    state: Some(state),
+                    id: None,
+                });
+                e.get_mut().push(PENDING_BIT | slot);
+                Probe::Fresh { slot }
+            }
+            Entry::Vacant(e) => {
+                let slot = pending.len() as u32;
+                pending.push(PendingSlot {
+                    hash,
+                    state: Some(state),
+                    id: None,
+                });
+                e.insert(IdList::One(PENDING_BIT | slot));
+                Probe::Fresh { slot }
+            }
+        }
+    }
+
+    /// Records a committed id for a state inserted outside the worker phase
+    /// (initial states).
+    fn insert_committed(&mut self, hash: u64, id: StateId) {
+        insert_id(&mut self.map, hash, id);
+    }
+}
+
+/// Result of probing one successor against the sharded visited set.
+#[derive(Debug, Clone, Copy)]
+enum Probe {
+    /// Already committed under this id.
+    Known(StateId),
+    /// Unknown: parked as pending claim `slot` (shard implied by the record's
+    /// position — see [`AppRecord`]).
+    Fresh { slot: u32 },
+}
+
+/// One rule application worth remembering: anything that fired, blocked, or
+/// consulted a hole. Plain disabled guards — the overwhelming majority —
+/// leave no record.
+struct AppRecord {
+    rule: u32,
+    /// Hole resolutions this application consulted.
+    touches: Box<[(usize, u16)]>,
+    outcome: RecOutcome,
+}
+
+enum RecOutcome {
+    /// Guard false, but holes were consulted (possible in principle; a
+    /// deadlock verdict depends on these resolutions too).
+    Disabled,
+    /// Hit a wildcard hole; branch aborted.
+    Blocked,
+    /// Fired; the successor lives in `shard` as described by the probe.
+    Next { shard: u32, probe: Probe },
+}
+
+/// Everything a worker recorded about expanding one source state.
+struct StateRec {
+    records: Vec<AppRecord>,
+}
+
+/// Layer-synchronized parallel exploration driver; one instance per run.
+pub(super) struct ParallelBfs<'a, M: TransitionSystem> {
+    core: SearchCore<'a, M>,
+    resolver: &'a dyn SharedResolver,
+    shards: Vec<Mutex<Shard<M::State>>>,
+    /// `64 - log2(shard count)`: fingerprint prefix shift selecting a shard.
+    shard_shift: u32,
+    threads: usize,
+}
+
+impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
+    pub(super) fn new(
+        model: &'a M,
+        options: &'a CheckerOptions,
+        resolver: &'a dyn SharedResolver,
+    ) -> Self {
+        let threads = options.thread_count();
+        // Over-provision shards so two workers rarely contend on one lock.
+        let shard_count = (threads * 8).next_power_of_two().clamp(16, 256);
+        ParallelBfs {
+            core: SearchCore::new(model, options),
+            resolver,
+            shards: (0..shard_count).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_shift: 64 - shard_count.trailing_zeros(),
+            threads,
+        }
+    }
+
+    fn shard_of(&self, hash: u64) -> usize {
+        (hash >> self.shard_shift) as usize
+    }
+
+    /// Commits an initial state if new; mirrors the serial driver's
+    /// `Bfs::insert` for the pre-layer phase.
+    fn insert_initial(&mut self, state: M::State) -> (StateId, bool) {
+        let hash = fingerprint(&state);
+        let shard_idx = self.shard_of(hash);
+        let shard = self.shards[shard_idx].get_mut();
+        if let Some(entries) = shard.map.get(&hash) {
+            for &id in entries.as_slice() {
+                if self.core.states[id as usize] == state {
+                    return (id, false);
+                }
+            }
+        }
+        let id = self.core.commit(state, None, &[]);
+        shard.insert_committed(hash, id);
+        (id, true)
+    }
+
+    /// Resolves a fresh probe during replay: the first replay occurrence
+    /// commits the parked state (assigning the next dense id, exactly as the
+    /// serial driver would at this point); later occurrences — duplicates
+    /// discovered concurrently within the layer — reuse the assigned id.
+    fn resolve_fresh(
+        &mut self,
+        shard_idx: usize,
+        slot: usize,
+        from: (StateId, u32),
+        touches: &[(usize, u16)],
+    ) -> (StateId, bool) {
+        let shard = self.shards[shard_idx].get_mut();
+        let pending = &mut shard.pending[slot];
+        if let Some(id) = pending.id {
+            return (id, false);
+        }
+        let state = pending
+            .state
+            .take()
+            .expect("pending claim resolved without an id");
+        let hash = pending.hash;
+        let id = self.core.commit(state, Some(from), touches);
+        let shard = self.shards[shard_idx].get_mut();
+        shard.pending[slot].id = Some(id);
+        shard
+            .map
+            .get_mut(&hash)
+            .expect("pending claim lost its bucket")
+            .replace(PENDING_BIT | slot as StateId, id);
+        (id, true)
+    }
+
+    pub(super) fn explore(mut self) -> Outcome<M::State> {
+        let start = Instant::now();
+
+        let initial = self.core.model.initial_states();
+        if initial.is_empty() {
+            return self.core.finish(
+                start,
+                Verdict::Unknown,
+                None,
+                Some(MckError::NoInitialStates),
+            );
+        }
+        let mut frontier: Vec<StateId> = Vec::new();
+        for s0 in initial {
+            let s0 = self.core.model.canonicalize(s0);
+            let (id, new) = self.insert_initial(s0);
+            if new {
+                frontier.push(id);
+                if let Some(name) = self.core.violated_invariant(id) {
+                    let failure = Failure {
+                        kind: FailureKind::InvariantViolation,
+                        property: name.to_owned(),
+                        trace: Some(self.core.trace_to(id)),
+                        touched: Some(Vec::new()),
+                    };
+                    return self
+                        .core
+                        .finish(start, Verdict::Failure, Some(failure), None);
+                }
+            }
+        }
+
+        let mut incomplete: Option<MckError> = None;
+
+        'layers: while !frontier.is_empty() {
+            // --- Phase 1: parallel expansion -----------------------------
+            let layer_recs = self.expand_layer(&frontier);
+
+            // --- Phase 2: deterministic replay ---------------------------
+            let mut next_frontier: Vec<StateId> = Vec::new();
+            for (i, (&sid, rec)) in frontier.iter().zip(layer_recs).enumerate() {
+                // What the serial driver's queue would hold when popping
+                // this state: the rest of this layer plus the successors
+                // committed so far.
+                let pseudo_queue = (frontier.len() - i) + next_frontier.len();
+                self.core.stats.peak_queue = self.core.stats.peak_queue.max(pseudo_queue);
+
+                let mut any_next = false;
+                let mut any_blocked = false;
+                let mut expansion_touches: Vec<(usize, u16)> = Vec::new();
+
+                for app in rec.records {
+                    expansion_touches.extend_from_slice(&app.touches);
+                    match app.outcome {
+                        RecOutcome::Disabled => {}
+                        RecOutcome::Blocked => {
+                            any_blocked = true;
+                            self.core.stats.wildcard_hits += 1;
+                        }
+                        RecOutcome::Next { shard, probe } => {
+                            any_next = true;
+                            self.core.stats.transitions += 1;
+                            let (nid, new) = match probe {
+                                Probe::Known(id) => (id, false),
+                                Probe::Fresh { slot } => self.resolve_fresh(
+                                    shard as usize,
+                                    slot as usize,
+                                    (sid, app.rule),
+                                    &app.touches,
+                                ),
+                            };
+                            if new {
+                                next_frontier.push(nid);
+                            }
+                            if let Some(edges) = &mut self.core.edges {
+                                edges[sid as usize].push(Edge {
+                                    rule: app.rule,
+                                    target: nid,
+                                });
+                            }
+                            if new {
+                                if let Some(name) = self.core.violated_invariant(nid) {
+                                    let failure = Failure {
+                                        kind: FailureKind::InvariantViolation,
+                                        property: name.to_owned(),
+                                        touched: Some(self.core.trace_touched(nid, &[])),
+                                        trace: Some(self.core.trace_to(nid)),
+                                    };
+                                    return self.core.finish(
+                                        start,
+                                        Verdict::Failure,
+                                        Some(failure),
+                                        None,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+
+                if !any_next
+                    && !any_blocked
+                    && self.core.options.deadlock == DeadlockPolicy::Disallow
+                {
+                    let failure = Failure {
+                        kind: FailureKind::Deadlock,
+                        property: "deadlock freedom".to_owned(),
+                        touched: Some(self.core.trace_touched(sid, &expansion_touches)),
+                        trace: Some(self.core.trace_to(sid)),
+                    };
+                    return self
+                        .core
+                        .finish(start, Verdict::Failure, Some(failure), None);
+                }
+
+                if self.core.states.len() > self.core.options.max_states {
+                    incomplete = Some(MckError::StateLimitExceeded {
+                        limit: self.core.options.max_states,
+                    });
+                    break 'layers;
+                }
+            }
+
+            // All pending claims of this layer were resolved by the replay;
+            // reclaim the arenas before the next layer parks new ones.
+            for shard in &mut self.shards {
+                shard.get_mut().pending.clear();
+            }
+            frontier = next_frontier;
+        }
+
+        self.core.analyze(start, incomplete)
+    }
+
+    /// Expands one layer across scoped worker threads, returning one
+    /// [`StateRec`] per frontier state, in frontier order.
+    fn expand_layer(&self, frontier: &[StateId]) -> Vec<StateRec> {
+        let workers = frontier
+            .len()
+            .div_ceil(MIN_CHUNK)
+            .clamp(1, self.threads.max(1));
+        let chunk_size = frontier.len().div_ceil(workers);
+
+        if workers == 1 {
+            return self.expand_chunk(frontier);
+        }
+        std::thread::scope(|scope| {
+            // The calling thread works the first chunk itself: one fewer
+            // spawn per layer, and the scope joins the rest anyway.
+            let mut chunks = frontier.chunks(chunk_size);
+            let first = chunks.next().expect("frontier is non-empty");
+            let handles: Vec<_> = chunks
+                .map(|chunk| scope.spawn(move || self.expand_chunk(chunk)))
+                .collect();
+            let mut recs = self.expand_chunk(first);
+            for h in handles {
+                match h.join() {
+                    Ok(r) => recs.extend(r),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            recs
+        })
+    }
+
+    /// One worker's share of a layer: apply every rule to every state in
+    /// `chunk`, probing successors against the sharded visited set.
+    fn expand_chunk(&self, chunk: &[StateId]) -> Vec<StateRec> {
+        let states = &self.core.states;
+        let model = self.core.model;
+        let mut resolver = self.resolver.worker();
+
+        chunk
+            .iter()
+            .map(|&sid| {
+                let state = &states[sid as usize];
+                let mut records = Vec::new();
+                for (ri, rule) in model.rules().iter().enumerate() {
+                    resolver.begin_application();
+                    let outcome = rule.apply(state, &mut *resolver);
+                    let touches = resolver.application_touches();
+                    let rec = match outcome {
+                        RuleOutcome::Disabled if touches.is_empty() => continue,
+                        RuleOutcome::Disabled => RecOutcome::Disabled,
+                        RuleOutcome::Blocked => RecOutcome::Blocked,
+                        RuleOutcome::Next(next) => {
+                            let next = model.canonicalize(next);
+                            let hash = fingerprint(&next);
+                            let shard = self.shard_of(hash);
+                            let probe = self.shards[shard].lock().probe(hash, next, states);
+                            RecOutcome::Next {
+                                shard: shard as u32,
+                                probe,
+                            }
+                        }
+                    };
+                    records.push(AppRecord {
+                        rule: ri as u32,
+                        touches: touches.into(),
+                        outcome: rec,
+                    });
+                }
+                StateRec { records }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::assert_equivalent;
+    use super::*;
+    use crate::checker::Checker;
+    use crate::eval::{Choice, FixedResolver, HoleSpec};
+    use crate::model::ModelBuilder;
+
+    fn collatz_like() -> crate::model::BuiltModel<u64> {
+        // A branchy, many-layer graph: rich enough to exercise sharding and
+        // within-layer duplicate claims.
+        let mut b = ModelBuilder::new("branchy");
+        b.initial(1u64);
+        b.rule("triple", |&s: &u64, _| {
+            if s < 500 {
+                RuleOutcome::Next(3 * s + 1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
+        b.rule("half", |&s: &u64, _| RuleOutcome::Next(s / 2));
+        b.rule("inc", |&s: &u64, _| {
+            if s < 300 {
+                RuleOutcome::Next(s + 1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
+        b.invariant("bounded", |&s: &u64| s < 2_000);
+        b.finish()
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_success() {
+        let m = collatz_like();
+        for threads in [2, 4, 8] {
+            assert_equivalent(&m, &crate::eval::NoHoles, threads);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_invariant_failure() {
+        let mut b = ModelBuilder::new("grow");
+        b.initial(0u32);
+        b.rule("slow", |&s: &u32, _| RuleOutcome::Next(s + 1));
+        b.rule("fast", |&s: &u32, _| RuleOutcome::Next(s + 7));
+        b.invariant("small", |&s: &u32| s < 40);
+        let m = b.finish();
+        for threads in [2, 4, 8] {
+            assert_equivalent(&m, &crate::eval::NoHoles, threads);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_deadlock() {
+        let mut b = ModelBuilder::new("sink");
+        b.initial(0u8);
+        b.rule("step", |&s: &u8, _| {
+            if s < 5 {
+                RuleOutcome::Next(s + 1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
+        let m = b.finish();
+        for threads in [2, 4] {
+            assert_equivalent(&m, &crate::eval::NoHoles, threads);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_state_limit() {
+        let mut b = ModelBuilder::new("big");
+        b.initial(0u64);
+        b.rule("inc", |&s: &u64, _| RuleOutcome::Next(s + 1));
+        b.rule("dec", |&s: &u64, _| {
+            if s > 0 {
+                RuleOutcome::Next(s - 1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
+        let m = b.finish();
+        let serial = Checker::new(CheckerOptions::default().max_states(100)).run(&m);
+        let par = Checker::new(CheckerOptions::default().max_states(100).threads(4)).run(&m);
+        assert_eq!(par.verdict(), Verdict::Unknown);
+        assert_eq!(serial.stats(), par.stats());
+        assert!(matches!(
+            par.incomplete(),
+            Some(MckError::StateLimitExceeded { limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_holes() {
+        let mut b = ModelBuilder::new("holey");
+        b.initial(0u8);
+        b.rule("choose", |&s: &u8, ctx| {
+            if s >= 6 {
+                return RuleOutcome::Disabled;
+            }
+            let spec = HoleSpec::new("h", ["one", "two"]);
+            match ctx.choose(&spec) {
+                Choice::Action(i) => RuleOutcome::Next(s + i as u8 + 1),
+                Choice::Wildcard => RuleOutcome::Blocked,
+            }
+        });
+        b.invariant("bounded", |&s: &u8| s < 9);
+        let m = b.finish();
+
+        // Concrete assignment, wildcard fallback, each across thread counts.
+        for resolver in [
+            FixedResolver::from_pairs([("h", 1usize)]),
+            FixedResolver::new(),
+        ] {
+            for threads in [2, 4] {
+                assert_equivalent(&m, &resolver, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_keeps_graph() {
+        let m = collatz_like();
+        let serial = Checker::new(CheckerOptions::default().keep_graph(true)).run(&m);
+        let par = Checker::new(CheckerOptions::default().keep_graph(true).threads(4)).run(&m);
+        let (sg, pg) = (serial.graph().unwrap(), par.graph().unwrap());
+        assert_eq!(sg.len(), pg.len());
+        assert_eq!(sg.to_dot("m"), pg.to_dot("m"), "identical committed graphs");
+    }
+}

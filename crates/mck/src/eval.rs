@@ -157,6 +157,27 @@ pub trait HoleResolver {
     }
 }
 
+/// A hole-resolution strategy that can serve several checker worker threads
+/// at once.
+///
+/// The parallel checker ([`crate::CheckerOptions::threads`]) cannot hand one
+/// `&mut dyn HoleResolver` to every worker; instead it asks a shared,
+/// immutable strategy for one [`HoleResolver`] *per worker* via
+/// [`SharedResolver::worker`]. Each worker resolver keeps its own
+/// per-application touch log (the `begin_application` /
+/// `application_touches` protocol stays single-threaded), while the choices
+/// themselves come from shared state.
+///
+/// Implementations must be **consistent**: every worker resolver must answer
+/// every hole identically for the whole run, exactly as the determinism
+/// contract of [`HoleResolver`] requires within one resolver. This is what
+/// makes the parallel exploration's verdict independent of thread
+/// interleaving.
+pub trait SharedResolver: Sync {
+    /// Creates the resolver one worker thread will use for the run.
+    fn worker(&self) -> Box<dyn HoleResolver + '_>;
+}
+
 /// Resolver for models without holes.
 ///
 /// # Panics
@@ -164,6 +185,12 @@ pub trait HoleResolver {
 /// Panics if a hole is ever consulted; use it only with complete models.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoHoles;
+
+impl SharedResolver for NoHoles {
+    fn worker(&self) -> Box<dyn HoleResolver + '_> {
+        Box::new(NoHoles)
+    }
+}
 
 impl HoleResolver for NoHoles {
     fn choose(&mut self, hole: &HoleSpec) -> Choice {
@@ -224,6 +251,14 @@ impl FixedResolver {
             r.assign(n, i);
         }
         r
+    }
+}
+
+impl SharedResolver for FixedResolver {
+    /// Each worker gets a clone; a `FixedResolver` never changes its answers,
+    /// so clones are trivially consistent.
+    fn worker(&self) -> Box<dyn HoleResolver + '_> {
+        Box::new(self.clone())
     }
 }
 

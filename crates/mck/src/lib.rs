@@ -67,10 +67,12 @@ pub use checker::{
     TraceStep, Verdict,
 };
 pub use error::MckError;
-pub use eval::{Choice, FixedResolver, HoleResolver, HoleSpec, NoHoles, RecordingResolver};
+pub use eval::{
+    Choice, FixedResolver, HoleResolver, HoleSpec, NoHoles, RecordingResolver, SharedResolver,
+};
 pub use graph_model::{GraphModel, GraphModelBuilder};
 pub use model::{BuiltModel, ModelBuilder, TransitionSystem};
 pub use multiset::Multiset;
 pub use properties::Property;
 pub use rule::{Rule, RuleOutcome};
-pub use scalarset::{all_permutations, apply_perm_to_index, Perm, Symmetric};
+pub use scalarset::{all_permutations, apply_perm_to_index, perm_table, Perm, Symmetric};

@@ -18,10 +18,12 @@ use std::hash::Hash;
 
 /// A finite-state transition system the checker can explore.
 ///
-/// The checker requires `Sync` because the parallel synthesis driver shares
-/// one model instance across worker threads (each evaluating a different
-/// candidate).
-pub trait TransitionSystem: Sync {
+/// The checker requires `Send + Sync` because one model instance is shared
+/// across worker threads twice over: the parallel synthesis driver shares it
+/// between candidate evaluations, and the parallel checker
+/// ([`crate::CheckerOptions::threads`]) shares it between the workers
+/// expanding a single BFS layer.
+pub trait TransitionSystem: Send + Sync {
     /// The global state type. Equality and hashing define state identity for
     /// the visited set, so any canonical-form invariants (sorted multisets,
     /// canonicalized symmetry) must be upheld by every state this model

@@ -64,6 +64,52 @@ fn permute_rec(current: &mut Perm, k: usize, out: &mut Vec<Perm>) {
     }
 }
 
+/// Returns the process-wide cached permutation table for a scalarset of
+/// size `n`.
+///
+/// [`all_permutations`] regenerates the `n!` vector on every call; models
+/// that canonicalize millions of states should hold this shared table
+/// instead, so the table is built once per process rather than once per
+/// model construction (or worse, per state). The contents are identical to
+/// `all_permutations(n)`: lexicographic order, identity first.
+///
+/// # Panics
+///
+/// Panics if `n > 8`, like [`all_permutations`].
+///
+/// # Examples
+///
+/// ```
+/// let table = verc3_mck::perm_table(3);
+/// assert_eq!(table, verc3_mck::all_permutations(3).as_slice());
+/// assert!(std::ptr::eq(table, verc3_mck::perm_table(3)), "cached");
+/// ```
+pub fn perm_table(n: usize) -> &'static [Perm] {
+    use std::sync::OnceLock;
+    static TABLES: [OnceLock<Vec<Perm>>; 9] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    assert!(
+        n <= 8,
+        "scalarset of size {n} is too large for exhaustive canonicalization"
+    );
+    TABLES[n].get_or_init(|| all_permutations(n))
+}
+
+/// `true` for the permutation mapping every index to itself.
+#[inline]
+fn is_identity(perm: &[u8]) -> bool {
+    perm.iter().enumerate().all(|(i, &to)| to == i as u8)
+}
+
 /// Applies a permutation to a single scalarset index.
 ///
 /// Convenience for rewriting index-valued *fields* (message destinations,
@@ -93,16 +139,23 @@ pub trait Symmetric: Sized + Ord + Clone {
     /// Returns the canonical representative of this value's symmetry orbit:
     /// the minimum under `Ord` across all given permutations.
     ///
-    /// `perms` should be the output of [`all_permutations`] for the scalarset
-    /// size; passing a subset yields a coarser (but still sound, merely less
-    /// effective) reduction.
+    /// `perms` should be [`perm_table`] (or [`all_permutations`]) for the
+    /// scalarset size; passing a subset yields a coarser (but still sound,
+    /// merely less effective) reduction.
+    ///
+    /// Identity permutations are recognized and skipped: the unpermuted
+    /// value itself is the baseline candidate, so the identity's `apply_perm`
+    /// — a full rebuild of the state — would be pure waste on the checker's
+    /// hottest path.
     fn canonicalize(&self, perms: &[Perm]) -> Self {
         let mut best: Option<Self> = None;
         for perm in perms {
+            if is_identity(perm) {
+                continue;
+            }
             let candidate = self.apply_perm(perm);
-            match &best {
-                Some(b) if *b <= candidate => {}
-                _ => best = Some(candidate),
+            if candidate < *best.as_ref().unwrap_or(self) {
+                best = Some(candidate);
             }
         }
         best.unwrap_or_else(|| self.clone())
@@ -180,6 +233,26 @@ mod tests {
         };
         let c = a.canonicalize(&perms);
         assert_eq!(c.canonicalize(&perms), c);
+    }
+
+    #[test]
+    fn perm_table_is_cached_and_consistent() {
+        for n in 0..=4 {
+            assert_eq!(perm_table(n), all_permutations(n).as_slice());
+            assert!(std::ptr::eq(perm_table(n), perm_table(n)));
+        }
+    }
+
+    #[test]
+    fn canonicalize_with_identity_only_is_self() {
+        let a = Pair {
+            slots: vec![3, 1, 2],
+            pointer: 1,
+        };
+        // Only the identity permutation: canonicalize must return the value
+        // unchanged without calling apply_perm at all.
+        assert_eq!(a.canonicalize(&[vec![0, 1, 2]]), a);
+        assert_eq!(a.canonicalize(&[]), a);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use verc3_mck::scalarset::{apply_perm_to_index, Symmetric};
 use verc3_mck::{
-    all_permutations, HoleResolver, HoleSpec, Multiset, Perm, Property, Rule, RuleOutcome,
+    perm_table, HoleResolver, HoleSpec, Multiset, Perm, Property, Rule, RuleOutcome,
     TransitionSystem,
 };
 
@@ -303,7 +303,7 @@ struct MesiCore {
 /// ```
 pub struct MesiModel {
     config: MesiConfig,
-    perms: Vec<Perm>,
+    perms: &'static [Perm],
     rules: Vec<Rule<MesiState>>,
     properties: Vec<Property<MesiState>>,
 }
@@ -484,7 +484,7 @@ impl MesiModel {
             Property::eventually_quiescent("drains to quiescence", MesiState::is_quiescent),
         ];
 
-        let perms = all_permutations(n);
+        let perms = perm_table(n);
         MesiModel {
             config,
             perms,
@@ -701,7 +701,7 @@ impl TransitionSystem for MesiModel {
 
     fn canonicalize(&self, state: MesiState) -> MesiState {
         if self.config.symmetry {
-            state.canonicalize(&self.perms)
+            state.canonicalize(self.perms)
         } else {
             state
         }

@@ -31,7 +31,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use verc3_mck::scalarset::Symmetric;
 use verc3_mck::{
-    all_permutations, HoleResolver, HoleSpec, Perm, Property, Rule, RuleOutcome, TransitionSystem,
+    perm_table, HoleResolver, HoleSpec, Perm, Property, Rule, RuleOutcome, TransitionSystem,
 };
 
 /// Configuration of an [`MsiModel`]: process count, symmetry, and which
@@ -138,7 +138,7 @@ struct Core {
 /// ```
 pub struct MsiModel {
     config: MsiConfig,
-    perms: Vec<Perm>,
+    perms: &'static [Perm],
     rules: Vec<Rule<MsiState>>,
     properties: Vec<Property<MsiState>>,
 }
@@ -337,7 +337,7 @@ impl MsiModel {
             ));
         }
 
-        let perms = all_permutations(n);
+        let perms = perm_table(n);
         MsiModel {
             config,
             perms,
@@ -365,7 +365,7 @@ impl TransitionSystem for MsiModel {
 
     fn canonicalize(&self, state: MsiState) -> MsiState {
         if self.config.symmetry {
-            state.canonicalize(&self.perms)
+            state.canonicalize(self.perms)
         } else {
             state
         }

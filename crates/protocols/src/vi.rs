@@ -16,7 +16,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use verc3_mck::scalarset::{apply_perm_to_index, Symmetric};
 use verc3_mck::{
-    all_permutations, HoleResolver, HoleSpec, Multiset, Perm, Property, Rule, RuleOutcome,
+    perm_table, HoleResolver, HoleSpec, Multiset, Perm, Property, Rule, RuleOutcome,
     TransitionSystem,
 };
 
@@ -226,7 +226,7 @@ struct ViCore {
 /// ```
 pub struct ViModel {
     config: ViConfig,
-    perms: Vec<Perm>,
+    perms: &'static [Perm],
     rules: Vec<Rule<ViState>>,
     properties: Vec<Property<ViState>>,
 }
@@ -312,7 +312,7 @@ impl ViModel {
             Property::eventually_quiescent("drains to quiescence", ViState::is_quiescent),
         ];
 
-        let perms = all_permutations(n);
+        let perms = perm_table(n);
         ViModel {
             config,
             perms,
@@ -514,7 +514,7 @@ impl TransitionSystem for ViModel {
 
     fn canonicalize(&self, state: ViState) -> ViState {
         if self.config.symmetry {
-            state.canonicalize(&self.perms)
+            state.canonicalize(self.perms)
         } else {
             state
         }
