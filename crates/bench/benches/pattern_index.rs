@@ -1,0 +1,163 @@
+//! Pattern-table lookup microbench: the linear-scan reference vs the
+//! indexed table (prefix trie + per-`(hole, action)` inverted index), at
+//! 1k / 10k / 50k synthetic patterns over the msi_xl hole space.
+//!
+//! Beyond the printed table, this bench emits **BENCH_patterns.json** at the
+//! workspace root — `(workload, patterns, impl, queries, wall_ms,
+//! ns_per_query)` rows — so future PRs can track the lookup path's perf
+//! trajectory without parsing log output (the `BENCH_checker.json` pattern
+//! from the parallel-check bench). It also *asserts* along the way:
+//!
+//! * both implementations return identical `first_pruned_depth` answers on
+//!   every query (a sampled replay of the differential suite), and
+//! * the indexed sparse lookup beats the scan by ≥ 10× at 50k patterns —
+//!   the acceptance bar for the index.
+//!
+//! ```text
+//! cargo bench -p verc3-bench --bench pattern_index
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use verc3_bench::synthetic;
+
+const SIZES: [usize; 3] = [1_000, 10_000, 50_000];
+const QUERIES: usize = 1_000;
+const SAMPLES: usize = 5;
+const DEPTH: usize = synthetic::XL_ARITIES.len();
+
+struct Row {
+    workload: &'static str,
+    patterns: usize,
+    implementation: &'static str,
+    wall_ms: f64,
+}
+
+impl Row {
+    fn ns_per_query(&self) -> f64 {
+        self.wall_ms * 1e6 / QUERIES as f64
+    }
+}
+
+/// Times `SAMPLES` passes over the query set (after one warm-up) and
+/// returns the median wall time in milliseconds. `f` returns a checksum so
+/// the work cannot be optimized away.
+fn measure(mut f: impl FnMut() -> usize) -> f64 {
+    let expected = f();
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            let got = criterion::black_box(f());
+            assert_eq!(got, expected, "nondeterministic query results");
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Folds every query's `first_pruned_depth` answer into one checksum.
+fn sum_depths(queries: &[Vec<u16>], lookup: impl Fn(&[u16]) -> Option<usize>) -> usize {
+    queries.iter().map(|q| lookup(q).unwrap_or(DEPTH + 1)).sum()
+}
+
+fn main() {
+    println!("group pattern_index");
+    let mut rows: Vec<Row> = Vec::new();
+    let mut sparse_50k_speedup = 0.0f64;
+
+    for &n in &SIZES {
+        // --- Sparse patterns: bucket scan vs inverted index -------------
+        let patterns = synthetic::sparse_patterns(n, 0xA11CE + n as u64);
+        let queries = synthetic::query_candidates(QUERIES, &patterns, 0xBEEF + n as u64);
+        let (indexed, reference) = synthetic::build_sparse_tables(&patterns);
+
+        // Differential check outside the timed region.
+        for q in &queries {
+            assert_eq!(
+                indexed.first_pruned_depth(q, DEPTH),
+                reference.first_pruned_depth(q, DEPTH),
+                "index diverged from the scan reference on {q:?}"
+            );
+        }
+
+        let scan_ms = measure(|| sum_depths(&queries, |q| reference.first_pruned_depth(q, DEPTH)));
+        let index_ms = measure(|| sum_depths(&queries, |q| indexed.first_pruned_depth(q, DEPTH)));
+        let speedup = scan_ms / index_ms.max(1e-9);
+        if n == 50_000 {
+            sparse_50k_speedup = speedup;
+        }
+        println!(
+            "  sparse {n:>6} patterns: scan {scan_ms:9.3} ms  indexed {index_ms:9.3} ms  ({speedup:.1}x)"
+        );
+        rows.push(Row {
+            workload: "sparse",
+            patterns: n,
+            implementation: "scan",
+            wall_ms: scan_ms,
+        });
+        rows.push(Row {
+            workload: "sparse",
+            patterns: n,
+            implementation: "inverted_index",
+            wall_ms: index_ms,
+        });
+
+        // --- Dense prefixes: whole-prefix hash probes vs trie descent ---
+        let prefixes = synthetic::dense_prefixes(n, 0xD15C0 + n as u64);
+        let queries = synthetic::query_candidates(QUERIES, &[], 0xF00D + n as u64);
+        let (indexed, reference) = synthetic::build_dense_tables(&prefixes);
+        for q in &queries {
+            assert_eq!(
+                indexed.first_pruned_depth(q, DEPTH),
+                reference.first_pruned_depth(q, DEPTH),
+                "trie diverged from the hash reference on {q:?}"
+            );
+        }
+        let hash_ms = measure(|| sum_depths(&queries, |q| reference.first_pruned_depth(q, DEPTH)));
+        let trie_ms = measure(|| sum_depths(&queries, |q| indexed.first_pruned_depth(q, DEPTH)));
+        println!(
+            "  prefix {n:>6} patterns: hash {hash_ms:9.3} ms  trie    {trie_ms:9.3} ms  ({:.1}x)",
+            hash_ms / trie_ms.max(1e-9)
+        );
+        rows.push(Row {
+            workload: "prefix",
+            patterns: n,
+            implementation: "hash_scan",
+            wall_ms: hash_ms,
+        });
+        rows.push(Row {
+            workload: "prefix",
+            patterns: n,
+            implementation: "trie",
+            wall_ms: trie_ms,
+        });
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "  {{\"workload\": \"{}\", \"patterns\": {}, \"impl\": \"{}\", \
+             \"queries\": {}, \"wall_ms\": {:.3}, \"ns_per_query\": {:.1}}}{}",
+            r.workload,
+            r.patterns,
+            r.implementation,
+            QUERIES,
+            r.wall_ms,
+            r.ns_per_query(),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("]\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_patterns.json");
+    std::fs::write(path, &json).expect("write BENCH_patterns.json");
+    println!("wrote BENCH_patterns.json ({} rows)", rows.len());
+
+    assert!(
+        sparse_50k_speedup >= 10.0,
+        "acceptance: inverted index must beat the scan ≥10x at 50k patterns \
+         (measured {sparse_50k_speedup:.1}x)"
+    );
+    println!("sparse 50k speedup: {sparse_50k_speedup:.1}x (acceptance: ≥10x)");
+}

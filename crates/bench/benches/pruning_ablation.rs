@@ -7,7 +7,8 @@
 //! patterns keep the full benefit. This bench quantifies that gap, plus the
 //! wildcard-generation overhead on randomized graph models.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use verc3_bench::synthetic;
 use verc3_core::{PatternMode, SynthOptions, Synthesizer};
 use verc3_mck::GraphModel;
 use verc3_protocols::msi::{MsiConfig, MsiModel};
@@ -85,5 +86,46 @@ fn bench_symmetry_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pruning_modes, bench_symmetry_ablation);
+/// Pattern-lookup microbench: `first_pruned_depth` over a fixed query set
+/// against the linear-scan reference table and the indexed table, at
+/// 1k/10k/50k synthetic sparse patterns (msi_xl hole space). The
+/// `pattern_index` bench is the JSON-emitting big sibling; this group keeps
+/// the comparison visible in the regular criterion sweep.
+fn bench_pattern_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_lookup");
+    group.sample_size(10);
+
+    let depth = synthetic::XL_ARITIES.len();
+    for n in [1_000usize, 10_000, 50_000] {
+        let patterns = synthetic::sparse_patterns(n, 0xA11CE + n as u64);
+        let queries = synthetic::query_candidates(200, &patterns, 0xBEEF + n as u64);
+        let (indexed, reference) = synthetic::build_sparse_tables(&patterns);
+
+        group.bench_function(format!("sparse{n}/scan"), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .filter(|q| black_box(&reference).first_pruned_depth(q, depth).is_some())
+                    .count()
+            })
+        });
+        group.bench_function(format!("sparse{n}/indexed"), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .filter(|q| black_box(&indexed).first_pruned_depth(q, depth).is_some())
+                    .count()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pruning_modes,
+    bench_symmetry_ablation,
+    bench_pattern_lookup
+);
 criterion_main!(benches);

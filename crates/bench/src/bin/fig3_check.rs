@@ -13,7 +13,7 @@
 //! `--dot` additionally writes the full explored state graph of the 2-cache
 //! VI protocol to `vi_2cache.dot` (small enough to render with Graphviz).
 
-use verc3_bench::{parse_check_threads, verify};
+use verc3_bench::{parse_check_threads, verify, verify_skeleton_golden};
 use verc3_mck::{Checker, CheckerOptions, Verdict};
 use verc3_protocols::mesi::{MesiConfig, MesiModel};
 use verc3_protocols::msi::{MsiConfig, MsiModel};
@@ -62,6 +62,13 @@ fn main() {
         });
         let (v, s, t) = verify(&model, threads);
         run("MSI golden (3, data values)", v, s, t);
+    }
+    {
+        // The msi_xl *skeleton* under the golden candidate: all 14 holes
+        // resolved to the known-correct actions must reproduce the golden
+        // protocol — the fixed point the msi_xl synthesis goldens pin.
+        let (v, s, t) = verify_skeleton_golden(MsiConfig::msi_xl(), threads);
+        run("MSI-xl skeleton (golden)", v, s, t);
     }
     for n in [2usize, 3] {
         let model = MesiModel::new(MesiConfig {

@@ -2,7 +2,7 @@
 //! study under naïve enumeration, candidate pruning, and parallel synthesis.
 //!
 //! ```text
-//! cargo run --release -p verc3-bench --bin table1 -- [--small] [--large]
+//! cargo run --release -p verc3-bench --bin table1 -- [--small] [--large] [--xl]
 //!     [--naive-large-full] [--classify] [--samples N] [--check-threads N]
 //! ```
 //!
@@ -10,9 +10,13 @@
 //! synthesis with `N` workers (orthogonal to the table's cross-candidate
 //! "4 threads" rows); dispatch counts and solutions are unaffected.
 //!
-//! By default both problem sizes run; the MSI-large naïve baseline — which
-//! took the paper 31 573 s — is extrapolated from a uniform random sample of
-//! candidates unless `--naive-large-full` forces the real thing.
+//! By default both paper problem sizes run; the MSI-large naïve baseline —
+//! which took the paper 31 573 s — is extrapolated from a uniform random
+//! sample of candidates unless `--naive-large-full` forces the real thing.
+//!
+//! `--xl` additionally runs **MSI-xl** (14 holes, the harder-than-paper
+//! stress configuration; naïve baseline always extrapolated): ~20 s per
+//! pruned row, the workload whose goldens `tests/msi_xl_golden.rs` pins.
 
 use verc3_bench::{
     estimate_naive_row, paper, parse_check_threads, row_header, run_synthesis_row, MeasuredRow,
@@ -22,8 +26,10 @@ use verc3_protocols::msi::MsiConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |f: &str| args.iter().any(|a| a == f);
-    let small = has("--small") || !has("--large");
-    let large = has("--large") || !has("--small");
+    let any_size = has("--small") || has("--large") || has("--xl");
+    let small = has("--small") || !any_size;
+    let large = has("--large") || !any_size;
+    let xl = has("--xl");
     let classify = has("--classify");
     let samples: usize = args
         .iter()
@@ -114,6 +120,36 @@ fn main() {
         rows.push(row);
     }
 
+    if xl {
+        let naive_row = estimate_naive_row(
+            "MSI-xl 1 thread, no pruning",
+            MsiConfig::msi_xl(),
+            samples,
+            0xC0FFEE,
+        );
+        println!("{}", naive_row.format());
+        rows.push(naive_row);
+        let (row, report) = run_synthesis_row(
+            "MSI-xl 1 thread, pruning",
+            MsiConfig::msi_xl(),
+            true,
+            1,
+            check_threads,
+        );
+        println!("{}", row.format());
+        rows.push(row);
+        reports.push(("MSI-xl", report));
+        let (row, _) = run_synthesis_row(
+            "MSI-xl 4 threads, pruning",
+            MsiConfig::msi_xl(),
+            true,
+            4,
+            check_threads,
+        );
+        println!("{}", row.format());
+        rows.push(row);
+    }
+
     println!();
     println!("Paper reference (Table I, i7-4800MQ, Clang 3.8.1):");
     for r in paper::TABLE1 {
@@ -134,9 +170,10 @@ fn main() {
         );
     }
 
-    // Headline ratios, paper vs measured.
+    // Headline ratios, paper vs measured (MSI-xl has no paper row: it is
+    // our harder-than-paper stress configuration).
     println!();
-    for size in ["MSI-small", "MSI-large"] {
+    for size in ["MSI-small", "MSI-large", "MSI-xl"] {
         let naive = rows
             .iter()
             .find(|r| r.label.contains(size) && r.patterns.is_none());
@@ -146,11 +183,18 @@ fn main() {
         if let (Some(n), Some(p)) = (naive, pruned) {
             let reduction = 100.0 * (1.0 - p.evaluated as f64 / n.evaluated as f64);
             let speedup = n.wall.as_secs_f64() / p.wall.as_secs_f64().max(1e-9);
-            let paper_red = if size == "MSI-small" { 99.6 } else { 99.8 };
-            let paper_speedup = if size == "MSI-small" { 35.8 } else { 42.7 };
+            let paper_ref = match size {
+                "MSI-small" => Some((99.6, 35.8)),
+                "MSI-large" => Some((99.8, 42.7)),
+                _ => None,
+            };
+            let paper_note = match paper_ref {
+                Some((red, speed)) => format!(" (paper: {red}% / {speed}x)"),
+                None => " (beyond the paper)".to_owned(),
+            };
             println!(
-                "{size}: evaluated-candidate reduction {reduction:.2}% (paper: {paper_red}%), \
-                 speedup {speedup:.1}x (paper: {paper_speedup}x){}",
+                "{size}: evaluated-candidate reduction {reduction:.2}%, \
+                 speedup {speedup:.1}x{paper_note}{}",
                 if n.estimated {
                     " [naive extrapolated]"
                 } else {

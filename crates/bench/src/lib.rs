@@ -100,6 +100,121 @@ pub mod paper {
     pub const SOLUTION_STATE_COUNTS: [u32; 3] = [5_207, 6_025, 6_332];
 }
 
+/// Synthetic pattern-table workloads shared by the `pattern_index`
+/// microbench (which emits `BENCH_patterns.json`) and the
+/// `pruning_ablation` pattern-lookup group.
+pub mod synthetic {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+    use verc3_core::{PatternTable, ReferencePatternTable, SparsePattern};
+
+    /// msi_xl-shaped hole libraries: four cache transition rules (response
+    /// arity 3, next-state arity 7) and two directory rules (response 5,
+    /// next-state 7, track 3) — 14 holes.
+    pub const XL_ARITIES: [u16; 14] = [3, 7, 3, 7, 3, 7, 3, 7, 5, 7, 3, 5, 7, 3];
+
+    fn random_digit(rng: &mut StdRng, hole: usize) -> u16 {
+        rng.gen_range(0..XL_ARITIES[hole] as usize) as u16
+    }
+
+    /// Generates `n` *distinct* sparse patterns of 5–10 `(hole, action)`
+    /// pairs over the msi_xl hole space.
+    ///
+    /// The length range matters: a refined pattern records every hole a
+    /// minimal failing trace consulted, which on the MSI skeletons is most
+    /// of a rule's holes — and short synthetic patterns saturate the
+    /// shallow buckets (there are only three possible 1-pair patterns on
+    /// hole 0), making every query prune at depth 1 and the benchmark
+    /// meaningless. With ≥5 pairs the pattern space is large enough that
+    /// queries are miss-dominated, the regime the enumeration hot loop
+    /// actually lives in.
+    pub fn sparse_patterns(n: usize, seed: u64) -> Vec<SparsePattern> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen: BTreeSet<SparsePattern> = BTreeSet::new();
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let len = rng.gen_range(5..11usize);
+            let mut pairs: SparsePattern = (0..len)
+                .map(|_| {
+                    let hole = rng.gen_range(0..XL_ARITIES.len());
+                    (hole as u16, random_digit(&mut rng, hole))
+                })
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            if seen.insert(pairs.clone()) {
+                out.push(pairs);
+            }
+        }
+        out
+    }
+
+    /// Generates `n` *distinct* dense prefixes (length 1..=14) over the
+    /// msi_xl hole space.
+    pub fn dense_prefixes(n: usize, seed: u64) -> Vec<Vec<u16>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen: BTreeSet<Vec<u16>> = BTreeSet::new();
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let len = rng.gen_range(1..XL_ARITIES.len() + 1);
+            let prefix: Vec<u16> = (0..len).map(|h| random_digit(&mut rng, h)).collect();
+            if seen.insert(prefix.clone()) {
+                out.push(prefix);
+            }
+        }
+        out
+    }
+
+    /// Generates `q` full-width query candidates: mostly uniform random
+    /// (worst case for a scan — nothing matches early), with roughly one in
+    /// eight derived from `patterns` so the match path is exercised too.
+    pub fn query_candidates(q: usize, patterns: &[SparsePattern], seed: u64) -> Vec<Vec<u16>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..q)
+            .map(|i| {
+                let mut candidate: Vec<u16> = (0..XL_ARITIES.len())
+                    .map(|h| random_digit(&mut rng, h))
+                    .collect();
+                if !patterns.is_empty() && i % 8 == 0 {
+                    let pat = &patterns[rng.gen_range(0..patterns.len())];
+                    for &(hole, action) in pat {
+                        candidate[hole as usize] = action;
+                    }
+                }
+                candidate
+            })
+            .collect()
+    }
+
+    /// Builds the indexed and the reference table from one sparse pattern
+    /// set.
+    pub fn build_sparse_tables(
+        patterns: &[SparsePattern],
+    ) -> (PatternTable, ReferencePatternTable) {
+        let mut indexed = PatternTable::new();
+        let mut reference = ReferencePatternTable::new();
+        for pat in patterns {
+            indexed.insert_sparse(pat.clone());
+            reference.insert_sparse(pat.clone());
+        }
+        assert_eq!(indexed.len(), reference.len());
+        (indexed, reference)
+    }
+
+    /// Builds the indexed and the reference table from one dense prefix set.
+    pub fn build_dense_tables(prefixes: &[Vec<u16>]) -> (PatternTable, ReferencePatternTable) {
+        let mut indexed = PatternTable::new();
+        let mut reference = ReferencePatternTable::new();
+        for prefix in prefixes {
+            indexed.insert_prefix(prefix);
+            reference.insert_prefix(prefix);
+        }
+        assert_eq!(indexed.len(), reference.len());
+        (indexed, reference)
+    }
+}
+
 /// One measured row of our Table I reproduction.
 #[derive(Debug, Clone)]
 pub struct MeasuredRow {
@@ -267,6 +382,46 @@ pub fn verify<M: TransitionSystem>(model: &M, threads: usize) -> (Verdict, usize
     )
 }
 
+/// Verifies an MSI *skeleton* under the golden candidate — every hole
+/// resolved to the known-correct protocol's action — and reports
+/// `(verdict, states, transitions)`.
+///
+/// This is the fixed point every synthesis run over the skeleton must
+/// rediscover; `fig3_check` uses it to pin the msi_xl workload's golden
+/// behaviour next to the hole-free models.
+pub fn verify_skeleton_golden(config: MsiConfig, threads: usize) -> (Verdict, usize, usize) {
+    use verc3_protocols::msi::{CacheResponse, CacheState, DirResponse, DirState, DirTrack};
+
+    let mut resolver = FixedResolver::new();
+    for &rule in &config.cache_holes {
+        let stem = rule.stem();
+        let (resp, next) = rule.golden();
+        let resp = CacheResponse::ALL.iter().position(|&a| a == resp).unwrap();
+        let next = CacheState::ALL.iter().position(|&s| s == next).unwrap();
+        resolver.assign(format!("{stem}/resp"), resp);
+        resolver.assign(format!("{stem}/next"), next);
+    }
+    for &rule in &config.dir_holes {
+        let stem = rule.stem();
+        let (resp, next, track) = rule.golden();
+        let resp = DirResponse::ALL.iter().position(|&a| a == resp).unwrap();
+        let next = DirState::ALL.iter().position(|&s| s == next).unwrap();
+        let track = DirTrack::ALL.iter().position(|&t| t == track).unwrap();
+        resolver.assign(format!("{stem}/resp"), resp);
+        resolver.assign(format!("{stem}/next"), next);
+        resolver.assign(format!("{stem}/track"), track);
+    }
+
+    let model = MsiModel::new(config);
+    let out =
+        Checker::new(CheckerOptions::default().threads(threads)).run_shared(&model, &resolver);
+    (
+        out.verdict(),
+        out.stats().states_visited,
+        out.stats().transitions,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +497,52 @@ mod tests {
     fn verify_is_thread_invariant() {
         let model = MsiModel::new(MsiConfig::golden());
         assert_eq!(verify(&model, 1), verify(&model, 4));
+    }
+
+    #[test]
+    fn golden_candidate_verifies_every_skeleton() {
+        // The golden candidate must be a fixed point of every named skeleton
+        // (and match the hole-free golden model's state space).
+        let golden = verify(&MsiModel::new(MsiConfig::golden()), 1);
+        for config in [
+            MsiConfig::msi_tiny(),
+            MsiConfig::msi_small(),
+            MsiConfig::msi_large(),
+            MsiConfig::msi_xl(),
+        ] {
+            let (verdict, states, transitions) = verify_skeleton_golden(config, 1);
+            assert_eq!(verdict, Verdict::Success);
+            assert_eq!((verdict, states, transitions), golden);
+        }
+    }
+
+    #[test]
+    fn skeleton_golden_verification_is_thread_invariant() {
+        assert_eq!(
+            verify_skeleton_golden(MsiConfig::msi_xl(), 1),
+            verify_skeleton_golden(MsiConfig::msi_xl(), 4),
+        );
+    }
+
+    #[test]
+    fn synthetic_generators_are_deterministic_and_distinct() {
+        let a = synthetic::sparse_patterns(500, 7);
+        let b = synthetic::sparse_patterns(500, 7);
+        assert_eq!(a, b, "same seed, same patterns");
+        let distinct: std::collections::BTreeSet<_> = a.iter().collect();
+        assert_eq!(distinct.len(), a.len(), "patterns are distinct");
+        assert!(a.iter().all(|p| p
+            .iter()
+            .all(|&(h, _)| (h as usize) < synthetic::XL_ARITIES.len())));
+
+        let prefixes = synthetic::dense_prefixes(500, 9);
+        let distinct: std::collections::BTreeSet<_> = prefixes.iter().collect();
+        assert_eq!(distinct.len(), prefixes.len());
+
+        let queries = synthetic::query_candidates(64, &a, 11);
+        assert!(queries
+            .iter()
+            .all(|q| q.len() == synthetic::XL_ARITIES.len()));
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod synth;
 pub use candidate::{CandidateVec, Slot};
 pub use hole::{HoleId, HoleInfo, HoleRegistry};
 pub use odometer::{space_size, Odometer};
-pub use pattern::{PatternMode, PatternTable, SparsePattern};
+pub use pattern::{PatternMode, PatternTable, ReferencePatternTable, SparsePattern};
 pub use report::{GenStats, RunRecord, Solution, SynthReport, SynthStats};
 pub use resolver::{CandidateResolver, DiscoveryDefault, NameCache, SharedCandidateResolver};
 pub use synth::{SynthOptions, Synthesizer};

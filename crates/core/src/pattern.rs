@@ -15,8 +15,8 @@
 //!    matches pattern" degenerates to "candidate starts with this prefix".
 //! 2. **Prefix hits prune whole subtrees.** The candidate odometer
 //!    enumerates lexicographically, so all candidates sharing a pruned prefix
-//!    are contiguous: one hash lookup per enumeration *node* (not per
-//!    candidate) suffices, and the skipped count is a product of radices.
+//!    are contiguous: one lookup per enumeration *node* (not per candidate)
+//!    suffices, and the skipped count is a product of radices.
 //!
 //! This module also implements **refined patterns**, an extension beyond the
 //! paper: instead of the whole concrete prefix, record only the holes whose
@@ -24,6 +24,31 @@
 //! `Cₜ`). A refined pattern is a sparse set of `(hole, action)` pairs and
 //! matches — and thus prunes — strictly more candidates. The
 //! `pruning_ablation` bench quantifies the difference.
+//!
+//! ## Storage: two content indexes
+//!
+//! At MSI-large scale the table holds 34k+ patterns and is probed at every
+//! enumeration node, so *how* patterns are stored decides whether pruning
+//! pays for itself. [`PatternTable`] keeps two indexes behind one API:
+//!
+//! * **Dense prefixes live in a radix trie** ([`PrefixTrie`] internally):
+//!   one child-edge descent per odometer depth instead of re-hashing the
+//!   whole prefix at every depth. The trie also enables the cursor-style
+//!   [`PatternTable::first_pruned_depth`] walk the synthesizer uses: as the
+//!   odometer fixes digit `d`, the matcher takes a single step from the
+//!   depth-`d` trie node instead of starting over from the root.
+//! * **Sparse refined patterns live in a per-`(hole, action)` inverted
+//!   index** with u64-block bitsets: bucket `h` (patterns whose highest
+//!   constrained hole is `h`) keeps, for every constrained hole, a bitset of
+//!   the patterns constraining it and one bitset per action. A subtree query
+//!   intersects `¬constrains(h) ∪ matches(h, prefix[h])` across the bucket's
+//!   constrained holes — a handful of block-ANDs — instead of scanning every
+//!   pattern in the bucket.
+//!
+//! Both indexes are *exact* re-encodings of the naïve scan semantics: the
+//! retained [`ReferencePatternTable`] is the executable specification, and
+//! `tests/pattern_index_differential.rs` drives randomized insert / merge /
+//! query sequences through both to keep them observationally identical.
 
 use verc3_mck::hashers::FnvHashSet;
 
@@ -45,19 +70,253 @@ pub enum PatternMode {
     Refined,
 }
 
-/// The pruning-pattern lookup table.
+// ---------------------------------------------------------------------------
+// Dense prefixes: radix trie
+// ---------------------------------------------------------------------------
+
+/// Arena index of a trie node.
+type NodeId = u32;
+
+/// One trie node. Children are `(digit, node)` pairs in insertion order —
+/// hole arities are single digits (≤ 7 in the MSI libraries), so a linear
+/// probe beats any sorted or hashed structure.
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    /// `true` if a pattern ends exactly here (every candidate below this
+    /// prefix is doomed).
+    terminal: bool,
+    children: Vec<(u16, NodeId)>,
+}
+
+/// Arena-allocated radix trie over action digits.
+#[derive(Debug, Clone)]
+struct PrefixTrie {
+    nodes: Vec<TrieNode>,
+}
+
+impl Default for PrefixTrie {
+    fn default() -> Self {
+        PrefixTrie {
+            nodes: vec![TrieNode::default()],
+        }
+    }
+}
+
+impl PrefixTrie {
+    const ROOT: NodeId = 0;
+
+    fn child(&self, node: NodeId, digit: u16) -> Option<NodeId> {
+        self.nodes[node as usize]
+            .children
+            .iter()
+            .find(|&&(d, _)| d == digit)
+            .map(|&(_, n)| n)
+    }
+
+    fn is_terminal(&self, node: NodeId) -> bool {
+        self.nodes[node as usize].terminal
+    }
+
+    /// Marks `prefix` as a pattern; returns `true` if it was not one before.
+    fn insert(&mut self, prefix: &[u16]) -> bool {
+        let mut node = Self::ROOT;
+        for &digit in prefix {
+            node = match self.child(node, digit) {
+                Some(next) => next,
+                None => {
+                    let next = self.nodes.len() as NodeId;
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node as usize].children.push((digit, next));
+                    next
+                }
+            };
+        }
+        !std::mem::replace(&mut self.nodes[node as usize].terminal, true)
+    }
+
+    fn contains(&self, prefix: &[u16]) -> bool {
+        let mut node = Self::ROOT;
+        for &digit in prefix {
+            match self.child(node, digit) {
+                Some(next) => node = next,
+                None => return false,
+            }
+        }
+        self.is_terminal(node)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse patterns: per-(hole, action) inverted index
+// ---------------------------------------------------------------------------
+
+/// Sets bit `bit` in a lazily-grown u64-block bitset.
+fn set_bit(blocks: &mut Vec<u64>, bit: u32) {
+    let word = (bit / 64) as usize;
+    if blocks.len() <= word {
+        blocks.resize(word + 1, 0);
+    }
+    blocks[word] |= 1u64 << (bit % 64);
+}
+
+/// The inverted index of one constrained hole within one bucket.
+#[derive(Debug, Clone, Default)]
+struct HoleIndex {
+    /// Patterns (bucket-local ids) that constrain this hole at all.
+    constrains: Vec<u64>,
+    /// Patterns that constrain this hole to the given action, indexed by
+    /// action value.
+    by_action: Vec<Vec<u64>>,
+}
+
+/// All sparse patterns whose highest constrained hole is this bucket's
+/// index. Scoping the bitsets per bucket keeps them small *and* makes the
+/// depth scoping of subtree queries structural: bucket `h` is consulted
+/// exactly once, when the odometer has just fixed hole `h`.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    /// Number of patterns in this bucket (bucket-local ids are `0..len`).
+    len: u32,
+    /// Constrained holes, ascending; parallel to `index`.
+    holes: Vec<u16>,
+    index: Vec<HoleIndex>,
+}
+
+impl Bucket {
+    /// Adds one pattern (sorted pairs, max hole = this bucket's index).
+    fn insert(&mut self, pairs: &[(u16, u16)]) {
+        let id = self.len;
+        self.len += 1;
+        // Walk runs of equal holes: sorted input puts a hole's pairs
+        // side by side.
+        let mut i = 0;
+        while i < pairs.len() {
+            let hole = pairs[i].0;
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == hole {
+                j += 1;
+            }
+            let slot = match self.holes.binary_search(&hole) {
+                Ok(s) => s,
+                Err(s) => {
+                    self.holes.insert(s, hole);
+                    self.index.insert(s, HoleIndex::default());
+                    s
+                }
+            };
+            let hi = &mut self.index[slot];
+            set_bit(&mut hi.constrains, id);
+            if j - i == 1 {
+                let action = pairs[i].1 as usize;
+                if hi.by_action.len() <= action {
+                    hi.by_action.resize_with(action + 1, Vec::new);
+                }
+                set_bit(&mut hi.by_action[action], id);
+            }
+            // else: the pattern demands two different actions of one hole —
+            // unsatisfiable under the conjunction semantics. Constrained
+            // with no matching action bit encodes exactly that: the query's
+            // `¬constrains ∪ by_action` filter eliminates the pattern at
+            // this hole for every digit value.
+            i = j;
+        }
+    }
+
+    /// Does any pattern in this bucket match `digits`? Only holes `≤` this
+    /// bucket's index are consulted, so `digits` may be any prefix that
+    /// covers them.
+    ///
+    /// A pattern matches iff every hole it constrains carries the pattern's
+    /// action, so the survivor set is the intersection over constrained
+    /// holes `h` of `¬constrains(h) ∪ by_action(h, digits[h])` — computed
+    /// blockwise in `scratch`, with an early exit when it empties.
+    fn any_match(&self, digits: &[u16], scratch: &mut Vec<u64>) -> bool {
+        let n = self.len as usize;
+        if n == 0 {
+            return false;
+        }
+        let blocks = n.div_ceil(64);
+        scratch.clear();
+        scratch.resize(blocks, !0u64);
+        // Mask the tail so phantom ids past `len` never count as matches.
+        if n % 64 != 0 {
+            scratch[blocks - 1] = (1u64 << (n % 64)) - 1;
+        }
+        for (slot, &hole) in self.holes.iter().enumerate() {
+            let hi = &self.index[slot];
+            let by = hi.by_action.get(digits[hole as usize] as usize);
+            let mut live = 0u64;
+            for (word, survivors) in scratch.iter_mut().enumerate() {
+                let constrained = hi.constrains.get(word).copied().unwrap_or(0);
+                let matching = by.and_then(|v| v.get(word)).copied().unwrap_or(0);
+                *survivors &= !constrained | matching;
+                live |= *survivors;
+            }
+            if live == 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Sparse-pattern store: buckets by highest constrained hole, each with its
+/// inverted index.
+#[derive(Debug, Clone, Default)]
+struct SparseIndex {
+    buckets: Vec<Bucket>,
+    /// `true` once the empty pattern (inherently faulty skeleton) is stored;
+    /// it matches everything, including the empty prefix no bucket covers.
+    has_empty: bool,
+}
+
+impl SparseIndex {
+    /// Adds a sorted, de-duplicated, not-previously-seen pattern.
+    fn insert(&mut self, pairs: &[(u16, u16)]) {
+        let max_pos = match pairs.last() {
+            Some(&(hole, _)) => hole as usize,
+            None => {
+                // The empty pattern constrains nothing: park it in bucket 0
+                // (where it matches vacuously, mirroring the reference
+                // semantics) and flag it for depth-0 queries.
+                self.has_empty = true;
+                0
+            }
+        };
+        if self.buckets.len() <= max_pos {
+            self.buckets.resize_with(max_pos + 1, Bucket::default);
+        }
+        self.buckets[max_pos].insert(pairs);
+    }
+
+    /// Does any pattern in bucket `bucket` match `digits`?
+    fn bucket_matches(&self, bucket: usize, digits: &[u16], scratch: &mut Vec<u64>) -> bool {
+        self.buckets
+            .get(bucket)
+            .is_some_and(|b| b.any_match(digits, scratch))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The indexed pattern table
+// ---------------------------------------------------------------------------
+
+/// The pruning-pattern lookup table: a prefix trie for dense patterns plus a
+/// per-`(hole, action)` inverted index for sparse ones (see the
+/// [module docs](self) for the layout and its soundness argument).
 #[derive(Debug, Default, Clone)]
 pub struct PatternTable {
-    /// Dense prefixes, hashed for O(1) subtree checks during enumeration.
-    prefixes: FnvHashSet<Vec<u16>>,
-    /// Sparse patterns bucketed by their highest mentioned hole: bucket `h`
+    /// Dense prefixes, trie-indexed for one-step-per-depth subtree checks.
+    prefixes: PrefixTrie,
+    /// Sparse patterns, bucketed by highest mentioned hole: bucket `h`
     /// is consulted when the odometer has just fixed hole `h`.
-    sparse: Vec<Vec<SparsePattern>>,
+    sparse: SparseIndex,
     /// De-duplication of sparse inserts.
     sparse_seen: FnvHashSet<SparsePattern>,
-    /// Total number of distinct patterns inserted (the paper's "Pruning
-    /// Patterns" column).
-    inserted: usize,
+    /// Number of distinct dense prefixes inserted.
+    dense_count: usize,
+    /// Number of distinct sparse patterns inserted.
+    sparse_count: usize,
 }
 
 impl PatternTable {
@@ -66,22 +325,33 @@ impl PatternTable {
         PatternTable::default()
     }
 
-    /// Number of distinct patterns stored.
+    /// Number of distinct patterns stored (the paper's "Pruning Patterns"
+    /// column).
     pub fn len(&self) -> usize {
-        self.inserted
+        self.dense_count + self.sparse_count
+    }
+
+    /// Number of distinct dense prefix patterns stored.
+    pub fn dense_len(&self) -> usize {
+        self.dense_count
+    }
+
+    /// Number of distinct sparse (refined) patterns stored.
+    pub fn sparse_len(&self) -> usize {
+        self.sparse_count
     }
 
     /// `true` if no pattern has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.inserted == 0
+        self.len() == 0
     }
 
     /// Records the failure of a candidate with concrete prefix `prefix`.
     ///
     /// Returns `true` if the pattern is new.
     pub fn insert_prefix(&mut self, prefix: &[u16]) -> bool {
-        if self.prefixes.insert(prefix.to_vec()) {
-            self.inserted += 1;
+        if self.prefixes.insert(prefix) {
+            self.dense_count += 1;
             true
         } else {
             false
@@ -102,12 +372,8 @@ impl PatternTable {
         if !self.sparse_seen.insert(pairs.clone()) {
             return false;
         }
-        let max_pos = pairs.last().map_or(0, |&(p, _)| p as usize);
-        if self.sparse.len() <= max_pos {
-            self.sparse.resize_with(max_pos + 1, Vec::new);
-        }
-        self.sparse[max_pos].push(pairs);
-        self.inserted += 1;
+        self.sparse.insert(&pairs);
+        self.sparse_count += 1;
         true
     }
 
@@ -117,13 +383,196 @@ impl PatternTable {
     /// scoped to patterns that are fully determined by those `d` holes —
     /// exactly the patterns able to doom every candidate in the subtree.
     /// Call this at every depth as the odometer descends (each depth `d`
-    /// checks the patterns whose last constrained hole is `d - 1`).
+    /// checks the patterns whose last constrained hole is `d - 1`), or use
+    /// [`PatternTable::first_pruned_depth`] to run the whole descent in one
+    /// incremental walk.
     pub fn prunes_subtree(&self, prefix: &[u16]) -> bool {
         if self.prefixes.contains(prefix) {
             return true;
         }
         let Some(d) = prefix.len().checked_sub(1) else {
             // Depth 0: only the empty sparse pattern could match.
+            return self.sparse.has_empty;
+        };
+        let mut scratch = Vec::new();
+        self.sparse.bucket_matches(d, prefix, &mut scratch)
+    }
+
+    /// The shallowest depth `d ≤ max_depth` at which the subtree
+    /// `digits[..d]` is pruned, or `None` if no prefix of `digits` up to
+    /// `max_depth` matches a pattern.
+    ///
+    /// Semantically identical to probing [`PatternTable::prunes_subtree`]
+    /// at every depth `0..=max_depth`, but walks the prefix trie
+    /// incrementally (one child step per depth instead of one root-descent
+    /// per depth) and reuses one scratch bitset across the bucket queries.
+    ///
+    /// Allocates a fresh scratch bitset; the enumeration hot loop should
+    /// prefer [`PatternTable::first_pruned_depth_in`], which reuses one
+    /// caller-owned buffer across candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth > digits.len()`.
+    pub fn first_pruned_depth(&self, digits: &[u16], max_depth: usize) -> Option<usize> {
+        self.first_pruned_depth_in(digits, max_depth, &mut Vec::new())
+    }
+
+    /// [`PatternTable::first_pruned_depth`] with a caller-owned scratch
+    /// bitset, so a worker probing millions of enumeration nodes performs
+    /// zero allocations on the query path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth > digits.len()`.
+    pub fn first_pruned_depth_in(
+        &self,
+        digits: &[u16],
+        max_depth: usize,
+        scratch: &mut Vec<u64>,
+    ) -> Option<usize> {
+        assert!(max_depth <= digits.len(), "depth out of range");
+        let mut node = Some(PrefixTrie::ROOT);
+        for d in 0..=max_depth {
+            if let Some(n) = node {
+                if self.prefixes.is_terminal(n) {
+                    return Some(d);
+                }
+            }
+            let sparse_hit = match d.checked_sub(1) {
+                None => self.sparse.has_empty,
+                Some(bucket) => self.sparse.bucket_matches(bucket, digits, scratch),
+            };
+            if sparse_hit {
+                return Some(d);
+            }
+            if d < max_depth {
+                node = node.and_then(|n| self.prefixes.child(n, digits[d]));
+            }
+        }
+        None
+    }
+
+    /// Reference semantics: does any stored pattern match the *complete*
+    /// candidate `digits`? Used by tests to validate the subtree-based
+    /// pruning against first principles.
+    pub fn matches_candidate(&self, digits: &[u16]) -> bool {
+        // Dense prefixes: any terminal node along the digit path matches.
+        let mut node = Some(PrefixTrie::ROOT);
+        let mut i = 0;
+        while let Some(n) = node {
+            if self.prefixes.is_terminal(n) {
+                return true;
+            }
+            if i == digits.len() {
+                break;
+            }
+            node = self.prefixes.child(n, digits[i]);
+            i += 1;
+        }
+        if self.sparse.has_empty {
+            return true;
+        }
+        // A sparse pattern in bucket `d` constrains holes `≤ d` only, so it
+        // can match iff the candidate covers hole `d`.
+        let mut scratch = Vec::new();
+        let consultable = digits.len().min(self.sparse.buckets.len());
+        (0..consultable).any(|d| self.sparse.bucket_matches(d, digits, &mut scratch))
+    }
+
+    /// Merges another table's prefix pattern into this one (used when worker
+    /// threads sync from the shared pattern log).
+    pub fn merge_prefix(&mut self, prefix: &[u16]) {
+        self.insert_prefix(prefix);
+    }
+
+    /// Sparse analogue of [`PatternTable::merge_prefix`].
+    pub fn merge_sparse(&mut self, pattern: SparsePattern) {
+        // Already sorted by the producer; insert_sparse re-sorts defensively.
+        self.insert_sparse(pattern);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reference implementation (differential oracle)
+// ---------------------------------------------------------------------------
+
+/// The pre-index pattern table: a hashed prefix set plus per-bucket linear
+/// scans.
+///
+/// This is the *executable specification* of the pattern-table semantics —
+/// deliberately simple, obviously correct, and O(bucket) per query. It
+/// survives for two purposes only:
+///
+/// * the differential oracle: `tests/pattern_index_differential.rs` drives
+///   randomized operation sequences through this table and [`PatternTable`]
+///   and asserts observational equivalence at every step;
+/// * the baseline of the `pattern_index` microbench, which quantifies the
+///   scan → trie / inverted-index speedup (`BENCH_patterns.json`).
+///
+/// Production code must use [`PatternTable`].
+#[derive(Debug, Default, Clone)]
+pub struct ReferencePatternTable {
+    /// Dense prefixes, hashed for whole-prefix probes.
+    prefixes: FnvHashSet<Vec<u16>>,
+    /// Sparse patterns bucketed by their highest mentioned hole.
+    sparse: Vec<Vec<SparsePattern>>,
+    /// De-duplication of sparse inserts.
+    sparse_seen: FnvHashSet<SparsePattern>,
+    /// Total number of distinct patterns inserted.
+    inserted: usize,
+}
+
+impl ReferencePatternTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ReferencePatternTable::default()
+    }
+
+    /// Number of distinct patterns stored.
+    pub fn len(&self) -> usize {
+        self.inserted
+    }
+
+    /// `true` if no pattern has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Records a dense prefix pattern; returns `true` if new.
+    pub fn insert_prefix(&mut self, prefix: &[u16]) -> bool {
+        if self.prefixes.insert(prefix.to_vec()) {
+            self.inserted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a sparse pattern (pairs need not be sorted); returns `true`
+    /// if new.
+    pub fn insert_sparse(&mut self, mut pairs: SparsePattern) -> bool {
+        pairs.sort_unstable();
+        pairs.dedup();
+        if !self.sparse_seen.insert(pairs.clone()) {
+            return false;
+        }
+        let max_pos = pairs.last().map_or(0, |&(p, _)| p as usize);
+        if self.sparse.len() <= max_pos {
+            self.sparse.resize_with(max_pos + 1, Vec::new);
+        }
+        self.sparse[max_pos].push(pairs);
+        self.inserted += 1;
+        true
+    }
+
+    /// Linear-scan subtree check: hash-probe the whole prefix, then scan
+    /// every sparse pattern in the depth bucket.
+    pub fn prunes_subtree(&self, prefix: &[u16]) -> bool {
+        if self.prefixes.contains(prefix) {
+            return true;
+        }
+        let Some(d) = prefix.len().checked_sub(1) else {
             return self.sparse_seen.contains(&Vec::new());
         };
         if let Some(bucket) = self.sparse.get(d) {
@@ -133,16 +582,21 @@ impl PatternTable {
                 }
             }
         }
-        // The empty sparse pattern (inherently faulty skeleton) has
-        // max_pos 0, but must also match at depth 1 when hole 0 exists —
-        // it lives in bucket 0 and matches vacuously there, so it is
-        // already covered by the loop above when d == 0.
         false
     }
 
-    /// Reference semantics: does any stored pattern match the *complete*
-    /// candidate `digits`? Used by tests to validate the subtree-based
-    /// pruning against first principles.
+    /// Loop-of-[`ReferencePatternTable::prunes_subtree`] reference for
+    /// [`PatternTable::first_pruned_depth`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth > digits.len()`.
+    pub fn first_pruned_depth(&self, digits: &[u16], max_depth: usize) -> Option<usize> {
+        assert!(max_depth <= digits.len(), "depth out of range");
+        (0..=max_depth).find(|&d| self.prunes_subtree(&digits[..d]))
+    }
+
+    /// First-principles whole-candidate match.
     pub fn matches_candidate(&self, digits: &[u16]) -> bool {
         for len in 0..=digits.len() {
             if self.prefixes.contains(&digits[..len]) {
@@ -156,17 +610,13 @@ impl PatternTable {
             })
     }
 
-    /// Merges another table's patterns into this one (used when worker
-    /// threads sync from the shared pattern log).
-    pub fn merge_prefix(&mut self, prefix: Vec<u16>) {
-        if self.prefixes.insert(prefix) {
-            self.inserted += 1;
-        }
+    /// Merge entry point mirroring [`PatternTable::merge_prefix`].
+    pub fn merge_prefix(&mut self, prefix: &[u16]) {
+        self.insert_prefix(prefix);
     }
 
-    /// Sparse analogue of [`PatternTable::merge_prefix`].
+    /// Merge entry point mirroring [`PatternTable::merge_sparse`].
     pub fn merge_sparse(&mut self, pattern: SparsePattern) {
-        // Already sorted by the producer; insert_sparse re-sorts defensively.
         self.insert_sparse(pattern);
     }
 }
@@ -182,6 +632,8 @@ mod tests {
         assert!(!t.insert_prefix(&[0]), "duplicate not re-counted");
         assert!(t.insert_prefix(&[1, 1]));
         assert_eq!(t.len(), 2);
+        assert_eq!(t.dense_len(), 2);
+        assert_eq!(t.sparse_len(), 0);
 
         assert!(t.prunes_subtree(&[0]));
         assert!(!t.prunes_subtree(&[1]));
@@ -207,6 +659,7 @@ mod tests {
             !t.insert_sparse(vec![(0, 0), (2, 1)]),
             "same pattern, sorted"
         );
+        assert_eq!(t.sparse_len(), 1);
 
         // Subtree checks: nothing decidable before hole 2 is fixed.
         assert!(!t.prunes_subtree(&[0]));
@@ -240,10 +693,101 @@ mod tests {
     #[test]
     fn merge_counts_new_only() {
         let mut t = PatternTable::new();
-        t.merge_prefix(vec![1]);
-        t.merge_prefix(vec![1]);
+        t.merge_prefix(&[1]);
+        t.merge_prefix(&[1]);
         t.merge_sparse(vec![(0, 1)]);
         t.merge_sparse(vec![(0, 1)]);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn first_pruned_depth_matches_per_depth_probes() {
+        let mut t = PatternTable::new();
+        t.insert_prefix(&[1, 2]);
+        t.insert_sparse(vec![(0, 0), (3, 1)]);
+
+        let probe = |digits: &[u16]| -> Option<usize> {
+            (0..=digits.len()).find(|&d| t.prunes_subtree(&digits[..d]))
+        };
+        for digits in [
+            vec![1u16, 2, 0, 0],
+            vec![1, 3, 0, 1],
+            vec![0, 9, 9, 1],
+            vec![0, 9, 9, 0],
+            vec![2, 2, 2, 2],
+        ] {
+            assert_eq!(
+                t.first_pruned_depth(&digits, digits.len()),
+                probe(&digits),
+                "digits {digits:?}"
+            );
+        }
+        assert_eq!(t.first_pruned_depth(&[1, 2, 0, 0], 1), None, "depth-capped");
+    }
+
+    #[test]
+    fn contradictory_pattern_is_unsatisfiable() {
+        // Two actions demanded of one hole: conjunction semantics say the
+        // pattern can never match (caught by the differential suite).
+        let mut t = PatternTable::new();
+        let mut r = ReferencePatternTable::new();
+        assert_eq!(
+            t.insert_sparse(vec![(2, 1), (2, 3)]),
+            r.insert_sparse(vec![(2, 1), (2, 3)])
+        );
+        for a in 0..5u16 {
+            let prefix = [0, 0, a];
+            assert!(!t.prunes_subtree(&prefix), "digit {a}");
+            assert_eq!(t.prunes_subtree(&prefix), r.prunes_subtree(&prefix));
+            assert!(!t.matches_candidate(&prefix));
+        }
+        assert_eq!(t.len(), 1, "still counted as a stored pattern");
+    }
+
+    #[test]
+    fn inverted_index_spans_block_boundaries() {
+        // >64 patterns in one bucket forces multi-block bitsets; every
+        // pattern must stay individually addressable.
+        let mut t = PatternTable::new();
+        let mut r = ReferencePatternTable::new();
+        for i in 0..200u16 {
+            let pat = vec![(0, i), (2, i % 3)];
+            assert_eq!(t.insert_sparse(pat.clone()), r.insert_sparse(pat));
+        }
+        for a in 0..210u16 {
+            for b in 0..4u16 {
+                let prefix = [a, 7, b];
+                assert_eq!(
+                    t.prunes_subtree(&prefix),
+                    r.prunes_subtree(&prefix),
+                    "prefix {prefix:?}"
+                );
+            }
+        }
+        assert_eq!(t.len(), r.len());
+    }
+
+    #[test]
+    fn reference_table_agrees_on_the_unit_cases() {
+        let mut t = ReferencePatternTable::new();
+        assert!(t.insert_prefix(&[0]));
+        assert!(t.insert_sparse(vec![(2, 1), (0, 0)]));
+        assert!(!t.insert_sparse(vec![(0, 0), (2, 1)]));
+        assert_eq!(t.len(), 2);
+        assert!(t.prunes_subtree(&[0]));
+        assert!(t.prunes_subtree(&[0, 5, 1]));
+        assert!(!t.prunes_subtree(&[1, 5, 0]));
+        assert!(t.matches_candidate(&[0, 9, 1, 4]));
+        assert_eq!(t.first_pruned_depth(&[0, 5, 1], 3), Some(1), "prefix hit");
+        assert_eq!(t.first_pruned_depth(&[1, 5, 1], 3), None);
+
+        let mut sparse_only = ReferencePatternTable::new();
+        sparse_only.insert_sparse(vec![(0, 0), (2, 1)]);
+        assert_eq!(
+            sparse_only.first_pruned_depth(&[0, 5, 1], 3),
+            Some(3),
+            "sparse hit once hole 2 is fixed"
+        );
+        assert_eq!(sparse_only.first_pruned_depth(&[0, 5, 0], 3), None);
     }
 }

@@ -96,6 +96,12 @@ pub struct SynthStats {
     pub skipped_by_pruning: u128,
     /// Distinct pruning patterns recorded — the paper's "Pruning Patterns".
     pub patterns: usize,
+    /// Of [`SynthStats::patterns`], the dense prefix patterns (paper-exact
+    /// mode's product; stored in the pattern table's radix trie).
+    pub patterns_dense: usize,
+    /// Of [`SynthStats::patterns`], the sparse refined patterns (stored in
+    /// the per-`(hole, action)` inverted index).
+    pub patterns_sparse: usize,
     /// Per-generation breakdown.
     pub generations: Vec<GenStats>,
     /// Wall-clock time of the whole synthesis.
@@ -224,7 +230,11 @@ impl fmt::Display for SynthReport {
         )?;
         writeln!(f, "  evaluated        : {}", self.stats.evaluated)?;
         writeln!(f, "  pruned           : {}", self.stats.skipped_by_pruning)?;
-        writeln!(f, "  pruning patterns : {}", self.stats.patterns)?;
+        writeln!(
+            f,
+            "  pruning patterns : {} ({} dense prefixes, {} sparse)",
+            self.stats.patterns, self.stats.patterns_dense, self.stats.patterns_sparse
+        )?;
         writeln!(f, "  generations      : {}", self.stats.generations.len())?;
         writeln!(f, "  wall time        : {:?}", self.stats.wall)?;
         writeln!(f, "  solutions        : {}", self.solutions.len())?;

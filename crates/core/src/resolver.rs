@@ -19,7 +19,7 @@
 
 use crate::hole::{HoleId, HoleRegistry};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use verc3_mck::hashers::FnvHashMap;
 use verc3_mck::{Choice, HoleResolver, HoleSpec, SharedResolver};
 
 /// What undiscovered/unassigned holes resolve to.
@@ -36,8 +36,10 @@ pub enum DiscoveryDefault {
 /// Lives longer than any single resolver: the worker thread reuses it across
 /// candidate evaluations so that, in the common case, resolving a hole does
 /// not take the registry lock at all — the lock-free fast path the paper
-/// found necessary (§II, *Parallel Synthesis*).
-pub type NameCache = HashMap<String, HoleId>;
+/// found necessary (§II, *Parallel Synthesis*). Keyed with the checker's
+/// deterministic FNV hasher: the cache sits on the per-rule-application hot
+/// path, where SipHash on short hole names is measurable overhead.
+pub type NameCache = FnvHashMap<String, HoleId>;
 
 /// Hole resolver for one candidate evaluation.
 #[derive(Debug)]
@@ -212,7 +214,7 @@ impl SharedResolver for SharedCandidateResolver<'_> {
     fn worker(&self) -> Box<dyn HoleResolver + '_> {
         Box::new(WorkerCandidateResolver {
             shared: self,
-            cache: NameCache::new(),
+            cache: NameCache::default(),
             seen: Vec::new(),
             app_touches: Vec::new(),
         })
@@ -286,7 +288,7 @@ mod tests {
         let reg = HoleRegistry::new();
         reg.resolve_or_register(&spec("x", 3));
         reg.resolve_or_register(&spec("y", 2));
-        let mut cache = NameCache::new();
+        let mut cache = NameCache::default();
         let digits = [2u16, 1u16];
         let mut r = CandidateResolver::new(&reg, &digits, DiscoveryDefault::Wildcard, &mut cache);
         assert_eq!(r.choose(&spec("x", 3)), Choice::Action(2));
@@ -297,7 +299,7 @@ mod tests {
     #[test]
     fn unassigned_holes_follow_default() {
         let reg = HoleRegistry::new();
-        let mut cache = NameCache::new();
+        let mut cache = NameCache::default();
         let mut r = CandidateResolver::new(&reg, &[], DiscoveryDefault::Wildcard, &mut cache);
         assert_eq!(r.choose(&spec("new", 2)), Choice::Wildcard);
         assert_eq!(r.discovered(), 1);
@@ -306,7 +308,7 @@ mod tests {
             "wildcard resolutions are not touches"
         );
 
-        let mut cache = NameCache::new();
+        let mut cache = NameCache::default();
         let mut r = CandidateResolver::new(&reg, &[], DiscoveryDefault::ActionZero, &mut cache);
         assert_eq!(r.choose(&spec("new", 2)), Choice::Action(0));
         assert_eq!(r.discovered(), 0, "hole already known to the registry");
@@ -316,7 +318,7 @@ mod tests {
     #[test]
     fn cache_survives_across_resolvers() {
         let reg = HoleRegistry::new();
-        let mut cache = NameCache::new();
+        let mut cache = NameCache::default();
         {
             let mut r = CandidateResolver::new(&reg, &[], DiscoveryDefault::Wildcard, &mut cache);
             let _ = r.choose(&spec("h", 2));
@@ -372,7 +374,7 @@ mod tests {
     fn touched_deduplicates_repeat_consultations() {
         let reg = HoleRegistry::new();
         reg.resolve_or_register(&spec("x", 2));
-        let mut cache = NameCache::new();
+        let mut cache = NameCache::default();
         let digits = [1u16];
         let mut r = CandidateResolver::new(&reg, &digits, DiscoveryDefault::Wildcard, &mut cache);
         let _ = r.choose(&spec("x", 2));

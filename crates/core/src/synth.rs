@@ -54,6 +54,7 @@ pub struct SynthOptions {
     check_threads: usize,
     checker: CheckerOptions,
     chunk_size: u64,
+    sync_interval: usize,
     max_evaluations: Option<u64>,
     record_runs: bool,
 }
@@ -67,6 +68,7 @@ impl Default for SynthOptions {
             check_threads: 1,
             checker: CheckerOptions::default(),
             chunk_size: 32,
+            sync_interval: 1,
             max_evaluations: None,
             record_runs: false,
         }
@@ -155,6 +157,28 @@ impl SynthOptions {
         self
     }
 
+    /// How many chunks a worker processes between syncs from the shared
+    /// pattern log (default 1: sync at every chunk boundary, the eager
+    /// behaviour small workloads want).
+    ///
+    /// At msi_xl-and-beyond pattern volumes, taking the shared-log lock at
+    /// every chunk boundary serializes the workers; a larger interval
+    /// amortizes the merges at the cost of each worker pruning against a
+    /// slightly staler table. Pattern *publication* stays immediate — only
+    /// the pull side is batched — and every pattern a worker records locally
+    /// is also in its own table at once, so results (the solution set) are
+    /// unaffected at any interval; only the evaluated-candidate count can
+    /// drift, exactly as it does across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn sync_interval(mut self, every: usize) -> Self {
+        assert!(every > 0, "sync interval must be positive");
+        self.sync_interval = every;
+        self
+    }
+
     /// Stops the run (marking the report truncated) after this many
     /// model-checker dispatches. A safety valve for exploratory use on
     /// intractable skeletons.
@@ -228,10 +252,13 @@ impl Synthesizer {
             }
         }
 
+        let (patterns_dense, patterns_sparse) = shared.hub.counts();
         let stats = SynthStats {
             evaluated: generations.iter().map(|g| g.evaluated).sum(),
             skipped_by_pruning: generations.iter().map(|g| g.skipped_by_pruning).sum(),
-            patterns: shared.hub.len(),
+            patterns: patterns_dense + patterns_sparse,
+            patterns_dense,
+            patterns_sparse,
             generations,
             wall: start.elapsed(),
             truncated: shared.stop.load(Ordering::Acquire),
@@ -317,9 +344,13 @@ struct GenShared {
 /// One worker's chunk-claiming evaluation loop.
 fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) {
     let opts = shared.options;
-    let mut cache = NameCache::new();
+    let mut cache = NameCache::default();
     let mut local_patterns = PatternTable::new();
+    // Survivor-bitset scratch reused across every pruning probe this worker
+    // makes: the query path allocates nothing.
+    let mut scratch: Vec<u64> = Vec::new();
     let mut log_cursor = 0usize;
+    let mut chunks_until_sync = 0usize;
     // The generation space is never larger than u64 in practice (MSI-large
     // is ~1.2e9); guard anyway so a pathological skeleton fails loudly.
     let total: u64 = gen.space.try_into().unwrap_or_else(|_| {
@@ -340,7 +371,14 @@ fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) 
         }
         let hi = (lo + chunk).min(total.max(1));
         if opts.pruning {
-            shared.hub.sync_into(&mut local_patterns, &mut log_cursor);
+            // Batched pattern-log sync: pull the shared log every
+            // `sync_interval` chunks instead of at every boundary, so the
+            // hub lock is off the chunk fast path at large pattern volumes.
+            if chunks_until_sync == 0 {
+                shared.hub.sync_into(&mut local_patterns, &mut log_cursor);
+                chunks_until_sync = opts.sync_interval;
+            }
+            chunks_until_sync -= 1;
         }
 
         let mut od = Odometer::over_range(gen.radices.clone(), lo as u128, hi as u128);
@@ -348,15 +386,14 @@ fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) 
             if shared.stop.load(Ordering::Acquire) {
                 return;
             }
-            // Candidate pruning: check the table at every prefix depth; a hit
-            // skips the entire subtree below that depth in O(1).
+            // Candidate pruning: one incremental cursor walk over all prefix
+            // depths (trie descent + per-depth inverted-index probes); a hit
+            // at depth `d` skips the entire subtree below it in O(1).
             if opts.pruning {
-                for d in 0..=gen.k {
-                    if local_patterns.prunes_subtree(&digits[..d]) {
-                        let n = od.skip_subtree(d);
-                        gen.skipped.fetch_add(n as u64, Ordering::Relaxed);
-                        continue 'candidates;
-                    }
+                if let Some(d) = local_patterns.first_pruned_depth_in(digits, gen.k, &mut scratch) {
+                    let n = od.skip_subtree(d);
+                    gen.skipped.fetch_add(n as u64, Ordering::Relaxed);
+                    continue 'candidates;
                 }
             } else if gen.k > gen.prev_k && digits[gen.prev_k..gen.k].iter().all(|&x| x == 0) {
                 // Naïve mode: a candidate whose new digits are all defaults
@@ -498,7 +535,7 @@ impl PatternHub {
     /// Publishes a prefix pattern; merges into `local` as well. Returns
     /// whether the pattern was new to the shared table.
     fn publish_prefix(&self, prefix: &[u16], local: &mut PatternTable) -> bool {
-        local.merge_prefix(prefix.to_vec());
+        local.merge_prefix(prefix);
         let mut inner = self.inner.lock();
         if inner.canonical.insert_prefix(prefix) {
             inner.log.push(LogEntry::Prefix(prefix.to_vec()));
@@ -525,16 +562,17 @@ impl PatternHub {
         let inner = self.inner.lock();
         for entry in &inner.log[*cursor..] {
             match entry {
-                LogEntry::Prefix(p) => local.merge_prefix(p.clone()),
+                LogEntry::Prefix(p) => local.merge_prefix(p),
                 LogEntry::Sparse(s) => local.merge_sparse(s.clone()),
             }
         }
         *cursor = inner.log.len();
     }
 
-    /// Number of distinct patterns recorded.
-    fn len(&self) -> usize {
-        self.inner.lock().canonical.len()
+    /// Distinct `(dense prefix, sparse)` pattern counts recorded.
+    fn counts(&self) -> (usize, usize) {
+        let inner = self.inner.lock();
+        (inner.canonical.dense_len(), inner.canonical.sparse_len())
     }
 }
 
@@ -715,6 +753,49 @@ mod tests {
                 Synthesizer::new(SynthOptions::default().threads(2).check_threads(2)).run(&model);
             assert_eq!(solution_set(&par), solution_set(&seq), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn sync_interval_is_result_invariant() {
+        // Serial: batching the pattern-log pull must not perturb the exact
+        // Figure-2 run (the worker's local table already holds everything it
+        // published itself).
+        let model = GraphModel::worked_example();
+        let base = Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+        let batched = Synthesizer::new(SynthOptions::default().record_runs(true).sync_interval(64))
+            .run(&model);
+        assert_eq!(batched.stats().evaluated, base.stats().evaluated);
+        assert_eq!(batched.stats().patterns, base.stats().patterns);
+
+        // Parallel: staler local tables may shift evaluated counts, never
+        // the solution set.
+        for seed in 500..505 {
+            let model = GraphModel::random(seed, 6, 3);
+            let seq = Synthesizer::new(SynthOptions::default()).run(&model);
+            for interval in [2usize, 16] {
+                let par =
+                    Synthesizer::new(SynthOptions::default().threads(4).sync_interval(interval))
+                        .run(&model);
+                assert_eq!(
+                    solution_set(&par),
+                    solution_set(&seq),
+                    "seed {seed} interval {interval}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_counts_split_by_kind() {
+        let model = GraphModel::worked_example();
+        let exact = Synthesizer::new(SynthOptions::default()).run(&model);
+        assert_eq!(exact.stats().patterns_dense, exact.stats().patterns);
+        assert_eq!(exact.stats().patterns_sparse, 0);
+
+        let refined = Synthesizer::new(SynthOptions::default().pattern_mode(PatternMode::Refined))
+            .run(&model);
+        assert_eq!(refined.stats().patterns_dense, 0);
+        assert_eq!(refined.stats().patterns_sparse, refined.stats().patterns);
     }
 
     #[test]

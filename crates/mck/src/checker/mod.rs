@@ -82,14 +82,20 @@ impl Default for CheckerOptions {
 }
 
 impl CheckerOptions {
-    /// Caps the number of distinct states explored; exceeding the cap yields
-    /// an [`Verdict::Unknown`] outcome flagged via [`Outcome::incomplete`].
+    /// Caps the number of distinct states explored; needing to exceed the
+    /// cap yields a [`Verdict::Unknown`] outcome flagged via
+    /// [`Outcome::incomplete`].
     ///
-    /// The serial driver stops within one state's expansion of the limit.
-    /// The parallel driver ([`CheckerOptions::threads`]) enforces the cap at
-    /// the same deterministic point — committed counts are identical — but
-    /// expands whole layers at a time, so as a *memory* guard the cap may be
-    /// overshot by up to one BFS layer's worth of parked successor states.
+    /// Admission is clamped, not merely detected: the first state that would
+    /// make the committed store exceed the cap is *refused* and exploration
+    /// stops there, so `Stats::states_visited ≤ max_states` always holds and
+    /// a refused state is never inspected (its invariants are not checked —
+    /// the verdict is `Unknown` regardless). The parallel driver
+    /// ([`CheckerOptions::threads`]) enforces the cap at the same
+    /// deterministic replay point, so committed counts and statistics remain
+    /// identical to the serial driver's at any thread count; it may still
+    /// *transiently* hold up to one expanded layer of parked candidate
+    /// successors in memory before the replay clamps them.
     pub fn max_states(mut self, limit: usize) -> Self {
         self.max_states = limit;
         self
@@ -565,21 +571,26 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
     }
 
     /// Inserts `state` (already canonicalized) if new; returns its id and
-    /// whether it was newly inserted.
+    /// whether it was newly inserted — or `None` if the state is new but
+    /// admitting it would exceed [`CheckerOptions::max_states`] (the caller
+    /// must stop exploring with [`MckError::StateLimitExceeded`]).
     fn insert(
         &mut self,
         state: M::State,
         from: Option<(StateId, u32)>,
         touches: &[(usize, u16)],
-    ) -> (StateId, bool) {
+    ) -> Option<(StateId, bool)> {
         let hash = fingerprint(&state);
         if let Some(id) = self.visited.find(hash, &state, &self.core.states) {
-            return (id, false);
+            return Some((id, false));
+        }
+        if self.core.states.len() >= self.core.options.max_states {
+            return None;
         }
         let id = self.core.commit(state, from, touches);
         self.visited.insert(hash, id);
         self.queue.push_back(id);
-        (id, true)
+        Some((id, true))
     }
 
     fn explore(mut self) -> Outcome<M::State> {
@@ -594,27 +605,33 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
                 Some(MckError::NoInitialStates),
             );
         }
+        let mut incomplete: Option<MckError> = None;
+        let state_limit = MckError::StateLimitExceeded {
+            limit: self.core.options.max_states,
+        };
+
         for s0 in initial {
             let s0 = self.core.model.canonicalize(s0);
-            let (id, new) = self.insert(s0, None, &[]);
-            if new {
-                if let Some(name) = self.core.violated_invariant(id) {
-                    let failure = Failure {
-                        kind: FailureKind::InvariantViolation,
-                        property: name.to_owned(),
-                        trace: Some(self.core.trace_to(id)),
-                        touched: Some(Vec::new()),
-                    };
-                    return self
-                        .core
-                        .finish(start, Verdict::Failure, Some(failure), None);
+            match self.insert(s0, None, &[]) {
+                None => return self.core.analyze(start, Some(state_limit)),
+                Some((id, true)) => {
+                    if let Some(name) = self.core.violated_invariant(id) {
+                        let failure = Failure {
+                            kind: FailureKind::InvariantViolation,
+                            property: name.to_owned(),
+                            trace: Some(self.core.trace_to(id)),
+                            touched: Some(Vec::new()),
+                        };
+                        return self
+                            .core
+                            .finish(start, Verdict::Failure, Some(failure), None);
+                    }
                 }
+                Some((_, false)) => {}
             }
         }
 
-        let mut incomplete: Option<MckError> = None;
-
-        while let Some(id) = self.queue.pop_front() {
+        'bfs: while let Some(id) = self.queue.pop_front() {
             self.core.stats.peak_queue = self.core.stats.peak_queue.max(self.queue.len() + 1);
             let state = self.core.states[id as usize].clone();
             let mut any_next = false;
@@ -639,7 +656,14 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
                         self.core.stats.transitions += 1;
                         let next = self.core.model.canonicalize(next);
                         let touches = self.resolver.application_touches().to_vec();
-                        let (nid, new) = self.insert(next, Some((id, ri as u32)), &touches);
+                        let Some((nid, new)) = self.insert(next, Some((id, ri as u32)), &touches)
+                        else {
+                            // Admitting this successor would exceed the state
+                            // cap: stop here, before inspecting it, so the
+                            // committed store never outgrows `max_states`.
+                            incomplete = Some(state_limit.clone());
+                            break 'bfs;
+                        };
                         if let Some(edges) = &mut self.core.edges {
                             edges[id as usize].push(Edge {
                                 rule: ri as u32,
@@ -679,13 +703,6 @@ impl<'a, M: TransitionSystem> Bfs<'a, M> {
                 return self
                     .core
                     .finish(start, Verdict::Failure, Some(failure), None);
-            }
-
-            if self.core.states.len() > self.core.options.max_states {
-                incomplete = Some(MckError::StateLimitExceeded {
-                    limit: self.core.options.max_states,
-                });
-                break;
             }
         }
 
@@ -886,6 +903,11 @@ mod tests {
         let m = b.finish();
         let out = Checker::new(CheckerOptions::default().max_states(100)).run(&m);
         assert_eq!(out.verdict(), Verdict::Unknown);
+        assert_eq!(
+            out.stats().states_visited,
+            100,
+            "admission is clamped exactly at the cap"
+        );
         assert!(matches!(
             out.incomplete(),
             Some(MckError::StateLimitExceeded { limit: 100 })

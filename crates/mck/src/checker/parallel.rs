@@ -41,13 +41,15 @@
 //!
 //! Two deliberate, documented divergences remain outside that invariant:
 //! expansion runs a whole layer even when the replay will stop at a failure
-//! or the state cap partway through it, so (a) `max_states` as a *memory*
-//! guard may be overshot by one layer of parked pending states (committed
-//! counts are still exact — see [`CheckerOptions::max_states`]), and (b) a
-//! stateful resolver may be consulted for applications the replay then
-//! discards — harmless for the replay-derived outcome, but visible to
-//! resolvers that log consultations (see `SynthOptions::check_threads` for
-//! the synthesis-level consequences).
+//! or the state cap partway through it, so (a) up to one layer of parked
+//! pending successor states may be held *transiently* in memory beyond
+//! `max_states` before the replay's admission clamp discards them (the
+//! committed store — and therefore `Stats.states_visited` — never exceeds
+//! the cap; see [`CheckerOptions::max_states`]), and (b) a stateful
+//! resolver may be consulted for applications the replay then discards —
+//! harmless for the replay-derived outcome, but visible to resolvers that
+//! log consultations (see `SynthOptions::check_threads` for the
+//! synthesis-level consequences).
 
 use super::{
     fingerprint, insert_id, CheckerOptions, DeadlockPolicy, Edge, Failure, FailureKind, IdList,
@@ -209,38 +211,51 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
     }
 
     /// Commits an initial state if new; mirrors the serial driver's
-    /// `Bfs::insert` for the pre-layer phase.
-    fn insert_initial(&mut self, state: M::State) -> (StateId, bool) {
+    /// `Bfs::insert` for the pre-layer phase, including the admission clamp
+    /// (`None` = new state refused at the [`CheckerOptions::max_states`]
+    /// cap).
+    fn insert_initial(&mut self, state: M::State) -> Option<(StateId, bool)> {
         let hash = fingerprint(&state);
         let shard_idx = self.shard_of(hash);
         let shard = self.shards[shard_idx].get_mut();
         if let Some(entries) = shard.map.get(&hash) {
             for &id in entries.as_slice() {
                 if self.core.states[id as usize] == state {
-                    return (id, false);
+                    return Some((id, false));
                 }
             }
         }
+        if self.core.states.len() >= self.core.options.max_states {
+            return None;
+        }
         let id = self.core.commit(state, None, &[]);
+        let shard = self.shards[shard_idx].get_mut();
         shard.insert_committed(hash, id);
-        (id, true)
+        Some((id, true))
     }
 
     /// Resolves a fresh probe during replay: the first replay occurrence
     /// commits the parked state (assigning the next dense id, exactly as the
     /// serial driver would at this point); later occurrences — duplicates
     /// discovered concurrently within the layer — reuse the assigned id.
+    ///
+    /// Returns `None` when the claim is unresolved and committing it would
+    /// exceed [`CheckerOptions::max_states`] — the same admission clamp, at
+    /// the same deterministic sequence point, as the serial driver's.
     fn resolve_fresh(
         &mut self,
         shard_idx: usize,
         slot: usize,
         from: (StateId, u32),
         touches: &[(usize, u16)],
-    ) -> (StateId, bool) {
+    ) -> Option<(StateId, bool)> {
         let shard = self.shards[shard_idx].get_mut();
         let pending = &mut shard.pending[slot];
         if let Some(id) = pending.id {
-            return (id, false);
+            return Some((id, false));
+        }
+        if self.core.states.len() >= self.core.options.max_states {
+            return None;
         }
         let state = pending
             .state
@@ -255,7 +270,7 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
             .get_mut(&hash)
             .expect("pending claim lost its bucket")
             .replace(PENDING_BIT | slot as StateId, id);
-        (id, true)
+        Some((id, true))
     }
 
     pub(super) fn explore(mut self) -> Outcome<M::State> {
@@ -270,23 +285,29 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
                 Some(MckError::NoInitialStates),
             );
         }
+        let state_limit = MckError::StateLimitExceeded {
+            limit: self.core.options.max_states,
+        };
         let mut frontier: Vec<StateId> = Vec::new();
         for s0 in initial {
             let s0 = self.core.model.canonicalize(s0);
-            let (id, new) = self.insert_initial(s0);
-            if new {
-                frontier.push(id);
-                if let Some(name) = self.core.violated_invariant(id) {
-                    let failure = Failure {
-                        kind: FailureKind::InvariantViolation,
-                        property: name.to_owned(),
-                        trace: Some(self.core.trace_to(id)),
-                        touched: Some(Vec::new()),
-                    };
-                    return self
-                        .core
-                        .finish(start, Verdict::Failure, Some(failure), None);
+            match self.insert_initial(s0) {
+                None => return self.core.analyze(start, Some(state_limit)),
+                Some((id, true)) => {
+                    frontier.push(id);
+                    if let Some(name) = self.core.violated_invariant(id) {
+                        let failure = Failure {
+                            kind: FailureKind::InvariantViolation,
+                            property: name.to_owned(),
+                            trace: Some(self.core.trace_to(id)),
+                            touched: Some(Vec::new()),
+                        };
+                        return self
+                            .core
+                            .finish(start, Verdict::Failure, Some(failure), None);
+                    }
                 }
+                Some((_, false)) => {}
             }
         }
 
@@ -320,14 +341,20 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
                         RecOutcome::Next { shard, probe } => {
                             any_next = true;
                             self.core.stats.transitions += 1;
-                            let (nid, new) = match probe {
-                                Probe::Known(id) => (id, false),
+                            let resolved = match probe {
+                                Probe::Known(id) => Some((id, false)),
                                 Probe::Fresh { slot } => self.resolve_fresh(
                                     shard as usize,
                                     slot as usize,
                                     (sid, app.rule),
                                     &app.touches,
                                 ),
+                            };
+                            let Some((nid, new)) = resolved else {
+                                // Same admission clamp — and the same
+                                // sequence point — as the serial driver.
+                                incomplete = Some(state_limit.clone());
+                                break 'layers;
                             };
                             if new {
                                 next_frontier.push(nid);
@@ -371,13 +398,6 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
                     return self
                         .core
                         .finish(start, Verdict::Failure, Some(failure), None);
-                }
-
-                if self.core.states.len() > self.core.options.max_states {
-                    incomplete = Some(MckError::StateLimitExceeded {
-                        limit: self.core.options.max_states,
-                    });
-                    break 'layers;
                 }
             }
 
@@ -553,6 +573,10 @@ mod tests {
         let par = Checker::new(CheckerOptions::default().max_states(100).threads(4)).run(&m);
         assert_eq!(par.verdict(), Verdict::Unknown);
         assert_eq!(serial.stats(), par.stats());
+        assert!(
+            par.stats().states_visited <= 100,
+            "committed states never exceed the cap"
+        );
         assert!(matches!(
             par.incomplete(),
             Some(MckError::StateLimitExceeded { limit: 100 })

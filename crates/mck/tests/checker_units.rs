@@ -76,12 +76,75 @@ fn max_states_truncation_yields_unknown_with_incomplete_reason() {
         Some(MckError::StateLimitExceeded { limit }) => assert_eq!(*limit, 250),
         other => panic!("expected StateLimitExceeded, got {other:?}"),
     }
-    // The limit is a cap on retained states, checked after each expansion.
-    assert!(out.stats().states_visited > 250);
-    assert!(
-        out.stats().states_visited < 1_000,
-        "exploration must stop near the cap"
-    );
+    // The limit is a hard admission cap: the first state that would exceed
+    // it is refused, so the committed count lands exactly on the cap.
+    assert_eq!(out.stats().states_visited, 250);
+}
+
+#[test]
+fn max_states_admission_is_clamped_at_the_boundary() {
+    // A 10-state chain (0..=9, deadlocking at 9) straddling the cap: one
+    // below, exactly at, and comfortably above. `Stats.states ≤ max_states`
+    // must hold in every case, serial and parallel alike.
+    let model = || {
+        let mut b = ModelBuilder::new("ten");
+        b.initial(0u8);
+        b.rule("inc", |&s: &u8, _| {
+            if s < 9 {
+                RuleOutcome::Next(s + 1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
+        b.finish()
+    };
+
+    for threads in [1usize, 4] {
+        let run = |cap: usize| {
+            Checker::new(
+                CheckerOptions::default()
+                    .max_states(cap)
+                    .allow_deadlock()
+                    .threads(threads),
+            )
+            .run(&model())
+        };
+
+        let below = run(9);
+        assert_eq!(below.verdict(), Verdict::Unknown, "{threads} threads");
+        assert_eq!(below.stats().states_visited, 9, "{threads} threads");
+        assert!(matches!(
+            below.incomplete(),
+            Some(MckError::StateLimitExceeded { limit: 9 })
+        ));
+
+        let exact = run(10);
+        assert_eq!(exact.verdict(), Verdict::Success, "{threads} threads");
+        assert_eq!(exact.stats().states_visited, 10, "{threads} threads");
+        assert!(exact.incomplete().is_none(), "cap never needed");
+
+        let above = run(11);
+        assert_eq!(above.verdict(), Verdict::Success, "{threads} threads");
+        assert_eq!(above.stats().states_visited, 10, "{threads} threads");
+    }
+}
+
+#[test]
+fn max_states_zero_refuses_even_the_initial_state() {
+    let mut b = ModelBuilder::new("zero-cap");
+    b.initial(0u8);
+    b.rule("spin", |&s: &u8, _| RuleOutcome::Next(s));
+    let model = b.finish();
+    for threads in [1usize, 4] {
+        let out =
+            Checker::new(CheckerOptions::default().max_states(0).threads(threads)).run(&model);
+        assert_eq!(out.verdict(), Verdict::Unknown);
+        assert_eq!(out.stats().states_visited, 0);
+        assert!(matches!(
+            out.incomplete(),
+            Some(MckError::StateLimitExceeded { limit: 0 })
+        ));
+    }
 }
 
 #[test]

@@ -87,4 +87,10 @@ mod tests {
         assert_eq!(MsiConfig::msi_small().candidate_space(), 231_525);
         assert_eq!(MsiConfig::msi_large().candidate_space(), 102_102_525);
     }
+
+    #[test]
+    fn msi_xl_candidate_space_extends_large() {
+        // MSI-large's 102 102 525 times the WM_A rule's (3·7) library.
+        assert_eq!(MsiConfig::msi_xl().candidate_space(), 2_144_153_025);
+    }
 }

@@ -114,6 +114,12 @@ proptest! {
             &resolver,
             CheckerOptions::default().allow_deadlock().max_states(cap),
         );
+        // Admission clamping: the committed store may never outgrow the cap,
+        // at any thread count (the stats equality above extends this from
+        // the serial run to all of them).
+        let out = Checker::new(CheckerOptions::default().allow_deadlock().max_states(cap))
+            .run_shared(&model, &resolver);
+        prop_assert!(out.stats().states_visited <= cap, "cap {cap} overshot");
     }
 }
 
