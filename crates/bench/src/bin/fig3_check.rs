@@ -10,10 +10,15 @@
 //! parallel checker with `N` workers; the printed states/transitions are
 //! guaranteed identical to the serial run (CI diffs the two).
 //!
+//! `--one-shot` verifies through the original one-shot drivers
+//! (`Checker::run_shared`) instead of the default session-backed
+//! `Checker::run` path; the outputs are guaranteed identical, and the CI
+//! session-smoke step diffs them.
+//!
 //! `--dot` additionally writes the full explored state graph of the 2-cache
 //! VI protocol to `vi_2cache.dot` (small enough to render with Graphviz).
 
-use verc3_bench::{parse_check_threads, verify, verify_skeleton_golden};
+use verc3_bench::{parse_check_threads, verify, verify_one_shot, verify_skeleton_golden};
 use verc3_mck::{Checker, CheckerOptions, Verdict};
 use verc3_protocols::mesi::{MesiConfig, MesiModel};
 use verc3_protocols::msi::{MsiConfig, MsiModel};
@@ -22,7 +27,20 @@ use verc3_protocols::vi::{ViConfig, ViModel};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dot = args.iter().any(|a| a == "--dot");
+    let one_shot = args.iter().any(|a| a == "--one-shot");
     let threads = parse_check_threads(&args);
+
+    fn check<M: verc3_mck::TransitionSystem>(
+        model: &M,
+        threads: usize,
+        one_shot: bool,
+    ) -> (Verdict, usize, usize) {
+        if one_shot {
+            verify_one_shot(model, threads)
+        } else {
+            verify(model, threads)
+        }
+    }
 
     println!("Figure 3 — protocol verification (golden models, all properties)");
     println!("=================================================================");
@@ -44,7 +62,7 @@ fn main() {
             n_caches: n,
             ..MsiConfig::golden()
         });
-        let (v, s, t) = verify(&model, threads);
+        let (v, s, t) = check(&model, threads, one_shot);
         run(&format!("MSI golden ({n} caches)"), v, s, t);
     }
     {
@@ -52,7 +70,7 @@ fn main() {
             symmetry: false,
             ..MsiConfig::golden()
         });
-        let (v, s, t) = verify(&model, threads);
+        let (v, s, t) = check(&model, threads, one_shot);
         run("MSI golden (3, no symmetry)", v, s, t);
     }
     {
@@ -60,7 +78,7 @@ fn main() {
             data_values: true,
             ..MsiConfig::golden()
         });
-        let (v, s, t) = verify(&model, threads);
+        let (v, s, t) = check(&model, threads, one_shot);
         run("MSI golden (3, data values)", v, s, t);
     }
     {
@@ -75,7 +93,7 @@ fn main() {
             n_caches: n,
             ..MesiConfig::golden()
         });
-        let (v, s, t) = verify(&model, threads);
+        let (v, s, t) = check(&model, threads, one_shot);
         run(&format!("MESI golden ({n} caches)"), v, s, t);
     }
     for n in [2usize, 3] {
@@ -83,7 +101,7 @@ fn main() {
             n_caches: n,
             ..ViConfig::golden()
         });
-        let (v, s, t) = verify(&model, threads);
+        let (v, s, t) = check(&model, threads, one_shot);
         run(&format!("VI golden ({n} caches)"), v, s, t);
     }
 

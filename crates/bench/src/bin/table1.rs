@@ -4,7 +4,14 @@
 //! ```text
 //! cargo run --release -p verc3-bench --bin table1 -- [--small] [--large] [--xl]
 //!     [--naive-large-full] [--classify] [--samples N] [--check-threads N]
+//!     [--one-shot]
 //! ```
+//!
+//! By default every dispatch goes through per-worker check sessions
+//! (incremental prefix re-verification); `--one-shot` restarts the checker
+//! per candidate — the pre-session baseline. Dispatch counts, patterns, and
+//! solutions are identical either way; only the expansion work and wall
+//! time move (the per-row reuse summary quantifies it).
 //!
 //! `--check-threads N` parallelizes every model-checker dispatch inside
 //! synthesis with `N` workers (orthogonal to the table's cross-candidate
@@ -19,7 +26,7 @@
 //! pruned row, the workload whose goldens `tests/msi_xl_golden.rs` pins.
 
 use verc3_bench::{
-    estimate_naive_row, paper, parse_check_threads, row_header, run_synthesis_row, MeasuredRow,
+    estimate_naive_row, paper, parse_check_threads, row_header, run_synthesis_row_with, MeasuredRow,
 };
 use verc3_protocols::msi::MsiConfig;
 
@@ -38,6 +45,18 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     let check_threads = parse_check_threads(&args);
+    let reuse_sessions = !has("--one-shot");
+    let run_synthesis_row =
+        |label: &str, config: MsiConfig, pruning: bool, threads: usize, check_threads: usize| {
+            run_synthesis_row_with(
+                label,
+                config,
+                pruning,
+                threads,
+                check_threads,
+                reuse_sessions,
+            )
+        };
 
     println!("Table I — MSI coherence protocol case study (reproduction)");
     println!("===========================================================");
@@ -200,6 +219,21 @@ fn main() {
                 } else {
                     ""
                 },
+            );
+        }
+    }
+
+    if reuse_sessions {
+        println!();
+        println!("Session reuse (1-thread pruned rows; --one-shot disables):");
+        for (label, report) in &reports {
+            let s = report.stats();
+            println!(
+                "  {label}: {} states expanded live, {} reused from checkpoints \
+                 ({:.1}% of the one-shot work avoided)",
+                s.check_states_expanded,
+                s.check_states_reused,
+                s.check_reuse_rate() * 100.0,
             );
         }
     }

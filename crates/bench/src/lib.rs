@@ -271,6 +271,9 @@ pub fn row_header() -> String {
 ///
 /// `threads` is the cross-candidate axis; `check_threads` parallelizes each
 /// individual model-checker dispatch (both default to 1 in Table I proper).
+/// Dispatches go through per-worker [`verc3_mck::CheckSession`]s (the
+/// engine default); see [`run_synthesis_row_with`] to measure the
+/// per-candidate-restart baseline.
 pub fn run_synthesis_row(
     label: &str,
     config: MsiConfig,
@@ -278,11 +281,27 @@ pub fn run_synthesis_row(
     threads: usize,
     check_threads: usize,
 ) -> (MeasuredRow, SynthReport) {
+    run_synthesis_row_with(label, config, pruning, threads, check_threads, true)
+}
+
+/// [`run_synthesis_row`] with explicit control over session reuse
+/// (`reuse_sessions = false` restarts the checker per candidate — the
+/// pre-session baseline the `incremental_check` bench and the
+/// `--one-shot` harness flags measure against).
+pub fn run_synthesis_row_with(
+    label: &str,
+    config: MsiConfig,
+    pruning: bool,
+    threads: usize,
+    check_threads: usize,
+    reuse_sessions: bool,
+) -> (MeasuredRow, SynthReport) {
     let model = MsiModel::new(config);
     let mut opts = SynthOptions::default()
         .pruning(pruning)
         .threads(threads)
-        .check_threads(check_threads);
+        .check_threads(check_threads)
+        .reuse_sessions(reuse_sessions);
     if pruning {
         // Trace-refined patterns are the paper's stated ideal (prune on the
         // holes the failure trace touched, Cₜ); see EXPERIMENTS.md for why
@@ -372,9 +391,24 @@ pub fn parse_check_threads(args: &[String]) -> usize {
 /// Verifies a complete model with the given checker thread count and
 /// reports `(verdict, states, transitions)`. The counts are
 /// thread-count-independent by the parallel checker's equivalence
-/// guarantee — which is exactly what the CI smoke step diffs.
+/// guarantee — which is exactly what the CI smoke step diffs. Runs through
+/// the session-backed `Checker::run` path; see [`verify_one_shot`] for the
+/// original one-shot drivers.
 pub fn verify<M: TransitionSystem>(model: &M, threads: usize) -> (Verdict, usize, usize) {
     let out = Checker::new(CheckerOptions::default().threads(threads)).run(model);
+    (
+        out.verdict(),
+        out.stats().states_visited,
+        out.stats().transitions,
+    )
+}
+
+/// [`verify`] through the original one-shot serial/parallel drivers
+/// (`Checker::run_shared`), bypassing the session path — the independent
+/// oracle the CI session-smoke step diffs `fig3_check --one-shot` against.
+pub fn verify_one_shot<M: TransitionSystem>(model: &M, threads: usize) -> (Verdict, usize, usize) {
+    let out = Checker::new(CheckerOptions::default().threads(threads))
+        .run_shared(model, &verc3_mck::NoHoles);
     (
         out.verdict(),
         out.stats().states_visited,

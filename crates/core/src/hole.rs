@@ -73,6 +73,14 @@ impl HoleRegistry {
         self.len() == 0
     }
 
+    /// Looks up a hole by name *without* registering it — the read-only
+    /// probe behind deferred discovery (see [`crate::resolver`]), where a
+    /// worker must answer a fresh hole before its registration is committed
+    /// at the next deterministic sequence point.
+    pub fn lookup(&self, name: &str) -> Option<HoleId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
     /// Looks up a hole by name, registering it on first sight.
     ///
     /// Returns the hole's identifier and whether this call performed the

@@ -56,5 +56,7 @@ pub use hole::{HoleId, HoleInfo, HoleRegistry};
 pub use odometer::{space_size, Odometer};
 pub use pattern::{PatternMode, PatternTable, ReferencePatternTable, SparsePattern};
 pub use report::{GenStats, RunRecord, Solution, SynthReport, SynthStats};
-pub use resolver::{CandidateResolver, DiscoveryDefault, NameCache, SharedCandidateResolver};
+pub use resolver::{
+    assignment_delta, CandidateResolver, DiscoveryDefault, NameCache, SharedCandidateResolver,
+};
 pub use synth::{SynthOptions, Synthesizer};

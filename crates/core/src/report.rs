@@ -109,11 +109,33 @@ pub struct SynthStats {
     /// `true` if the run stopped early on
     /// [`crate::SynthOptions::max_evaluations`].
     pub truncated: bool,
+    /// States the checker committed by live exploration, summed over every
+    /// dispatch — the actual verification work done.
+    pub check_states_expanded: u64,
+    /// States inherited from [`verc3_mck::CheckSession`] checkpoints
+    /// instead of being re-expanded — the work a per-candidate restart
+    /// would have repeated. Zero when
+    /// [`crate::SynthOptions::reuse_sessions`] is off.
+    pub check_states_reused: u64,
+}
+
+impl SynthStats {
+    /// Fraction of all committed checker states that were reused from
+    /// session checkpoints rather than re-expanded (0.0 for one-shot runs).
+    pub fn check_reuse_rate(&self) -> f64 {
+        let total = self.check_states_expanded + self.check_states_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.check_states_reused as f64 / total as f64
+        }
+    }
 }
 
 /// The result of a synthesis run.
 #[derive(Debug, Clone, Default)]
 pub struct SynthReport {
+    pub(crate) model: String,
     pub(crate) holes: Vec<HoleInfo>,
     pub(crate) solutions: Vec<Solution>,
     pub(crate) stats: SynthStats,
@@ -121,6 +143,12 @@ pub struct SynthReport {
 }
 
 impl SynthReport {
+    /// Name of the synthesized model, as reported by
+    /// [`verc3_mck::TransitionSystem::name`].
+    pub fn model_name(&self) -> &str {
+        &self.model
+    }
+
     /// The holes discovered during synthesis, in discovery order.
     pub fn holes(&self) -> &[HoleInfo] {
         &self.holes
@@ -217,7 +245,11 @@ impl SynthReport {
 
 impl fmt::Display for SynthReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "synthesis report:")?;
+        if self.model.is_empty() {
+            writeln!(f, "synthesis report:")?;
+        } else {
+            writeln!(f, "synthesis report for `{}`:", self.model)?;
+        }
         writeln!(f, "  holes discovered : {}", self.holes.len())?;
         for h in &self.holes {
             writeln!(f, "    {} ({} actions)", h.name, h.arity())?;
@@ -236,6 +268,13 @@ impl fmt::Display for SynthReport {
             self.stats.patterns, self.stats.patterns_dense, self.stats.patterns_sparse
         )?;
         writeln!(f, "  generations      : {}", self.stats.generations.len())?;
+        writeln!(
+            f,
+            "  check expansions : {} live / {} reused from checkpoints ({:.1}% reuse)",
+            self.stats.check_states_expanded,
+            self.stats.check_states_reused,
+            self.stats.check_reuse_rate() * 100.0
+        )?;
         writeln!(f, "  wall time        : {:?}", self.stats.wall)?;
         writeln!(f, "  solutions        : {}", self.solutions.len())?;
         for s in &self.solutions {

@@ -20,7 +20,7 @@
 use crate::hole::{HoleId, HoleRegistry};
 use parking_lot::Mutex;
 use verc3_mck::hashers::FnvHashMap;
-use verc3_mck::{Choice, HoleResolver, HoleSpec, SharedResolver};
+use verc3_mck::{Choice, HoleResolver, HoleSpec, SessionResolver, SharedResolver, WildcardTouch};
 
 /// What undiscovered/unassigned holes resolve to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,11 +133,45 @@ fn resolve_digit(
         );
         Some(action)
     } else {
-        match default {
-            DiscoveryDefault::Wildcard => None,
-            DiscoveryDefault::ActionZero => Some(0),
-        }
+        default_answer(default)
     }
+}
+
+/// What an unassigned (beyond-frontier or undiscovered) hole resolves to.
+fn default_answer(default: DiscoveryDefault) -> Option<u16> {
+    match default {
+        DiscoveryDefault::Wildcard => None,
+        DiscoveryDefault::ActionZero => Some(0),
+    }
+}
+
+/// The changed-holes delta between two candidate prefixes under one
+/// discovery default: every hole id (over a registry of `known` holes)
+/// whose resolution under `digits` differs from its resolution under
+/// `prev` — exactly the consultations that invalidate a
+/// [`verc3_mck::CheckSession`] checkpoint when moving from candidate
+/// `prev` to candidate `digits`.
+///
+/// Because the odometer varies the *least* significant (latest-discovered)
+/// holes fastest, consecutive candidates produce deltas concentrated at
+/// high hole ids — which are consulted deepest in the BFS, so consecutive
+/// checks resume from deep checkpoints.
+pub fn assignment_delta(
+    digits: &[u16],
+    prev: &[u16],
+    default: DiscoveryDefault,
+    known: usize,
+) -> Vec<HoleId> {
+    let answer = |d: &[u16], id: usize| {
+        if id < d.len() {
+            Some(d[id])
+        } else {
+            default_answer(default)
+        }
+    };
+    (0..known.max(digits.len()).max(prev.len()))
+        .filter(|&id| answer(digits, id) != answer(prev, id))
+        .collect()
 }
 
 impl HoleResolver for CandidateResolver<'_> {
@@ -208,6 +242,12 @@ impl<'a> SharedCandidateResolver<'a> {
         touched.sort_unstable();
         touched
     }
+
+    /// The hole ids this candidate resolves differently from `prev` (same
+    /// registry, same default); see [`assignment_delta`].
+    pub fn delta_from(&self, prev: &[u16]) -> Vec<HoleId> {
+        assignment_delta(self.digits, prev, self.default, self.registry.len())
+    }
 }
 
 impl SharedResolver for SharedCandidateResolver<'_> {
@@ -217,11 +257,49 @@ impl SharedResolver for SharedCandidateResolver<'_> {
             cache: NameCache::default(),
             seen: Vec::new(),
             app_touches: Vec::new(),
+            app_wildcards: Vec::new(),
+            pending: Vec::new(),
+            pending_idx: FnvHashMap::default(),
         })
+    }
+
+    fn commit_discoveries(&self, specs: &[HoleSpec]) -> Vec<usize> {
+        specs
+            .iter()
+            .map(|spec| self.registry.resolve_or_register(spec).0)
+            .collect()
+    }
+}
+
+impl SessionResolver for SharedCandidateResolver<'_> {
+    /// The one candidate-resolution rule again, keyed by id alone: digits
+    /// answer their hole, everything beyond the frontier answers the
+    /// discovery default. Registered-ness is irrelevant — a hole id a
+    /// session recorded is registered by construction, and its answer
+    /// within one generation depends only on the candidate prefix.
+    fn assignment(&self, hole: usize) -> Option<u16> {
+        if hole < self.digits.len() {
+            Some(self.digits[hole])
+        } else {
+            default_answer(self.default)
+        }
     }
 }
 
 /// One checker worker's view of a [`SharedCandidateResolver`].
+///
+/// In wildcard (pruning) mode, first sightings of unknown holes are
+/// **deferred**: the worker answers the wildcard immediately (correct — a
+/// fresh hole is necessarily beyond the frontier) but parks the spec in a
+/// pending list instead of registering it, so the exploration driver can
+/// commit all workers' discoveries at a deterministic sequence point in
+/// serial order ([`SharedResolver::commit_discoveries`]). Anything still
+/// pending when the worker is dropped (a driver without sequence points,
+/// e.g. the one-shot serial BFS) is registered then, in this worker's
+/// consultation order. In naïve (`ActionZero`) mode discoveries must be
+/// registered eagerly — the concrete `(id, 0)` touch needs a real id — so
+/// that mode keeps the historical racy-order behaviour under parallel
+/// checking.
 #[derive(Debug)]
 struct WorkerCandidateResolver<'a> {
     shared: &'a SharedCandidateResolver<'a>,
@@ -230,6 +308,12 @@ struct WorkerCandidateResolver<'a> {
     /// mirror of its contributions to the shared touched set).
     seen: Vec<(HoleId, u16)>,
     app_touches: Vec<(HoleId, u16)>,
+    app_wildcards: Vec<WildcardTouch>,
+    /// Specs sighted but not yet registered, in consultation order.
+    pending: Vec<HoleSpec>,
+    /// name → index into `pending`, so repeat sightings within one drain
+    /// window reuse the parked spec.
+    pending_idx: FnvHashMap<String, u32>,
 }
 
 impl WorkerCandidateResolver<'_> {
@@ -245,33 +329,89 @@ impl WorkerCandidateResolver<'_> {
             self.app_touches.push((id, action));
         }
     }
+
+    fn record_wildcard(&mut self, touch: WildcardTouch) {
+        if !self.app_wildcards.contains(&touch) {
+            self.app_wildcards.push(touch);
+        }
+    }
 }
 
 impl HoleResolver for WorkerCandidateResolver<'_> {
     fn choose(&mut self, spec: &HoleSpec) -> Choice {
         let id = match self.cache.get(spec.name()) {
-            Some(&id) => id,
-            None => {
-                let (id, _) = self.shared.registry.resolve_or_register(spec);
-                self.cache.insert(spec.name().to_owned(), id);
-                id
-            }
+            Some(&id) => Some(id),
+            None => match self.shared.registry.lookup(spec.name()) {
+                Some(id) => {
+                    self.cache.insert(spec.name().to_owned(), id);
+                    Some(id)
+                }
+                None if self.shared.default == DiscoveryDefault::Wildcard => None,
+                None => {
+                    // Naïve mode: eager registration (the touch below needs
+                    // a real id).
+                    let (id, _) = self.shared.registry.resolve_or_register(spec);
+                    self.cache.insert(spec.name().to_owned(), id);
+                    Some(id)
+                }
+            },
         };
-        match resolve_digit(self.shared.digits, self.shared.default, id, spec) {
-            Some(action) => {
-                self.record(id, action);
-                Choice::Action(action as usize)
+        match id {
+            Some(id) => match resolve_digit(self.shared.digits, self.shared.default, id, spec) {
+                Some(action) => {
+                    self.record(id, action);
+                    Choice::Action(action as usize)
+                }
+                None => {
+                    self.record_wildcard(WildcardTouch::Known(id));
+                    Choice::Wildcard
+                }
+            },
+            None => {
+                // Deferred discovery: park the spec, answer the wildcard (a
+                // fresh hole is beyond the frontier by construction).
+                let index = match self.pending_idx.get(spec.name()) {
+                    Some(&index) => index,
+                    None => {
+                        let index = self.pending.len() as u32;
+                        self.pending.push(spec.clone());
+                        self.pending_idx.insert(spec.name().to_owned(), index);
+                        index
+                    }
+                };
+                self.record_wildcard(WildcardTouch::Fresh(index));
+                Choice::Wildcard
             }
-            None => Choice::Wildcard,
         }
     }
 
     fn begin_application(&mut self) {
         self.app_touches.clear();
+        self.app_wildcards.clear();
     }
 
     fn application_touches(&self) -> &[(usize, u16)] {
         &self.app_touches
+    }
+
+    fn application_wildcards(&self) -> &[WildcardTouch] {
+        &self.app_wildcards
+    }
+
+    fn take_pending_discoveries(&mut self) -> Vec<HoleSpec> {
+        self.pending_idx.clear();
+        std::mem::take(&mut self.pending)
+    }
+}
+
+impl Drop for WorkerCandidateResolver<'_> {
+    /// Backstop for drivers without drain points: whatever is still pending
+    /// registers now, in this worker's consultation order — which for a
+    /// single-worker (serial) run *is* the serial discovery order.
+    fn drop(&mut self) {
+        for spec in self.pending.drain(..) {
+            let _ = self.shared.registry.resolve_or_register(&spec);
+        }
     }
 }
 

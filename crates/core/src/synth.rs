@@ -34,7 +34,7 @@ use crate::resolver::{CandidateResolver, DiscoveryDefault, NameCache, SharedCand
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
-use verc3_mck::{Checker, CheckerOptions, TransitionSystem, Verdict};
+use verc3_mck::{CheckSession, Checker, CheckerOptions, TransitionSystem, Verdict};
 
 /// Configuration for a [`Synthesizer`].
 ///
@@ -57,6 +57,7 @@ pub struct SynthOptions {
     sync_interval: usize,
     max_evaluations: Option<u64>,
     record_runs: bool,
+    reuse_sessions: bool,
 }
 
 impl Default for SynthOptions {
@@ -71,6 +72,7 @@ impl Default for SynthOptions {
             sync_interval: 1,
             max_evaluations: None,
             record_runs: false,
+            reuse_sessions: true,
         }
     }
 }
@@ -116,18 +118,25 @@ impl SynthOptions {
     ///
     /// Every individual evaluation is verdict-, statistics-, and
     /// failure-attribution-identical to its serial counterpart (the parallel
-    /// checker's replay guarantees it). Hole *discovery bookkeeping* is the
-    /// one thing that may diverge from a fully serial run: a failing layer
-    /// is expanded in full before the failure is picked, so rule
+    /// checker's replay guarantees it). Hole **registration order is
+    /// serial-deterministic**: in pruning (wildcard-default) mode, workers
+    /// *defer* first discoveries and the driver commits them at each
+    /// layer's replay sequence point in chunk-concatenated order — the
+    /// serial driver's within-layer consultation order — so the ordered
+    /// hole table is a pure function of the candidate sequence, independent
+    /// of worker interleaving (`parallel_check_hole_order_is_deterministic`,
+    /// `tests/session_equivalence.rs`). Two caveats remain: a failing layer
+    /// is still expanded in full before the failure is picked, so rule
     /// applications past the serial stop point can register holes one run
-    /// early, and two fresh holes first consulted by different workers race
-    /// for registration order. Both effects only perturb enumeration order
-    /// and per-run `discovered` logs — the same nondeterminism class as
-    /// cross-candidate [`SynthOptions::threads`] — and never the solution
-    /// set (`parallel_checks_agree_with_serial_checks`,
+    /// early; and the naïve baseline (`pruning(false)`) must register
+    /// eagerly (its `(hole, action 0)` touches need real ids), keeping the
+    /// historical racy order there. Both effects only perturb enumeration
+    /// order and per-run `discovered` logs — the same nondeterminism class
+    /// as cross-candidate [`SynthOptions::threads`] — and never the
+    /// solution set (`parallel_checks_agree_with_serial_checks`,
     /// `tests/synthesis_equivalence.rs`). On workloads whose BFS layers fit
-    /// one worker chunk (e.g. the Figure-2 models) discovery stays
-    /// serial-ordered and even the exact run log is preserved.
+    /// one worker chunk (e.g. the Figure-2 models) even the exact run log
+    /// is preserved.
     ///
     /// # Panics
     ///
@@ -194,6 +203,25 @@ impl SynthOptions {
         self.record_runs = record;
         self
     }
+
+    /// Dispatches candidates through per-worker [`CheckSession`]s (the
+    /// default) instead of one-shot checker runs.
+    ///
+    /// Each synthesis worker holds one long-lived session per generation;
+    /// because the candidate odometer varies the latest-discovered (deepest
+    /// consulted) holes fastest, consecutive candidates share a deep BFS
+    /// prefix and the session resumes from the deepest unchanged
+    /// checkpoint. Every individual evaluation stays bit-identical to its
+    /// one-shot counterpart (verdict, statistics, failure attribution), so
+    /// the run log, pattern table, evaluated counts, and solution set are
+    /// unchanged — only [`SynthStats::check_states_reused`] and wall time
+    /// move. Disable to measure the per-candidate-restart baseline.
+    ///
+    /// [`SynthStats::check_states_reused`]: crate::report::SynthStats::check_states_reused
+    pub fn reuse_sessions(mut self, reuse: bool) -> Self {
+        self.reuse_sessions = reuse;
+        self
+    }
 }
 
 /// The explicit-state synthesis engine.
@@ -231,6 +259,8 @@ impl Synthesizer {
             run_log: Mutex::new(Vec::new()),
             run_counter: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            check_expanded: AtomicU64::new(0),
+            check_reused: AtomicU64::new(0),
         };
 
         let mut k = 0usize;
@@ -262,8 +292,11 @@ impl Synthesizer {
             generations,
             wall: start.elapsed(),
             truncated: shared.stop.load(Ordering::Acquire),
+            check_states_expanded: shared.check_expanded.load(Ordering::Relaxed),
+            check_states_reused: shared.check_reused.load(Ordering::Relaxed),
         };
         SynthReport {
+            model: model.name().to_owned(),
             holes: registry.snapshot(),
             solutions: shared.solutions.into_inner(),
             stats,
@@ -327,6 +360,10 @@ struct Shared<'a> {
     run_log: Mutex<Vec<RunRecord>>,
     run_counter: AtomicU64,
     stop: AtomicBool,
+    /// States committed by live checker exploration across all dispatches.
+    check_expanded: AtomicU64,
+    /// States inherited from session checkpoints instead of re-expanded.
+    check_reused: AtomicU64,
 }
 
 /// State shared across one generation's workers.
@@ -341,8 +378,33 @@ struct GenShared {
     prev_k: usize,
 }
 
-/// One worker's chunk-claiming evaluation loop.
+/// One worker: opens its per-generation [`CheckSession`] (unless
+/// [`SynthOptions::reuse_sessions`] is off), runs the chunk-claiming loop,
+/// and banks the session's reuse counters.
 fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) {
+    let mut session = shared
+        .options
+        .reuse_sessions
+        .then(|| shared.checker.session(model));
+    worker_loop(model, shared, gen, &mut session);
+    if let Some(session) = &session {
+        let stats = session.stats();
+        shared
+            .check_expanded
+            .fetch_add(stats.states_expanded, Ordering::Relaxed);
+        shared
+            .check_reused
+            .fetch_add(stats.states_reused, Ordering::Relaxed);
+    }
+}
+
+/// One worker's chunk-claiming evaluation loop.
+fn worker_loop<'m, M: TransitionSystem>(
+    model: &'m M,
+    shared: &Shared<'_>,
+    gen: &GenShared,
+    session: &mut Option<CheckSession<'m, M>>,
+) {
     let opts = shared.options;
     let mut cache = NameCache::default();
     let mut local_patterns = PatternTable::new();
@@ -417,6 +479,7 @@ fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) 
                 shared,
                 gen,
                 digits.to_vec(),
+                session,
                 &mut cache,
                 &mut local_patterns,
             );
@@ -430,11 +493,12 @@ fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) 
 }
 
 /// Dispatches one candidate to the model checker and files the result.
-fn evaluate_candidate<M: TransitionSystem>(
-    model: &M,
+fn evaluate_candidate<'m, M: TransitionSystem>(
+    model: &'m M,
     shared: &Shared<'_>,
     gen: &GenShared,
     digits: Vec<u16>,
+    session: &mut Option<CheckSession<'m, M>>,
     cache: &mut NameCache,
     local_patterns: &mut PatternTable,
 ) {
@@ -446,17 +510,38 @@ fn evaluate_candidate<M: TransitionSystem>(
         DiscoveryDefault::ActionZero
     };
 
-    // Serial checks reuse the worker's long-lived name cache; parallel
-    // checks go through the thread-shareable resolver, whose touched set is
-    // hole-id-sorted so downstream consumers see thread-count-independent
-    // data. Either way the verdict and failure attribution are identical.
-    let (outcome, touched) = if shared.options.check_threads > 1 {
+    // Session dispatch resumes from the deepest checkpoint whose hole
+    // resolutions this candidate leaves unchanged; one-shot dispatch
+    // restarts from the initial states. Serial one-shot checks reuse the
+    // worker's long-lived name cache; the thread-shareable resolver's
+    // touched set is hole-id-sorted so downstream consumers see
+    // thread-count-independent data. In every case the verdict and failure
+    // attribution are identical.
+    let (outcome, touched) = if let Some(session) = session.as_mut() {
+        let resolver = SharedCandidateResolver::new(shared.registry, &digits, default);
+        let outcome = session.check(&resolver);
+        // The run's touched set is the union of live consultations and the
+        // consultations of the checkpoint-reused layers (which a fresh run
+        // would have made itself); both are id-sorted, answers agree by the
+        // checkpoint validity rule.
+        let mut touched = resolver.into_touched();
+        touched.extend(session.reused_touches());
+        touched.sort_unstable();
+        touched.dedup_by_key(|pair| pair.0);
+        (outcome, touched)
+    } else if shared.options.check_threads > 1 {
         let resolver = SharedCandidateResolver::new(shared.registry, &digits, default);
         let outcome = shared.checker.run_shared(model, &resolver);
+        shared
+            .check_expanded
+            .fetch_add(outcome.stats().states_visited as u64, Ordering::Relaxed);
         (outcome, resolver.into_touched())
     } else {
         let mut resolver = CandidateResolver::new(shared.registry, &digits, default, cache);
         let outcome = shared.checker.run_with(model, &mut resolver);
+        shared
+            .check_expanded
+            .fetch_add(outcome.stats().states_visited as u64, Ordering::Relaxed);
         (outcome, resolver.into_touched())
     };
     let run = shared.run_counter.fetch_add(1, Ordering::Relaxed) + 1;
@@ -796,6 +881,29 @@ mod tests {
             .run(&model);
         assert_eq!(refined.stats().patterns_dense, 0);
         assert_eq!(refined.stats().patterns_sparse, refined.stats().patterns);
+    }
+
+    #[test]
+    fn session_reuse_accounting_balances_against_one_shot() {
+        let model = GraphModel::worked_example();
+        let one_shot = Synthesizer::new(SynthOptions::default().reuse_sessions(false)).run(&model);
+        let sessions = Synthesizer::new(SynthOptions::default()).run(&model);
+        assert_eq!(sessions.stats().evaluated, one_shot.stats().evaluated);
+        assert_eq!(sessions.stats().patterns, one_shot.stats().patterns);
+        assert_eq!(one_shot.stats().check_states_reused, 0);
+        assert!(one_shot.stats().check_states_expanded > 0);
+        // Every state a one-shot run expands is, under sessions, either
+        // expanded live or inherited from a checkpoint — nothing vanishes.
+        assert_eq!(
+            sessions.stats().check_states_expanded + sessions.stats().check_states_reused,
+            one_shot.stats().check_states_expanded,
+        );
+        assert!(
+            sessions.stats().check_states_reused > 0,
+            "fig2 shares prefixes"
+        );
+        assert!(sessions.stats().check_reuse_rate() > 0.0);
+        assert_eq!(sessions.model_name(), "fig2");
     }
 
     #[test]

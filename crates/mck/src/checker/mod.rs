@@ -22,10 +22,14 @@
 mod graph;
 mod outcome;
 mod parallel;
+mod pool;
+mod session;
 mod trace;
 
 pub use graph::{Edge, ExploredGraph, StateId};
 pub use outcome::{Failure, FailureKind, Outcome, Stats, Timing, Verdict};
+pub use pool::WorkerPool;
+pub use session::{CheckSession, SessionStats};
 pub use trace::{Trace, TraceStep};
 
 use crate::error::MckError;
@@ -164,13 +168,38 @@ impl Checker {
     /// Verifies a complete (hole-free) model, honoring
     /// [`CheckerOptions::threads`].
     ///
+    /// This is a thin one-shot wrapper over [`Checker::session`]: it opens
+    /// a session, runs one check, and drops the session. Callers verifying
+    /// many related candidates should hold the session themselves and call
+    /// [`CheckSession::check`] repeatedly to reuse the shared exploration
+    /// prefix.
+    ///
     /// # Panics
     ///
     /// Panics if the model consults a hole; use [`Checker::run_with`] (or
     /// [`Checker::run_shared`] for parallel runs) with an appropriate
     /// resolver for models containing holes.
     pub fn run<M: TransitionSystem>(&self, model: &M) -> Outcome<M::State> {
-        self.run_shared(model, &NoHoles)
+        let mut session = self.session(model);
+        // The session dies right after this one check, so a kept graph can
+        // be moved out of the store instead of cloned.
+        session.detach_graph_on_finish();
+        session.check(&NoHoles)
+    }
+
+    /// Opens a long-lived [`CheckSession`] on `model`: a reusable checker
+    /// instance owning the visited set, the state store, the canonical
+    /// initial states, and (for [`CheckerOptions::threads`] `> 1`) a
+    /// persistent worker pool.
+    ///
+    /// [`CheckSession::check`] can be called repeatedly with different
+    /// resolvers; checks that share a resolution prefix with the previous
+    /// check resume from the deepest shared BFS checkpoint instead of from
+    /// the initial states, while remaining observationally identical —
+    /// verdict, statistics, failure attribution, counterexample trace — to
+    /// a fresh one-shot run of the same candidate.
+    pub fn session<'a, M: TransitionSystem>(&self, model: &'a M) -> CheckSession<'a, M> {
+        CheckSession::new(model, self.options.clone())
     }
 
     /// Verifies a model, resolving holes through `resolver`.
@@ -277,6 +306,32 @@ pub(super) fn insert_id(map: &mut FnvHashMap<u64, IdList>, hash: u64, id: StateI
     }
 }
 
+/// Removes an id from a fingerprint-indexed map — the inverse of
+/// [`insert_id`], used by [`CheckSession`] rollback to forget truncated
+/// states and stale pending claims.
+pub(super) fn remove_id(map: &mut FnvHashMap<u64, IdList>, hash: u64, id: StateId) {
+    use std::collections::hash_map::Entry;
+    match map.entry(hash) {
+        Entry::Occupied(mut e) => match e.get_mut() {
+            IdList::One(x) => {
+                debug_assert_eq!(*x, id, "removing an id not present in its bucket");
+                e.remove();
+            }
+            IdList::Many(ids) => {
+                ids.retain(|&x| x != id);
+                match ids.as_slice() {
+                    [] => {
+                        e.remove();
+                    }
+                    &[only] => *e.get_mut() = IdList::One(only),
+                    _ => {}
+                }
+            }
+        },
+        Entry::Vacant(_) => debug_assert!(false, "removing an id from a missing bucket"),
+    }
+}
+
 /// Fingerprint-indexed visited set for the serial driver.
 #[derive(Debug, Default)]
 struct VisitedIndex {
@@ -312,7 +367,12 @@ type TouchRecord = Option<Box<[(usize, u16)]>>;
 /// which is what makes the two drivers' outcomes comparable field by field.
 pub(super) struct SearchCore<'a, M: TransitionSystem> {
     pub(super) model: &'a M,
-    pub(super) options: &'a CheckerOptions,
+    pub(super) options: CheckerOptions,
+    /// Whether [`SearchCore::finish`] may *move* the committed store into a
+    /// requested graph instead of cloning it. One-shot drivers (which drop
+    /// the core right after) keep the default `true`; a [`CheckSession`]
+    /// clears it because its store must survive into the next check.
+    pub(super) detach_graph: bool,
 
     pub(super) states: Vec<M::State>,
     pub(super) depth: Vec<u32>,
@@ -328,7 +388,7 @@ pub(super) struct SearchCore<'a, M: TransitionSystem> {
 }
 
 impl<'a, M: TransitionSystem> SearchCore<'a, M> {
-    pub(super) fn new(model: &'a M, options: &'a CheckerOptions) -> Self {
+    pub(super) fn new(model: &'a M, options: CheckerOptions) -> Self {
         let has_liveness = model
             .properties()
             .iter()
@@ -341,14 +401,16 @@ impl<'a, M: TransitionSystem> SearchCore<'a, M> {
                 .filter(|p| is_reachable(p))
                 .count()
         ];
+        let collect_edges = options.keep_graph || has_liveness;
         SearchCore {
             model,
             options,
+            detach_graph: true,
             states: Vec::new(),
             depth: Vec::new(),
             pred: Vec::new(),
             edge_touches: Vec::new(),
-            edges: (options.keep_graph || has_liveness).then(Vec::new),
+            edges: collect_edges.then(Vec::new),
             reach_found,
             stats: Stats::default(),
         }
@@ -462,7 +524,7 @@ impl<'a, M: TransitionSystem> SearchCore<'a, M> {
     /// eventual quiescence) and verdict computation for a run that found no
     /// failure during exploration.
     pub(super) fn analyze(
-        mut self,
+        &mut self,
         start: Instant,
         incomplete: Option<MckError>,
     ) -> Outcome<M::State> {
@@ -521,33 +583,46 @@ impl<'a, M: TransitionSystem> SearchCore<'a, M> {
         self.finish(start, verdict, None, incomplete)
     }
 
+    /// Packages the run's result. Non-consuming, so a [`CheckSession`] can
+    /// keep the core alive across checks: a requested graph is *moved* out
+    /// of the committed store when the driver is about to drop the core
+    /// ([`SearchCore::detach_graph`], the one-shot default) and cloned only
+    /// for sessions, whose store must survive into the next check.
     pub(super) fn finish(
-        mut self,
+        &mut self,
         start: Instant,
         verdict: Verdict,
         failure: Option<Failure<M::State>>,
         incomplete: Option<MckError>,
     ) -> Outcome<M::State> {
         self.stats.states_visited = self.states.len();
-        let graph = if self.options.keep_graph {
-            Some(ExploredGraph {
-                rule_names: rule_names(self.model),
-                states: std::mem::take(&mut self.states),
-                depth: std::mem::take(&mut self.depth),
-                edges: self.edges.take().unwrap_or_default(),
-            })
-        } else {
-            None
-        };
+        let graph = self.options.keep_graph.then(|| {
+            if self.detach_graph {
+                ExploredGraph {
+                    rule_names: rule_names(self.model),
+                    states: std::mem::take(&mut self.states),
+                    depth: std::mem::take(&mut self.depth),
+                    edges: self.edges.take().unwrap_or_default(),
+                }
+            } else {
+                ExploredGraph {
+                    rule_names: rule_names(self.model),
+                    states: self.states.clone(),
+                    depth: self.depth.clone(),
+                    edges: self.edges.clone().unwrap_or_default(),
+                }
+            }
+        });
         Outcome {
             verdict,
             failure,
-            stats: self.stats,
+            stats: self.stats.clone(),
             timing: Timing {
                 elapsed: start.elapsed(),
             },
             incomplete,
             graph,
+            model: self.model.name().to_owned(),
         }
     }
 }
@@ -563,7 +638,7 @@ struct Bfs<'a, M: TransitionSystem> {
 impl<'a, M: TransitionSystem> Bfs<'a, M> {
     fn new(model: &'a M, options: &'a CheckerOptions, resolver: &'a mut dyn HoleResolver) -> Self {
         Bfs {
-            core: SearchCore::new(model, options),
+            core: SearchCore::new(model, options.clone()),
             resolver,
             visited: VisitedIndex::default(),
             queue: VecDeque::new(),

@@ -125,6 +125,7 @@ pub struct Outcome<S> {
     pub(crate) timing: Timing,
     pub(crate) incomplete: Option<MckError>,
     pub(crate) graph: Option<super::graph::ExploredGraph<S>>,
+    pub(crate) model: String,
 }
 
 impl<S> Outcome<S> {
@@ -162,6 +163,13 @@ impl<S> Outcome<S> {
     /// `true` when the verdict is [`Verdict::Success`].
     pub fn is_success(&self) -> bool {
         self.verdict == Verdict::Success
+    }
+
+    /// Name of the checked model, as reported by
+    /// [`crate::TransitionSystem::name`] — so reports can identify the
+    /// model behind a verdict without carrying the model itself.
+    pub fn model_name(&self) -> &str {
+        &self.model
     }
 }
 

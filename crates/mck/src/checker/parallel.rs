@@ -55,7 +55,7 @@ use super::{
     fingerprint, insert_id, CheckerOptions, DeadlockPolicy, Edge, Failure, FailureKind, IdList,
     MckError, Outcome, SearchCore, StateId, Verdict, MAX_COMMITTED,
 };
-use crate::eval::SharedResolver;
+use crate::eval::{HoleSpec, SharedResolver};
 use crate::hashers::FnvHashMap;
 use crate::model::TransitionSystem;
 use crate::rule::RuleOutcome;
@@ -66,30 +66,30 @@ use std::time::Instant;
 /// shard's `pending` arena instead of the committed state store. Committed
 /// ids can never collide with it — [`SearchCore::commit`] asserts they stay
 /// below [`MAX_COMMITTED`].
-const PENDING_BIT: StateId = MAX_COMMITTED;
+pub(super) const PENDING_BIT: StateId = MAX_COMMITTED;
 
 /// Below this many states per worker a layer is expanded inline: thread
 /// spawn latency would exceed the expansion work.
-const MIN_CHUNK: usize = 16;
+pub(super) const MIN_CHUNK: usize = 16;
 
 /// One shard of the visited set. Committed entries hold [`StateId`]s into
 /// `SearchCore::states`; pending entries hold claims parked here during the
 /// expansion phase of the current layer.
-struct Shard<S> {
-    map: FnvHashMap<u64, IdList>,
-    pending: Vec<PendingSlot<S>>,
+pub(super) struct Shard<S> {
+    pub(super) map: FnvHashMap<u64, IdList>,
+    pub(super) pending: Vec<PendingSlot<S>>,
 }
 
-struct PendingSlot<S> {
-    hash: u64,
+pub(super) struct PendingSlot<S> {
+    pub(super) hash: u64,
     /// The claimed state; taken when the replay commits it.
-    state: Option<S>,
+    pub(super) state: Option<S>,
     /// The committed id, once the replay assigns one.
-    id: Option<StateId>,
+    pub(super) id: Option<StateId>,
 }
 
 impl<S: Eq> Shard<S> {
-    fn new() -> Self {
+    pub(super) fn new() -> Self {
         Shard {
             map: FnvHashMap::default(),
             pending: Vec::new(),
@@ -99,7 +99,7 @@ impl<S: Eq> Shard<S> {
     /// Looks up `state` among committed and pending entries; parks it as a
     /// new pending claim if absent. Returns the committed id, or the pending
     /// slot for the replay to resolve.
-    fn probe(&mut self, hash: u64, state: S, states: &[S]) -> Probe {
+    pub(super) fn probe(&mut self, hash: u64, state: S, states: &[S]) -> Probe {
         use std::collections::hash_map::Entry;
         let Shard { map, pending } = self;
         match map.entry(hash) {
@@ -138,14 +138,14 @@ impl<S: Eq> Shard<S> {
 
     /// Records a committed id for a state inserted outside the worker phase
     /// (initial states).
-    fn insert_committed(&mut self, hash: u64, id: StateId) {
+    pub(super) fn insert_committed(&mut self, hash: u64, id: StateId) {
         insert_id(&mut self.map, hash, id);
     }
 }
 
 /// Result of probing one successor against the sharded visited set.
 #[derive(Debug, Clone, Copy)]
-enum Probe {
+pub(super) enum Probe {
     /// Already committed under this id.
     Known(StateId),
     /// Unknown: parked as pending claim `slot` (shard implied by the record's
@@ -156,14 +156,14 @@ enum Probe {
 /// One rule application worth remembering: anything that fired, blocked, or
 /// consulted a hole. Plain disabled guards — the overwhelming majority —
 /// leave no record.
-struct AppRecord {
-    rule: u32,
+pub(super) struct AppRecord {
+    pub(super) rule: u32,
     /// Hole resolutions this application consulted.
-    touches: Box<[(usize, u16)]>,
-    outcome: RecOutcome,
+    pub(super) touches: Box<[(usize, u16)]>,
+    pub(super) outcome: RecOutcome,
 }
 
-enum RecOutcome {
+pub(super) enum RecOutcome {
     /// Guard false, but holes were consulted (possible in principle; a
     /// deadlock verdict depends on these resolutions too).
     Disabled,
@@ -174,8 +174,8 @@ enum RecOutcome {
 }
 
 /// Everything a worker recorded about expanding one source state.
-struct StateRec {
-    records: Vec<AppRecord>,
+pub(super) struct StateRec {
+    pub(super) records: Vec<AppRecord>,
 }
 
 /// Layer-synchronized parallel exploration driver; one instance per run.
@@ -198,7 +198,7 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
         // Over-provision shards so two workers rarely contend on one lock.
         let shard_count = (threads * 8).next_power_of_two().clamp(16, 256);
         ParallelBfs {
-            core: SearchCore::new(model, options),
+            core: SearchCore::new(model, options.clone()),
             resolver,
             shards: (0..shard_count).map(|_| Mutex::new(Shard::new())).collect(),
             shard_shift: 64 - shard_count.trailing_zeros(),
@@ -315,7 +315,15 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
 
         'layers: while !frontier.is_empty() {
             // --- Phase 1: parallel expansion -----------------------------
-            let layer_recs = self.expand_layer(&frontier);
+            let (layer_recs, discoveries) = self.expand_layer(&frontier);
+
+            // Deferred hole discoveries are registered here — the replay
+            // sequence point — in chunk-concatenated (= serial exploration)
+            // order, so first-discovery ids are deterministic at any thread
+            // count.
+            if !discoveries.is_empty() {
+                self.resolver.commit_discoveries(&discoveries);
+            }
 
             // --- Phase 2: deterministic replay ---------------------------
             let mut next_frontier: Vec<StateId> = Vec::new();
@@ -413,8 +421,10 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
     }
 
     /// Expands one layer across scoped worker threads, returning one
-    /// [`StateRec`] per frontier state, in frontier order.
-    fn expand_layer(&self, frontier: &[StateId]) -> Vec<StateRec> {
+    /// [`StateRec`] per frontier state, in frontier order, plus the workers'
+    /// deferred hole discoveries concatenated in chunk order (= the serial
+    /// driver's first-consultation order within the layer).
+    fn expand_layer(&self, frontier: &[StateId]) -> (Vec<StateRec>, Vec<HoleSpec>) {
         let workers = frontier
             .len()
             .div_ceil(MIN_CHUNK)
@@ -432,25 +442,28 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
             let handles: Vec<_> = chunks
                 .map(|chunk| scope.spawn(move || self.expand_chunk(chunk)))
                 .collect();
-            let mut recs = self.expand_chunk(first);
+            let (mut recs, mut discoveries) = self.expand_chunk(first);
             for h in handles {
                 match h.join() {
-                    Ok(r) => recs.extend(r),
+                    Ok((r, d)) => {
+                        recs.extend(r);
+                        discoveries.extend(d);
+                    }
                     Err(panic) => std::panic::resume_unwind(panic),
                 }
             }
-            recs
+            (recs, discoveries)
         })
     }
 
     /// One worker's share of a layer: apply every rule to every state in
     /// `chunk`, probing successors against the sharded visited set.
-    fn expand_chunk(&self, chunk: &[StateId]) -> Vec<StateRec> {
+    fn expand_chunk(&self, chunk: &[StateId]) -> (Vec<StateRec>, Vec<HoleSpec>) {
         let states = &self.core.states;
         let model = self.core.model;
         let mut resolver = self.resolver.worker();
 
-        chunk
+        let recs = chunk
             .iter()
             .map(|&sid| {
                 let state = &states[sid as usize];
@@ -482,7 +495,9 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
                 }
                 StateRec { records }
             })
-            .collect()
+            .collect();
+        let discoveries = resolver.take_pending_discoveries();
+        (recs, discoveries)
     }
 }
 

@@ -1,0 +1,1200 @@
+//! Long-lived check sessions with incremental prefix re-verification.
+//!
+//! The synthesis loop dispatches thousands of candidate evaluations against
+//! *one* model, and consecutive candidates usually differ only in
+//! late-firing holes: everything the checker would explore before the first
+//! rule application that consults a changed hole is identical between them.
+//! A one-shot [`Checker::run`] rebuilds that shared prefix from scratch on
+//! every dispatch; a [`CheckSession`] keeps it.
+//!
+//! ## How reuse works
+//!
+//! A session explores in layer-synchronized BFS order and, at every layer
+//! boundary, records a **checkpoint** — the committed-store length, the
+//! statistics, and the reachability flags at that point (the store itself
+//! is append-only, so a checkpoint is three scalars and a bitvector, not a
+//! copy of the state space) — together with a **hole-touch log**: every
+//! `(hole, answer)` pair the expansion of that layer consulted, wildcard
+//! answers included.
+//!
+//! On the next [`CheckSession::check`], the session walks the logs in layer
+//! order and asks the *new* resolver (via
+//! [`SessionResolver::assignment`]) what it would answer each recorded
+//! consultation. Expansion of a layer is a deterministic function of the
+//! committed frontier and those answers, so the first layer with any
+//! changed answer is the first layer that could diverge — the session
+//! rolls back to the checkpoint *before* it (truncating the store and
+//! evicting the truncated ids from the visited set) and resumes live
+//! exploration there. Candidates sharing a deep resolution prefix therefore
+//! resume from a deep checkpoint; in the worst case (answers changed in
+//! layer 0) the session still reuses the canonicalized initial states,
+//! which are computed exactly once per session.
+//!
+//! ## Equivalence contract
+//!
+//! Every `check` is observationally identical to a fresh one-shot run of
+//! the same model and resolver: verdict, the full [`Stats`], failure kind /
+//! property / touched attribution, the counterexample trace, and the kept
+//! graph all match bit for bit, at any [`CheckerOptions::threads`] count.
+//! The serial path replays the one-shot serial driver's exact commit and
+//! stop order (including mid-layer fail-fast); the parallel path uses the
+//! layer-synchronized expand-then-replay discipline of
+//! [`super::parallel`], with its worker threads kept in a persistent
+//! [`WorkerPool`] instead of being re-spawned per layer. The equivalence is
+//! enforced by `tests/session_equivalence.rs`.
+
+use super::parallel::{AppRecord, Probe, RecOutcome, Shard, StateRec, MIN_CHUNK, PENDING_BIT};
+use super::pool::WorkerPool;
+use super::{
+    fingerprint, remove_id, CheckerOptions, DeadlockPolicy, Edge, Failure, FailureKind, Outcome,
+    SearchCore, StateId, Stats, Verdict,
+};
+use crate::error::MckError;
+use crate::eval::{HoleResolver, HoleSpec, SessionResolver, WildcardTouch};
+use crate::model::TransitionSystem;
+use crate::rule::RuleOutcome;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+#[cfg(doc)]
+use super::Checker;
+
+/// One consulted hole and the answer it received; `None` is the wildcard.
+type LayerTouch = (usize, Option<u16>);
+
+/// Snapshot of the search at a layer boundary: layers `0..=d` committed,
+/// layers `0..d` expanded, frontier = layer `d`. The committed store is
+/// append-only, so the snapshot is positional — no states are copied.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    /// Committed-store length (exclusive end of the frontier layer).
+    committed: usize,
+    /// First id of the frontier layer.
+    frontier_start: usize,
+    stats: Stats,
+    reach_found: Vec<bool>,
+}
+
+/// Cumulative reuse counters of one [`CheckSession`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Number of [`CheckSession::check`] calls completed.
+    pub checks: u64,
+    /// States committed by live exploration across all checks — the work
+    /// actually done.
+    pub states_expanded: u64,
+    /// States inherited from checkpoints instead of being re-expanded — the
+    /// work a per-candidate restart would have repeated.
+    pub states_reused: u64,
+    /// Fully-expanded BFS layers resumed past, summed over checks.
+    pub layers_reused: u64,
+}
+
+impl SessionStats {
+    /// Fraction of all committed states that were reused rather than
+    /// expanded (0.0 when nothing was committed yet).
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.states_expanded + self.states_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.states_reused as f64 / total as f64
+        }
+    }
+}
+
+/// Result of driving one BFS layer.
+enum LayerResult<S> {
+    /// The layer was fully expanded; its (sorted, de-duplicated) hole-touch
+    /// log is ready to seal into a checkpoint.
+    Done(Vec<LayerTouch>),
+    /// Exploration ended inside the layer (failure, state cap, or an empty
+    /// continuation) with this outcome.
+    Finished(Box<Outcome<S>>),
+}
+
+/// Everything one parallel expansion chunk produced; see
+/// [`CheckSession::expand_chunk`].
+struct ChunkOut {
+    recs: Vec<StateRec>,
+    /// Touch-log entries for holes with known ids.
+    touches: Vec<LayerTouch>,
+    /// Wildcard consultations of deferred (not-yet-registered) holes, as
+    /// indices into this chunk's `discoveries`.
+    fresh: Vec<u32>,
+    /// Hole specs first sighted by this chunk's worker, in consultation
+    /// order, pending registration at the replay sequence point.
+    discoveries: Vec<HoleSpec>,
+}
+
+/// A reusable checker instance over one model: owns the visited set, the
+/// committed state store, the canonical initial states, the per-layer
+/// checkpoints, and (for `threads > 1`) a persistent [`WorkerPool`].
+///
+/// Created by [`Checker::session`]. Checks resume from the deepest BFS
+/// checkpoint whose recorded hole resolutions the new resolver answers
+/// identically, and every check stays observationally identical to a
+/// fresh one-shot run of the same candidate.
+pub struct CheckSession<'a, M: TransitionSystem> {
+    core: SearchCore<'a, M>,
+    /// Fingerprint of every committed state, aligned with the store — what
+    /// lets rollback evict truncated ids from the visited set without
+    /// re-hashing.
+    hashes: Vec<u64>,
+    shards: Vec<Mutex<Shard<M::State>>>,
+    /// `64 - log2(shard count)`: fingerprint prefix shift selecting a shard.
+    shard_shift: u32,
+    threads: usize,
+    /// Persistent expansion workers (`threads - 1` of them; the calling
+    /// thread works each layer too). `None` in serial sessions.
+    pool: Option<WorkerPool>,
+    /// Canonicalized initial states, computed once at session creation.
+    initial: Vec<M::State>,
+    checkpoints: Vec<Checkpoint>,
+    /// `layer_touches[d]` = consultations made while expanding layer `d`;
+    /// always exactly one entry shorter than `checkpoints` once the initial
+    /// layer is committed.
+    layer_touches: Vec<Vec<LayerTouch>>,
+    /// How many leading layers of `layer_touches` the most recent check
+    /// inherited from checkpoints instead of expanding live.
+    last_resume: usize,
+    stats: SessionStats,
+}
+
+impl<M: TransitionSystem> std::fmt::Debug for CheckSession<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckSession")
+            .field("model", &self.core.model.name())
+            .field("threads", &self.threads)
+            .field("committed", &self.core.states.len())
+            .field("checkpoints", &self.checkpoints.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'a, M: TransitionSystem> CheckSession<'a, M> {
+    pub(super) fn new(model: &'a M, options: CheckerOptions) -> Self {
+        let threads = options.thread_count();
+        // Same shard provisioning as the one-shot parallel driver.
+        let shard_count = (threads * 8).next_power_of_two().clamp(16, 256);
+        let initial: Vec<M::State> = model
+            .initial_states()
+            .into_iter()
+            .map(|s| model.canonicalize(s))
+            .collect();
+        let mut core = SearchCore::new(model, options);
+        // The session's store must survive finish(): graphs are cloned out,
+        // never moved.
+        core.detach_graph = false;
+        CheckSession {
+            core,
+            hashes: Vec::new(),
+            shards: (0..shard_count).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_shift: 64 - shard_count.trailing_zeros(),
+            threads,
+            pool: (threads > 1).then(|| WorkerPool::new(threads - 1)),
+            initial,
+            checkpoints: Vec::new(),
+            layer_touches: Vec::new(),
+            last_resume: 0,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Restores move-out graph semantics for a session about to be dropped
+    /// after one check ([`Checker::run`]'s one-shot wrapper): the final
+    /// outcome's graph is taken from the store instead of cloned. The
+    /// session must not be checked again afterwards when a graph was kept —
+    /// its store is gone.
+    pub(super) fn detach_graph_on_finish(&mut self) {
+        self.core.detach_graph = true;
+    }
+
+    /// The session's cumulative reuse counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The model this session explores.
+    pub fn model(&self) -> &M {
+        self.core.model
+    }
+
+    /// The concrete `(hole, action)` resolutions consulted by the layers
+    /// the most recent [`CheckSession::check`] inherited from checkpoints —
+    /// consultations a fresh run of the same candidate would have made but
+    /// the session skipped. Sorted by hole id, de-duplicated.
+    ///
+    /// Callers reconstructing a run's full touched set (e.g. to identify a
+    /// verified solution by the holes it depends on) must union this with
+    /// the resolver's live consultation log; the two partitions are
+    /// disjoint in coverage but agree on every answer by the checkpoint
+    /// validity rule.
+    pub fn reused_touches(&self) -> Vec<(usize, u16)> {
+        let mut out: Vec<(usize, u16)> = self.layer_touches[..self.last_resume]
+            .iter()
+            .flatten()
+            .filter_map(|&(hole, answer)| answer.map(|action| (hole, action)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Verifies the model under `resolver`, reusing as much of the previous
+    /// check's exploration as the resolver's answers allow.
+    ///
+    /// The outcome is bit-identical (verdict, statistics, failure
+    /// attribution, trace, graph) to a fresh one-shot run of the same
+    /// candidate — reuse is invisible except in wall-clock time and
+    /// [`CheckSession::stats`].
+    pub fn check(&mut self, resolver: &dyn SessionResolver) -> Outcome<M::State> {
+        let start = Instant::now();
+        self.stats.checks += 1;
+
+        if self.initial.is_empty() {
+            debug_assert!(self.core.states.is_empty());
+            return self.core.finish(
+                start,
+                Verdict::Unknown,
+                None,
+                Some(MckError::NoInitialStates),
+            );
+        }
+
+        self.last_resume = 0;
+        let reused = match self.resume_depth(resolver) {
+            None => {
+                // First check (or the initial phase never completed): start
+                // from scratch, from the cached canonical initial states.
+                self.reset();
+                if let Some(outcome) = self.commit_initial(start) {
+                    self.stats.states_expanded += self.core.states.len() as u64;
+                    return outcome;
+                }
+                self.push_checkpoint(0);
+                0
+            }
+            Some(depth) => {
+                self.rollback(depth);
+                self.last_resume = depth;
+                let reused = self.checkpoints[depth].committed;
+                self.stats.states_reused += reused as u64;
+                self.stats.layers_reused += depth as u64;
+                reused
+            }
+        };
+
+        let outcome = self.explore(start, resolver);
+        self.stats.states_expanded += (self.core.states.len() - reused) as u64;
+        outcome
+    }
+
+    fn shard_of(&self, hash: u64) -> usize {
+        (hash >> self.shard_shift) as usize
+    }
+
+    /// The deepest checkpoint the new resolver can resume from: the first
+    /// expanded layer whose recorded consultations it answers differently
+    /// invalidates everything at and beyond it. `None` when no checkpoint
+    /// exists at all.
+    fn resume_depth(&self, resolver: &dyn SessionResolver) -> Option<usize> {
+        if self.checkpoints.is_empty() {
+            return None;
+        }
+        debug_assert_eq!(self.checkpoints.len(), self.layer_touches.len() + 1);
+        let mut depth = 0;
+        while depth < self.layer_touches.len()
+            && self.layer_touches[depth]
+                .iter()
+                .all(|&(hole, answer)| resolver.assignment(hole) == answer)
+        {
+            depth += 1;
+        }
+        Some(depth)
+    }
+
+    /// Forgets everything: empty store, empty visited set, no checkpoints.
+    fn reset(&mut self) {
+        self.core.states.clear();
+        self.core.depth.clear();
+        self.core.pred.clear();
+        self.core.edge_touches.clear();
+        if let Some(edges) = &mut self.core.edges {
+            edges.clear();
+        }
+        self.core.reach_found.fill(false);
+        self.core.stats = Stats::default();
+        self.hashes.clear();
+        for shard in &mut self.shards {
+            let shard = shard.get_mut();
+            shard.map.clear();
+            shard.pending.clear();
+        }
+        self.checkpoints.clear();
+        self.layer_touches.clear();
+    }
+
+    /// Rolls the search back to `checkpoints[depth]`: truncates the
+    /// committed store, evicts truncated ids from the visited set, clears
+    /// the frontier layer's (stale) edge lists, and restores the
+    /// checkpoint's statistics and reachability flags.
+    fn rollback(&mut self, depth: usize) {
+        let keep = self.checkpoints[depth].committed;
+        let shard_shift = self.shard_shift;
+        for id in keep..self.core.states.len() {
+            let hash = self.hashes[id];
+            let shard = self.shards[(hash >> shard_shift) as usize].get_mut();
+            remove_id(&mut shard.map, hash, id as StateId);
+        }
+        self.core.states.truncate(keep);
+        self.core.depth.truncate(keep);
+        self.core.pred.truncate(keep);
+        self.core.edge_touches.truncate(keep);
+        self.hashes.truncate(keep);
+        let frontier_start = self.checkpoints[depth].frontier_start;
+        if let Some(edges) = &mut self.core.edges {
+            edges.truncate(keep);
+            // The frontier layer was (at least partly) expanded by the
+            // previous check; its outgoing edges will be re-recorded live.
+            for list in &mut edges[frontier_start..] {
+                list.clear();
+            }
+        }
+        self.core.stats = self.checkpoints[depth].stats.clone();
+        self.core
+            .reach_found
+            .clone_from(&self.checkpoints[depth].reach_found);
+        self.checkpoints.truncate(depth + 1);
+        self.layer_touches.truncate(depth);
+        for shard in &mut self.shards {
+            debug_assert!(shard.get_mut().pending.is_empty());
+            shard.get_mut().pending.clear();
+        }
+    }
+
+    /// Seals the current committed prefix as a checkpoint whose frontier
+    /// starts at `frontier_start`.
+    fn push_checkpoint(&mut self, frontier_start: usize) {
+        self.checkpoints.push(Checkpoint {
+            committed: self.core.states.len(),
+            frontier_start,
+            stats: self.core.stats.clone(),
+            reach_found: self.core.reach_found.clone(),
+        });
+    }
+
+    /// Commits the cached canonical initial states, mirroring the one-shot
+    /// drivers' pre-layer phase (admission clamp and initial invariant
+    /// checks included). `Some(outcome)` ends the check here.
+    fn commit_initial(&mut self, start: Instant) -> Option<Outcome<M::State>> {
+        let state_limit = MckError::StateLimitExceeded {
+            limit: self.core.options.max_states,
+        };
+        for i in 0..self.initial.len() {
+            let state = self.initial[i].clone();
+            let hash = fingerprint(&state);
+            let shard_idx = self.shard_of(hash);
+            let known = {
+                let states = &self.core.states;
+                let shard = self.shards[shard_idx].get_mut();
+                shard.map.get(&hash).is_some_and(|entry| {
+                    entry
+                        .as_slice()
+                        .iter()
+                        .any(|&id| states[id as usize] == state)
+                })
+            };
+            if known {
+                continue;
+            }
+            if self.core.states.len() >= self.core.options.max_states {
+                return Some(self.core.analyze(start, Some(state_limit)));
+            }
+            let id = self.core.commit(state, None, &[]);
+            self.hashes.push(hash);
+            self.shards[shard_idx].get_mut().insert_committed(hash, id);
+            if let Some(name) = self.core.violated_invariant(id) {
+                let failure = Failure {
+                    kind: FailureKind::InvariantViolation,
+                    property: name.to_owned(),
+                    trace: Some(self.core.trace_to(id)),
+                    touched: Some(Vec::new()),
+                };
+                return Some(
+                    self.core
+                        .finish(start, Verdict::Failure, Some(failure), None),
+                );
+            }
+        }
+        None
+    }
+
+    /// Drives layers from the current frontier to an outcome, sealing a
+    /// checkpoint after every fully-expanded layer.
+    fn explore(&mut self, start: Instant, resolver: &dyn SessionResolver) -> Outcome<M::State> {
+        if self.threads > 1 {
+            loop {
+                let result = self.run_layer_parallel(start, resolver);
+                match result {
+                    LayerResult::Finished(outcome) => return *outcome,
+                    LayerResult::Done(touches) => self.seal_layer(touches),
+                }
+            }
+        } else {
+            // One worker resolver for the whole check, exactly like the
+            // one-shot serial driver.
+            let mut worker = resolver.worker();
+            loop {
+                let result = self.run_layer_serial(start, resolver, &mut *worker);
+                match result {
+                    LayerResult::Finished(outcome) => return *outcome,
+                    LayerResult::Done(touches) => self.seal_layer(touches),
+                }
+            }
+        }
+    }
+
+    fn seal_layer(&mut self, touches: Vec<LayerTouch>) {
+        let frontier_end = self
+            .checkpoints
+            .last()
+            .expect("sealed without base")
+            .committed;
+        self.layer_touches.push(touches);
+        self.push_checkpoint(frontier_end);
+    }
+
+    /// Expands the frontier layer in place, in the one-shot serial driver's
+    /// exact order — including its mid-layer fail-fast behaviour — while
+    /// recording the layer's hole-touch log.
+    fn run_layer_serial(
+        &mut self,
+        start: Instant,
+        resolver: &dyn SessionResolver,
+        worker: &mut dyn HoleResolver,
+    ) -> LayerResult<M::State> {
+        let checkpoint = self.checkpoints.last().expect("explore without checkpoint");
+        let (f0, f1) = (checkpoint.frontier_start, checkpoint.committed);
+        if f0 == f1 {
+            return LayerResult::Finished(Box::new(self.core.analyze(start, None)));
+        }
+        let state_limit = MckError::StateLimitExceeded {
+            limit: self.core.options.max_states,
+        };
+        let mut touches_log: Vec<LayerTouch> = Vec::new();
+        let mut fresh_log: Vec<u32> = Vec::new();
+
+        for i in 0..(f1 - f0) {
+            let sid = f0 + i;
+            // What the serial driver's rolling queue holds when popping this
+            // state: everything committed but not yet expanded.
+            self.core.stats.peak_queue =
+                self.core.stats.peak_queue.max(self.core.states.len() - sid);
+            let state = self.core.states[sid].clone();
+            let mut any_next = false;
+            let mut any_blocked = false;
+            let mut expansion_touches: Vec<(usize, u16)> = Vec::new();
+
+            for (ri, rule) in self.core.model.rules().iter().enumerate() {
+                worker.begin_application();
+                let outcome = rule.apply(&state, worker);
+                let app_touches = worker.application_touches().to_vec();
+                for &(hole, action) in &app_touches {
+                    touches_log.push((hole, Some(action)));
+                }
+                for &wildcard in worker.application_wildcards() {
+                    match wildcard {
+                        WildcardTouch::Known(hole) => touches_log.push((hole, None)),
+                        WildcardTouch::Fresh(index) => fresh_log.push(index),
+                    }
+                }
+                expansion_touches.extend_from_slice(&app_touches);
+
+                match outcome {
+                    RuleOutcome::Disabled => {}
+                    RuleOutcome::Blocked => {
+                        any_blocked = true;
+                        self.core.stats.wildcard_hits += 1;
+                    }
+                    RuleOutcome::Next(next) => {
+                        any_next = true;
+                        self.core.stats.transitions += 1;
+                        let next = self.core.model.canonicalize(next);
+                        let hash = fingerprint(&next);
+                        let shard_idx = self.shard_of(hash);
+                        let found = {
+                            let states = &self.core.states;
+                            let shard = self.shards[shard_idx].get_mut();
+                            shard.map.get(&hash).and_then(|entry| {
+                                entry
+                                    .as_slice()
+                                    .iter()
+                                    .copied()
+                                    .find(|&id| states[id as usize] == next)
+                            })
+                        };
+                        let (nid, new) = match found {
+                            Some(id) => (id, false),
+                            None => {
+                                if self.core.states.len() >= self.core.options.max_states {
+                                    // Same admission clamp, same sequence
+                                    // point, as the one-shot drivers.
+                                    return LayerResult::Finished(Box::new(
+                                        self.core.analyze(start, Some(state_limit)),
+                                    ));
+                                }
+                                let nid = self.core.commit(
+                                    next,
+                                    Some((sid as StateId, ri as u32)),
+                                    &app_touches,
+                                );
+                                self.hashes.push(hash);
+                                self.shards[shard_idx].get_mut().insert_committed(hash, nid);
+                                (nid, true)
+                            }
+                        };
+                        if let Some(edges) = &mut self.core.edges {
+                            edges[sid].push(Edge {
+                                rule: ri as u32,
+                                target: nid,
+                            });
+                        }
+                        if new {
+                            if let Some(name) = self.core.violated_invariant(nid) {
+                                let failure = Failure {
+                                    kind: FailureKind::InvariantViolation,
+                                    property: name.to_owned(),
+                                    touched: Some(self.core.trace_touched(nid, &[])),
+                                    trace: Some(self.core.trace_to(nid)),
+                                };
+                                return LayerResult::Finished(Box::new(self.core.finish(
+                                    start,
+                                    Verdict::Failure,
+                                    Some(failure),
+                                    None,
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !any_next && !any_blocked && self.core.options.deadlock == DeadlockPolicy::Disallow {
+                let failure = Failure {
+                    kind: FailureKind::Deadlock,
+                    property: "deadlock freedom".to_owned(),
+                    touched: Some(self.core.trace_touched(sid as StateId, &expansion_touches)),
+                    trace: Some(self.core.trace_to(sid as StateId)),
+                };
+                return LayerResult::Finished(Box::new(self.core.finish(
+                    start,
+                    Verdict::Failure,
+                    Some(failure),
+                    None,
+                )));
+            }
+        }
+
+        // Layer fully expanded: register deferred discoveries (in this
+        // single worker's consultation order, which *is* the serial order)
+        // and resolve the fresh wildcard touches to their new ids.
+        let specs = worker.take_pending_discoveries();
+        if !specs.is_empty() || !fresh_log.is_empty() {
+            let ids = resolver.commit_discoveries(&specs);
+            for &index in &fresh_log {
+                touches_log.push((ids[index as usize], None));
+            }
+        }
+        touches_log.sort_unstable();
+        touches_log.dedup();
+        LayerResult::Done(touches_log)
+    }
+
+    /// Expands the frontier layer across the persistent pool, then replays
+    /// the records in deterministic order — the same expand/replay
+    /// discipline as the one-shot parallel driver.
+    fn run_layer_parallel(
+        &mut self,
+        start: Instant,
+        resolver: &dyn SessionResolver,
+    ) -> LayerResult<M::State> {
+        let checkpoint = self.checkpoints.last().expect("explore without checkpoint");
+        let (f0, f1) = (checkpoint.frontier_start, checkpoint.committed);
+        if f0 == f1 {
+            return LayerResult::Finished(Box::new(self.core.analyze(start, None)));
+        }
+
+        // --- Phase 1: parallel expansion ---------------------------------
+        let chunk_outs = self.expand_layer(resolver, f0, f1);
+
+        // Register deferred discoveries at the replay sequence point, in
+        // chunk-concatenated (= serial) order, and build the layer touch
+        // log with the assigned ids.
+        let mut touches_log: Vec<LayerTouch> = Vec::new();
+        let mut specs: Vec<HoleSpec> = Vec::new();
+        let mut chunk_offsets: Vec<usize> = Vec::with_capacity(chunk_outs.len());
+        for out in &chunk_outs {
+            chunk_offsets.push(specs.len());
+            specs.extend(out.discoveries.iter().cloned());
+            touches_log.extend_from_slice(&out.touches);
+        }
+        if !specs.is_empty() {
+            let ids = resolver.commit_discoveries(&specs);
+            for (out, offset) in chunk_outs.iter().zip(&chunk_offsets) {
+                for &index in &out.fresh {
+                    touches_log.push((ids[offset + index as usize], None));
+                }
+            }
+        }
+
+        // --- Phase 2: deterministic replay -------------------------------
+        let result = self.replay_layer(start, f0, chunk_outs);
+        self.clear_pending();
+        match result {
+            Ok(()) => {
+                touches_log.sort_unstable();
+                touches_log.dedup();
+                LayerResult::Done(touches_log)
+            }
+            Err(outcome) => LayerResult::Finished(outcome),
+        }
+    }
+
+    /// Splits the frontier into chunks and expands them on the pool (the
+    /// calling thread works the batch too).
+    fn expand_layer(&self, resolver: &dyn SessionResolver, f0: usize, f1: usize) -> Vec<ChunkOut> {
+        let frontier_len = f1 - f0;
+        let workers = frontier_len.div_ceil(MIN_CHUNK).clamp(1, self.threads);
+        let chunk_size = frontier_len.div_ceil(workers);
+
+        if workers == 1 {
+            return vec![self.expand_chunk(resolver, f0, f1)];
+        }
+        let ranges: Vec<(usize, usize)> = (0..workers)
+            .map(|w| {
+                let lo = f0 + w * chunk_size;
+                (lo, (lo + chunk_size).min(f1))
+            })
+            .collect();
+        let slots: Vec<Mutex<Option<ChunkOut>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .iter()
+            .zip(&slots)
+            .map(|(&(lo, hi), slot)| {
+                Box::new(move || {
+                    *slot.lock() = Some(self.expand_chunk(resolver, lo, hi));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.pool
+            .as_ref()
+            .expect("parallel session without a pool")
+            .run_batch(jobs);
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("chunk job did not run"))
+            .collect()
+    }
+
+    /// One worker's share of a layer: apply every rule to every state in
+    /// `[lo, hi)`, probing successors against the sharded visited set and
+    /// recording everything the replay and the touch log need.
+    fn expand_chunk(&self, resolver: &dyn SessionResolver, lo: usize, hi: usize) -> ChunkOut {
+        let states = &self.core.states;
+        let model = self.core.model;
+        let mut worker = resolver.worker();
+        let mut touches: Vec<LayerTouch> = Vec::new();
+        let mut fresh: Vec<u32> = Vec::new();
+
+        let recs = (lo..hi)
+            .map(|sid| {
+                let state = &states[sid];
+                let mut records = Vec::new();
+                for (ri, rule) in model.rules().iter().enumerate() {
+                    worker.begin_application();
+                    let outcome = rule.apply(state, &mut *worker);
+                    let app_touches = worker.application_touches();
+                    for &(hole, action) in app_touches {
+                        touches.push((hole, Some(action)));
+                    }
+                    for &wildcard in worker.application_wildcards() {
+                        match wildcard {
+                            WildcardTouch::Known(hole) => touches.push((hole, None)),
+                            WildcardTouch::Fresh(index) => fresh.push(index),
+                        }
+                    }
+                    let rec = match outcome {
+                        RuleOutcome::Disabled if app_touches.is_empty() => continue,
+                        RuleOutcome::Disabled => RecOutcome::Disabled,
+                        RuleOutcome::Blocked => RecOutcome::Blocked,
+                        RuleOutcome::Next(next) => {
+                            let next = model.canonicalize(next);
+                            let hash = fingerprint(&next);
+                            let shard = self.shard_of(hash);
+                            let probe = self.shards[shard].lock().probe(hash, next, states);
+                            RecOutcome::Next {
+                                shard: shard as u32,
+                                probe,
+                            }
+                        }
+                    };
+                    records.push(AppRecord {
+                        rule: ri as u32,
+                        touches: worker.application_touches().into(),
+                        outcome: rec,
+                    });
+                }
+                StateRec { records }
+            })
+            .collect();
+        let discoveries = worker.take_pending_discoveries();
+        ChunkOut {
+            recs,
+            touches,
+            fresh,
+            discoveries,
+        }
+    }
+
+    /// Replays the expansion records in the serial driver's order,
+    /// committing pending claims and checking invariants, deadlocks, and
+    /// the state cap exactly where a fresh run would. `Err` carries the
+    /// outcome that ended the check inside this layer.
+    #[allow(clippy::result_large_err)]
+    fn replay_layer(
+        &mut self,
+        start: Instant,
+        f0: usize,
+        chunk_outs: Vec<ChunkOut>,
+    ) -> Result<(), Box<Outcome<M::State>>> {
+        let state_limit = MckError::StateLimitExceeded {
+            limit: self.core.options.max_states,
+        };
+        let recs = chunk_outs.into_iter().flat_map(|out| out.recs);
+        for (i, rec) in recs.enumerate() {
+            let sid = (f0 + i) as StateId;
+            self.core.stats.peak_queue = self
+                .core
+                .stats
+                .peak_queue
+                .max(self.core.states.len() - (f0 + i));
+
+            let mut any_next = false;
+            let mut any_blocked = false;
+            let mut expansion_touches: Vec<(usize, u16)> = Vec::new();
+
+            for app in rec.records {
+                expansion_touches.extend_from_slice(&app.touches);
+                match app.outcome {
+                    RecOutcome::Disabled => {}
+                    RecOutcome::Blocked => {
+                        any_blocked = true;
+                        self.core.stats.wildcard_hits += 1;
+                    }
+                    RecOutcome::Next { shard, probe } => {
+                        any_next = true;
+                        self.core.stats.transitions += 1;
+                        let resolved = match probe {
+                            Probe::Known(id) => Some((id, false)),
+                            Probe::Fresh { slot } => self.resolve_fresh(
+                                shard as usize,
+                                slot as usize,
+                                (sid, app.rule),
+                                &app.touches,
+                            ),
+                        };
+                        let Some((nid, new)) = resolved else {
+                            return Err(Box::new(self.core.analyze(start, Some(state_limit))));
+                        };
+                        if let Some(edges) = &mut self.core.edges {
+                            edges[sid as usize].push(Edge {
+                                rule: app.rule,
+                                target: nid,
+                            });
+                        }
+                        if new {
+                            if let Some(name) = self.core.violated_invariant(nid) {
+                                let failure = Failure {
+                                    kind: FailureKind::InvariantViolation,
+                                    property: name.to_owned(),
+                                    touched: Some(self.core.trace_touched(nid, &[])),
+                                    trace: Some(self.core.trace_to(nid)),
+                                };
+                                return Err(Box::new(self.core.finish(
+                                    start,
+                                    Verdict::Failure,
+                                    Some(failure),
+                                    None,
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !any_next && !any_blocked && self.core.options.deadlock == DeadlockPolicy::Disallow {
+                let failure = Failure {
+                    kind: FailureKind::Deadlock,
+                    property: "deadlock freedom".to_owned(),
+                    touched: Some(self.core.trace_touched(sid, &expansion_touches)),
+                    trace: Some(self.core.trace_to(sid)),
+                };
+                return Err(Box::new(self.core.finish(
+                    start,
+                    Verdict::Failure,
+                    Some(failure),
+                    None,
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Promotes a pending claim to a committed id (first replay occurrence)
+    /// or reuses the already-assigned id; `None` refuses admission at the
+    /// state cap, exactly like the one-shot drivers.
+    fn resolve_fresh(
+        &mut self,
+        shard_idx: usize,
+        slot: usize,
+        from: (StateId, u32),
+        touches: &[(usize, u16)],
+    ) -> Option<(StateId, bool)> {
+        let shard = self.shards[shard_idx].get_mut();
+        let pending = &mut shard.pending[slot];
+        if let Some(id) = pending.id {
+            return Some((id, false));
+        }
+        if self.core.states.len() >= self.core.options.max_states {
+            return None;
+        }
+        let state = pending
+            .state
+            .take()
+            .expect("pending claim resolved without an id");
+        let hash = pending.hash;
+        let id = self.core.commit(state, Some(from), touches);
+        self.hashes.push(hash);
+        let shard = self.shards[shard_idx].get_mut();
+        shard.pending[slot].id = Some(id);
+        shard
+            .map
+            .get_mut(&hash)
+            .expect("pending claim lost its bucket")
+            .replace(PENDING_BIT | slot as StateId, id);
+        Some((id, true))
+    }
+
+    /// Clears the layer's pending arenas, evicting unresolved claims (left
+    /// behind by a mid-replay failure or cap stop) from the shard maps so
+    /// the next layer — or the next check — starts clean.
+    fn clear_pending(&mut self) {
+        for shard in &mut self.shards {
+            let shard = shard.get_mut();
+            if shard.pending.is_empty() {
+                continue;
+            }
+            for (slot, pending) in shard.pending.iter().enumerate() {
+                if pending.id.is_none() {
+                    remove_id(&mut shard.map, pending.hash, PENDING_BIT | slot as StateId);
+                }
+            }
+            shard.pending.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Checker, CheckerOptions};
+    use super::*;
+    use crate::eval::{Choice, NoHoles, SharedResolver};
+    use crate::model::ModelBuilder;
+
+    /// A minimal session resolver over pre-registered holes named "h0",
+    /// "h1", …: hole id = the numeric suffix, answers from a fixed table.
+    /// Tracks touches and wildcards the way the synthesis resolvers do.
+    #[derive(Debug, Clone)]
+    struct TableResolver {
+        answers: Vec<Option<u16>>,
+    }
+
+    impl TableResolver {
+        fn new(answers: Vec<Option<u16>>) -> Self {
+            TableResolver { answers }
+        }
+    }
+
+    struct TableWorker<'a> {
+        shared: &'a TableResolver,
+        touches: Vec<(usize, u16)>,
+        wildcards: Vec<WildcardTouch>,
+    }
+
+    impl SharedResolver for TableResolver {
+        fn worker(&self) -> Box<dyn HoleResolver + '_> {
+            Box::new(TableWorker {
+                shared: self,
+                touches: Vec::new(),
+                wildcards: Vec::new(),
+            })
+        }
+    }
+
+    impl SessionResolver for TableResolver {
+        fn assignment(&self, hole: usize) -> Option<u16> {
+            self.answers.get(hole).copied().flatten()
+        }
+    }
+
+    impl HoleResolver for TableWorker<'_> {
+        fn choose(&mut self, spec: &HoleSpec) -> Choice {
+            let id: usize = spec
+                .name()
+                .strip_prefix('h')
+                .and_then(|s| s.parse().ok())
+                .expect("test holes are named hN");
+            match self.shared.assignment(id) {
+                Some(action) => {
+                    if !self.touches.iter().any(|&(h, _)| h == id) {
+                        self.touches.push((id, action));
+                    }
+                    Choice::Action(action as usize)
+                }
+                None => {
+                    self.wildcards.push(WildcardTouch::Known(id));
+                    Choice::Wildcard
+                }
+            }
+        }
+
+        fn begin_application(&mut self) {
+            self.touches.clear();
+            self.wildcards.clear();
+        }
+
+        fn application_touches(&self) -> &[(usize, u16)] {
+            &self.touches
+        }
+
+        fn application_wildcards(&self) -> &[WildcardTouch] {
+            &self.wildcards
+        }
+    }
+
+    /// A two-hole chain: hole 0 decides at depth 1, hole 1 at depth 4.
+    /// State space: 0 -> 1..=3 -> ... linear walk whose branches depend on
+    /// the holes at different depths.
+    fn layered_model() -> crate::model::BuiltModel<u8> {
+        let mut b = ModelBuilder::new("layered");
+        b.initial(0u8);
+        b.rule("step", |&s: &u8, ctx| {
+            match s {
+                0 => {
+                    let spec = HoleSpec::new("h0", ["a", "b"]);
+                    match ctx.choose(&spec) {
+                        Choice::Action(i) => RuleOutcome::Next(1 + i as u8),
+                        Choice::Wildcard => RuleOutcome::Blocked,
+                    }
+                }
+                1..=9 => RuleOutcome::Next(s + 10),
+                11..=19 => RuleOutcome::Next(s + 10),
+                21..=29 => {
+                    let spec = HoleSpec::new("h1", ["x", "y", "z"]);
+                    match ctx.choose(&spec) {
+                        Choice::Action(i) => RuleOutcome::Next(40 + i as u8),
+                        Choice::Wildcard => RuleOutcome::Blocked,
+                    }
+                }
+                40..=42 => RuleOutcome::Next(40), // quiescent cycle
+                _ => RuleOutcome::Disabled,
+            }
+        });
+        b.invariant("no forbidden", |&s: &u8| s != 42);
+        b.finish()
+    }
+
+    fn assert_outcomes_match(session: &Outcome<u8>, fresh: &Outcome<u8>, what: &str) {
+        assert_eq!(session.verdict(), fresh.verdict(), "{what}: verdict");
+        assert_eq!(session.stats(), fresh.stats(), "{what}: stats");
+        match (session.failure(), fresh.failure()) {
+            (None, None) => {}
+            (Some(s), Some(f)) => {
+                assert_eq!(s.kind, f.kind, "{what}: failure kind");
+                assert_eq!(s.property, f.property, "{what}: property");
+                assert_eq!(s.touched, f.touched, "{what}: touched");
+                assert_eq!(
+                    format!("{:?}", s.trace),
+                    format!("{:?}", f.trace),
+                    "{what}: trace"
+                );
+            }
+            (s, f) => panic!("{what}: failure presence diverged: {s:?} vs {f:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_identical_checks_reuse_everything() {
+        let model = layered_model();
+        let checker = Checker::new(CheckerOptions::default().allow_deadlock());
+        let mut session = checker.session(&model);
+        let resolver = TableResolver::new(vec![Some(0), Some(1)]);
+        let first = session.check(&resolver);
+        let expanded_after_first = session.stats().states_expanded;
+        let second = session.check(&resolver);
+        assert_outcomes_match(&second, &first, "identical re-check");
+        assert_eq!(
+            session.stats().states_expanded,
+            expanded_after_first,
+            "an identical candidate must expand nothing"
+        );
+        assert!(session.stats().states_reused > 0);
+    }
+
+    #[test]
+    fn deep_hole_change_reuses_shallow_prefix() {
+        let model = layered_model();
+        let checker = Checker::new(CheckerOptions::default().allow_deadlock());
+        let mut session = checker.session(&model);
+        // h1 is first consulted at depth 4; changing it must preserve the
+        // layers before that.
+        let a = TableResolver::new(vec![Some(0), Some(0)]);
+        let b = TableResolver::new(vec![Some(0), Some(1)]);
+        let out_a = session.check(&a);
+        let fresh_b = checker.session(&model).check(&b);
+        let out_b = session.check(&b);
+        assert_outcomes_match(&out_b, &fresh_b, "deep-change re-check");
+        assert!(out_a.is_success());
+        assert!(
+            session.stats().layers_reused >= 3,
+            "layers before the deep hole must be reused, got {:?}",
+            session.stats()
+        );
+    }
+
+    #[test]
+    fn shallow_hole_change_invalidates_deep_checkpoints() {
+        let model = layered_model();
+        let checker = Checker::new(CheckerOptions::default().allow_deadlock());
+        let mut session = checker.session(&model);
+        let a = TableResolver::new(vec![Some(0), Some(0)]);
+        let b = TableResolver::new(vec![Some(1), Some(0)]);
+        let out_a = session.check(&a);
+        assert!(out_a.is_success());
+        let fresh_b = checker.session(&model).check(&b);
+        let out_b = session.check(&b);
+        assert_outcomes_match(&out_b, &fresh_b, "shallow-change re-check");
+    }
+
+    #[test]
+    fn failure_outcomes_are_reproduced_after_reuse() {
+        let model = layered_model();
+        let checker = Checker::new(CheckerOptions::default().allow_deadlock());
+        let mut session = checker.session(&model);
+        let good = TableResolver::new(vec![Some(0), Some(0)]);
+        // h1 = 2 reaches the forbidden state 42.
+        let bad = TableResolver::new(vec![Some(0), Some(2)]);
+        session.check(&good);
+        let fresh_bad = checker.session(&model).check(&bad);
+        let session_bad = session.check(&bad);
+        assert_eq!(session_bad.verdict(), Verdict::Failure);
+        assert_outcomes_match(&session_bad, &fresh_bad, "failing candidate");
+        // And flipping back still matches a fresh success.
+        let fresh_good = checker.session(&model).check(&good);
+        let session_good = session.check(&good);
+        assert_outcomes_match(&session_good, &fresh_good, "back to good");
+    }
+
+    #[test]
+    fn wildcard_answers_are_tracked_for_invalidation() {
+        let model = layered_model();
+        let checker = Checker::new(CheckerOptions::default().allow_deadlock());
+        let mut session = checker.session(&model);
+        // h1 wildcard: exploration stops at depth 4 with Unknown.
+        let wild = TableResolver::new(vec![Some(0), None]);
+        let out = session.check(&wild);
+        assert_eq!(out.verdict(), Verdict::Unknown);
+        // Now assigning h1 must re-expand the blocked layer, not reuse the
+        // Unknown exploration wholesale.
+        let concrete = TableResolver::new(vec![Some(0), Some(0)]);
+        let fresh = checker.session(&model).check(&concrete);
+        let resumed = session.check(&concrete);
+        assert_outcomes_match(&resumed, &fresh, "wildcard-then-concrete");
+        assert!(resumed.is_success());
+    }
+
+    #[test]
+    fn session_matches_one_shot_across_thread_counts() {
+        let model = layered_model();
+        for threads in [1, 2, 4] {
+            let options = CheckerOptions::default().allow_deadlock().threads(threads);
+            let mut session = Checker::new(options.clone()).session(&model);
+            for answers in [
+                vec![Some(0), Some(0)],
+                vec![Some(0), Some(1)],
+                vec![Some(1), Some(1)],
+                vec![Some(1), None],
+                vec![Some(0), Some(2)],
+                vec![Some(0), Some(0)],
+            ] {
+                let resolver = TableResolver::new(answers.clone());
+                let fresh = Checker::new(options.clone())
+                    .session(&model)
+                    .check(&resolver);
+                let reused = session.check(&resolver);
+                assert_outcomes_match(&reused, &fresh, &format!("{threads} threads {answers:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn hole_free_session_reuses_after_first_check() {
+        let mut b = ModelBuilder::new("wrap");
+        b.initial(0u8);
+        b.rule("step", |&s: &u8, _| RuleOutcome::Next((s + 1) % 64));
+        b.invariant("bounded", |&s: &u8| s < 64);
+        let m = b.finish();
+        let checker = Checker::new(CheckerOptions::default());
+        let mut session = checker.session(&m);
+        let first = session.check(&NoHoles);
+        let second = session.check(&NoHoles);
+        assert_eq!(first.stats(), second.stats());
+        assert_eq!(session.stats().checks, 2);
+        assert_eq!(session.stats().states_expanded, 64);
+        assert_eq!(session.stats().states_reused, 64);
+    }
+
+    #[test]
+    fn state_cap_outcomes_repeat_identically() {
+        let mut b = ModelBuilder::new("big");
+        b.initial(0u64);
+        b.rule("inc", |&s: &u64, _| RuleOutcome::Next(s + 1));
+        let m = b.finish();
+        let checker = Checker::new(CheckerOptions::default().max_states(50));
+        let mut session = checker.session(&m);
+        let first = session.check(&NoHoles);
+        let second = session.check(&NoHoles);
+        assert_eq!(first.verdict(), Verdict::Unknown);
+        assert_eq!(first.stats(), second.stats());
+        assert_eq!(first.stats().states_visited, 50);
+    }
+
+    #[test]
+    fn kept_graph_is_identical_after_reuse() {
+        let model = layered_model();
+        let options = CheckerOptions::default().allow_deadlock().keep_graph(true);
+        let checker = Checker::new(options.clone());
+        let mut session = checker.session(&model);
+        let resolver = TableResolver::new(vec![Some(0), Some(1)]);
+        session.check(&TableResolver::new(vec![Some(0), Some(0)]));
+        let reused = session.check(&resolver);
+        let fresh = Checker::new(options).session(&model).check(&resolver);
+        assert_eq!(
+            reused.graph().unwrap().to_dot("m"),
+            fresh.graph().unwrap().to_dot("m"),
+            "identical graphs after checkpoint resume"
+        );
+    }
+}

@@ -101,6 +101,26 @@ impl fmt::Display for HoleSpec {
     }
 }
 
+/// One wildcard consultation inside a rule application, as reported by
+/// [`HoleResolver::application_wildcards`].
+///
+/// Wildcard answers are not "touches" (no concrete action was handed out,
+/// so they never appear in [`HoleResolver::application_touches`]) — but a
+/// [`crate::checker::CheckSession`] still needs to know *which* holes an
+/// exploration consulted, because a candidate that later assigns one of
+/// them a concrete action invalidates every checkpoint at or beyond that
+/// consultation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WildcardTouch {
+    /// A hole the resolver has already registered, by its resolver-defined
+    /// id (the same id space as [`HoleResolver::application_touches`]).
+    Known(usize),
+    /// A hole first sighted by this worker whose registration is deferred
+    /// (see [`HoleResolver::take_pending_discoveries`]): the index into the
+    /// spec list the *next* `take_pending_discoveries` call will return.
+    Fresh(u32),
+}
+
 /// The outcome of resolving a hole.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Choice {
@@ -155,6 +175,29 @@ pub trait HoleResolver {
     fn application_touches(&self) -> &[(usize, u16)] {
         &[]
     }
+
+    /// The wildcard resolutions handed out since the last
+    /// [`HoleResolver::begin_application`], for resolvers that track
+    /// consultations (see [`WildcardTouch`]). The default — no tracking —
+    /// is correct for hole-free models and for one-shot checking, where
+    /// nothing ever asks which holes went unanswered.
+    fn application_wildcards(&self) -> &[WildcardTouch] {
+        &[]
+    }
+
+    /// Drains the hole specs this worker first sighted since the last call
+    /// (or since creation), in consultation order, *without* having
+    /// registered them yet — the deferred-registration protocol that makes
+    /// hole-discovery order deterministic under parallel exploration.
+    ///
+    /// Exploration drivers call this at a deterministic sequence point (the
+    /// end of a worker's chunk, or a layer boundary) and forward the
+    /// concatenated, serially-ordered spec lists to
+    /// [`SharedResolver::commit_discoveries`]. Resolvers that register
+    /// eagerly (the default) always return an empty list.
+    fn take_pending_discoveries(&mut self) -> Vec<HoleSpec> {
+        Vec::new()
+    }
 }
 
 /// A hole-resolution strategy that can serve several checker worker threads
@@ -176,6 +219,47 @@ pub trait HoleResolver {
 pub trait SharedResolver: Sync {
     /// Creates the resolver one worker thread will use for the run.
     fn worker(&self) -> Box<dyn HoleResolver + '_>;
+
+    /// Registers the deferred discoveries drained from this strategy's
+    /// workers (see [`HoleResolver::take_pending_discoveries`]), in the
+    /// given order, returning one hole id per spec — the id the spec's hole
+    /// now resolves under, whether this call registered it or an earlier
+    /// sighting already had.
+    ///
+    /// Exploration drivers concatenate worker drain lists in the serial
+    /// driver's deterministic order before calling this, which is what
+    /// makes first-discovery ids independent of worker interleaving. The
+    /// default (for strategies that register eagerly and therefore never
+    /// defer) expects an empty list.
+    fn commit_discoveries(&self, specs: &[HoleSpec]) -> Vec<usize> {
+        assert!(
+            specs.is_empty(),
+            "resolver deferred discoveries but does not implement commit_discoveries"
+        );
+        Vec::new()
+    }
+}
+
+/// A [`SharedResolver`] that can additionally be *queried* for the answer it
+/// would give any hole id — the contract a [`crate::checker::CheckSession`]
+/// needs to decide how much of the previous exploration a new candidate can
+/// reuse.
+///
+/// The session records, per BFS layer, every hole the expansion consulted
+/// and the answer it received; on the next [`check`] call it asks the new
+/// resolver for its [`assignment`] of each recorded hole and resumes from
+/// the deepest checkpoint whose prefix of consultations is answered
+/// identically. Implementations must therefore keep `assignment` consistent
+/// with what every worker's [`HoleResolver::choose`] would answer, over the
+/// same id space as [`HoleResolver::application_touches`].
+///
+/// [`check`]: crate::checker::CheckSession::check
+/// [`assignment`]: SessionResolver::assignment
+pub trait SessionResolver: SharedResolver {
+    /// The answer this strategy gives the hole with resolver-defined id
+    /// `hole`: `Some(action)` for a concrete resolution, `None` for the
+    /// wildcard.
+    fn assignment(&self, hole: usize) -> Option<u16>;
 }
 
 /// Resolver for models without holes.
@@ -189,6 +273,14 @@ pub struct NoHoles;
 impl SharedResolver for NoHoles {
     fn worker(&self) -> Box<dyn HoleResolver + '_> {
         Box::new(NoHoles)
+    }
+}
+
+impl SessionResolver for NoHoles {
+    /// Never reached in a well-formed run: a hole-free model logs no
+    /// consultations, so a session has nothing to validate.
+    fn assignment(&self, _hole: usize) -> Option<u16> {
+        None
     }
 }
 

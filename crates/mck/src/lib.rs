@@ -11,6 +11,11 @@
 //!   breadth-first search, which therefore yields *minimal* counterexample
 //!   traces — the property the paper's candidate-pruning optimization
 //!   depends on (§II, footnote 1);
+//! * **reusable check sessions** ([`CheckSession`], via [`Checker::session`])
+//!   for workloads that verify many related candidates of one model: the
+//!   session checkpoints the BFS at every layer and resumes each new
+//!   candidate from the deepest layer whose hole resolutions are unchanged,
+//!   with a persistent worker pool for parallel sessions;
 //! * **symmetry reduction** in the style of Ip & Dill via scalarset
 //!   permutation canonicalization ([`scalarset`]);
 //! * **properties**: safety invariants (e.g. Single-Writer–Multiple-Reader),
@@ -63,12 +68,13 @@ pub mod rule;
 pub mod scalarset;
 
 pub use checker::{
-    Checker, CheckerOptions, DeadlockPolicy, ExploredGraph, FailureKind, Outcome, Stats, Trace,
-    TraceStep, Verdict,
+    CheckSession, Checker, CheckerOptions, DeadlockPolicy, ExploredGraph, FailureKind, Outcome,
+    SessionStats, Stats, Trace, TraceStep, Verdict, WorkerPool,
 };
 pub use error::MckError;
 pub use eval::{
-    Choice, FixedResolver, HoleResolver, HoleSpec, NoHoles, RecordingResolver, SharedResolver,
+    Choice, FixedResolver, HoleResolver, HoleSpec, NoHoles, RecordingResolver, SessionResolver,
+    SharedResolver, WildcardTouch,
 };
 pub use graph_model::{GraphModel, GraphModelBuilder};
 pub use model::{BuiltModel, ModelBuilder, TransitionSystem};

@@ -30,6 +30,14 @@ pub trait TransitionSystem: Send + Sync {
     /// produces.
     type State: Clone + Eq + Hash + Debug + Send + Sync;
 
+    /// A human-readable name for this model, used by outcomes and reports
+    /// ([`crate::Outcome::model_name`]). The default keeps hand-rolled
+    /// implementations compiling; override it so reports can tell your
+    /// models apart.
+    fn name(&self) -> &str {
+        "unnamed model"
+    }
+
     /// The initial states of the system (at least one).
     fn initial_states(&self) -> Vec<Self::State>;
 
@@ -84,6 +92,10 @@ where
     S: Clone + Eq + Hash + Debug + Send + Sync,
 {
     type State = S;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
 
     fn initial_states(&self) -> Vec<S> {
         self.initial.clone()

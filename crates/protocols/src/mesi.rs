@@ -302,6 +302,7 @@ struct MesiCore {
 /// assert_eq!(out.verdict(), Verdict::Success);
 /// ```
 pub struct MesiModel {
+    name: String,
     config: MesiConfig,
     perms: &'static [Perm],
     rules: Vec<Rule<MesiState>>,
@@ -485,7 +486,9 @@ impl MesiModel {
         ];
 
         let perms = perm_table(n);
+        let name = format!("MESI-{n}c");
         MesiModel {
+            name,
             config,
             perms,
             rules,
@@ -690,6 +693,10 @@ fn dir_deliver(core: &MesiCore, s: &MesiState, m: EMsg) -> RuleOutcome<MesiState
 
 impl TransitionSystem for MesiModel {
     type State = MesiState;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
 
     fn initial_states(&self) -> Vec<MesiState> {
         vec![MesiState::initial(self.config.n_caches)]

@@ -137,6 +137,7 @@ struct Core {
 /// assert_eq!(outcome.verdict(), Verdict::Success);
 /// ```
 pub struct MsiModel {
+    name: String,
     config: MsiConfig,
     perms: &'static [Perm],
     rules: Vec<Rule<MsiState>>,
@@ -338,7 +339,19 @@ impl MsiModel {
         }
 
         let perms = perm_table(n);
+        let holes = config.cache_holes.len() * 2 + config.dir_holes.len() * 3;
+        let name = format!(
+            "MSI-{n}c{}{}{}",
+            if config.data_values { "+data" } else { "" },
+            if config.symmetry { "" } else { "-nosym" },
+            if holes > 0 {
+                format!(" skeleton ({holes} holes)")
+            } else {
+                String::new()
+            },
+        );
         MsiModel {
+            name,
             config,
             perms,
             rules,
@@ -354,6 +367,10 @@ impl MsiModel {
 
 impl TransitionSystem for MsiModel {
     type State = MsiState;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
 
     fn initial_states(&self) -> Vec<MsiState> {
         vec![MsiState::initial(self.config.n_caches)]

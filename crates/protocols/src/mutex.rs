@@ -103,6 +103,7 @@ struct MutexCore {
 /// assert_eq!(report.solutions().len(), 2);
 /// ```
 pub struct MutexModel {
+    name: String,
     config: MutexConfig,
     rules: Vec<Rule<MutexState>>,
     properties: Vec<Property<MutexState>>,
@@ -209,7 +210,12 @@ impl MutexModel {
             }),
         ];
 
+        let name = match (config.synth_turn, config.synth_guard) {
+            (false, false) => "peterson-mutex".to_owned(),
+            _ => "peterson-mutex skeleton".to_owned(),
+        };
         MutexModel {
+            name,
             config,
             rules,
             properties,
@@ -224,6 +230,10 @@ impl MutexModel {
 
 impl TransitionSystem for MutexModel {
     type State = MutexState;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
 
     fn initial_states(&self) -> Vec<MutexState> {
         vec![MutexState::initial()]

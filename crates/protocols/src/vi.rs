@@ -225,6 +225,7 @@ struct ViCore {
 /// assert_eq!(report.solutions().len(), 1); // ack the directory, go to V
 /// ```
 pub struct ViModel {
+    name: String,
     config: ViConfig,
     perms: &'static [Perm],
     rules: Vec<Rule<ViState>>,
@@ -313,7 +314,9 @@ impl ViModel {
         ];
 
         let perms = perm_table(n);
+        let name = format!("VI-{n}c");
         ViModel {
+            name,
             config,
             perms,
             rules,
@@ -503,6 +506,10 @@ fn dir_deliver(
 
 impl TransitionSystem for ViModel {
     type State = ViState;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
 
     fn initial_states(&self) -> Vec<ViState> {
         vec![ViState::initial(self.config.n_caches)]

@@ -1,0 +1,38 @@
+//! Measures what the session-based synthesis loop saves over per-candidate
+//! restarts on the MSI workloads: runs both modes and prints expansion and
+//! reuse counters side by side.
+//!
+//! ```text
+//! cargo run --release --example reuse_probe
+//! ```
+//!
+//! The full benchmark (JSON emission, acceptance assertions, parallel
+//! rows) is `cargo bench -p verc3-bench --bench incremental_check`.
+
+use verc3::protocols::msi::{MsiConfig, MsiModel};
+use verc3::synth::{PatternMode, SynthOptions, Synthesizer};
+
+fn main() {
+    for (name, config) in [
+        ("msi_small", MsiConfig::msi_small()),
+        ("msi_large", MsiConfig::msi_large()),
+    ] {
+        let model = MsiModel::new(config);
+        for (label, reuse) in [("one-shot", false), ("sessions", true)] {
+            let t0 = std::time::Instant::now();
+            let report = Synthesizer::new(
+                SynthOptions::default()
+                    .pattern_mode(PatternMode::Refined)
+                    .reuse_sessions(reuse),
+            )
+            .run(&model);
+            let s = report.stats();
+            println!(
+                "{name:10} {label:9} evaluated={:6} patterns={:6} solutions={} expanded={:9} reused={:9} rate={:.1}% wall={:?}",
+                s.evaluated, s.patterns, report.solutions().len(),
+                s.check_states_expanded, s.check_states_reused,
+                s.check_reuse_rate() * 100.0, t0.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Property-based equivalence tests for [`verc3::mck::CheckSession`]: a
+//! sequence of `session.check` calls must be observationally identical —
+//! verdict, full `Stats`, failure attribution, counterexample trace — to a
+//! fresh one-shot checker run per candidate, whatever order the candidates
+//! arrive in (shared-prefix, disjoint, or random) and at any thread count.
+//!
+//! The one-shot oracle is [`Checker::run_shared`], which still uses the
+//! original serial/parallel drivers — so these tests compare two
+//! *independent* implementations, not a driver against itself. A second
+//! group holds the session-based synthesis loop
+//! ([`SynthOptions::reuse_sessions`]) bit-identical to the
+//! per-candidate-restart loop.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use verc3::mck::{Checker, CheckerOptions, GraphModel, Outcome, Verdict};
+use verc3::synth::{
+    DiscoveryDefault, HoleRegistry, PatternMode, SharedCandidateResolver, SynthOptions,
+    SynthReport, Synthesizer,
+};
+
+fn assert_outcomes_match<S: std::fmt::Debug>(session: &Outcome<S>, fresh: &Outcome<S>, what: &str) {
+    assert_eq!(session.verdict(), fresh.verdict(), "{what}: verdict");
+    assert_eq!(session.stats(), fresh.stats(), "{what}: stats");
+    assert_eq!(
+        session.model_name(),
+        fresh.model_name(),
+        "{what}: model name"
+    );
+    match (session.failure(), fresh.failure()) {
+        (None, None) => {}
+        (Some(s), Some(f)) => {
+            assert_eq!(s.kind, f.kind, "{what}: failure kind");
+            assert_eq!(s.property, f.property, "{what}: property");
+            assert_eq!(s.touched, f.touched, "{what}: touched");
+            assert_eq!(
+                format!("{:?}", s.trace),
+                format!("{:?}", f.trace),
+                "{what}: trace"
+            );
+        }
+        (s, f) => panic!("{what}: failure presence diverged: {s:?} vs {f:?}"),
+    }
+}
+
+/// Registers all of the model's holes (in the model's declaration order,
+/// matching lazy-discovery order for these graph models) so candidate digit
+/// vectors can be generated over the registered arities — the shape the
+/// synthesis loop's generations produce.
+fn register_holes(model: &GraphModel, registry: &HoleRegistry) -> Vec<u32> {
+    for spec in model.holes() {
+        registry.resolve_or_register(spec);
+    }
+    registry.arities(registry.len())
+}
+
+/// A candidate sequence mixing the orders the synthesis loop produces:
+/// last-digit mutations (deep shared prefixes), random-digit mutations,
+/// fresh random vectors (disjoint), shortened prefixes (wildcard suffixes),
+/// and exact repeats.
+fn candidate_sequence(radices: &[u32], seq_seed: u64, len: usize) -> Vec<Vec<u16>> {
+    let mut rng = StdRng::seed_from_u64(seq_seed);
+    let mut current: Vec<u16> = radices
+        .iter()
+        .map(|&r| rng.gen_range(0..r as usize) as u16)
+        .collect();
+    let mut out = Vec::with_capacity(len);
+    out.push(current.clone());
+    while out.len() < len {
+        match rng.gen_range(0..5usize) {
+            // Mutate the least significant digit: the odometer's common step.
+            0 => {
+                let len = current.len();
+                if let Some(last) = current.last_mut() {
+                    let r = radices[len - 1];
+                    *last = ((*last as u32 + 1) % r) as u16;
+                }
+            }
+            // Mutate one random digit: a pruning skip landing elsewhere.
+            1 if !current.is_empty() => {
+                let i = rng.gen_range(0..current.len());
+                current[i] = rng.gen_range(0..radices[i] as usize) as u16;
+            }
+            // Fresh random candidate: a disjoint jump.
+            2 => {
+                current = radices
+                    .iter()
+                    .map(|&r| rng.gen_range(0..r as usize) as u16)
+                    .collect();
+            }
+            // Shorter prefix: earlier-generation shape (wildcard suffix).
+            3 => {
+                let keep = rng.gen_range(0..radices.len());
+                current.truncate(keep);
+            }
+            // Exact repeat.
+            _ => {}
+        }
+        // Re-grow truncated candidates with fresh digits half of the time,
+        // so wildcard suffixes both persist and get re-assigned.
+        if current.len() < radices.len() && rng.gen_range(0..2) == 0 {
+            for &r in &radices[current.len()..] {
+                current.push(rng.gen_range(0..r as usize) as u16);
+            }
+        }
+        out.push(current.clone());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The core tentpole property: random models × mutated candidates ×
+    /// threads {1, 4} × shared-prefix/disjoint orders, session vs one-shot.
+    #[test]
+    fn session_check_sequences_match_fresh_runs(
+        seed in 0u64..10_000,
+        holes in 3usize..7,
+        seq_seed in 0u64..10_000,
+    ) {
+        let model = GraphModel::random(seed, holes, 3);
+        for default in [DiscoveryDefault::Wildcard, DiscoveryDefault::ActionZero] {
+            let registry = HoleRegistry::new();
+            let radices = register_holes(&model, &registry);
+            let candidates = candidate_sequence(&radices, seq_seed, 8);
+            for threads in [1usize, 4] {
+                let options = CheckerOptions::default().threads(threads);
+                let mut session = Checker::new(options.clone()).session(&model);
+                for (i, digits) in candidates.iter().enumerate() {
+                    let resolver = SharedCandidateResolver::new(&registry, digits, default);
+                    let fresh = Checker::new(options.clone()).run_shared(&model, &resolver);
+                    let reused = session.check(&resolver);
+                    assert_outcomes_match(
+                        &reused,
+                        &fresh,
+                        &format!("seed {seed} seq {seq_seed} {default:?} t{threads} step {i}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The serial session-based synthesis loop is *bit-identical* to the
+    /// per-candidate-restart loop: same run log, same dispatch count, same
+    /// patterns, same solutions.
+    #[test]
+    fn session_synthesis_loop_is_bit_identical(seed in 0u64..10_000) {
+        let model = GraphModel::random(seed, 6, 3);
+        for mode in [PatternMode::Exact, PatternMode::Refined] {
+            let opts = || SynthOptions::default().pattern_mode(mode).record_runs(true);
+            let one_shot = Synthesizer::new(opts().reuse_sessions(false)).run(&model);
+            let sessions = Synthesizer::new(opts()).run(&model);
+            assert_eq!(sessions.stats().evaluated, one_shot.stats().evaluated);
+            assert_eq!(sessions.stats().patterns, one_shot.stats().patterns);
+            assert_eq!(run_log_display(&sessions), run_log_display(&one_shot));
+            assert_eq!(named_solutions(&sessions), named_solutions(&one_shot));
+            assert_eq!(
+                sessions.stats().check_states_expanded
+                    + sessions.stats().check_states_reused,
+                one_shot.stats().check_states_expanded,
+                "reused + expanded must account for exactly the one-shot work"
+            );
+        }
+    }
+
+    /// Both parallelism axes, under sessions: the solution set never moves.
+    #[test]
+    fn session_loop_solution_set_is_thread_invariant(seed in 0u64..10_000) {
+        let model = GraphModel::random(seed, 6, 3);
+        let baseline = Synthesizer::new(SynthOptions::default().reuse_sessions(false)).run(&model);
+        for (threads, check_threads) in [(1, 4), (4, 1), (2, 2)] {
+            let par = Synthesizer::new(
+                SynthOptions::default()
+                    .threads(threads)
+                    .check_threads(check_threads),
+            )
+            .run(&model);
+            assert_eq!(
+                named_solutions(&par),
+                named_solutions(&baseline),
+                "threads {threads} × check_threads {check_threads}"
+            );
+        }
+    }
+
+    /// Deferred discovery keeps hole registration order deterministic under
+    /// parallel checking: two identical runs agree on the full ordered hole
+    /// table, not just the set.
+    #[test]
+    fn parallel_check_hole_order_is_deterministic(seed in 0u64..10_000) {
+        let model = GraphModel::random(seed, 6, 3);
+        let run = || {
+            Synthesizer::new(SynthOptions::default().check_threads(4)).run(&model)
+        };
+        let (a, b) = (run(), run());
+        let names = |r: &SynthReport| -> Vec<String> {
+            r.holes().iter().map(|h| h.name.clone()).collect()
+        };
+        assert_eq!(names(&a), names(&b), "ordered hole table must be reproducible");
+        // And with pruning-mode defaults it matches the serial order too.
+        let serial = Synthesizer::new(SynthOptions::default()).run(&model);
+        assert_eq!(names(&a), names(&serial), "parallel discovery order = serial order");
+    }
+}
+
+fn run_log_display(report: &SynthReport) -> Vec<String> {
+    report
+        .run_log()
+        .iter()
+        .map(|r| {
+            format!(
+                "{} {} {} {:?}",
+                r.candidate.display_named(report.holes()),
+                r.verdict,
+                r.pattern_added,
+                r.discovered
+            )
+        })
+        .collect()
+}
+
+fn named_solutions(report: &SynthReport) -> std::collections::BTreeSet<Vec<(String, u16)>> {
+    report
+        .solutions()
+        .iter()
+        .map(|s| {
+            let mut v: Vec<(String, u16)> = s
+                .assignment
+                .iter()
+                .map(|&(h, a)| (report.holes()[h].name.clone(), a))
+                .collect();
+            v.sort();
+            v
+        })
+        .collect()
+}
+
+/// Non-proptest spot check: a session sequence over the worked example at 4
+/// checker threads lands the paper's unique solution with identical stats
+/// to one-shot runs.
+#[test]
+fn worked_example_session_matches_one_shot_at_4_threads() {
+    let model = GraphModel::worked_example();
+    let registry = HoleRegistry::new();
+    let radices = register_holes(&model, &registry);
+    assert_eq!(radices.len(), 4);
+    let options = CheckerOptions::default().threads(4);
+    let mut session = Checker::new(options.clone()).session(&model);
+    // Walk the full candidate space in odometer order — the worst case for
+    // checkpoint bookkeeping (every candidate differs from its predecessor).
+    let mut digits = vec![0u16; radices.len()];
+    loop {
+        let resolver =
+            SharedCandidateResolver::new(&registry, &digits, DiscoveryDefault::ActionZero);
+        let fresh = Checker::new(options.clone()).run_shared(&model, &resolver);
+        let reused = session.check(&resolver);
+        assert_outcomes_match(&reused, &fresh, &format!("candidate {digits:?}"));
+        // Advance the odometer (least significant digit fastest).
+        let mut i = radices.len();
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            digits[i] += 1;
+            if (digits[i] as u32) < radices[i] {
+                break;
+            }
+            digits[i] = 0;
+        }
+    }
+}
+
+/// The acceptance-criteria workload: on MSI-small synthesis the session
+/// loop reports bit-identical results to the one-shot loop while expanding
+/// at least 30% fewer states.
+#[test]
+fn msi_small_session_loop_matches_one_shot_with_30_percent_fewer_expansions() {
+    use verc3::protocols::msi::{MsiConfig, MsiModel};
+    let model = MsiModel::new(MsiConfig::msi_small());
+    let opts = || SynthOptions::default().pattern_mode(PatternMode::Refined);
+    let one_shot = Synthesizer::new(opts().reuse_sessions(false)).run(&model);
+    let sessions = Synthesizer::new(opts()).run(&model);
+
+    assert_eq!(sessions.stats().evaluated, one_shot.stats().evaluated);
+    assert_eq!(sessions.stats().patterns, one_shot.stats().patterns);
+    assert_eq!(named_solutions(&sessions), named_solutions(&one_shot));
+    assert_eq!(
+        sessions.stats().check_states_expanded + sessions.stats().check_states_reused,
+        one_shot.stats().check_states_expanded,
+        "sessions must account for exactly the one-shot exploration work"
+    );
+    assert!(
+        (sessions.stats().check_states_expanded as f64)
+            <= 0.7 * one_shot.stats().check_states_expanded as f64,
+        "expected >= 30% fewer expansions: sessions {} vs one-shot {}",
+        sessions.stats().check_states_expanded,
+        one_shot.stats().check_states_expanded,
+    );
+    assert_eq!(sessions.model_name(), "MSI-3c skeleton (8 holes)");
+
+    // Solution-set invariance across both parallelism axes under sessions.
+    let baseline = named_solutions(&sessions);
+    for (threads, check_threads) in [(1, 4), (4, 1), (4, 4)] {
+        let par =
+            Synthesizer::new(opts().threads(threads).check_threads(check_threads)).run(&model);
+        assert_eq!(
+            named_solutions(&par),
+            baseline,
+            "threads {threads} × check_threads {check_threads}"
+        );
+    }
+}
+
+/// `check_threads` under sessions preserves the serial loop's exact counts
+/// (the checker equivalence guarantee composed with checkpoint reuse).
+#[test]
+fn msi_small_session_loop_counts_are_check_thread_invariant() {
+    use verc3::protocols::msi::{MsiConfig, MsiModel};
+    let model = MsiModel::new(MsiConfig::msi_small());
+    let opts = || SynthOptions::default().pattern_mode(PatternMode::Refined);
+    let serial = Synthesizer::new(opts()).run(&model);
+    let par = Synthesizer::new(opts().check_threads(4)).run(&model);
+    assert_eq!(par.stats().evaluated, serial.stats().evaluated);
+    assert_eq!(par.stats().patterns, serial.stats().patterns);
+    assert_eq!(named_solutions(&par), named_solutions(&serial));
+    assert_eq!(
+        par.stats().check_states_expanded,
+        serial.stats().check_states_expanded,
+        "the parallel checker's replay keeps per-candidate exploration identical"
+    );
+}
+
+/// Wildcard-heavy verification through a session: the three-valued verdict
+/// survives checkpoint reuse.
+#[test]
+fn unknown_verdicts_survive_session_reuse() {
+    let model = GraphModel::worked_example();
+    let registry = HoleRegistry::new();
+    register_holes(&model, &registry);
+    let mut session = Checker::new(CheckerOptions::default()).session(&model);
+    // Empty prefix in wildcard mode: every hole blocks.
+    let wild = SharedCandidateResolver::new(&registry, &[], DiscoveryDefault::Wildcard);
+    let first = session.check(&wild);
+    assert_eq!(first.verdict(), Verdict::Unknown);
+    let second = session.check(&wild);
+    assert_eq!(second.verdict(), Verdict::Unknown);
+    assert_eq!(first.stats(), second.stats());
+}
