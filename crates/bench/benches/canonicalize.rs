@@ -1,0 +1,186 @@
+//! Canonicalization microbench: the all-permutations reference sweep vs
+//! the orbit-pruning partition-refinement search, over the *reachable*
+//! states of the golden MSI protocol at n = 3..6 caches — the checker's
+//! actual hot-path distribution, duplicate-heavy initial states included.
+//!
+//! Beyond the printed table, this bench emits **BENCH_canonicalize.json**
+//! at the workspace root — one row per scalarset size with
+//! `(model, n, states, reference_ms, orbit_ms, speedup, avg_candidates)` —
+//! so the CI perf gate can track the kernel's trajectory (the
+//! `BENCH_patterns.json` pattern). It also *asserts* along the way:
+//!
+//! * both canonicalizers return bit-identical representatives on every
+//!   corpus state (a replay of the differential suite), and
+//! * the orbit search beats the reference by ≥ 10× at n = 6 — the
+//!   acceptance bar for retiring the factorial sweep.
+//!
+//! ```text
+//! cargo bench -p verc3-bench --bench canonicalize
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use verc3_mck::scalarset::Symmetric;
+use verc3_mck::{perm_table, NoHoles, OrbitPartition, RuleOutcome, TransitionSystem};
+use verc3_protocols::msi::{MsiConfig, MsiModel, MsiState};
+
+const SIZES: [usize; 4] = [3, 4, 5, 6];
+const MAX_CORPUS: usize = 1_500;
+const SAMPLES: usize = 5;
+
+/// Collects up to [`MAX_CORPUS`] reachable canonical states of the golden
+/// MSI protocol by plain BFS over the model's own rules — the exact inputs
+/// the checker's canonicalization hot loop sees.
+fn corpus(n: usize) -> Vec<MsiState> {
+    let model = MsiModel::new(MsiConfig {
+        n_caches: n,
+        ..MsiConfig::golden()
+    });
+    let mut seen: std::collections::HashSet<MsiState> = std::collections::HashSet::new();
+    let mut queue: std::collections::VecDeque<MsiState> = std::collections::VecDeque::new();
+    for s in model.initial_states() {
+        let s = model.canonicalize(s);
+        if seen.insert(s.clone()) {
+            queue.push_back(s);
+        }
+    }
+    while let Some(state) = queue.pop_front() {
+        if seen.len() >= MAX_CORPUS {
+            break;
+        }
+        for rule in model.rules() {
+            if let RuleOutcome::Next(next) = rule.apply(&state, &mut NoHoles) {
+                let next = model.canonicalize(next);
+                if seen.insert(next.clone()) {
+                    queue.push_back(next.clone());
+                    if seen.len() >= MAX_CORPUS {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<MsiState> = seen.into_iter().collect();
+    out.sort(); // deterministic corpus order
+    out
+}
+
+/// Times `SAMPLES` full passes over the corpus (after one warm-up) and
+/// returns the median wall time in milliseconds. `f` returns a checksum so
+/// the work cannot be optimized away.
+fn measure(mut f: impl FnMut() -> usize) -> f64 {
+    let expected = f();
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            let got = criterion::black_box(f());
+            assert_eq!(got, expected, "nondeterministic canonicalization");
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    n: usize,
+    states: usize,
+    reference_ms: f64,
+    orbit_ms: f64,
+    speedup: f64,
+    avg_candidates: f64,
+}
+
+fn main() {
+    println!("group canonicalize");
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &n in &SIZES {
+        let states = corpus(n);
+        let perms = perm_table(n);
+
+        // Differential replay outside the timed region: identical
+        // representatives on every reachable state.
+        for s in &states {
+            assert_eq!(
+                s.canonicalize_orbit(n),
+                s.canonicalize(perms),
+                "orbit canonicalizer diverged from the reference at n={n}"
+            );
+        }
+
+        let avg_candidates = states
+            .iter()
+            .map(|s| {
+                OrbitPartition::of(s, n)
+                    .expect("MSI states have a signature")
+                    .candidate_count() as f64
+            })
+            .sum::<f64>()
+            / states.len() as f64;
+
+        // Fingerprint-free checksum: fold a few cheap state features so the
+        // canonicalized values must actually be computed.
+        let checksum = |s: &MsiState| s.net.len() + s.caches[0].got as usize;
+        let reference_ms = measure(|| {
+            states
+                .iter()
+                .map(|s| checksum(&s.canonicalize(perms)))
+                .sum()
+        });
+        let orbit_ms = measure(|| {
+            states
+                .iter()
+                .map(|s| checksum(&s.canonicalize_orbit(n)))
+                .sum()
+        });
+        let speedup = reference_ms / orbit_ms.max(1e-9);
+
+        println!(
+            "  msi n={n}: {:>5} states  reference {reference_ms:9.3} ms  orbit {orbit_ms:9.3} ms  \
+             ({speedup:5.1}x, avg {avg_candidates:.2} candidates vs {}!)",
+            states.len(),
+            n,
+        );
+        rows.push(Row {
+            n,
+            states: states.len(),
+            reference_ms,
+            orbit_ms,
+            speedup,
+            avg_candidates,
+        });
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "  {{\"model\": \"msi\", \"n\": {}, \"states\": {}, \"reference_ms\": {:.3}, \
+             \"orbit_ms\": {:.3}, \"speedup\": {:.2}, \"avg_candidates\": {:.2}}}{}",
+            r.n,
+            r.states,
+            r.reference_ms,
+            r.orbit_ms,
+            r.speedup,
+            r.avg_candidates,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("]\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_canonicalize.json");
+    std::fs::write(path, &json).expect("write BENCH_canonicalize.json");
+    println!("wrote BENCH_canonicalize.json ({} rows)", rows.len());
+
+    let at6 = rows.iter().find(|r| r.n == 6).expect("n=6 row");
+    assert!(
+        at6.speedup >= 10.0,
+        "acceptance: orbit canonicalization must beat the all-permutations \
+         reference ≥10x at n=6 (measured {:.1}x)",
+        at6.speedup
+    );
+    println!(
+        "n=6 speedup: {:.1}x over {} reachable states (acceptance: ≥10x)",
+        at6.speedup, at6.states
+    );
+}

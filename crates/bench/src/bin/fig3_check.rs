@@ -57,7 +57,10 @@ fn main() {
         all_ok &= verdict == Verdict::Success;
     };
 
-    for n in [2usize, 3, 4] {
+    // n = 5 and 6 were out of reach for the all-permutations canonicalizer
+    // (120 / 720 state rebuilds per visited state); the orbit-pruning
+    // search makes them routine rows (see EXPERIMENTS.md).
+    for n in [2usize, 3, 4, 5, 6] {
         let model = MsiModel::new(MsiConfig {
             n_caches: n,
             ..MsiConfig::golden()
@@ -87,6 +90,13 @@ fn main() {
         // protocol — the fixed point the msi_xl synthesis goldens pin.
         let (v, s, t) = verify_skeleton_golden(MsiConfig::msi_xl(), threads);
         run("MSI-xl skeleton (golden)", v, s, t);
+    }
+    {
+        // The MSI-5 skeleton (MSI-small holes over five caches) under the
+        // golden candidate must land exactly on the 5-cache golden space —
+        // the fixed point the `table1 --n5` synthesis rows rediscover.
+        let (v, s, t) = verify_skeleton_golden(MsiConfig::msi5(), threads);
+        run("MSI-5 skeleton (golden)", v, s, t);
     }
     for n in [2usize, 3] {
         let model = MesiModel::new(MesiConfig {

@@ -1,0 +1,266 @@
+//! CI perf-regression gate over the emitted `BENCH_*.json` files.
+//!
+//! ```text
+//! cargo run --release -p verc3-bench --bin perf_gate -- \
+//!     [--fresh DIR] [--baseline DIR]
+//! ```
+//!
+//! Compares one **pinned ratio** per benchmark family against the committed
+//! baseline under `crates/bench/baselines/` and fails (exit 1) only when a
+//! ratio regressed by **more than 2×** — a deliberately generous tolerance:
+//! shared CI runners jitter by tens of percent, and the gate exists to
+//! catch "someone reverted the index/canonicalizer/sessions", not 20%
+//! noise. The pinned ratios are dimensionless speedups/rates, so runner
+//! speed divides out:
+//!
+//! * `BENCH_canonicalize.json` — orbit-vs-reference speedup at n = 6;
+//! * `BENCH_patterns.json` — scan-vs-inverted-index speedup at 50k sparse
+//!   patterns;
+//! * `BENCH_incremental.json` — session reuse rate on the serial MSI-large
+//!   row.
+//!
+//! The JSON files are the benches' own flat `[{...}, ...]` emissions; the
+//! scanner below parses exactly that shape (flat objects, string or number
+//! values) so the workspace needs no serde dependency.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+}
+
+impl Value {
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+type Row = HashMap<String, Value>;
+
+/// Parses a flat JSON array of flat objects (the only shape the benches
+/// emit). Panics with a path-qualified message on anything else — a gate
+/// that silently skips rows would pass vacuously.
+fn parse_rows(path: &Path) -> Vec<Row> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut rows = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    let fail = |what: &str, at: usize| -> ! {
+        panic!(
+            "{}: malformed bench JSON ({what} at byte {at})",
+            path.display()
+        );
+    };
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '{' => {
+                let mut row = Row::new();
+                loop {
+                    // Key (a quoted string) …
+                    let Some((ki, _)) = chars.find(|&(_, c)| c == '"' || c == '}') else {
+                        fail("unterminated object", i);
+                    };
+                    if text.as_bytes()[ki] == b'}' {
+                        break;
+                    }
+                    let mut key = String::new();
+                    for (_, c) in chars.by_ref() {
+                        if c == '"' {
+                            break;
+                        }
+                        key.push(c);
+                    }
+                    // … then ':' and a scalar value.
+                    let Some((vi, _)) = chars.find(|&(_, c)| c == ':') else {
+                        fail("missing value", ki);
+                    };
+                    while chars.peek().is_some_and(|&(_, c)| c.is_whitespace()) {
+                        chars.next();
+                    }
+                    let value = match chars.peek() {
+                        Some(&(_, '"')) => {
+                            chars.next();
+                            let mut s = String::new();
+                            for (_, c) in chars.by_ref() {
+                                if c == '"' {
+                                    break;
+                                }
+                                s.push(c);
+                            }
+                            Value::Str(s)
+                        }
+                        Some(_) => {
+                            let mut s = String::new();
+                            while chars
+                                .peek()
+                                .is_some_and(|&(_, c)| !matches!(c, ',' | '}' | ']'))
+                            {
+                                s.push(chars.next().expect("peeked").1);
+                            }
+                            Value::Num(
+                                s.trim()
+                                    .parse::<f64>()
+                                    .unwrap_or_else(|_| fail("non-numeric value", vi)),
+                            )
+                        }
+                        None => fail("truncated value", vi),
+                    };
+                    row.insert(key, value);
+                    while chars.peek().is_some_and(|&(_, c)| c.is_whitespace()) {
+                        chars.next();
+                    }
+                    match chars.peek() {
+                        Some(&(_, ',')) => {
+                            chars.next();
+                        }
+                        Some(&(_, '}')) => {
+                            chars.next();
+                            break;
+                        }
+                        _ => fail("expected ',' or '}'", vi),
+                    }
+                }
+                rows.push(row);
+            }
+            '[' | ']' | ',' => {}
+            c if c.is_whitespace() => {}
+            _ => fail("unexpected character", i),
+        }
+    }
+    rows
+}
+
+/// Finds the unique row matching every `(key, value)` filter and returns
+/// its `metric` as a number.
+fn pinned(rows: &[Row], filters: &[(&str, Value)], metric: &str, what: &str) -> f64 {
+    let matches: Vec<&Row> = rows
+        .iter()
+        .filter(|row| {
+            filters
+                .iter()
+                .all(|(key, value)| row.get(*key) == Some(value))
+        })
+        .collect();
+    assert_eq!(
+        matches.len(),
+        1,
+        "{what}: expected exactly one row for {filters:?}, found {}",
+        matches.len()
+    );
+    matches[0]
+        .get(metric)
+        .and_then(Value::as_num)
+        .unwrap_or_else(|| panic!("{what}: row has no numeric `{metric}`"))
+}
+
+struct Gate {
+    /// Bench emission filename (same name in the fresh and baseline dirs).
+    file: &'static str,
+    /// Human name of the pinned ratio.
+    name: &'static str,
+    /// Extracts the pinned ratio from the file's rows.
+    extract: fn(&[Row]) -> f64,
+}
+
+const GATES: [Gate; 3] = [
+    Gate {
+        file: "BENCH_canonicalize.json",
+        name: "canonicalize: orbit speedup over the n! reference at n=6",
+        extract: |rows| {
+            pinned(
+                rows,
+                &[("model", Value::Str("msi".into())), ("n", Value::Num(6.0))],
+                "speedup",
+                "canonicalize",
+            )
+        },
+    },
+    Gate {
+        file: "BENCH_patterns.json",
+        name: "pattern_index: scan/index speedup at 50k sparse patterns",
+        extract: |rows| {
+            let ms = |implementation: &str| {
+                pinned(
+                    rows,
+                    &[
+                        ("workload", Value::Str("sparse".into())),
+                        ("patterns", Value::Num(50_000.0)),
+                        ("impl", Value::Str(implementation.into())),
+                    ],
+                    "wall_ms",
+                    "pattern_index",
+                )
+            };
+            ms("scan") / ms("inverted_index").max(1e-9)
+        },
+    },
+    Gate {
+        file: "BENCH_incremental.json",
+        name: "incremental_check: session reuse rate on serial MSI-large",
+        extract: |rows| {
+            pinned(
+                rows,
+                &[
+                    ("workload", Value::Str("msi_large".into())),
+                    ("mode", Value::Str("sessions".into())),
+                    ("threads", Value::Num(1.0)),
+                    ("check_threads", Value::Num(1.0)),
+                ],
+                "reuse_rate",
+                "incremental_check",
+            )
+        },
+    },
+];
+
+/// Regression tolerance: fail only when the fresh ratio is worse than the
+/// baseline by more than this factor.
+const TOLERANCE: f64 = 2.0;
+
+fn dir_flag(args: &[String], flag: &str, default: &str) -> PathBuf {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(default))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_dir = dir_flag(&args, "--fresh", ".");
+    let baseline_dir = dir_flag(&args, "--baseline", "crates/bench/baselines");
+
+    let mut failed = false;
+    println!("perf gate (fail on >{TOLERANCE}x regression of a pinned ratio)");
+    for gate in &GATES {
+        let fresh_rows = parse_rows(&fresh_dir.join(gate.file));
+        let baseline_rows = parse_rows(&baseline_dir.join(gate.file));
+        let fresh = (gate.extract)(&fresh_rows);
+        let baseline = (gate.extract)(&baseline_rows);
+        let floor = baseline / TOLERANCE;
+        let ok = fresh >= floor;
+        println!(
+            "  {} {:<58} fresh {fresh:8.2}  baseline {baseline:8.2}  floor {floor:8.2}",
+            if ok { "ok  " } else { "FAIL" },
+            gate.name,
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!(
+            "perf gate failed: a pinned ratio regressed by more than {TOLERANCE}x; \
+             if the regression is intended, refresh crates/bench/baselines/ \
+             from the freshly emitted BENCH_*.json files"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf gate passed");
+    ExitCode::SUCCESS
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p verc3-bench --bin table1 -- [--small] [--large] [--xl]
-//!     [--naive-large-full] [--classify] [--samples N] [--check-threads N]
+//!     [--n5] [--naive-large-full] [--classify] [--samples N] [--check-threads N]
 //!     [--one-shot]
 //! ```
 //!
@@ -24,6 +24,10 @@
 //! `--xl` additionally runs **MSI-xl** (14 holes, the harder-than-paper
 //! stress configuration; naïve baseline always extrapolated): ~20 s per
 //! pruned row, the workload whose goldens `tests/msi_xl_golden.rs` pins.
+//!
+//! `--n5` runs **MSI-5** (the MSI-small hole set over *five* caches; naïve
+//! baseline extrapolated) — beyond the paper on the scalarset axis, made
+//! CI-affordable by the orbit-pruning canonicalizer.
 
 use verc3_bench::{
     estimate_naive_row, paper, parse_check_threads, row_header, run_synthesis_row_with, MeasuredRow,
@@ -33,10 +37,11 @@ use verc3_protocols::msi::MsiConfig;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |f: &str| args.iter().any(|a| a == f);
-    let any_size = has("--small") || has("--large") || has("--xl");
+    let any_size = has("--small") || has("--large") || has("--xl") || has("--n5");
     let small = has("--small") || !any_size;
     let large = has("--large") || !any_size;
     let xl = has("--xl");
+    let n5 = has("--n5");
     let classify = has("--classify");
     let samples: usize = args
         .iter()
@@ -169,6 +174,40 @@ fn main() {
         rows.push(row);
     }
 
+    if n5 {
+        // Beyond the paper on the *scalarset* axis: the MSI-small hole set
+        // over five caches. Priced out of CI under the all-permutations
+        // canonicalizer (5! rebuilds per visited state of every dispatch);
+        // routine under the orbit-pruning search — see EXPERIMENTS.md.
+        let naive_row = estimate_naive_row(
+            "MSI-5 1 thread, no pruning",
+            MsiConfig::msi5(),
+            samples,
+            0xC0FFEE,
+        );
+        println!("{}", naive_row.format());
+        rows.push(naive_row);
+        let (row, report) = run_synthesis_row(
+            "MSI-5 1 thread, pruning",
+            MsiConfig::msi5(),
+            true,
+            1,
+            check_threads,
+        );
+        println!("{}", row.format());
+        rows.push(row);
+        reports.push(("MSI-5", report));
+        let (row, _) = run_synthesis_row(
+            "MSI-5 4 threads, pruning",
+            MsiConfig::msi5(),
+            true,
+            4,
+            check_threads,
+        );
+        println!("{}", row.format());
+        rows.push(row);
+    }
+
     println!();
     println!("Paper reference (Table I, i7-4800MQ, Clang 3.8.1):");
     for r in paper::TABLE1 {
@@ -192,7 +231,7 @@ fn main() {
     // Headline ratios, paper vs measured (MSI-xl has no paper row: it is
     // our harder-than-paper stress configuration).
     println!();
-    for size in ["MSI-small", "MSI-large", "MSI-xl"] {
+    for size in ["MSI-small", "MSI-large", "MSI-xl", "MSI-5"] {
         let naive = rows
             .iter()
             .find(|r| r.label.contains(size) && r.patterns.is_none());

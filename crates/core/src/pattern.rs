@@ -31,7 +31,7 @@
 //! enumeration node, so *how* patterns are stored decides whether pruning
 //! pays for itself. [`PatternTable`] keeps two indexes behind one API:
 //!
-//! * **Dense prefixes live in a radix trie** ([`PrefixTrie`] internally):
+//! * **Dense prefixes live in a radix trie** (`PrefixTrie` internally):
 //!   one child-edge descent per odometer depth instead of re-hashing the
 //!   whole prefix at every depth. The trie also enables the cursor-style
 //!   [`PatternTable::first_pruned_depth`] walk the synthesizer uses: as the

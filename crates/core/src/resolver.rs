@@ -31,15 +31,17 @@ pub enum DiscoveryDefault {
     ActionZero,
 }
 
-/// Per-thread cache mapping hole names to registry ids.
+/// Per-thread cache mapping hole names to registry ids — re-exported from
+/// `verc3-mck`, which also defines the seeding protocol
+/// ([`verc3_mck::SharedResolver::worker_seeded`] /
+/// [`verc3_mck::HoleResolver::take_name_cache`]) that lets a `CheckSession`
+/// carry one cache across checks.
 ///
 /// Lives longer than any single resolver: the worker thread reuses it across
 /// candidate evaluations so that, in the common case, resolving a hole does
 /// not take the registry lock at all — the lock-free fast path the paper
-/// found necessary (§II, *Parallel Synthesis*). Keyed with the checker's
-/// deterministic FNV hasher: the cache sits on the per-rule-application hot
-/// path, where SipHash on short hole names is measurable overhead.
-pub type NameCache = FnvHashMap<String, HoleId>;
+/// found necessary (§II, *Parallel Synthesis*).
+pub use verc3_mck::NameCache;
 
 /// Hole resolver for one candidate evaluation.
 #[derive(Debug)]
@@ -252,9 +254,20 @@ impl<'a> SharedCandidateResolver<'a> {
 
 impl SharedResolver for SharedCandidateResolver<'_> {
     fn worker(&self) -> Box<dyn HoleResolver + '_> {
+        self.worker_seeded(NameCache::default())
+    }
+
+    /// Seeds the worker's name → id fast path with a cache drained from an
+    /// earlier worker over the same registry — how a session-held
+    /// [`verc3_mck::CheckSession`] avoids re-paying the registry lock for
+    /// every hole name on every check. Registry ids are stable for the
+    /// registry's lifetime, so a stale entry cannot exist; only caches from
+    /// a *different* registry would be wrong, which the `worker_seeded`
+    /// contract forbids.
+    fn worker_seeded(&self, seed: NameCache) -> Box<dyn HoleResolver + '_> {
         Box::new(WorkerCandidateResolver {
             shared: self,
-            cache: NameCache::default(),
+            cache: seed,
             seen: Vec::new(),
             app_touches: Vec::new(),
             app_wildcards: Vec::new(),
@@ -401,6 +414,10 @@ impl HoleResolver for WorkerCandidateResolver<'_> {
     fn take_pending_discoveries(&mut self) -> Vec<HoleSpec> {
         self.pending_idx.clear();
         std::mem::take(&mut self.pending)
+    }
+
+    fn take_name_cache(&mut self) -> NameCache {
+        std::mem::take(&mut self.cache)
     }
 }
 

@@ -22,7 +22,7 @@
 //! generation's candidate range into chunks claimed by worker threads from an
 //! atomic dispenser; discoveries go through the shared [`HoleRegistry`], and
 //! pruning patterns propagate through a shared append-only log that workers
-//! sync from at chunk boundaries — so "each thread [can] make use of another
+//! sync from at chunk boundaries — so "each thread \[can\] make use of another
 //! thread's registered patterns as soon as they become available".
 
 use crate::candidate::CandidateVec;
@@ -512,11 +512,13 @@ fn evaluate_candidate<'m, M: TransitionSystem>(
 
     // Session dispatch resumes from the deepest checkpoint whose hole
     // resolutions this candidate leaves unchanged; one-shot dispatch
-    // restarts from the initial states. Serial one-shot checks reuse the
-    // worker's long-lived name cache; the thread-shareable resolver's
-    // touched set is hole-id-sorted so downstream consumers see
-    // thread-count-independent data. In every case the verdict and failure
-    // attribution are identical.
+    // restarts from the initial states. Name → id caches are long-lived on
+    // both serial paths: the session banks its workers' caches and re-seeds
+    // them across `check` calls, the serial one-shot path reuses the
+    // synthesis worker's own. The thread-shareable resolver's touched set
+    // is hole-id-sorted so downstream consumers see thread-count-
+    // independent data. In every case the verdict and failure attribution
+    // are identical.
     let (outcome, touched) = if let Some(session) = session.as_mut() {
         let resolver = SharedCandidateResolver::new(shared.registry, &digits, default);
         let outcome = session.check(&resolver);

@@ -8,10 +8,10 @@
 //! the tight coupling the paper argues for over external-tool pipelines
 //! (§I–II).
 //!
-//! Two exploration drivers share one committed-state core ([`SearchCore`]):
+//! Two exploration drivers share one committed-state core (`SearchCore`):
 //!
 //! * the **serial** driver (this module) — a queue-driven BFS; and
-//! * the **parallel** driver ([`parallel`]) — a layer-synchronized BFS that
+//! * the **parallel** driver (`parallel`) — a layer-synchronized BFS that
 //!   expands each frontier layer across `std::thread::scope` workers and a
 //!   sharded visited set, then replays the layer deterministically so that
 //!   verdicts, statistics, and counterexample traces are *identical* to the
@@ -131,7 +131,7 @@ impl CheckerOptions {
     /// Any thread count produces the same verdict, statistics, and
     /// counterexample depth — the parallel driver is layer-synchronized and
     /// commits each layer in the serial driver's deterministic order (see
-    /// [`parallel`]). Only [`Checker::run`] and [`Checker::run_shared`] honor
+    /// `parallel`). Only [`Checker::run`] and [`Checker::run_shared`] honor
     /// this knob; [`Checker::run_with`] takes an exclusive resolver and is
     /// always serial.
     ///
@@ -226,7 +226,7 @@ impl Checker {
     /// With `threads(1)` (the default) this is exactly [`Checker::run_with`]
     /// over one worker resolver; with more threads the layer-synchronized
     /// parallel driver is used, which returns bit-identical outcomes (see
-    /// [`parallel`]).
+    /// `parallel`).
     pub fn run_shared<M: TransitionSystem>(
         &self,
         model: &M,

@@ -50,7 +50,7 @@ use super::{
     SearchCore, StateId, Stats, Verdict,
 };
 use crate::error::MckError;
-use crate::eval::{HoleResolver, HoleSpec, SessionResolver, WildcardTouch};
+use crate::eval::{HoleResolver, HoleSpec, NameCache, SessionResolver, WildcardTouch};
 use crate::model::TransitionSystem;
 use crate::rule::RuleOutcome;
 use parking_lot::Mutex;
@@ -158,6 +158,16 @@ pub struct CheckSession<'a, M: TransitionSystem> {
     /// How many leading layers of `layer_touches` the most recent check
     /// inherited from checkpoints instead of expanding live.
     last_resume: usize,
+    /// Hole name → id caches drained from finished workers and re-seeded
+    /// into the next check's workers ([`SharedResolver::worker_seeded`]),
+    /// so name resolution hits the shared registry once per session rather
+    /// than once per check. Sound because a session requires one stable
+    /// hole-id namespace across its checks (the checkpoint logs are keyed
+    /// by raw id). A pool, not a single cache: parallel layer expansion
+    /// runs one worker per chunk.
+    ///
+    /// [`SharedResolver::worker_seeded`]: crate::eval::SharedResolver::worker_seeded
+    name_caches: Mutex<Vec<NameCache>>,
     stats: SessionStats,
 }
 
@@ -198,8 +208,20 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
             checkpoints: Vec::new(),
             layer_touches: Vec::new(),
             last_resume: 0,
+            name_caches: Mutex::new(Vec::new()),
             stats: SessionStats::default(),
         }
+    }
+
+    /// Pops a drained name cache for seeding the next worker (empty when
+    /// none is banked — the first check, or more chunks than ever before).
+    fn pop_name_cache(&self) -> NameCache {
+        self.name_caches.lock().pop().unwrap_or_default()
+    }
+
+    /// Banks a finished worker's name cache for the next worker.
+    fn push_name_cache(&self, cache: NameCache) {
+        self.name_caches.lock().push(cache);
     }
 
     /// Restores move-out graph semantics for a session about to be dropped
@@ -444,15 +466,20 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
             }
         } else {
             // One worker resolver for the whole check, exactly like the
-            // one-shot serial driver.
-            let mut worker = resolver.worker();
-            loop {
+            // one-shot serial driver — seeded with the previous check's
+            // name cache and drained back when the check ends.
+            let mut worker = resolver.worker_seeded(self.pop_name_cache());
+            let outcome = loop {
                 let result = self.run_layer_serial(start, resolver, &mut *worker);
                 match result {
-                    LayerResult::Finished(outcome) => return *outcome,
+                    LayerResult::Finished(outcome) => break *outcome,
                     LayerResult::Done(touches) => self.seal_layer(touches),
                 }
-            }
+            };
+            let cache = worker.take_name_cache();
+            drop(worker);
+            self.push_name_cache(cache);
+            outcome
         }
     }
 
@@ -704,7 +731,7 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
     fn expand_chunk(&self, resolver: &dyn SessionResolver, lo: usize, hi: usize) -> ChunkOut {
         let states = &self.core.states;
         let model = self.core.model;
-        let mut worker = resolver.worker();
+        let mut worker = resolver.worker_seeded(self.pop_name_cache());
         let mut touches: Vec<LayerTouch> = Vec::new();
         let mut fresh: Vec<u32> = Vec::new();
 
@@ -750,6 +777,9 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
             })
             .collect();
         let discoveries = worker.take_pending_discoveries();
+        let cache = worker.take_name_cache();
+        drop(worker);
+        self.push_name_cache(cache);
         ChunkOut {
             recs,
             touches,

@@ -22,7 +22,24 @@
 //! cache by address — and because a hole's action library must never change
 //! within a synthesis run.
 
+use crate::hashers::FnvHashMap;
 use std::fmt;
+
+/// A hole name → resolver-defined id lookup cache.
+///
+/// Resolving a hole by name usually means taking a shared-registry lock;
+/// worker resolvers therefore keep a private name cache so each hole pays
+/// the lock once per worker. The cache outlives any single worker: drivers
+/// that create workers repeatedly over one hole namespace (most notably
+/// [`crate::checker::CheckSession`], which builds a fresh worker per
+/// `check`/chunk) drain it back via [`HoleResolver::take_name_cache`] and
+/// re-seed the next worker through [`SharedResolver::worker_seeded`], so
+/// the per-name lock is paid once per *session*, not once per check.
+///
+/// Keyed with the checker's deterministic FNV hasher: the cache sits on the
+/// per-rule-application hot path, where SipHash on short hole names is
+/// measurable overhead.
+pub type NameCache = FnvHashMap<String, usize>;
 
 /// Declaration of a hole: its stable name plus the candidate action library.
 ///
@@ -198,6 +215,13 @@ pub trait HoleResolver {
     fn take_pending_discoveries(&mut self) -> Vec<HoleSpec> {
         Vec::new()
     }
+
+    /// Surrenders this worker's hole name → id cache so the driver can seed
+    /// a future worker with it (see [`SharedResolver::worker_seeded`]).
+    /// Resolvers without a name cache — the default — return an empty map.
+    fn take_name_cache(&mut self) -> NameCache {
+        NameCache::default()
+    }
 }
 
 /// A hole-resolution strategy that can serve several checker worker threads
@@ -219,6 +243,22 @@ pub trait HoleResolver {
 pub trait SharedResolver: Sync {
     /// Creates the resolver one worker thread will use for the run.
     fn worker(&self) -> Box<dyn HoleResolver + '_>;
+
+    /// Like [`SharedResolver::worker`], but seeds the worker with a hole
+    /// name → id cache previously drained via
+    /// [`HoleResolver::take_name_cache`] — the amortization loop that lets
+    /// a [`crate::checker::CheckSession`] reuse one cache across `check`
+    /// calls instead of re-resolving every hole name per check.
+    ///
+    /// The seed must come from a resolver over the **same hole namespace**
+    /// (same ids for the same names); a `CheckSession` already requires
+    /// this of the resolvers passed to successive checks, since its
+    /// checkpoint logs are keyed by raw hole id. Strategies without a name
+    /// cache — the default — ignore the seed.
+    fn worker_seeded(&self, seed: NameCache) -> Box<dyn HoleResolver + '_> {
+        let _ = seed;
+        self.worker()
+    }
 
     /// Registers the deferred discoveries drained from this strategy's
     /// workers (see [`HoleResolver::take_pending_discoveries`]), in the

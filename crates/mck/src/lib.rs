@@ -17,7 +17,10 @@
 //!   candidate from the deepest layer whose hole resolutions are unchanged,
 //!   with a persistent worker pool for parallel sessions;
 //! * **symmetry reduction** in the style of Ip & Dill via scalarset
-//!   permutation canonicalization ([`scalarset`]);
+//!   permutation canonicalization ([`scalarset`]) — an orbit-pruning
+//!   partition-refinement canonicalizer for large scalarsets, with the
+//!   exhaustive all-permutations sweep retained as reference and tiny-n
+//!   fast path;
 //! * **properties**: safety invariants (e.g. Single-Writer–Multiple-Reader),
 //!   deadlock detection, reachability obligations ("all stable states must
 //!   be visited at least once"), and an *eventually-quiescent* liveness check
@@ -73,12 +76,14 @@ pub use checker::{
 };
 pub use error::MckError;
 pub use eval::{
-    Choice, FixedResolver, HoleResolver, HoleSpec, NoHoles, RecordingResolver, SessionResolver,
-    SharedResolver, WildcardTouch,
+    Choice, FixedResolver, HoleResolver, HoleSpec, NameCache, NoHoles, RecordingResolver,
+    SessionResolver, SharedResolver, WildcardTouch,
 };
 pub use graph_model::{GraphModel, GraphModelBuilder};
 pub use model::{BuiltModel, ModelBuilder, TransitionSystem};
 pub use multiset::Multiset;
 pub use properties::Property;
 pub use rule::{Rule, RuleOutcome};
-pub use scalarset::{all_permutations, apply_perm_to_index, perm_table, Perm, Symmetric};
+pub use scalarset::{
+    all_permutations, apply_perm_to_index, perm_table, rank_keys, OrbitPartition, Perm, Symmetric,
+};

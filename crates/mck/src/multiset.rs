@@ -13,6 +13,7 @@
 //! in protocol models (a handful of messages) beats tree- or hash-based
 //! multisets on every axis: memory, hashing speed, and iteration.
 
+use crate::scalarset::Symmetric;
 use std::fmt;
 
 /// A multiset of `T` with canonical (sorted) internal order.
@@ -175,6 +176,21 @@ impl<'a, T> IntoIterator for &'a Multiset<T> {
 
     fn into_iter(self) -> Self::IntoIter {
         self.items.iter()
+    }
+}
+
+/// Element-wise permutation with the canonical order re-established — the
+/// exact sequence the hand-rolled protocol states perform on their network
+/// field, packaged so `(array, Multiset)` composites work out of the box.
+///
+/// A multiset is *not* scalarset-indexed (its positions are canonical-order
+/// ranks, not process slots), so it contributes no per-index
+/// [`Symmetric::signature`] keys: alone it offers the orbit canonicalizer no
+/// pruning structure, and in a tuple the leading array's signature governs
+/// (see the tuple impls in [`crate::scalarset`]).
+impl<T: Symmetric> Symmetric for Multiset<T> {
+    fn apply_perm(&self, perm: &[u8]) -> Self {
+        self.iter().map(|item| item.apply_perm(perm)).collect()
     }
 }
 

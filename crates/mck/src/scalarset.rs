@@ -3,17 +3,31 @@
 //! Distributed protocols are highly symmetric: the identities of the
 //! replicated processes (the caches, in the MSI case study) are
 //! interchangeable. Following Ip & Dill (*Better Verification Through
-//! Symmetry*, CHDL 1993) — reference [15] of the paper — we treat process
+//! Symmetry*, CHDL 1993) — reference \[15\] of the paper — we treat process
 //! indices as a *scalarset*: a type whose values may only be compared for
 //! equality and used as array indices, so that any permutation of them maps
 //! reachable states to reachable states.
 //!
 //! The checker exploits this by storing only a **canonical representative**
-//! of each symmetry orbit: [`Symmetric::canonicalize`] applies every
-//! permutation of the scalarset and keeps the least state under `Ord`. For
-//! the small process counts used in protocol verification (3–5), enumerating
-//! all `n!` permutations is cheap and — unlike in symbolic methods, as the
-//! paper argues (§I) — entirely straightforward.
+//! of each symmetry orbit. Two canonicalizers are provided, and they compute
+//! the *same* representative:
+//!
+//! * [`Symmetric::canonicalize`] — the all-permutations reference: apply
+//!   every permutation of the scalarset and keep the least state under
+//!   `Ord`. Exhaustive and obviously correct, but `n!` state rebuilds per
+//!   call — fine for `n ≤ 3`, the wall between us and larger scalarsets.
+//! * [`Symmetric::canonicalize_orbit`] — the orbit-pruning canonicalizer:
+//!   an ordered-partition search (in the spirit of Murphi's scalarset
+//!   normalization) that derives, from a permutation-equivariant per-index
+//!   [`Symmetric::signature`], which permutations can still produce the
+//!   minimal representative, and materializes only those. See
+//!   [`OrbitPartition`] for the pruning structure and the soundness
+//!   argument, and DESIGN.md for the full write-up.
+//!
+//! [`Symmetric::canonicalize_auto`] picks between them: the dense table
+//! sweep for tiny scalarsets (where six permutations are cheaper than any
+//! analysis), the orbit search beyond. The protocol models route every
+//! canonicalization through it.
 //!
 //! The paper further notes that holes must *not* be replicated per symmetric
 //! process (§II): this falls out naturally here because rule tables (and the
@@ -22,6 +36,11 @@
 
 /// A permutation of scalarset indices: `perm[old_index] = new_index`.
 pub type Perm = Vec<u8>;
+
+/// Largest scalarset the canonicalizers accept. Both the dense table and
+/// the orbit search use fixed `[_; MAX_SCALARSET]` scratch buffers, and the
+/// factorial fallback is unusable beyond this anyway.
+pub const MAX_SCALARSET: usize = 8;
 
 /// Returns all `n!` permutations of `0..n` in lexicographic order.
 ///
@@ -42,7 +61,7 @@ pub type Perm = Vec<u8>;
 /// ```
 pub fn all_permutations(n: usize) -> Vec<Perm> {
     assert!(
-        n <= 8,
+        n <= MAX_SCALARSET,
         "scalarset of size {n} is too large for exhaustive canonicalization"
     );
     let mut out = Vec::with_capacity((1..=n).product::<usize>().max(1));
@@ -98,7 +117,7 @@ pub fn perm_table(n: usize) -> &'static [Perm] {
         OnceLock::new(),
     ];
     assert!(
-        n <= 8,
+        n <= MAX_SCALARSET,
         "scalarset of size {n} is too large for exhaustive canonicalization"
     );
     TABLES[n].get_or_init(|| all_permutations(n))
@@ -119,6 +138,239 @@ pub fn apply_perm_to_index(perm: &[u8], index: u8) -> u8 {
     perm[index as usize]
 }
 
+/// Writes one *rank key* per element of `items` into `keys`: the number of
+/// strictly smaller elements. Equal elements share a rank, so the key
+/// sequence is order-isomorphic to the element sequence — exactly the
+/// property [`Symmetric::signature`] needs from a per-index array that the
+/// state's `Ord` compares first.
+///
+/// Quadratic, which is optimal in practice: scalarsets have at most
+/// [`MAX_SCALARSET`] elements and the elements are tiny.
+///
+/// # Examples
+///
+/// ```
+/// let mut keys = Vec::new();
+/// verc3_mck::scalarset::rank_keys(&[30, 10, 30, 20], &mut keys);
+/// assert_eq!(keys, vec![2, 0, 2, 1]);
+/// ```
+pub fn rank_keys<T: Ord>(items: &[T], keys: &mut Vec<u64>) {
+    for a in items {
+        keys.push(items.iter().filter(|b| *b < a).count() as u64);
+    }
+}
+
+/// The refined ordered partition the orbit-pruning canonicalizer derives
+/// for one value: which scalarset indices are distinguishable, and which
+/// are outright interchangeable.
+///
+/// ## Structure
+///
+/// * **Cells** — indices grouped by equal [`Symmetric::signature`] key,
+///   ordered by key value. A minimal representative must place each cell's
+///   indices in that cell's position block (see *Soundness* below), so the
+///   search never mixes cells: incompatible permutations are pruned at the
+///   first position whose key would break the sorted key prefix —
+///   lexicographic-prefix pruning over the signature sequence.
+/// * **Groups** — within a cell, indices whose pairwise transposition fixes
+///   the value (detected with one `apply_perm` probe per index against each
+///   group representative). Interchangeable indices generate a stabilizer
+///   subgroup: permutations differing only by in-group swaps materialize
+///   the *same* candidate state, so the search enumerates one coset
+///   representative per distinct candidate (a multiset permutation of group
+///   labels) instead of all `|cell|!` arrangements. A fully symmetric value
+///   — every index interchangeable — collapses to a single candidate.
+///
+/// ## Soundness
+///
+/// With an *equivariant* signature (law 1 on [`Symmetric::signature`]) the
+/// set of candidate states materialized from any two members of one orbit
+/// is identical, so the minimum is a well-defined orbit representative and
+/// the checker's reduction is sound. With a *dominant* signature (law 2)
+/// the orbit minimum over the compatible permutations equals the minimum
+/// over **all** `n!` permutations — any permutation that violates the
+/// sorted-key arrangement produces a lexicographically larger state — so
+/// [`Symmetric::canonicalize_orbit`] returns bit-identically the same
+/// representative as the exhaustive [`Symmetric::canonicalize`] reference.
+/// The differential property suite (`tests/canonicalize_differential.rs`)
+/// holds the two equal on every bundled model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrbitPartition {
+    /// `cells[c]` = the interchangeability groups of cell `c`, each a list
+    /// of scalarset indices; cells in ascending signature-key order.
+    cells: Vec<Vec<Vec<u8>>>,
+}
+
+impl OrbitPartition {
+    /// Derives the refined partition of `value` over scalarset size `n`,
+    /// or `None` when the value's [`Symmetric::signature`] is empty (no
+    /// per-index information — the caller must fall back to the dense
+    /// sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`, or if the signature emits a key count other than
+    /// `0` or `n`.
+    pub fn of<T: Symmetric>(value: &T, n: usize) -> Option<Self> {
+        assert!(
+            n <= MAX_SCALARSET,
+            "scalarset of size {n} is too large for canonicalization"
+        );
+        let mut keys = Vec::with_capacity(n);
+        value.signature(n, &mut keys);
+        if keys.is_empty() {
+            return None;
+        }
+        assert_eq!(
+            keys.len(),
+            n,
+            "signature must emit one key per scalarset index (or none at all)"
+        );
+
+        let mut order: Vec<u8> = (0..n as u8).collect();
+        order.sort_by_key(|&i| keys[i as usize]);
+
+        let mut cells: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let key = keys[order[start] as usize];
+            let mut end = start + 1;
+            while end < n && keys[order[end] as usize] == key {
+                end += 1;
+            }
+            let mut groups: Vec<Vec<u8>> = Vec::new();
+            'indices: for &idx in &order[start..end] {
+                for group in &mut groups {
+                    if swap_fixes(value, n, group[0], idx) {
+                        group.push(idx);
+                        continue 'indices;
+                    }
+                }
+                groups.push(vec![idx]);
+            }
+            cells.push(groups);
+            start = end;
+        }
+        Some(OrbitPartition { cells })
+    }
+
+    /// Number of cells (distinct signature keys).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of interchangeability groups across all cells. Equals the
+    /// scalarset size when no two indices are interchangeable.
+    pub fn group_count(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+
+    /// Number of candidate states the search will materialize: the product
+    /// over cells of the multinomial coefficient `|cell|! / Π |group|!`.
+    /// This is the orbit canonicalizer's cost in `apply_perm` calls (minus
+    /// one when the identity arrangement is among them), against the
+    /// reference's `n!`.
+    pub fn candidate_count(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|groups| {
+                let cell_len: u64 = groups.iter().map(|g| g.len() as u64).sum();
+                let mut c = factorial(cell_len);
+                for g in groups {
+                    c /= factorial(g.len() as u64);
+                }
+                c
+            })
+            .product()
+    }
+
+    /// Runs the backtracking search: materializes every refinement-
+    /// compatible candidate of `value` and returns the least under `Ord`
+    /// (the value itself when no candidate beats it).
+    fn minimize<T: Symmetric>(&self, value: &T, n: usize) -> T {
+        let mut perm = [0u8; MAX_SCALARSET];
+        let mut taken: Vec<Vec<usize>> = self
+            .cells
+            .iter()
+            .map(|groups| vec![0; groups.len()])
+            .collect();
+        let mut best: Option<T> = None;
+        self.search(value, n, &mut taken, &mut perm, 0, 0, 0, &mut best);
+        best.unwrap_or_else(|| value.clone())
+    }
+
+    /// Assigns one scalarset index to position `pos` (inside cell `cell`,
+    /// with `filled` positions of that cell already assigned) and recurses;
+    /// at the leaves, materializes the candidate and folds it into `best`.
+    #[allow(clippy::too_many_arguments)]
+    fn search<T: Symmetric>(
+        &self,
+        value: &T,
+        n: usize,
+        taken: &mut [Vec<usize>],
+        perm: &mut [u8; MAX_SCALARSET],
+        pos: usize,
+        cell: usize,
+        filled: usize,
+        best: &mut Option<T>,
+    ) {
+        if cell == self.cells.len() {
+            let perm = &perm[..n];
+            if is_identity(perm) {
+                // The unpermuted value is the implicit baseline candidate;
+                // rebuilding it would be pure waste (same skip as the dense
+                // reference).
+                return;
+            }
+            let candidate = value.apply_perm(perm);
+            if candidate < *best.as_ref().unwrap_or(value) {
+                *best = Some(candidate);
+            }
+            return;
+        }
+        let cell_len: usize = self.cells[cell].iter().map(Vec::len).sum();
+        for g in 0..self.cells[cell].len() {
+            let t = taken[cell][g];
+            let group = &self.cells[cell][g];
+            if t == group.len() {
+                continue;
+            }
+            // Members of one group are interchangeable: always spend them in
+            // stored order, enumerating one representative per distinct
+            // candidate instead of every in-group arrangement.
+            perm[group[t] as usize] = pos as u8;
+            taken[cell][g] = t + 1;
+            if filled + 1 == cell_len {
+                self.search(value, n, taken, perm, pos + 1, cell + 1, 0, best);
+            } else {
+                self.search(value, n, taken, perm, pos + 1, cell, filled + 1, best);
+            }
+            taken[cell][g] = t;
+        }
+    }
+}
+
+fn factorial(n: u64) -> u64 {
+    (1..=n).product::<u64>().max(1)
+}
+
+/// `true` when exchanging scalarset indices `a` and `b` leaves `value`
+/// unchanged — the transposition probe behind [`OrbitPartition`] groups.
+fn swap_fixes<T: Symmetric>(value: &T, n: usize, a: u8, b: u8) -> bool {
+    let mut perm = [0u8; MAX_SCALARSET];
+    for (i, p) in perm.iter_mut().enumerate().take(n) {
+        *p = i as u8;
+    }
+    perm[a as usize] = b;
+    perm[b as usize] = a;
+    value.apply_perm(&perm[..n]) == *value
+}
+
+/// Scalarset sizes for which [`Symmetric::canonicalize_auto`] keeps the
+/// dense table sweep: at `n ≤ 3` the six (or fewer) permutations cost less
+/// than the signature analysis they would avoid.
+const DENSE_SWEEP_MAX_N: usize = 3;
+
 /// Types whose value embeds scalarset indices and can be rewritten under a
 /// permutation of those indices.
 ///
@@ -128,16 +380,52 @@ pub fn apply_perm_to_index(perm: &[u8], index: u8) -> u8 {
 /// 1. **Identity**: `s.apply_perm(&identity) == s`.
 /// 2. **Composition**: `s.apply_perm(p).apply_perm(q) == s.apply_perm(q∘p)`.
 ///
-/// Given a lawful `apply_perm`, [`Symmetric::canonicalize`] maps every member
+/// Given a lawful `apply_perm`, every canonicalizer below maps each member
 /// of a symmetry orbit to the same representative, so the checker's
-/// visited-set sees each orbit once.
+/// visited-set sees each orbit once. Overriding [`Symmetric::signature`]
+/// additionally unlocks the orbit-pruning canonicalizer, which avoids
+/// materializing all `n!` permutations per state.
 pub trait Symmetric: Sized + Ord + Clone {
     /// Returns this value with every embedded scalarset index `i` replaced by
     /// `perm[i]`, and any order-canonical containers re-normalized.
     fn apply_perm(&self, perm: &[u8]) -> Self;
 
+    /// Appends one permutation-equivariant sort key per scalarset index —
+    /// the per-index occurrence signature the orbit-pruning canonicalizer
+    /// partitions on. The default appends nothing, which declares "no
+    /// per-index information": [`Symmetric::canonicalize_orbit`] then falls
+    /// back to the dense sweep.
+    ///
+    /// Overriding implementations must emit exactly `n` keys and satisfy:
+    ///
+    /// 1. **Equivariance** (required for soundness): permuting the value
+    ///    permutes the keys with it — `apply_perm(p).signature()[p[i]] ==
+    ///    signature()[i]`. Keys computed from per-index state (and not from
+    ///    the index values themselves) satisfy this by construction.
+    /// 2. **Dominance** (required for bit-identity with the dense
+    ///    reference): between two members of one orbit, a lexicographically
+    ///    smaller per-position key sequence implies a smaller value under
+    ///    `Ord`. In practice: emit keys order-isomorphic to the elements of
+    ///    the *leading* per-index array your `Ord` compares first —
+    ///    [`rank_keys`] over that array is exactly this. The protocol
+    ///    states derive `Ord` with their `caches` array first and rank it.
+    ///
+    /// With only law 1, `canonicalize_orbit` still maps every orbit to one
+    /// well-defined in-orbit representative (a sound reduction) — it just
+    /// may disagree with [`Symmetric::canonicalize`]'s choice. Law 2 makes
+    /// them bit-identical, which is what the bundled models guarantee and
+    /// the differential suite enforces.
+    fn signature(&self, n: usize, keys: &mut Vec<u64>) {
+        let _ = (n, keys);
+    }
+
     /// Returns the canonical representative of this value's symmetry orbit:
     /// the minimum under `Ord` across all given permutations.
+    ///
+    /// This is the **all-permutations reference**: exhaustive, and retained
+    /// as the oracle the orbit-pruning canonicalizer is differentially
+    /// tested against (and as the fast path for tiny scalarsets — see
+    /// [`Symmetric::canonicalize_auto`]).
     ///
     /// `perms` should be [`perm_table`] (or [`all_permutations`]) for the
     /// scalarset size; passing a subset yields a coarser (but still sound,
@@ -160,7 +448,92 @@ pub trait Symmetric: Sized + Ord + Clone {
         }
         best.unwrap_or_else(|| self.clone())
     }
+
+    /// Returns the canonical representative of this value's symmetry orbit
+    /// via the **orbit-pruning search**: partition the scalarset indices by
+    /// [`Symmetric::signature`] key, refine the cells into
+    /// interchangeability groups, and materialize only the permutations
+    /// compatible with the refined partition (see [`OrbitPartition`]).
+    ///
+    /// For values with a lawful dominant signature the result is
+    /// bit-identical to `self.canonicalize(perm_table(n))` at a fraction of
+    /// the `apply_perm` calls — typically 1–6 instead of `n!` on reachable
+    /// protocol states. Values whose signature is empty fall back to the
+    /// dense sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8` or the signature emits a key count other than `0`
+    /// or `n`.
+    fn canonicalize_orbit(&self, n: usize) -> Self {
+        if n <= 1 {
+            return self.clone();
+        }
+        match OrbitPartition::of(self, n) {
+            Some(partition) => partition.minimize(self, n),
+            None => self.canonicalize(perm_table(n)),
+        }
+    }
+
+    /// The canonicalizer the protocol models route every state through:
+    /// the dense [`perm_table`] sweep for `n ≤ 3` (six permutations beat
+    /// any analysis), [`Symmetric::canonicalize_orbit`] beyond. Both
+    /// compute the identical representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics like the selected canonicalizer.
+    fn canonicalize_auto(&self, n: usize) -> Self {
+        if n <= DENSE_SWEEP_MAX_N {
+            self.canonicalize(perm_table(n))
+        } else {
+            self.canonicalize_orbit(n)
+        }
+    }
 }
+
+/// A scalarset-indexed array: position `i` is process `i`'s slot, so a
+/// permutation moves the *elements* between positions. The signature ranks
+/// the elements, which is lawful (equivariant and dominant) because `Ord`
+/// on `Vec` compares exactly this array first — making `(Vec<T>, rest)`
+/// composites eligible for orbit pruning via the tuple impls below.
+impl<T: Ord + Clone> Symmetric for Vec<T> {
+    fn apply_perm(&self, perm: &[u8]) -> Self {
+        let mut out = self.clone();
+        for (old, value) in self.iter().enumerate() {
+            out[perm[old] as usize] = value.clone();
+        }
+        out
+    }
+
+    fn signature(&self, n: usize, keys: &mut Vec<u64>) {
+        debug_assert_eq!(self.len(), n, "array length must equal scalarset size");
+        rank_keys(self, keys);
+    }
+}
+
+macro_rules! tuple_symmetric {
+    ($($name:ident : $idx:tt),+) => {
+        /// Component-wise permutation; the signature delegates to the first
+        /// component, which `Ord` compares first (so dominance is inherited
+        /// from it). Later components contribute no keys but are still
+        /// rewritten and compared, so ties in the leading component resolve
+        /// exactly as the dense reference would.
+        impl<$($name: Symmetric),+> Symmetric for ($($name,)+) {
+            fn apply_perm(&self, perm: &[u8]) -> Self {
+                ($(self.$idx.apply_perm(perm),)+)
+            }
+
+            fn signature(&self, n: usize, keys: &mut Vec<u64>) {
+                self.0.signature(n, keys);
+            }
+        }
+    };
+}
+
+tuple_symmetric!(A: 0);
+tuple_symmetric!(A: 0, B: 1);
+tuple_symmetric!(A: 0, B: 1, C: 2);
 
 #[cfg(test)]
 mod tests {
@@ -202,6 +575,11 @@ mod tests {
                 pointer: apply_perm_to_index(perm, self.pointer),
             }
         }
+
+        fn signature(&self, n: usize, keys: &mut Vec<u64>) {
+            debug_assert_eq!(self.slots.len(), n);
+            rank_keys(&self.slots, keys);
+        }
     }
 
     #[test]
@@ -216,12 +594,14 @@ mod tests {
             pointer: 2,
         }; // same orbit: move proc 0 -> 2
         assert_eq!(a.canonicalize(&perms), b.canonicalize(&perms));
+        assert_eq!(a.canonicalize_orbit(3), b.canonicalize_orbit(3));
 
         let c = Pair {
             slots: vec![0, 0, 7],
             pointer: 0,
         }; // different orbit
         assert_ne!(a.canonicalize(&perms), c.canonicalize(&perms));
+        assert_ne!(a.canonicalize_orbit(3), c.canonicalize_orbit(3));
     }
 
     #[test]
@@ -233,6 +613,29 @@ mod tests {
         };
         let c = a.canonicalize(&perms);
         assert_eq!(c.canonicalize(&perms), c);
+        assert_eq!(a.canonicalize_orbit(3).canonicalize_orbit(3), c);
+    }
+
+    #[test]
+    fn orbit_canonicalizer_matches_dense_reference() {
+        // Every slot configuration over a small alphabet, with every pointer:
+        // exhaustive ground truth at n = 3.
+        let perms = all_permutations(3);
+        for raw in 0..27u32 {
+            let slots: Vec<u8> = vec![(raw % 3) as u8, (raw / 3 % 3) as u8, (raw / 9 % 3) as u8];
+            for pointer in 0..3u8 {
+                let p = Pair {
+                    slots: slots.clone(),
+                    pointer,
+                };
+                assert_eq!(
+                    p.canonicalize_orbit(3),
+                    p.canonicalize(&perms),
+                    "diverged on {p:?}"
+                );
+                assert_eq!(p.canonicalize_auto(3), p.canonicalize(&perms));
+            }
+        }
     }
 
     #[test]
@@ -263,5 +666,116 @@ mod tests {
             pointer: 1,
         };
         assert_eq!(a.apply_perm(&id), a);
+    }
+
+    #[test]
+    fn rank_keys_are_order_isomorphic() {
+        let mut keys = Vec::new();
+        rank_keys::<u8>(&[], &mut keys);
+        assert!(keys.is_empty());
+        rank_keys(&[5, 5, 5], &mut keys);
+        assert_eq!(keys, vec![0, 0, 0]);
+        keys.clear();
+        rank_keys(&[9, 1, 4, 1], &mut keys);
+        assert_eq!(keys, vec![3, 0, 2, 0]);
+    }
+
+    #[test]
+    fn partition_all_distinct_yields_single_candidate() {
+        let p = Pair {
+            slots: vec![2, 0, 1, 3],
+            pointer: 0,
+        };
+        let part = OrbitPartition::of(&p, 4).expect("pair has a signature");
+        assert_eq!(part.cell_count(), 4);
+        assert_eq!(part.group_count(), 4);
+        assert_eq!(part.candidate_count(), 1);
+    }
+
+    #[test]
+    fn partition_fully_symmetric_collapses_to_one_group() {
+        // Equal slots put every index in one cell; the pointer breaks full
+        // interchangeability for exactly one of them, so the refinement
+        // splits the cell into pointed-vs-unpointed groups and enumerates
+        // only 4!/3! = 4 distinct arrangements (where the pointed index
+        // lands) instead of 24.
+        let p = Pair {
+            slots: vec![4, 4, 4, 4],
+            pointer: 2,
+        };
+        let part = OrbitPartition::of(&p, 4).expect("signature");
+        assert_eq!(part.cell_count(), 1, "one key class");
+        assert_eq!(part.group_count(), 2, "pointed index vs the rest");
+        assert_eq!(part.candidate_count(), 4);
+        assert_eq!(p.canonicalize_orbit(4), p.canonicalize(perm_table(4)));
+
+        // With no asymmetric field at all (a plain array), the whole cell is
+        // one interchangeability group: a single candidate.
+        let v: Vec<u8> = vec![4, 4, 4, 4];
+        let part = OrbitPartition::of(&v, 4).expect("vec signature");
+        assert_eq!(part.cell_count(), 1);
+        assert_eq!(part.group_count(), 1);
+        assert_eq!(part.candidate_count(), 1, "fully symmetric: one candidate");
+    }
+
+    #[test]
+    fn partition_of_empty_scalarset() {
+        let v: Vec<u8> = Vec::new();
+        assert!(
+            OrbitPartition::of(&v, 0).is_none(),
+            "no indices emit no keys: dense fallback (which is a no-op at n=0)"
+        );
+        assert_eq!(v.canonicalize_orbit(0), v);
+    }
+
+    #[test]
+    fn default_signature_falls_back_to_dense_sweep() {
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+        struct Opaque(Vec<u8>);
+        impl Symmetric for Opaque {
+            fn apply_perm(&self, perm: &[u8]) -> Self {
+                Opaque(self.0.apply_perm(perm))
+            }
+            // No signature override: canonicalize_orbit must still be exact.
+        }
+        let o = Opaque(vec![2, 0, 2, 1]);
+        assert_eq!(
+            o.canonicalize_orbit(4),
+            o.canonicalize(perm_table(4)),
+            "fallback preserves the reference representative"
+        );
+    }
+
+    #[test]
+    fn vec_and_tuple_impls_compose() {
+        let perms = all_permutations(4);
+        let state = (vec![3u8, 1, 1, 0], vec![0u8, 2, 1, 1]);
+        assert_eq!(
+            state.canonicalize_orbit(4),
+            state.canonicalize(&perms),
+            "tuple orbit canonicalization matches the reference"
+        );
+        // The leading component is sorted in the representative.
+        let canon = state.canonicalize_orbit(4);
+        assert_eq!(canon.0, vec![0, 1, 1, 3]);
+    }
+
+    #[test]
+    fn candidate_count_bounds_apply_perm_calls() {
+        // Duplicate-heavy: 6 slots, two values, pointer on one of the 4.
+        let p = Pair {
+            slots: vec![1, 1, 1, 1, 0, 0],
+            pointer: 0,
+        };
+        let part = OrbitPartition::of(&p, 6).expect("signature");
+        // Cells: four 1-slots (pointed index its own group), two 0-slots
+        // (interchangeable).
+        assert_eq!(part.cell_count(), 2);
+        assert!(
+            part.candidate_count() <= 8,
+            "got {}",
+            part.candidate_count()
+        );
+        assert_eq!(p.canonicalize_orbit(6), p.canonicalize(perm_table(6)));
     }
 }

@@ -82,6 +82,11 @@ impl Symmetric for ToyState {
             pointer: perm[self.pointer as usize],
         }
     }
+
+    fn signature(&self, n: usize, keys: &mut Vec<u64>) {
+        debug_assert_eq!(self.slots.len(), n);
+        verc3_mck::rank_keys(&self.slots, keys);
+    }
 }
 
 fn toy_state(n: usize, raw: &[u8], pointer: u8) -> ToyState {
@@ -144,5 +149,20 @@ proptest! {
         for perm in &perms {
             prop_assert!(canonical <= state.apply_perm(perm));
         }
+    }
+
+    /// The orbit-pruning canonicalizer returns the same orbit minimum as
+    /// the dense reference on the toy state, at sizes up to the full
+    /// supported scalarset range (slots range over only three values, so
+    /// large `n` is duplicate-heavy by construction — the hard case).
+    #[test]
+    fn orbit_canonicalizer_matches_dense_on_toy_states(
+        n in 2usize..=8,
+        raw in prop::collection::vec(0u8..250, 8..9),
+        pointer in 0u8..250,
+    ) {
+        let perms = all_permutations(n);
+        let state = toy_state(n, &raw, pointer);
+        prop_assert_eq!(state.canonicalize_orbit(n), state.canonicalize(&perms));
     }
 }

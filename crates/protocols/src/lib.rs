@@ -17,7 +17,7 @@
 //!
 //! All models implement [`verc3_mck::TransitionSystem`] and can be verified
 //! with [`verc3_mck::Checker`] or synthesized with
-//! [`verc3_core::Synthesizer`].
+//! `verc3_core::Synthesizer`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

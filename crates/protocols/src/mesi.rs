@@ -18,11 +18,8 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use verc3_mck::scalarset::{apply_perm_to_index, Symmetric};
-use verc3_mck::{
-    perm_table, HoleResolver, HoleSpec, Multiset, Perm, Property, Rule, RuleOutcome,
-    TransitionSystem,
-};
+use verc3_mck::scalarset::{apply_perm_to_index, rank_keys, Symmetric};
+use verc3_mck::{HoleResolver, HoleSpec, Multiset, Property, Rule, RuleOutcome, TransitionSystem};
 
 /// Cache-controller states (MSI's seven plus Exclusive).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -222,6 +219,14 @@ impl Symmetric for MesiState {
             error: self.error,
         }
     }
+
+    /// Ranks of the per-cache `(state, got, need)` triples: `MesiState`'s
+    /// derived `Ord` compares the `caches` array first, so this signature
+    /// is equivariant *and* dominant (see the `Symmetric::signature` laws).
+    fn signature(&self, n: usize, keys: &mut Vec<u64>) {
+        debug_assert_eq!(self.caches.len(), n);
+        rank_keys(&self.caches, keys);
+    }
 }
 
 /// Synthesizable MESI rules.
@@ -304,7 +309,6 @@ struct MesiCore {
 pub struct MesiModel {
     name: String,
     config: MesiConfig,
-    perms: &'static [Perm],
     rules: Vec<Rule<MesiState>>,
     properties: Vec<Property<MesiState>>,
 }
@@ -485,12 +489,10 @@ impl MesiModel {
             Property::eventually_quiescent("drains to quiescence", MesiState::is_quiescent),
         ];
 
-        let perms = perm_table(n);
         let name = format!("MESI-{n}c");
         MesiModel {
             name,
             config,
-            perms,
             rules,
             properties,
         }
@@ -708,7 +710,7 @@ impl TransitionSystem for MesiModel {
 
     fn canonicalize(&self, state: MesiState) -> MesiState {
         if self.config.symmetry {
-            state.canonicalize(self.perms)
+            state.canonicalize_auto(self.config.n_caches)
         } else {
             state
         }

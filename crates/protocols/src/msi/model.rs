@@ -30,9 +30,7 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use verc3_mck::scalarset::Symmetric;
-use verc3_mck::{
-    perm_table, HoleResolver, HoleSpec, Perm, Property, Rule, RuleOutcome, TransitionSystem,
-};
+use verc3_mck::{HoleResolver, HoleSpec, Property, Rule, RuleOutcome, TransitionSystem};
 
 /// Configuration of an [`MsiModel`]: process count, symmetry, and which
 /// transient rules are synthesis holes.
@@ -139,7 +137,6 @@ struct Core {
 pub struct MsiModel {
     name: String,
     config: MsiConfig,
-    perms: &'static [Perm],
     rules: Vec<Rule<MsiState>>,
     properties: Vec<Property<MsiState>>,
 }
@@ -338,7 +335,6 @@ impl MsiModel {
             ));
         }
 
-        let perms = perm_table(n);
         let holes = config.cache_holes.len() * 2 + config.dir_holes.len() * 3;
         let name = format!(
             "MSI-{n}c{}{}{}",
@@ -353,7 +349,6 @@ impl MsiModel {
         MsiModel {
             name,
             config,
-            perms,
             rules,
             properties,
         }
@@ -382,7 +377,10 @@ impl TransitionSystem for MsiModel {
 
     fn canonicalize(&self, state: MsiState) -> MsiState {
         if self.config.symmetry {
-            state.canonicalize(self.perms)
+            // Dense sweep at paper scale (n ≤ 3), orbit-pruning search
+            // beyond — identical representatives either way, so every
+            // golden count is independent of the crossover.
+            state.canonicalize_auto(self.config.n_caches)
         } else {
             state
         }

@@ -7,10 +7,12 @@
 //! * **MSI-large** — 12 holes: 2 directory + 3 cache transition rules;
 //!   naïve candidate space (5·7·3)²·(3·7)³ = 102 102 525.
 //!
-//! We add two configurations of our own: **MSI-tiny** (one directory rule,
-//! 3 holes), a seconds-scale instance for tests and micro-benchmarks, and
+//! We add three configurations of our own: **MSI-tiny** (one directory
+//! rule, 3 holes), a seconds-scale instance for tests and micro-benchmarks;
 //! **MSI-xl** (MSI-large plus the `WM_A` last-ack rule, 14 holes) as a
-//! harder-than-paper stress configuration.
+//! harder-than-paper stress configuration; and **MSI-5** (the MSI-small
+//! holes over five caches), the scalarset-scaling workload the
+//! orbit-pruning canonicalizer unlocked.
 
 use super::actions::{CacheRule, DirRule};
 use super::model::MsiConfig;
@@ -57,6 +59,21 @@ impl MsiConfig {
     pub fn msi_xl() -> Self {
         let mut cfg = Self::msi_large();
         cfg.cache_holes.insert(CacheRule::WmAAckLast);
+        cfg
+    }
+
+    /// MSI-5 (8 holes): the MSI-small hole set over a **five-cache**
+    /// scalarset.
+    ///
+    /// Not part of the paper, which stops at 3 caches. The state space per
+    /// candidate grows ~9× over n = 3 and — decisive for the old
+    /// all-permutations canonicalizer — every state pays 5! = 120 instead
+    /// of 3! = 6 permutation rebuilds, which priced this configuration out
+    /// of CI until the orbit-pruning canonicalizer landed (see
+    /// EXPERIMENTS.md for the measured before/after).
+    pub fn msi5() -> Self {
+        let mut cfg = Self::msi_small();
+        cfg.n_caches = 5;
         cfg
     }
 }

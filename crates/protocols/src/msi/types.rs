@@ -19,7 +19,7 @@
 //!   *directory* (the unblock that releases a busy state).
 //! * Evictions are omitted, exactly as in the paper's Figure 3.
 
-use verc3_mck::scalarset::{apply_perm_to_index, Symmetric};
+use verc3_mck::scalarset::{apply_perm_to_index, rank_keys, Symmetric};
 use verc3_mck::Multiset;
 
 /// Stable and transient states of a cache controller (7 total — the radix of
@@ -126,7 +126,7 @@ pub enum MsgKind {
 
 /// One in-flight message.
 ///
-/// `to` is the destination agent (cache index, or [`Msg::dir_id`] for the
+/// `to` is the destination agent (cache index, or [`MsiState::dir_id`] for the
 /// directory). `req` identifies the cache the message concerns: the
 /// requester for requests/forwards/invalidations/directory-sent data, the
 /// *sender* for cache-sent data and acknowledgements. `acks` is only
@@ -353,6 +353,15 @@ impl Symmetric for MsiState {
             last_written: self.last_written,
             error: self.error,
         }
+    }
+
+    /// Ranks of the per-cache controller lines — lawful for orbit pruning
+    /// because `MsiState`'s derived `Ord` compares the `caches` array first
+    /// (equivariance: the keys travel with the lines under any permutation;
+    /// dominance: a smaller key sequence is a smaller `caches` prefix).
+    fn signature(&self, n: usize, keys: &mut Vec<u64>) {
+        debug_assert_eq!(self.caches.len(), n);
+        rank_keys(&self.caches, keys);
     }
 }
 

@@ -14,11 +14,8 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use verc3_mck::scalarset::{apply_perm_to_index, Symmetric};
-use verc3_mck::{
-    perm_table, HoleResolver, HoleSpec, Multiset, Perm, Property, Rule, RuleOutcome,
-    TransitionSystem,
-};
+use verc3_mck::scalarset::{apply_perm_to_index, rank_keys, Symmetric};
+use verc3_mck::{HoleResolver, HoleSpec, Multiset, Property, Rule, RuleOutcome, TransitionSystem};
 
 /// Cache-controller states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -147,6 +144,14 @@ impl Symmetric for ViState {
             error: self.error,
         }
     }
+
+    /// Ranks of the per-cache states: `ViState`'s derived `Ord` compares
+    /// the `caches` array first, so this signature is equivariant *and*
+    /// dominant (see the `Symmetric::signature` laws).
+    fn signature(&self, n: usize, keys: &mut Vec<u64>) {
+        debug_assert_eq!(self.caches.len(), n);
+        rank_keys(&self.caches, keys);
+    }
 }
 
 /// Which transient rules are synthesis holes.
@@ -227,7 +232,6 @@ struct ViCore {
 pub struct ViModel {
     name: String,
     config: ViConfig,
-    perms: &'static [Perm],
     rules: Vec<Rule<ViState>>,
     properties: Vec<Property<ViState>>,
 }
@@ -313,12 +317,10 @@ impl ViModel {
             Property::eventually_quiescent("drains to quiescence", ViState::is_quiescent),
         ];
 
-        let perms = perm_table(n);
         let name = format!("VI-{n}c");
         ViModel {
             name,
             config,
-            perms,
             rules,
             properties,
         }
@@ -521,7 +523,7 @@ impl TransitionSystem for ViModel {
 
     fn canonicalize(&self, state: ViState) -> ViState {
         if self.config.symmetry {
-            state.canonicalize(self.perms)
+            state.canonicalize_auto(self.config.n_caches)
         } else {
             state
         }

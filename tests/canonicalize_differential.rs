@@ -1,0 +1,217 @@
+//! Differential property suite for the orbit-pruning canonicalizer: on
+//! every value class the checker feeds it — multisets, `(array, rest)`
+//! tuples, and real protocol states — `Symmetric::canonicalize_orbit` must
+//! be **observationally identical** to the retained all-permutations
+//! reference `Symmetric::canonicalize(perm_table(n))`: the same
+//! representative, bit for bit, at every scalarset size, including the
+//! duplicate-heavy and fully-symmetric states where the orbit search prunes
+//! hardest (a fully symmetric state collapses to a single candidate).
+//!
+//! The partition-refinement *edge cases* (empty scalarset, single-class,
+//! all-distinct) are pinned by unit tests in `crates/mck/src/scalarset.rs`;
+//! this suite covers the randomized middle.
+
+use proptest::prelude::*;
+use verc3::mck::scalarset::Symmetric;
+use verc3::mck::{perm_table, Multiset, OrbitPartition};
+use verc3::protocols::msi::{
+    CacheLine, CacheState, DirState, Directory, Msg, MsgKind, MsiState, ProtocolError,
+};
+
+// ---- Random protocol states ------------------------------------------------
+
+/// Builds an arbitrary (not necessarily reachable) MSI state from raw
+/// entropy: per-cache lines, directory tracking, and a handful of
+/// messages. `dup_bias` caps the variety of cache lines, so high values
+/// produce the duplicate-heavy states (and `dup_bias == 0` the fully
+/// symmetric ones) where partition cells are large.
+fn msi_state(n: usize, raw: &[u8], dup_bias: u8) -> MsiState {
+    let variety = match dup_bias {
+        0 => 1usize,
+        1 => 2,
+        _ => usize::MAX,
+    };
+    let mut take = {
+        let mut i = 0usize;
+        move || {
+            let v = raw[i % raw.len()];
+            i += 1;
+            v
+        }
+    };
+    let mut s = MsiState::initial(n);
+    let states = CacheState::ALL;
+    for c in 0..n {
+        let line = CacheLine {
+            state: states[(take() as usize % variety.min(states.len())) % states.len()],
+            got: take() % 3,
+            need: take() % 3,
+            val: take() % 4,
+        };
+        s.caches[c] = if variety == 1 {
+            CacheLine::invalid()
+        } else {
+            line
+        };
+    }
+    let dir_states = DirState::ALL;
+    s.dir = Directory {
+        state: dir_states[take() as usize % dir_states.len()],
+        owner: match take() % 3 {
+            0 => None,
+            _ => Some(take() % n as u8),
+        },
+        sharers: take() % (1 << n),
+        pending: take() % 3,
+    };
+    let kinds = [
+        MsgKind::GetS,
+        MsgKind::GetM,
+        MsgKind::FwdGetS,
+        MsgKind::FwdGetM,
+        MsgKind::Inv,
+        MsgKind::Data,
+        MsgKind::Ack,
+    ];
+    for _ in 0..(take() % 5) {
+        s.net.insert(Msg {
+            kind: kinds[take() as usize % kinds.len()],
+            to: take() % (n as u8 + 1),
+            req: take() % n as u8,
+            acks: take() % 3,
+            val: take() % 4,
+        });
+    }
+    s.mem = take() % 4;
+    s.last_written = take() % 4;
+    s.error = match take() % 8 {
+        0 => Some(ProtocolError::UnexpectedMessage),
+        _ => None,
+    };
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// MSI states, the checker's real workload: the orbit representative
+    /// equals the dense reference at every scalarset size, and agrees
+    /// across the whole orbit.
+    #[test]
+    fn msi_orbit_canonicalizer_matches_reference(
+        n in 2usize..7,
+        raw in prop::collection::vec(0u8..=255, 24..48),
+        dup_bias in 0u8..3,
+        which in 0usize..5040,
+    ) {
+        let perms = perm_table(n);
+        let s = msi_state(n, &raw, dup_bias);
+        let reference = s.canonicalize(perms);
+        prop_assert_eq!(&s.canonicalize_orbit(n), &reference, "representative diverged");
+        prop_assert_eq!(&s.canonicalize_auto(n), &reference);
+
+        // Every orbit member maps to the same representative through the
+        // orbit search (constancy on orbits = soundness of the reduction).
+        let member = s.apply_perm(&perms[which % perms.len()]);
+        prop_assert_eq!(&member.canonicalize_orbit(n), &reference);
+    }
+
+    /// The fully symmetric corner exactly: all caches identical, nothing
+    /// index-valued anywhere — a single partition cell, a single group, a
+    /// single candidate.
+    #[test]
+    fn msi_fully_symmetric_states_collapse(n in 2usize..7, val in 0u8..4) {
+        let mut s = MsiState::initial(n);
+        s.mem = val;
+        let part = OrbitPartition::of(&s, n).expect("MSI states have a signature");
+        prop_assert_eq!(part.cell_count(), 1);
+        prop_assert_eq!(part.group_count(), 1);
+        prop_assert_eq!(part.candidate_count(), 1);
+        prop_assert_eq!(&s.canonicalize_orbit(n), &s.canonicalize(perm_table(n)));
+    }
+
+    /// `(Vec, Multiset)` tuples — the composable building blocks a
+    /// `ModelBuilder` user would reach for: component-wise permutation with
+    /// the leading array's signature must reproduce the reference.
+    #[test]
+    fn tuple_of_array_and_multiset_matches_reference(
+        n in 2usize..7,
+        raw in prop::collection::vec(0u8..4, 8..16),
+        tags in prop::collection::vec(0u8..8, 0..6),
+        idxs in prop::collection::vec(0u8..8, 6..7),
+    ) {
+        let slots: Vec<u8> = (0..n).map(|i| raw[i % raw.len()]).collect();
+        let net: Multiset<Vec<u8>> = tags
+            .iter()
+            .enumerate()
+            .map(|(i, &tag)| {
+                // An element embedding a scalarset-indexed array of its own.
+                let mut inner = vec![0u8; n];
+                inner[idxs[i % idxs.len()] as usize % n] = tag + 1;
+                inner
+            })
+            .collect();
+        let state = (slots, net);
+        let perms = perm_table(n);
+        prop_assert_eq!(&state.canonicalize_orbit(n), &state.canonicalize(perms));
+
+        let member = state.apply_perm(&perms[(raw[0] as usize) % perms.len()]);
+        prop_assert_eq!(&member.canonicalize_orbit(n), &state.canonicalize_orbit(n));
+    }
+
+    /// Bare multisets have no per-index signature: the orbit canonicalizer
+    /// must fall back to the dense sweep and still match the reference.
+    #[test]
+    fn bare_multiset_falls_back_and_matches(
+        n in 2usize..6,
+        tags in prop::collection::vec(0u8..6, 0..8),
+        idxs in prop::collection::vec(0u8..8, 8..9),
+    ) {
+        let net: Multiset<Vec<u8>> = tags
+            .iter()
+            .enumerate()
+            .map(|(i, &tag)| {
+                let mut inner = vec![0u8; n];
+                inner[idxs[i % idxs.len()] as usize % n] = tag + 1;
+                inner
+            })
+            .collect();
+        prop_assert!(OrbitPartition::of(&net, n).is_none(), "no signature");
+        prop_assert_eq!(&net.canonicalize_orbit(n), &net.canonicalize(perm_table(n)));
+    }
+
+    /// Idempotence through the orbit path on arbitrary protocol states.
+    #[test]
+    fn orbit_canonicalization_is_idempotent(
+        n in 2usize..7,
+        raw in prop::collection::vec(0u8..=255, 24..48),
+        dup_bias in 0u8..3,
+    ) {
+        let s = msi_state(n, &raw, dup_bias);
+        let once = s.canonicalize_orbit(n);
+        prop_assert_eq!(&once.canonicalize_orbit(n), &once);
+    }
+}
+
+/// The candidate count the partition reports is a hard ceiling on the work
+/// the search performs, and collapses steeply on duplicate-heavy states —
+/// the quantitative claim behind the canonicalize bench.
+#[test]
+fn duplicate_heavy_states_prune_most_of_the_factorial() {
+    let n = 6;
+    let mut s = MsiState::initial(n);
+    s.caches[0].state = CacheState::M;
+    s.dir.state = DirState::M;
+    s.dir.owner = Some(0);
+    // Five identical invalid caches, none referenced: one cell of five
+    // interchangeable indices plus the singleton owner cell.
+    let part = OrbitPartition::of(&s, n).expect("signature");
+    assert_eq!(part.cell_count(), 2);
+    assert_eq!(part.group_count(), 2);
+    assert_eq!(
+        part.candidate_count(),
+        1,
+        "720 permutations collapse to a single candidate"
+    );
+    assert_eq!(s.canonicalize_orbit(n), s.canonicalize(perm_table(n)));
+}

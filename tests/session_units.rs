@@ -161,3 +161,101 @@ fn shared_resolver_delta_matches_free_function() {
     assert_eq!(resolver.delta_from(&[2, 1, 0]), Vec::<usize>::new());
     assert_eq!(resolver.delta_from(&[0, 1]), vec![0, 2]);
 }
+
+/// The session must drain a worker's hole name → id cache when a check ends
+/// and seed the next check's worker with it (`SharedResolver::worker_seeded`
+/// / `HoleResolver::take_name_cache`), so name resolution pays the registry
+/// lock once per session, not once per check.
+#[test]
+fn session_reseeds_the_name_cache_across_checks() {
+    use std::sync::Mutex;
+    use verc3::mck::{Choice, HoleResolver, HoleSpec, NameCache, SessionResolver, SharedResolver};
+
+    /// Answers one hole ("h0" = action 0) and records the size of every
+    /// seed cache it is handed.
+    #[derive(Default)]
+    struct SeedProbe {
+        seed_sizes: Mutex<Vec<usize>>,
+    }
+
+    struct ProbeWorker {
+        cache: NameCache,
+        touches: Vec<(usize, u16)>,
+    }
+
+    impl SharedResolver for SeedProbe {
+        fn worker(&self) -> Box<dyn HoleResolver + '_> {
+            self.worker_seeded(NameCache::default())
+        }
+
+        fn worker_seeded(&self, seed: NameCache) -> Box<dyn HoleResolver + '_> {
+            self.seed_sizes.lock().unwrap().push(seed.len());
+            Box::new(ProbeWorker {
+                cache: seed,
+                touches: Vec::new(),
+            })
+        }
+    }
+
+    impl SessionResolver for SeedProbe {
+        fn assignment(&self, hole: usize) -> Option<u16> {
+            (hole == 0).then_some(0)
+        }
+    }
+
+    impl HoleResolver for ProbeWorker {
+        fn choose(&mut self, spec: &HoleSpec) -> Choice {
+            self.cache.entry(spec.name().to_owned()).or_insert(0);
+            self.touches.push((0, 0));
+            Choice::Action(0)
+        }
+
+        fn begin_application(&mut self) {
+            self.touches.clear();
+        }
+
+        fn application_touches(&self) -> &[(usize, u16)] {
+            &self.touches
+        }
+
+        fn take_name_cache(&mut self) -> NameCache {
+            std::mem::take(&mut self.cache)
+        }
+    }
+
+    let mut b = verc3::mck::ModelBuilder::new("seeded");
+    b.initial(0u8);
+    b.rule("step", |&s: &u8, ctx: &mut dyn HoleResolver| {
+        if s < 4 {
+            let spec = HoleSpec::new("h0", ["a"]);
+            match ctx.choose(&spec) {
+                Choice::Action(_) => RuleOutcome::Next(s + 1),
+                Choice::Wildcard => RuleOutcome::Blocked,
+            }
+        } else {
+            RuleOutcome::Disabled
+        }
+    });
+    b.invariant("bounded", |&s: &u8| s <= 4);
+    let model = b.finish();
+
+    for threads in [1usize, 2] {
+        let probe = SeedProbe::default();
+        let checker = Checker::new(CheckerOptions::default().allow_deadlock().threads(threads));
+        let mut session = checker.session(&model);
+        let first = session.check(&probe);
+        let second = session.check(&probe);
+        assert_eq!(first.verdict(), Verdict::Success);
+        assert_eq!(first.stats(), second.stats());
+        let sizes = probe.seed_sizes.lock().unwrap();
+        assert_eq!(
+            sizes[0], 0,
+            "threads={threads}: the first worker starts with an empty cache"
+        );
+        assert!(
+            sizes.iter().skip(1).any(|&s| s > 0),
+            "threads={threads}: a later worker must be seeded with the drained \
+             cache, got seed sizes {sizes:?}"
+        );
+    }
+}
