@@ -5,9 +5,12 @@
 //! Beyond the printed table, this bench emits **BENCH_checker.json** at the
 //! workspace root — `(model, threads, states, transitions, wall_ms)` rows —
 //! so future PRs can track the checker's perf trajectory without parsing
-//! log output. The bench also *asserts* the equivalence contract along the
-//! way: every thread count must report the same verdict, state count, and
-//! transition count.
+//! log output; `perf_gate` derives the 4-thread-over-serial
+//! `parallel_speedup` ratio from these rows and holds it above an absolute
+//! floor on multi-core runners. The bench also *asserts* the equivalence
+//! contract along the way: every thread count must report the same verdict,
+//! state count, and transition count. Thread-count clamping is disabled so
+//! a row always measures exactly the parallelism it is labeled with.
 //!
 //! ```text
 //! cargo bench -p verc3-bench --bench parallel_check
@@ -33,7 +36,11 @@ struct Row {
 /// Times `samples` full verifications (after one warm-up) and returns the
 /// median wall time together with the run's statistics.
 fn measure<M: TransitionSystem>(model: &M, threads: usize) -> (f64, usize, usize) {
-    let checker = Checker::new(CheckerOptions::default().threads(threads));
+    let checker = Checker::new(
+        CheckerOptions::default()
+            .threads(threads)
+            .clamp_threads(false),
+    );
     let warmup = checker.run(model);
     assert_eq!(
         warmup.verdict(),

@@ -17,7 +17,19 @@
 //! * `BENCH_patterns.json` — scan-vs-inverted-index speedup at 50k sparse
 //!   patterns;
 //! * `BENCH_incremental.json` — session reuse rate on the serial MSI-large
-//!   row.
+//!   row, and the check-threads-4 session loop's speedup over the serial
+//!   one on both MSI workloads;
+//! * `BENCH_checker.json` — the parallel checker's 4-thread speedup over
+//!   serial on both msi_golden corpora.
+//!
+//! The parallelism gates additionally enforce an **absolute floor**
+//! (independent of the baseline, which may have been recorded on a
+//! small machine): the 4-thread checker must be ≥ 2× serial, and
+//! check-threads-4 sessions must not be slower than serial. Absolute
+//! floors only apply when the host actually has the cores (a gate whose
+//! `min_cores` exceeds `available_parallelism` is reported as skipped),
+//! so the binary stays runnable everywhere while the multi-core CI job
+//! carries the enforcement.
 //!
 //! The JSON files are the benches' own flat `[{...}, ...]` emissions; the
 //! scanner below parses exactly that shape (flat objects, string or number
@@ -167,9 +179,43 @@ struct Gate {
     name: &'static str,
     /// Extracts the pinned ratio from the file's rows.
     extract: fn(&[Row]) -> f64,
+    /// Absolute lower bound on the fresh ratio, enforced in addition to the
+    /// baseline-relative tolerance. `None` = relative check only.
+    floor: Option<f64>,
+    /// Minimum `available_parallelism` for this gate to be meaningful; on
+    /// hosts with fewer cores the gate is reported as skipped.
+    min_cores: usize,
 }
 
-const GATES: [Gate; 3] = [
+/// Pinned `wall_ms` of one `BENCH_checker.json` row.
+fn checker_wall_ms(rows: &[Row], model: &str, threads: f64) -> f64 {
+    pinned(
+        rows,
+        &[
+            ("model", Value::Str(model.into())),
+            ("threads", Value::Num(threads)),
+        ],
+        "wall_ms",
+        "parallel_check",
+    )
+}
+
+/// Pinned `wall_ms` of one `BENCH_incremental.json` session row.
+fn session_wall_ms(rows: &[Row], workload: &str, check_threads: f64) -> f64 {
+    pinned(
+        rows,
+        &[
+            ("workload", Value::Str(workload.into())),
+            ("mode", Value::Str("sessions".into())),
+            ("threads", Value::Num(1.0)),
+            ("check_threads", Value::Num(check_threads)),
+        ],
+        "wall_ms",
+        "incremental_check",
+    )
+}
+
+const GATES: [Gate; 7] = [
     Gate {
         file: "BENCH_canonicalize.json",
         name: "canonicalize: orbit speedup over the n! reference at n=6",
@@ -181,6 +227,8 @@ const GATES: [Gate; 3] = [
                 "canonicalize",
             )
         },
+        floor: None,
+        min_cores: 1,
     },
     Gate {
         file: "BENCH_patterns.json",
@@ -200,6 +248,8 @@ const GATES: [Gate; 3] = [
             };
             ms("scan") / ms("inverted_index").max(1e-9)
         },
+        floor: None,
+        min_cores: 1,
     },
     Gate {
         file: "BENCH_incremental.json",
@@ -217,6 +267,48 @@ const GATES: [Gate; 3] = [
                 "incremental_check",
             )
         },
+        floor: None,
+        min_cores: 1,
+    },
+    Gate {
+        file: "BENCH_checker.json",
+        name: "parallel_check: 4-thread speedup, msi_golden_4caches_sym",
+        extract: |rows| {
+            checker_wall_ms(rows, "msi_golden_4caches_sym", 1.0)
+                / checker_wall_ms(rows, "msi_golden_4caches_sym", 4.0).max(1e-9)
+        },
+        floor: Some(2.0),
+        min_cores: 4,
+    },
+    Gate {
+        file: "BENCH_checker.json",
+        name: "parallel_check: 4-thread speedup, msi_golden_3caches_data",
+        extract: |rows| {
+            checker_wall_ms(rows, "msi_golden_3caches_data", 1.0)
+                / checker_wall_ms(rows, "msi_golden_3caches_data", 4.0).max(1e-9)
+        },
+        floor: Some(2.0),
+        min_cores: 4,
+    },
+    Gate {
+        file: "BENCH_incremental.json",
+        name: "incremental_check: check-threads-4 session speedup, msi_small",
+        extract: |rows| {
+            session_wall_ms(rows, "msi_small", 1.0)
+                / session_wall_ms(rows, "msi_small", 4.0).max(1e-9)
+        },
+        floor: Some(0.9),
+        min_cores: 4,
+    },
+    Gate {
+        file: "BENCH_incremental.json",
+        name: "incremental_check: check-threads-4 session speedup, msi_large",
+        extract: |rows| {
+            session_wall_ms(rows, "msi_large", 1.0)
+                / session_wall_ms(rows, "msi_large", 4.0).max(1e-9)
+        },
+        floor: Some(0.9),
+        min_cores: 4,
     },
 ];
 
@@ -237,14 +329,32 @@ fn main() -> ExitCode {
     let fresh_dir = dir_flag(&args, "--fresh", ".");
     let baseline_dir = dir_flag(&args, "--baseline", "crates/bench/baselines");
 
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut failed = false;
-    println!("perf gate (fail on >{TOLERANCE}x regression of a pinned ratio)");
+    println!(
+        "perf gate on a {cores}-core host \
+         (fail on >{TOLERANCE}x regression of a pinned ratio, or a fresh \
+         ratio below a gate's absolute floor)"
+    );
     for gate in &GATES {
+        if cores < gate.min_cores {
+            println!(
+                "  skip {:<58} (needs >= {} cores)",
+                gate.name, gate.min_cores
+            );
+            continue;
+        }
         let fresh_rows = parse_rows(&fresh_dir.join(gate.file));
         let baseline_rows = parse_rows(&baseline_dir.join(gate.file));
         let fresh = (gate.extract)(&fresh_rows);
         let baseline = (gate.extract)(&baseline_rows);
-        let floor = baseline / TOLERANCE;
+        // The effective floor is the stricter of "no >TOLERANCE relative
+        // regression" and the gate's absolute requirement.
+        let floor = gate
+            .floor
+            .map_or(baseline / TOLERANCE, |abs| abs.max(baseline / TOLERANCE));
         let ok = fresh >= floor;
         println!(
             "  {} {:<58} fresh {fresh:8.2}  baseline {baseline:8.2}  floor {floor:8.2}",
@@ -255,9 +365,11 @@ fn main() -> ExitCode {
     }
     if failed {
         eprintln!(
-            "perf gate failed: a pinned ratio regressed by more than {TOLERANCE}x; \
-             if the regression is intended, refresh crates/bench/baselines/ \
-             from the freshly emitted BENCH_*.json files"
+            "perf gate failed: a pinned ratio regressed by more than {TOLERANCE}x \
+             (or fell below an absolute floor); if a relative regression is \
+             intended, refresh crates/bench/baselines/ from the freshly \
+             emitted BENCH_*.json files — absolute floors are requirements \
+             and cannot be refreshed away"
         );
         return ExitCode::FAILURE;
     }

@@ -217,6 +217,15 @@ impl HoleResolver for CandidateResolver<'_> {
 /// [`SharedCandidateResolver::into_touched`] returns it sorted by hole id —
 /// resolutions are deterministic, so the *set* is thread-count-independent
 /// even though consultation order is not.
+///
+/// Under the parallel checker's expand-then-replay discipline, workers
+/// obtained via [`SharedResolver::expansion_worker`] are *provisional*: they
+/// resolve identically but publish nothing to the shared touched set, because
+/// some recorded applications are later discarded by the replay (past a
+/// failure or the state cap) and must not leak into pruning patterns. The
+/// replay reports the consultations it actually consumed through
+/// [`SharedResolver::note_replayed_touches`] once per layer, which merges
+/// them here — so `into_touched` equals a serial run's touched set exactly.
 #[derive(Debug)]
 pub struct SharedCandidateResolver<'a> {
     registry: &'a HoleRegistry,
@@ -268,12 +277,47 @@ impl SharedResolver for SharedCandidateResolver<'_> {
         Box::new(WorkerCandidateResolver {
             shared: self,
             cache: seed,
+            publish_touches: true,
             seen: Vec::new(),
             app_touches: Vec::new(),
             app_wildcards: Vec::new(),
             pending: Vec::new(),
             pending_idx: FnvHashMap::default(),
         })
+    }
+
+    /// A provisional worker for the parallel checker's expansion phase: it
+    /// answers every consultation exactly like [`SharedResolver::worker`]
+    /// but contributes nothing to the shared touched set — the replay
+    /// reports what it actually consumed via
+    /// [`SharedResolver::note_replayed_touches`].
+    fn expansion_worker(&self, seed: NameCache) -> Box<dyn HoleResolver + '_> {
+        Box::new(WorkerCandidateResolver {
+            shared: self,
+            cache: seed,
+            publish_touches: false,
+            seen: Vec::new(),
+            app_touches: Vec::new(),
+            app_wildcards: Vec::new(),
+            pending: Vec::new(),
+            pending_idx: FnvHashMap::default(),
+        })
+    }
+
+    /// Merges the replay-confirmed concrete resolutions of one layer into
+    /// the shared touched set (first mention of a hole wins, as with eager
+    /// worker publication — the resolutions are deterministic, so there is
+    /// nothing to disagree about).
+    fn note_replayed_touches(&self, touches: &[(usize, u16)]) {
+        if touches.is_empty() {
+            return;
+        }
+        let mut touched = self.touched.lock();
+        for &(hole, action) in touches {
+            if !touched.iter().any(|&(h, _)| h == hole) {
+                touched.push((hole, action));
+            }
+        }
     }
 
     fn commit_discoveries(&self, specs: &[HoleSpec]) -> Vec<usize> {
@@ -317,6 +361,11 @@ impl SessionResolver for SharedCandidateResolver<'_> {
 struct WorkerCandidateResolver<'a> {
     shared: &'a SharedCandidateResolver<'a>,
     cache: NameCache,
+    /// Whether concrete resolutions are published to the shared touched set
+    /// as they happen. `true` for ordinary workers; `false` for expansion
+    /// workers, whose consultations are provisional until the replay
+    /// confirms them ([`SharedResolver::note_replayed_touches`]).
+    publish_touches: bool,
     /// Holes this worker has already resolved concretely (locally deduped
     /// mirror of its contributions to the shared touched set).
     seen: Vec<(HoleId, u16)>,
@@ -333,9 +382,11 @@ impl WorkerCandidateResolver<'_> {
     fn record(&mut self, id: HoleId, action: u16) {
         if !self.seen.iter().any(|&(h, _)| h == id) {
             self.seen.push((id, action));
-            let mut touched = self.shared.touched.lock();
-            if !touched.iter().any(|&(h, _)| h == id) {
-                touched.push((id, action));
+            if self.publish_touches {
+                let mut touched = self.shared.touched.lock();
+                if !touched.iter().any(|&(h, _)| h == id) {
+                    touched.push((id, action));
+                }
             }
         }
         if !self.app_touches.iter().any(|&(h, _)| h == id) {
@@ -525,6 +576,28 @@ mod tests {
             assert_eq!(w.choose(&spec("fresh", 4)), Choice::Action(0));
         }
         assert_eq!(shared.into_touched(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn expansion_workers_do_not_publish_touches() {
+        let reg = HoleRegistry::new();
+        reg.resolve_or_register(&spec("x", 3));
+        reg.resolve_or_register(&spec("y", 2));
+        let digits = [2u16, 1u16];
+        let shared = SharedCandidateResolver::new(&reg, &digits, DiscoveryDefault::Wildcard);
+        {
+            let mut w = shared.expansion_worker(NameCache::default());
+            w.begin_application();
+            assert_eq!(w.choose(&spec("x", 3)), Choice::Action(2));
+            assert_eq!(w.choose(&spec("y", 2)), Choice::Action(1));
+            // Provisional: identical answers and per-application records...
+            assert_eq!(w.application_touches(), &[(0, 2), (1, 1)]);
+        }
+        // ...but nothing in the shared touched set until the replay
+        // confirms which consultations it consumed.
+        shared.note_replayed_touches(&[(0, 2)]);
+        shared.note_replayed_touches(&[(0, 2), (1, 1)]);
+        assert_eq!(shared.into_touched(), vec![(0, 2), (1, 1)]);
     }
 
     #[test]

@@ -117,26 +117,31 @@ impl SynthOptions {
     /// against the available cores.
     ///
     /// Every individual evaluation is verdict-, statistics-, and
-    /// failure-attribution-identical to its serial counterpart (the parallel
-    /// checker's replay guarantees it). Hole **registration order is
-    /// serial-deterministic**: in pruning (wildcard-default) mode, workers
-    /// *defer* first discoveries and the driver commits them at each
-    /// layer's replay sequence point in chunk-concatenated order — the
-    /// serial driver's within-layer consultation order — so the ordered
-    /// hole table is a pure function of the candidate sequence, independent
-    /// of worker interleaving (`parallel_check_hole_order_is_deterministic`,
-    /// `tests/session_equivalence.rs`). Two caveats remain: a failing layer
-    /// is still expanded in full before the failure is picked, so rule
-    /// applications past the serial stop point can register holes one run
-    /// early; and the naïve baseline (`pruning(false)`) must register
-    /// eagerly (its `(hole, action 0)` touches need real ids), keeping the
-    /// historical racy order there. Both effects only perturb enumeration
-    /// order and per-run `discovered` logs — the same nondeterminism class
-    /// as cross-candidate [`SynthOptions::threads`] — and never the
-    /// solution set (`parallel_checks_agree_with_serial_checks`,
-    /// `tests/synthesis_equivalence.rs`). On workloads whose BFS layers fit
-    /// one worker chunk (e.g. the Figure-2 models) even the exact run log
-    /// is preserved.
+    /// failure-attribution-identical to its serial counterpart (the
+    /// parallel checker's commit-replay step guarantees it). In pruning
+    /// (wildcard-default) mode the equivalence extends to **all resolver
+    /// effects**: expansion workers consult through provisional handles
+    /// whose touches stay thread-local, and only the records the replay
+    /// step commits publish hole touches, failure attributions, and first
+    /// discoveries — in replay order, the serial driver's within-layer
+    /// consultation order. Speculative work that replay discards (rule
+    /// applications past a failing state's short-circuit point, chunks of
+    /// an aborted claim-table attempt) leaves no trace, so the ordered
+    /// hole table, the per-run `discovered` logs, and the touched sets
+    /// feeding [`PatternMode::Refined`] are a pure function of the
+    /// candidate sequence, independent of worker interleaving: the exact
+    /// Figure-2 run log survives `check_threads(4)`
+    /// (`fig2_is_exact_under_parallel_checks`; full run-log and
+    /// registry equality on failing and state-capped runs is pinned by
+    /// `check_threads_match_serial_resolver_effects` below and
+    /// `tests/session_equivalence.rs`). One caveat remains: the naïve
+    /// baseline (`pruning(false)`) must register eagerly — its
+    /// `(hole, action 0)` touches need real ids during expansion — keeping
+    /// the historical racy registration order there, which only perturbs
+    /// enumeration order (the same nondeterminism class as cross-candidate
+    /// [`SynthOptions::threads`]) and never the solution set
+    /// (`parallel_checks_agree_with_serial_checks`,
+    /// `tests/synthesis_equivalence.rs`).
     ///
     /// # Panics
     ///
@@ -827,6 +832,69 @@ mod tests {
                     solution_set(&seq),
                     "seed {seed}: same solutions"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn check_threads_match_serial_resolver_effects() {
+        // Commit-replay satellite: speculative expansion work the replay
+        // step discards (rule applications past a failing state's
+        // short-circuit point, aborted claim-table attempts) must leave no
+        // trace in hole registration, per-run discovery logs, touched
+        // sets, or pattern publications. With a single synthesis worker,
+        // the *entire* Figure-2-style run log is therefore bit-identical
+        // at any checker thread count — including on failing runs and on
+        // runs clamped by `max_states` (verdict `Unknown`), on both the
+        // session and one-shot dispatch paths.
+        let fmt = |r: &SynthReport| -> Vec<String> {
+            r.run_log()
+                .iter()
+                .map(|rec| {
+                    format!(
+                        "{} {:?} {} {:?}",
+                        rec.candidate.display_named(r.holes()),
+                        rec.verdict,
+                        rec.pattern_added,
+                        rec.discovered
+                    )
+                })
+                .collect()
+        };
+        for max_states in [usize::MAX, 12] {
+            for reuse in [true, false] {
+                for seed in [600, 601, 602] {
+                    let model = GraphModel::random(seed, 6, 3);
+                    let run = |threads: usize| {
+                        let checker = CheckerOptions::default()
+                            .max_states(max_states)
+                            .clamp_threads(false);
+                        Synthesizer::new(
+                            SynthOptions::default()
+                                .record_runs(true)
+                                .pattern_mode(PatternMode::Refined)
+                                .reuse_sessions(reuse)
+                                .checker(checker)
+                                .check_threads(threads),
+                        )
+                        .run(&model)
+                    };
+                    let serial = run(1);
+                    let par = run(4);
+                    let names = |r: &SynthReport| -> Vec<String> {
+                        r.holes().iter().map(|h| h.name.clone()).collect()
+                    };
+                    assert_eq!(
+                        names(&par),
+                        names(&serial),
+                        "seed {seed} cap {max_states} reuse {reuse}: registration order"
+                    );
+                    assert_eq!(
+                        fmt(&par),
+                        fmt(&serial),
+                        "seed {seed} cap {max_states} reuse {reuse}: run log"
+                    );
+                }
             }
         }
     }

@@ -12,10 +12,11 @@
 //!
 //! * the **serial** driver (this module) — a queue-driven BFS; and
 //! * the **parallel** driver (`parallel`) — a layer-synchronized BFS that
-//!   expands each frontier layer across `std::thread::scope` workers and a
-//!   sharded visited set, then replays the layer deterministically so that
-//!   verdicts, statistics, and counterexample traces are *identical* to the
-//!   serial driver's, for any thread count.
+//!   expands, canonicalizes, fingerprints, and invariant-checks each
+//!   frontier layer across a persistent worker pool against a lock-free
+//!   claim table, then *replays* the recorded layer deterministically so
+//!   that verdicts, statistics, and counterexample traces are *identical*
+//!   to the serial driver's, for any thread count.
 //!
 //! Select the parallel driver with [`CheckerOptions::threads`].
 
@@ -72,6 +73,9 @@ pub struct CheckerOptions {
     deadlock: DeadlockPolicy,
     keep_graph: bool,
     threads: usize,
+    clamp_threads: bool,
+    pub(super) chunk_states: Option<usize>,
+    pub(super) claim_stripes: Option<usize>,
 }
 
 impl Default for CheckerOptions {
@@ -81,6 +85,9 @@ impl Default for CheckerOptions {
             deadlock: DeadlockPolicy::Disallow,
             keep_graph: false,
             threads: 1,
+            clamp_threads: true,
+            chunk_states: None,
+            claim_stripes: None,
         }
     }
 }
@@ -135,6 +142,11 @@ impl CheckerOptions {
     /// this knob; [`Checker::run_with`] takes an exclusive resolver and is
     /// always serial.
     ///
+    /// By default the requested count is clamped to the machine's available
+    /// parallelism (see [`CheckerOptions::clamp_threads`]): asking for 8
+    /// threads on a 4-core box runs 4, and asking for any count on a 1-core
+    /// box runs the serial driver.
+    ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
@@ -144,9 +156,63 @@ impl CheckerOptions {
         self
     }
 
-    /// The configured worker-thread count.
+    /// Whether [`CheckerOptions::threads`] is clamped to
+    /// `std::thread::available_parallelism()` (default `true`).
+    ///
+    /// Oversubscribing a layer-synchronized checker only adds scheduling
+    /// noise, so the clamp is what production callers want; the equivalence
+    /// and stress suites disable it to exercise the parallel driver's
+    /// interleavings regardless of the host's core count.
+    pub fn clamp_threads(mut self, clamp: bool) -> Self {
+        self.clamp_threads = clamp;
+        self
+    }
+
+    /// Forces the parallel driver's expansion chunk size to exactly `states`
+    /// per chunk, overriding the trajectory-based auto-tuner. A testing and
+    /// benchmarking knob (e.g. 1-state chunks maximize interleaving); leave
+    /// unset for real runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states == 0`.
+    pub fn chunk_states(mut self, states: usize) -> Self {
+        assert!(states > 0, "chunks must hold at least one state");
+        self.chunk_states = Some(states);
+        self
+    }
+
+    /// Forces the claim-table stripe count (rounded up to a power of two,
+    /// capped at 256). A testing knob — a single stripe serializes all
+    /// claim-arena appends, maximizing contention; leave unset to size from
+    /// the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripes == 0`.
+    pub fn claim_stripes(mut self, stripes: usize) -> Self {
+        assert!(stripes > 0, "at least one claim stripe is required");
+        self.claim_stripes = Some(stripes);
+        self
+    }
+
+    /// The configured worker-thread count (as requested, before clamping).
     pub fn thread_count(&self) -> usize {
         self.threads
+    }
+
+    /// The thread count a run will actually use: the requested count,
+    /// clamped to `std::thread::available_parallelism()` unless
+    /// [`CheckerOptions::clamp_threads`] is disabled.
+    pub fn effective_threads(&self) -> usize {
+        if self.clamp_threads {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            self.threads.min(cores)
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -232,7 +298,7 @@ impl Checker {
         model: &M,
         resolver: &dyn SharedResolver,
     ) -> Outcome<M::State> {
-        if self.options.threads > 1 {
+        if self.options.effective_threads() > 1 {
             parallel::ParallelBfs::new(model, &self.options, resolver).explore()
         } else {
             let mut worker = resolver.worker();
@@ -269,29 +335,11 @@ impl IdList {
             IdList::Many(ids) => ids.push(id),
         }
     }
-
-    /// Replaces the entry equal to `old` with `new` (used by the parallel
-    /// driver to promote pending claims to committed ids).
-    pub(super) fn replace(&mut self, old: StateId, new: StateId) {
-        match self {
-            IdList::One(id) => {
-                debug_assert_eq!(*id, old);
-                *id = new;
-            }
-            IdList::Many(ids) => {
-                let slot = ids.iter_mut().find(|id| **id == old);
-                debug_assert!(slot.is_some(), "stale id {old} not present");
-                if let Some(slot) = slot {
-                    *slot = new;
-                }
-            }
-        }
-    }
 }
 
-/// Ceiling on committed [`StateId`]s: the parallel driver reserves ids with
-/// the top bit set as pending-claim markers, and [`SearchCore::commit`]
-/// asserts the store never grows into that range.
+/// Ceiling on committed [`StateId`]s, asserted by [`SearchCore::commit`]:
+/// keeps the top bit of the 32-bit id space free as headroom for auxiliary
+/// encodings and catches runaway stores long before the id type wraps.
 pub(super) const MAX_COMMITTED: StateId = 1 << 31;
 
 /// Adds a committed id to a fingerprint-indexed map (shared by the serial
@@ -809,9 +857,15 @@ pub(super) mod tests_support {
         resolver: &dyn SharedResolver,
         threads: usize,
     ) {
+        // Clamping disabled so the parallel driver is exercised for real
+        // even when the test host has fewer cores than `threads`.
         let serial = Checker::new(CheckerOptions::default()).run_shared(model, resolver);
-        let par =
-            Checker::new(CheckerOptions::default().threads(threads)).run_shared(model, resolver);
+        let par = Checker::new(
+            CheckerOptions::default()
+                .threads(threads)
+                .clamp_threads(false),
+        )
+        .run_shared(model, resolver);
         assert_eq!(
             serial.verdict(),
             par.verdict(),
@@ -1058,7 +1112,5 @@ mod tests {
         l.push(7);
         l.push(9);
         assert_eq!(l.as_slice(), &[3, 7, 9]);
-        l.replace(7, 11);
-        assert_eq!(l.as_slice(), &[3, 11, 9]);
     }
 }

@@ -1,191 +1,956 @@
-//! The layer-synchronized parallel BFS driver.
+//! The layer-synchronized parallel BFS engine (commit-replay architecture).
 //!
 //! Parallel explicit-state exploration usually trades determinism for speed:
 //! work-stealing frontiers visit states in racy orders, so two runs (or a
 //! parallel and a serial run) report different statistics and — worse —
-//! different counterexamples. This driver keeps the speed and discards the
+//! different counterexamples. This engine keeps the speed and discards the
 //! race, following the layer-synchronized discipline of Stern & Dill's
-//! parallel Murϕ:
+//! parallel Murϕ, with all per-state work pushed into the parallel phase:
 //!
-//! 1. **Expand** (parallel): the current BFS layer is split into contiguous
-//!    chunks claimed by `std::thread::scope` workers. Each worker applies
-//!    every rule to its states (through its own [`HoleResolver`] obtained
-//!    from the shared [`SharedResolver`]), canonicalizes successors, and
-//!    probes them against a **sharded visited set** — `N` shards of
-//!    `FnvHashMap`, selected by fingerprint prefix, each behind a
-//!    `parking_lot::Mutex` so contention spreads across shards instead of
-//!    serializing on one map. Unknown successors are parked in their shard
-//!    as *pending claims* (this also de-duplicates concurrent discoveries of
-//!    the same state by different workers).
+//! 1. **Expand** (parallel): the current BFS layer is split into chunks
+//!    whose size is auto-tuned from the previous layer's measured expansion
+//!    rate (see [`Engine::chunk_size`]), executed by a persistent
+//!    [`WorkerPool`]. Each worker applies every rule to its states (through
+//!    its own expansion resolver obtained via
+//!    [`SharedResolver::expansion_worker`]), canonicalizes successors,
+//!    fingerprints them, **evaluates their invariants**, and probes them
+//!    against a lock-free open-addressing [`ClaimTable`]: a CAS on an
+//!    `AtomicU64` bucket claims an unseen state, and the full state bodies
+//!    live in striped mutex-protected arenas touched only on claim creation
+//!    and tag-collision checks. Already-committed successors resolve with a
+//!    plain lock-free hash-map read.
 //! 2. **Replay** (sequential, cheap): the recorded rule outcomes are walked
 //!    in the serial driver's exact order — layer states in commit order,
-//!    rules in table order — committing pending claims, assigning dense
-//!    [`StateId`]s, counting statistics, and checking invariants, deadlocks,
-//!    and the state cap *exactly* where the serial driver would.
+//!    rules in table order — committing claimed states (already
+//!    canonicalized, fingerprinted, and invariant-checked; the replay just
+//!    moves them into the store and assigns dense [`StateId`]s), counting
+//!    statistics, and raising failures, deadlocks, and the state cap
+//!    *exactly* where the serial driver would.
 //!
 //! The barrier between layers is what preserves **minimal counterexamples**:
 //! no state of layer `d+1` is expanded before every state of layer `d` has
 //! been, so the first failure found is found at its minimal depth, and the
 //! replay's deterministic order picks the same witness the serial driver
-//! picks. The replay touches only *new* states and rule outcomes (hash
-//! probes for already-visited successors were resolved in parallel during
-//! expansion), so its sequential cost is a small fraction of the expansion
-//! work — rule application and symmetry canonicalization, which dominate,
-//! scale with the worker count.
+//! picks. The replay no longer re-touches state bodies at all — its cost is
+//! a record walk plus arena-to-store moves — so rule application, symmetry
+//! canonicalization, fingerprinting, and invariant evaluation, which
+//! dominate, all scale with the worker count.
+//!
+//! Three further mechanisms keep the determinism tax down:
+//!
+//! * **Earliest-stop short-circuit**: a worker that claims a violating
+//!   successor (or sees a deadlocked state) publishes the state's
+//!   within-layer index to a relaxed atomic via `fetch_min`; workers skip
+//!   states beyond the smallest announced index. The replay stops at or
+//!   before that index — the serial witness is always at the *minimum*
+//!   announced position or earlier — so skipped work is provably unobserved.
+//! * **Replay-gated resolver effects**: expansion workers consult the
+//!   resolver provisionally ([`SharedResolver::expansion_worker`]); the
+//!   concrete resolutions the replay actually consumes are reported once per
+//!   layer through [`SharedResolver::note_replayed_touches`], and deferred
+//!   hole discoveries register at their first replayed consultation, in
+//!   serial order. Applications the replay discards (past a failure or the
+//!   state cap) therefore never leak into touched sets, hole registries, or
+//!   pattern publications.
+//! * **Abort-and-grow**: the claim table is sized from the previous layer's
+//!   claim count; if a layer outgrows it, workers abort at state
+//!   boundaries, the attempt's records are discarded, and the layer is
+//!   re-expanded against a larger table — a rare, contention-free
+//!   alternative to resizing a lock-free table mid-flight.
 //!
 //! The result is a strong invariant, asserted by the equivalence suite
 //! (`tests/checker_parallel_equivalence.rs`): for every model and resolver,
 //! every thread count returns the **same verdict, the same `Stats` (state,
 //! transition, depth, and queue counters), and the same counterexample
-//! trace** as the serial driver.
+//! trace** as the serial driver — and, for sessions, the same per-layer
+//! hole-touch logs.
 //!
-//! Two deliberate, documented divergences remain outside that invariant:
-//! expansion runs a whole layer even when the replay will stop at a failure
-//! or the state cap partway through it, so (a) up to one layer of parked
-//! pending successor states may be held *transiently* in memory beyond
-//! `max_states` before the replay's admission clamp discards them (the
-//! committed store — and therefore `Stats.states_visited` — never exceeds
-//! the cap; see [`CheckerOptions::max_states`]), and (b) a stateful
-//! resolver may be consulted for applications the replay then discards —
-//! harmless for the replay-derived outcome, but visible to resolvers that
-//! log consultations (see `SynthOptions::check_threads` for the
-//! synthesis-level consequences).
+//! One deliberate, documented divergence remains outside that invariant:
+//! expansion may run (most of) a layer even when the replay will stop at a
+//! failure or the state cap partway through it, so up to one layer of
+//! claimed successor states may be held *transiently* in the claim arenas
+//! beyond `max_states` before the replay's admission clamp discards them
+//! (the committed store — and therefore `Stats.states_visited` — never
+//! exceeds the cap; see [`CheckerOptions::max_states`]).
 
+use super::pool::WorkerPool;
 use super::{
-    fingerprint, insert_id, CheckerOptions, DeadlockPolicy, Edge, Failure, FailureKind, IdList,
-    MckError, Outcome, SearchCore, StateId, Verdict, MAX_COMMITTED,
+    fingerprint, insert_id, remove_id, CheckerOptions, DeadlockPolicy, Edge, Failure, FailureKind,
+    IdList, MckError, Outcome, SearchCore, StateId, Verdict,
 };
-use crate::eval::{HoleSpec, SharedResolver};
+use crate::eval::{NameCache, SharedResolver, WildcardTouch};
 use crate::hashers::FnvHashMap;
 use crate::model::TransitionSystem;
+use crate::properties::Property;
 use crate::rule::RuleOutcome;
 use parking_lot::Mutex;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Pending-claim marker: shard-map entries with this bit set index into the
-/// shard's `pending` arena instead of the committed state store. Committed
-/// ids can never collide with it — [`SearchCore::commit`] asserts they stay
-/// below [`MAX_COMMITTED`].
-pub(super) const PENDING_BIT: StateId = MAX_COMMITTED;
+/// One consulted hole and the answer it received; `None` is the wildcard.
+/// Sessions record one sorted, de-duplicated log of these per sealed layer.
+pub(super) type LayerTouch = (usize, Option<u16>);
 
-/// Below this many states per worker a layer is expanded inline: thread
-/// spawn latency would exceed the expansion work.
-pub(super) const MIN_CHUNK: usize = 16;
+/// Bit position of the fingerprint tag inside a claim-table bucket word:
+/// bit 0 = occupied, bits `1..33` = claim reference, bits `33..64` = the
+/// fingerprint's top 31 bits (a cheap pre-filter before the arena lookup).
+const TAG_SHIFT: u32 = 33;
 
-/// One shard of the visited set. Committed entries hold [`StateId`]s into
-/// `SearchCore::states`; pending entries hold claims parked here during the
-/// expansion phase of the current layer.
-pub(super) struct Shard<S> {
-    pub(super) map: FnvHashMap<u64, IdList>,
-    pub(super) pending: Vec<PendingSlot<S>>,
-}
+/// Claim references pack `(stripe << SLOT_BITS) | slot`; 24 slot bits cap a
+/// stripe at ~16.7M claims per layer, far above any layer the 32-bit
+/// [`StateId`] space can hold in total.
+const SLOT_BITS: u32 = 24;
+const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
 
-pub(super) struct PendingSlot<S> {
-    pub(super) hash: u64,
+/// Claim arenas are striped across at most this many mutexes (the stripe
+/// index must fit in `32 - SLOT_BITS` bits).
+const MAX_STRIPES: usize = 256;
+
+/// Target expansion time per chunk. Large enough that chunk-dispatch
+/// overhead (a pool handoff plus a resolver setup) stays well under 1%,
+/// small enough that a layer splits into many more chunks than workers,
+/// which evens out per-state cost variance.
+const TARGET_CHUNK_NANOS: f64 = 200_000.0;
+
+/// Below this estimated whole-layer expansion time the layer is expanded
+/// inline as a single chunk: handing work to the pool would cost more than
+/// the work itself.
+const SOLO_LAYER_NANOS: f64 = 100_000.0;
+
+/// A state claimed during expansion, parked in a stripe arena until the
+/// replay commits it. Immutable after publication except for `state` and
+/// `id`, which only the single-threaded replay touches.
+pub(super) struct Claim<S> {
+    hash: u64,
     /// The claimed state; taken when the replay commits it.
-    pub(super) state: Option<S>,
+    state: Option<S>,
     /// The committed id, once the replay assigns one.
-    pub(super) id: Option<StateId>,
+    id: Option<StateId>,
+    /// Index (into the model's property list) of the first invariant this
+    /// state violates, evaluated by the claiming worker so the replay never
+    /// re-inspects state bodies.
+    violation: Option<u32>,
 }
 
-impl<S: Eq> Shard<S> {
-    pub(super) fn new() -> Self {
-        Shard {
-            map: FnvHashMap::default(),
-            pending: Vec::new(),
+/// Result of probing one not-yet-committed successor against the claim
+/// table (committed states are resolved before the table is consulted).
+pub(super) enum ClaimProbe {
+    /// The state is claimed (by this probe or an earlier one); the replay
+    /// resolves the reference to a dense id.
+    Fresh { claim: u32, violation: Option<u32> },
+    /// The table ran out of budget; the layer attempt must be discarded and
+    /// re-expanded against a larger table.
+    Aborted,
+}
+
+/// Lock-free visited-claim table for one layer's expansion phase.
+///
+/// Membership is a linear-probe scan over `AtomicU64` buckets; an empty
+/// bucket is claimed with a single CAS, so the hot path (distinct
+/// successors) takes no lock at all. The claimed state bodies live in
+/// `stripes` — mutex-protected arenas selected by fingerprint bits disjoint
+/// from both the bucket index and the tag — locked only to append a new
+/// claim or to equality-check a tag collision. Occupancy is capped at
+/// `budget` (3/4 of capacity), which both bounds probe lengths and
+/// guarantees the scan terminates; exceeding the budget aborts the layer
+/// attempt (see [`Engine::expand_layer`]'s grow-and-retry loop).
+pub(super) struct ClaimTable<S> {
+    buckets: Box<[AtomicU64]>,
+    stripes: Box<[Mutex<Vec<Claim<S>>>]>,
+    stripe_mask: usize,
+    allocated: AtomicUsize,
+    budget: usize,
+    aborted: AtomicBool,
+}
+
+impl<S: Clone + Eq> ClaimTable<S> {
+    pub(super) fn new(stripe_count: usize) -> Self {
+        debug_assert!(stripe_count.is_power_of_two() && stripe_count <= MAX_STRIPES);
+        ClaimTable {
+            buckets: Box::new([]),
+            stripes: (0..stripe_count).map(|_| Mutex::new(Vec::new())).collect(),
+            stripe_mask: stripe_count - 1,
+            allocated: AtomicUsize::new(0),
+            budget: 0,
+            aborted: AtomicBool::new(false),
         }
     }
 
-    /// Looks up `state` among committed and pending entries; parks it as a
-    /// new pending claim if absent. Returns the committed id, or the pending
-    /// slot for the replay to resolve.
-    pub(super) fn probe(&mut self, hash: u64, state: S, states: &[S]) -> Probe {
-        use std::collections::hash_map::Entry;
-        let Shard { map, pending } = self;
-        match map.entry(hash) {
-            Entry::Occupied(mut e) => {
-                for &id in e.get().as_slice() {
-                    if id & PENDING_BIT != 0 {
-                        let slot = (id & !PENDING_BIT) as usize;
-                        if pending[slot].state.as_ref() == Some(&state) {
-                            return Probe::Fresh { slot: slot as u32 };
+    /// Readies the table for one layer attempt expecting up to roughly
+    /// `want` claims: clears all buckets and arenas, reallocating only when
+    /// the capacity is too small (or wastefully large).
+    pub(super) fn prepare(&mut self, want: usize) {
+        let cap = want.max(1024).next_power_of_two();
+        if self.buckets.len() < cap || self.buckets.len() > cap * 8 {
+            self.buckets = (0..cap).map(|_| AtomicU64::new(0)).collect();
+        } else {
+            for bucket in self.buckets.iter_mut() {
+                *bucket.get_mut() = 0;
+            }
+        }
+        for stripe in self.stripes.iter_mut() {
+            stripe.get_mut().clear();
+        }
+        *self.allocated.get_mut() = 0;
+        *self.aborted.get_mut() = false;
+        self.budget = self.buckets.len() / 4 * 3;
+    }
+
+    pub(super) fn capacity(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Claims allocated by the current attempt (an upper bound while workers
+    /// are still running; exact once they have joined).
+    pub(super) fn allocated(&self) -> usize {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    fn stripe_of(&self, hash: u64) -> usize {
+        // Bits above both the bucket index (low bits) and below the tag
+        // (top 31), so stripe choice is independent of bucket clustering.
+        ((hash >> 20) as usize) & self.stripe_mask
+    }
+
+    fn unpack(claim: u32) -> (usize, usize) {
+        ((claim >> SLOT_BITS) as usize, (claim & SLOT_MASK) as usize)
+    }
+
+    /// Clones a claim's state back out of its arena (the rare re-own path
+    /// of [`ClaimTable::probe`]).
+    fn claim_state(&self, claim: u32) -> S {
+        let (stripe, slot) = Self::unpack(claim);
+        self.stripes[stripe].lock()[slot]
+            .state
+            .clone()
+            .expect("claim state taken during expansion")
+    }
+
+    /// If the referenced claim holds exactly `state`, returns its recorded
+    /// violation (`Some(inner)`); `None` means a genuine tag collision.
+    fn claim_if_equal(&self, claim: u32, hash: u64, state: &S) -> Option<Option<u32>> {
+        let (stripe, slot) = Self::unpack(claim);
+        let stripe = self.stripes[stripe].lock();
+        let parked = &stripe[slot];
+        (parked.hash == hash && parked.state.as_ref() == Some(state)).then_some(parked.violation)
+    }
+
+    /// Exclusive access to a claim during the (single-threaded) replay.
+    fn claim_mut(&mut self, claim: u32) -> &mut Claim<S> {
+        let (stripe, slot) = Self::unpack(claim);
+        &mut self.stripes[stripe].get_mut()[slot]
+    }
+
+    /// Looks `state` up among this layer's claims, claiming it if absent.
+    /// `violated` is evaluated exactly once per *distinct* claimed state, by
+    /// the claiming worker, before the claim is published.
+    ///
+    /// Lock-free on the hot path: one acquire load plus one CAS per distinct
+    /// successor; a stripe mutex is taken only to append the claim body and
+    /// on tag collisions. The release-CAS publishing a bucket entry
+    /// happens-after the arena push, so any prober that acquire-loads the
+    /// entry observes a fully-initialized claim.
+    pub(super) fn probe(
+        &self,
+        hash: u64,
+        state: S,
+        violated: &dyn Fn(&S) -> Option<u32>,
+    ) -> ClaimProbe {
+        let mask = self.buckets.len() - 1;
+        let tag_bits = (hash >> TAG_SHIFT) << TAG_SHIFT;
+        let mut idx = (hash as usize) & mask;
+        let mut owned = Some(state);
+        // Our own claim once parked: `(bucket word, claim ref, violation)`.
+        // Parked at most once per probe, even across CAS retries.
+        let mut parked: Option<(u64, u32, Option<u32>)> = None;
+        loop {
+            let cur = self.buckets[idx].load(Ordering::Acquire);
+            if cur == 0 {
+                let (entry, claim, violation) = match parked {
+                    Some(mine) => mine,
+                    None => {
+                        if self.allocated.fetch_add(1, Ordering::Relaxed) >= self.budget {
+                            self.aborted.store(true, Ordering::Relaxed);
+                            return ClaimProbe::Aborted;
                         }
-                    } else if states[id as usize] == state {
-                        return Probe::Known(id);
+                        let s = owned.take().expect("probe state consumed twice");
+                        let violation = violated(&s);
+                        let stripe_idx = self.stripe_of(hash);
+                        let slot = {
+                            let mut stripe = self.stripes[stripe_idx].lock();
+                            let slot = stripe.len();
+                            assert!(
+                                slot < SLOT_MASK as usize,
+                                "claim stripe overflow ({slot} claims in one stripe); \
+                                 raise CheckerOptions::claim_stripes"
+                            );
+                            stripe.push(Claim {
+                                hash,
+                                state: Some(s),
+                                id: None,
+                                violation,
+                            });
+                            slot
+                        };
+                        let claim = ((stripe_idx as u32) << SLOT_BITS) | slot as u32;
+                        let entry = tag_bits | (u64::from(claim) << 1) | 1;
+                        parked = Some((entry, claim, violation));
+                        (entry, claim, violation)
                     }
+                };
+                match self.buckets[idx].compare_exchange(
+                    0,
+                    entry,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return ClaimProbe::Fresh { claim, violation },
+                    // Lost the race for this bucket: re-examine it (the
+                    // winner may have claimed our very state).
+                    Err(_) => continue,
                 }
-                let slot = pending.len() as u32;
-                pending.push(PendingSlot {
-                    hash,
-                    state: Some(state),
-                    id: None,
-                });
-                e.get_mut().push(PENDING_BIT | slot);
-                Probe::Fresh { slot }
             }
-            Entry::Vacant(e) => {
-                let slot = pending.len() as u32;
-                pending.push(PendingSlot {
-                    hash,
-                    state: Some(state),
-                    id: None,
-                });
-                e.insert(IdList::One(PENDING_BIT | slot));
-                Probe::Fresh { slot }
+            if cur & !((1 << TAG_SHIFT) - 1) == tag_bits {
+                let other = ((cur >> 1) & u64::from(u32::MAX)) as u32;
+                let candidate = match &owned {
+                    Some(s) => s,
+                    None => {
+                        // We parked our state before losing a CAS; clone it
+                        // back for the equality check (rare, and it avoids
+                        // ever holding two stripe locks at once).
+                        owned =
+                            Some(self.claim_state(parked.expect("state parked without a claim").1));
+                        owned.as_ref().expect("just re-owned")
+                    }
+                };
+                if let Some(violation) = self.claim_if_equal(other, hash, candidate) {
+                    // Duplicate discovery: defer to the earlier claim. If we
+                    // parked one of our own it stays orphaned in its arena —
+                    // harmless; arenas are cleared per layer.
+                    return ClaimProbe::Fresh {
+                        claim: other,
+                        violation,
+                    };
+                }
             }
+            idx = (idx + 1) & mask;
         }
     }
-
-    /// Records a committed id for a state inserted outside the worker phase
-    /// (initial states).
-    pub(super) fn insert_committed(&mut self, hash: u64, id: StateId) {
-        insert_id(&mut self.map, hash, id);
-    }
-}
-
-/// Result of probing one successor against the sharded visited set.
-#[derive(Debug, Clone, Copy)]
-pub(super) enum Probe {
-    /// Already committed under this id.
-    Known(StateId),
-    /// Unknown: parked as pending claim `slot` (shard implied by the record's
-    /// position — see [`AppRecord`]).
-    Fresh { slot: u32 },
 }
 
 /// One rule application worth remembering: anything that fired, blocked, or
-/// consulted a hole. Plain disabled guards — the overwhelming majority —
-/// leave no record.
+/// consulted a hole. Plain disabled guards with no consultations — the
+/// overwhelming majority — leave no record.
 pub(super) struct AppRecord {
     pub(super) rule: u32,
-    /// Hole resolutions this application consulted.
+    /// Concrete hole resolutions this application consulted.
     pub(super) touches: Box<[(usize, u16)]>,
+    /// Wildcard consultations (known holes, or deferred first sightings as
+    /// indices into the chunk's discovery list).
+    pub(super) wildcards: Box<[WildcardTouch]>,
     pub(super) outcome: RecOutcome,
 }
 
 pub(super) enum RecOutcome {
-    /// Guard false, but holes were consulted (possible in principle; a
-    /// deadlock verdict depends on these resolutions too).
+    /// Guard false, but holes were consulted (a deadlock verdict — and a
+    /// session touch log — depends on these resolutions too).
     Disabled,
     /// Hit a wildcard hole; branch aborted.
     Blocked,
-    /// Fired; the successor lives in `shard` as described by the probe.
-    Next { shard: u32, probe: Probe },
+    /// Fired, producing this successor.
+    Next(SuccessorRef),
+}
+
+pub(super) enum SuccessorRef {
+    /// Already committed under this id before the layer began.
+    Known(StateId),
+    /// First seen this layer: parked in the claim table, invariants already
+    /// evaluated by the claiming worker.
+    Fresh { claim: u32, violation: Option<u32> },
 }
 
 /// Everything a worker recorded about expanding one source state.
 pub(super) struct StateRec {
     pub(super) records: Vec<AppRecord>,
+    /// Placeholder for a state skipped by the earliest-stop short-circuit.
+    /// The replay provably stops before consuming one (the deterministic
+    /// witness lies at or before the minimum announced index) and asserts
+    /// so.
+    pub(super) skipped: bool,
 }
 
-/// Layer-synchronized parallel exploration driver; one instance per run.
+/// Everything one expansion chunk produced.
+pub(super) struct ChunkOut {
+    pub(super) recs: Vec<StateRec>,
+    /// Hole specs first sighted by this chunk's worker, in consultation
+    /// order; registered lazily at their first *replayed* consultation.
+    pub(super) discoveries: Vec<crate::eval::HoleSpec>,
+}
+
+/// Index (into the model's property list) of the first invariant `state`
+/// violates — the same first-violation-wins order as
+/// [`SearchCore::violated_invariant`], evaluated worker-side.
+pub(super) fn violated_index<M: TransitionSystem>(model: &M, state: &M::State) -> Option<u32> {
+    for (pi, p) in model.properties().iter().enumerate() {
+        if let Property::Invariant { pred, .. } = p {
+            if !pred(state) {
+                return Some(pi as u32);
+            }
+        }
+    }
+    None
+}
+
+/// Resolves a recorded violation index back to its invariant's name.
+fn invariant_name<M: TransitionSystem>(model: &M, property: usize) -> &str {
+    match &model.properties()[property] {
+        Property::Invariant { name, .. } => name,
+        _ => unreachable!("recorded violation index does not name an invariant"),
+    }
+}
+
+/// The shared parallel exploration engine: the committed-state index, the
+/// per-layer claim table, the persistent worker pool, the chunk auto-tuner,
+/// and the deterministic replay. One instance serves a whole run — the
+/// one-shot [`ParallelBfs`] driver and [`super::CheckSession`] both drive
+/// their layers through it.
+pub(super) struct Engine<S> {
+    /// Fingerprint → committed ids. Read lock-free by expansion workers
+    /// (committed entries never change mid-layer); mutated only by the
+    /// single-threaded replay and the serial session path.
+    visited: FnvHashMap<u64, IdList>,
+    /// Fingerprint of every committed state, aligned with the store — what
+    /// lets session rollback evict truncated ids without re-hashing.
+    hashes: Vec<u64>,
+    claims: ClaimTable<S>,
+    /// Persistent expansion workers (`threads - 1`; the calling thread
+    /// works each batch too). Built lazily on the first parallel layer and
+    /// rebuilt whenever the effective thread count changes
+    /// ([`super::CheckSession::set_threads`]).
+    pool: Option<WorkerPool>,
+    threads: usize,
+    chunk_override: Option<usize>,
+    /// Measured expansion cost per frontier state (ns), trailing one layer;
+    /// drives [`Engine::chunk_size`].
+    rate_ns: f64,
+    /// Claims allocated by the previous layer; sizes the next claim table.
+    last_claims: usize,
+    /// Hole name → id caches drained from finished workers and re-seeded
+    /// into later ones, so name resolution hits the shared registry once
+    /// per run (or per session) rather than once per chunk.
+    name_caches: Mutex<Vec<NameCache>>,
+}
+
+impl<S: Clone + Eq + Hash + Send + Sync> Engine<S> {
+    pub(super) fn new(options: &CheckerOptions) -> Self {
+        let threads = options.effective_threads();
+        let stripes = options
+            .claim_stripes
+            .unwrap_or_else(|| (threads * 8).clamp(16, MAX_STRIPES))
+            .clamp(1, MAX_STRIPES)
+            .next_power_of_two();
+        Engine {
+            visited: FnvHashMap::default(),
+            hashes: Vec::new(),
+            claims: ClaimTable::new(stripes),
+            pool: None,
+            threads,
+            chunk_override: options.chunk_states,
+            rate_ns: 1000.0,
+            last_claims: 0,
+            name_caches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Retargets the engine to a new effective thread count; a stale pool
+    /// is torn down and rebuilt on the next parallel layer.
+    pub(super) fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The committed id of `state`, if any. Lock-free; safe to call from
+    /// expansion workers because the committed index is frozen mid-layer.
+    pub(super) fn find_committed(&self, hash: u64, state: &S, states: &[S]) -> Option<StateId> {
+        self.visited
+            .get(&hash)?
+            .as_slice()
+            .iter()
+            .copied()
+            .find(|&id| states[id as usize] == *state)
+    }
+
+    /// Indexes a freshly committed state.
+    pub(super) fn insert_committed(&mut self, hash: u64, id: StateId) {
+        insert_id(&mut self.visited, hash, id);
+        self.hashes.push(hash);
+        debug_assert_eq!(self.hashes.len() - 1, id as usize, "hash/store misaligned");
+    }
+
+    /// Forgets every committed state with id `>= keep` (session rollback).
+    pub(super) fn truncate_committed(&mut self, keep: usize) {
+        for id in keep..self.hashes.len() {
+            remove_id(&mut self.visited, self.hashes[id], id as StateId);
+        }
+        self.hashes.truncate(keep);
+    }
+
+    /// Forgets all committed states (session reset).
+    pub(super) fn reset(&mut self) {
+        self.visited.clear();
+        self.hashes.clear();
+    }
+
+    /// Pops a drained name cache for seeding the next worker (empty when
+    /// none is banked).
+    pub(super) fn pop_name_cache(&self) -> NameCache {
+        self.name_caches.lock().pop().unwrap_or_default()
+    }
+
+    /// Banks a finished worker's name cache for the next worker.
+    pub(super) fn push_name_cache(&self, cache: NameCache) {
+        self.name_caches.lock().push(cache);
+    }
+
+    fn ensure_pool(&mut self) {
+        let want = self.threads.saturating_sub(1);
+        if self.pool.as_ref().map(WorkerPool::workers) != Some(want) {
+            self.pool = (want > 0).then(|| WorkerPool::new(want));
+        }
+    }
+
+    /// States per expansion chunk for a frontier of `len`, tuned from the
+    /// previous layer's measured per-state cost: aim for
+    /// [`TARGET_CHUNK_NANOS`] of work per chunk, but never fewer than two
+    /// chunks per thread (load balance) and never more than sixteen (cap
+    /// the dispatch churn). Tiny layers stay inline as one chunk.
+    fn chunk_size(&self, len: usize) -> usize {
+        if let Some(n) = self.chunk_override {
+            return n.max(1);
+        }
+        if self.threads <= 1 || self.rate_ns * len as f64 <= SOLO_LAYER_NANOS {
+            return len.max(1);
+        }
+        let ideal = (TARGET_CHUNK_NANOS / self.rate_ns).ceil() as usize;
+        let balance = len.div_ceil(self.threads * 2);
+        let churn = len.div_ceil(self.threads * 16);
+        ideal.min(balance).max(churn).max(1)
+    }
+
+    /// Expands the frontier `[f0, f1)` across the pool, retrying with a
+    /// grown claim table in the (rare) case a layer outgrows it. On return
+    /// the claim table holds every distinct successor first seen this
+    /// layer, invariant-checked and ready for the replay to commit.
+    pub(super) fn expand_layer<M, R>(
+        &mut self,
+        core: &SearchCore<'_, M>,
+        resolver: &R,
+        f0: usize,
+        f1: usize,
+    ) -> Vec<ChunkOut>
+    where
+        M: TransitionSystem<State = S>,
+        R: SharedResolver + ?Sized,
+    {
+        self.ensure_pool();
+        let frontier_len = f1 - f0;
+        let mut want = (4 * self.last_claims.max(frontier_len)).max(256);
+        loop {
+            self.claims.prepare(want);
+            let attempt = Instant::now();
+            let chunks = self.run_chunks(core, resolver, f0, f1);
+            if !self.claims.aborted() {
+                self.last_claims = self.claims.allocated();
+                self.rate_ns = (attempt.elapsed().as_nanos() as f64 / frontier_len as f64).max(1.0);
+                return chunks;
+            }
+            // The attempt (records, discoveries, claims) is discarded
+            // wholesale and the layer re-expanded — deferred resolver
+            // consultations make the retry invisible to everything else.
+            want = self.claims.capacity() * 4;
+        }
+    }
+
+    fn run_chunks<M, R>(
+        &self,
+        core: &SearchCore<'_, M>,
+        resolver: &R,
+        f0: usize,
+        f1: usize,
+    ) -> Vec<ChunkOut>
+    where
+        M: TransitionSystem<State = S>,
+        R: SharedResolver + ?Sized,
+    {
+        // Within-layer index every state past which workers may stop once a
+        // failure is announced (`usize::MAX` = none announced).
+        let stop = AtomicUsize::new(usize::MAX);
+        let watch_deadlock = core.options.deadlock == DeadlockPolicy::Disallow;
+        let chunk = self.chunk_size(f1 - f0);
+        let ranges: Vec<(usize, usize)> = (f0..f1)
+            .step_by(chunk)
+            .map(|lo| (lo, (lo + chunk).min(f1)))
+            .collect();
+        let pool = self.pool.as_ref().filter(|p| p.workers() > 0);
+        let (Some(pool), true) = (pool, ranges.len() > 1) else {
+            // Inline: same algorithm, zero extra threads (also the path a
+            // clamped 1-core "parallel" run would take if forced here).
+            return ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    self.expand_chunk(core, resolver, lo, hi, f0, &stop, watch_deadlock)
+                })
+                .collect();
+        };
+        let slots: Vec<Mutex<Option<ChunkOut>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        let stop = &stop;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .iter()
+            .zip(&slots)
+            .map(|(&(lo, hi), slot)| {
+                Box::new(move || {
+                    *slot.lock() =
+                        Some(self.expand_chunk(core, resolver, lo, hi, f0, stop, watch_deadlock));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_batch(jobs);
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("chunk job did not run"))
+            .collect()
+    }
+
+    /// One worker's share of a layer: apply every rule to every state in
+    /// `[lo, hi)`, probing successors against the committed index and the
+    /// claim table, recording everything the replay needs.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_chunk<M, R>(
+        &self,
+        core: &SearchCore<'_, M>,
+        resolver: &R,
+        lo: usize,
+        hi: usize,
+        f0: usize,
+        stop: &AtomicUsize,
+        watch_deadlock: bool,
+    ) -> ChunkOut
+    where
+        M: TransitionSystem<State = S>,
+        R: SharedResolver + ?Sized,
+    {
+        let states = &core.states;
+        let model = core.model;
+        let mut worker = resolver.expansion_worker(self.pop_name_cache());
+        let mut recs = Vec::with_capacity(hi - lo);
+
+        'states: for sid in lo..hi {
+            if self.claims.aborted() {
+                // Another worker (or we, below) overflowed the claim table:
+                // the whole attempt is discarded, stop early.
+                break;
+            }
+            let layer_idx = sid - f0;
+            if layer_idx > stop.load(Ordering::Relaxed) {
+                // A failure was announced at an earlier index: the replay
+                // provably stops before here, so this expansion would be
+                // pure wasted work.
+                recs.push(StateRec {
+                    records: Vec::new(),
+                    skipped: true,
+                });
+                continue;
+            }
+            let state = &states[sid];
+            let mut records = Vec::new();
+            let mut any_next = false;
+            let mut any_blocked = false;
+            for (ri, rule) in model.rules().iter().enumerate() {
+                worker.begin_application();
+                let rule_outcome = rule.apply(state, &mut *worker);
+                let touches = worker.application_touches();
+                let wildcards = worker.application_wildcards();
+                let outcome = match rule_outcome {
+                    RuleOutcome::Disabled if touches.is_empty() && wildcards.is_empty() => continue,
+                    RuleOutcome::Disabled => RecOutcome::Disabled,
+                    RuleOutcome::Blocked => {
+                        any_blocked = true;
+                        RecOutcome::Blocked
+                    }
+                    RuleOutcome::Next(next) => {
+                        any_next = true;
+                        let next = model.canonicalize(next);
+                        let hash = fingerprint(&next);
+                        let succ = match self.find_committed(hash, &next, states) {
+                            Some(id) => SuccessorRef::Known(id),
+                            None => {
+                                let probe =
+                                    self.claims.probe(hash, next, &|s| violated_index(model, s));
+                                match probe {
+                                    ClaimProbe::Aborted => break 'states,
+                                    ClaimProbe::Fresh { claim, violation } => {
+                                        if violation.is_some() {
+                                            stop.fetch_min(layer_idx, Ordering::Relaxed);
+                                        }
+                                        SuccessorRef::Fresh { claim, violation }
+                                    }
+                                }
+                            }
+                        };
+                        RecOutcome::Next(succ)
+                    }
+                };
+                records.push(AppRecord {
+                    rule: ri as u32,
+                    touches: touches.into(),
+                    wildcards: wildcards.into(),
+                    outcome,
+                });
+            }
+            if watch_deadlock && !any_next && !any_blocked {
+                stop.fetch_min(layer_idx, Ordering::Relaxed);
+            }
+            recs.push(StateRec {
+                records,
+                skipped: false,
+            });
+        }
+        let discoveries = worker.take_pending_discoveries();
+        let cache = worker.take_name_cache();
+        drop(worker);
+        self.push_name_cache(cache);
+        ChunkOut { recs, discoveries }
+    }
+
+    /// Replays the layer's records in the serial driver's exact order:
+    /// committing claims (cheap arena-to-store moves), assigning dense ids,
+    /// counting statistics, registering deferred hole discoveries at their
+    /// first replayed consultation, and raising failures, deadlocks, and
+    /// the state cap at the same sequence points as a serial run. `Err`
+    /// carries the outcome that ended the run inside this layer.
+    ///
+    /// `log`, when present, collects the layer's hole-touch entries
+    /// (unsorted; sessions sort and seal them). Whatever the exit, the
+    /// concrete resolutions the replay consumed are reported through
+    /// [`SharedResolver::note_replayed_touches`] — the replay-confirmed
+    /// touched set, identical to what a serial run would have recorded.
+    pub(super) fn replay_layer<M, R>(
+        &mut self,
+        core: &mut SearchCore<'_, M>,
+        resolver: &R,
+        start: Instant,
+        f0: usize,
+        chunks: Vec<ChunkOut>,
+        mut log: Option<&mut Vec<LayerTouch>>,
+    ) -> Result<(), Box<Outcome<M::State>>>
+    where
+        M: TransitionSystem<State = S>,
+        R: SharedResolver + ?Sized,
+    {
+        let mut replayed: Vec<(usize, u16)> = Vec::new();
+        let result =
+            self.replay_records(core, resolver, start, f0, chunks, &mut log, &mut replayed);
+        replayed.sort_unstable();
+        replayed.dedup();
+        resolver.note_replayed_touches(&replayed);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn replay_records<M, R>(
+        &mut self,
+        core: &mut SearchCore<'_, M>,
+        resolver: &R,
+        start: Instant,
+        f0: usize,
+        chunks: Vec<ChunkOut>,
+        log: &mut Option<&mut Vec<LayerTouch>>,
+        replayed: &mut Vec<(usize, u16)>,
+    ) -> Result<(), Box<Outcome<M::State>>>
+    where
+        M: TransitionSystem<State = S>,
+        R: SharedResolver + ?Sized,
+    {
+        let state_limit = MckError::StateLimitExceeded {
+            limit: core.options.max_states,
+        };
+        let mut i = 0usize;
+        for chunk in chunks {
+            let ChunkOut { recs, discoveries } = chunk;
+            // First-replayed-consultation registration ids, per discovery.
+            let mut discovered: Vec<Option<usize>> = vec![None; discoveries.len()];
+            for rec in recs {
+                let sid = (f0 + i) as StateId;
+                assert!(
+                    !rec.skipped,
+                    "replay consumed a state the short-circuit skipped"
+                );
+                // What the serial driver's queue would hold when popping
+                // this state: everything committed but not yet expanded.
+                core.stats.peak_queue = core.stats.peak_queue.max(core.states.len() - (f0 + i));
+
+                let mut any_next = false;
+                let mut any_blocked = false;
+                let mut expansion_touches: Vec<(usize, u16)> = Vec::new();
+
+                for app in rec.records {
+                    for &(hole, action) in app.touches.iter() {
+                        if let Some(log) = log.as_deref_mut() {
+                            log.push((hole, Some(action)));
+                        }
+                        replayed.push((hole, action));
+                    }
+                    for &wildcard in app.wildcards.iter() {
+                        match wildcard {
+                            WildcardTouch::Known(hole) => {
+                                if let Some(log) = log.as_deref_mut() {
+                                    log.push((hole, None));
+                                }
+                            }
+                            WildcardTouch::Fresh(index) => {
+                                // The replay sequence point for this hole's
+                                // discovery: registration order across the
+                                // layer equals serial consultation order.
+                                let slot = &mut discovered[index as usize];
+                                let id = match *slot {
+                                    Some(id) => id,
+                                    None => {
+                                        let id = resolver.commit_discoveries(std::slice::from_ref(
+                                            &discoveries[index as usize],
+                                        ))[0];
+                                        *slot = Some(id);
+                                        id
+                                    }
+                                };
+                                if let Some(log) = log.as_deref_mut() {
+                                    log.push((id, None));
+                                }
+                            }
+                        }
+                    }
+                    expansion_touches.extend_from_slice(&app.touches);
+                    match app.outcome {
+                        RecOutcome::Disabled => {}
+                        RecOutcome::Blocked => {
+                            any_blocked = true;
+                            core.stats.wildcard_hits += 1;
+                        }
+                        RecOutcome::Next(succ) => {
+                            any_next = true;
+                            core.stats.transitions += 1;
+                            let (nid, new, violation) = match succ {
+                                SuccessorRef::Known(id) => (id, false, None),
+                                SuccessorRef::Fresh { claim, violation } => {
+                                    match self.commit_fresh(
+                                        core,
+                                        claim,
+                                        (sid, app.rule),
+                                        &app.touches,
+                                    ) {
+                                        Some((id, new)) => (id, new, violation),
+                                        None => {
+                                            // Same admission clamp — and the
+                                            // same sequence point — as the
+                                            // serial driver.
+                                            return Err(Box::new(
+                                                core.analyze(start, Some(state_limit)),
+                                            ));
+                                        }
+                                    }
+                                }
+                            };
+                            if let Some(edges) = &mut core.edges {
+                                edges[sid as usize].push(Edge {
+                                    rule: app.rule,
+                                    target: nid,
+                                });
+                            }
+                            if new {
+                                if let Some(vi) = violation {
+                                    let failure = Failure {
+                                        kind: FailureKind::InvariantViolation,
+                                        property: invariant_name(core.model, vi as usize)
+                                            .to_owned(),
+                                        touched: Some(core.trace_touched(nid, &[])),
+                                        trace: Some(core.trace_to(nid)),
+                                    };
+                                    return Err(Box::new(core.finish(
+                                        start,
+                                        Verdict::Failure,
+                                        Some(failure),
+                                        None,
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                }
+
+                if !any_next && !any_blocked && core.options.deadlock == DeadlockPolicy::Disallow {
+                    let failure = Failure {
+                        kind: FailureKind::Deadlock,
+                        property: "deadlock freedom".to_owned(),
+                        touched: Some(core.trace_touched(sid, &expansion_touches)),
+                        trace: Some(core.trace_to(sid)),
+                    };
+                    return Err(Box::new(core.finish(
+                        start,
+                        Verdict::Failure,
+                        Some(failure),
+                        None,
+                    )));
+                }
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves a fresh successor reference during replay: the first
+    /// occurrence moves the claimed state into the store (assigning the
+    /// next dense id, exactly as the serial driver would at this point);
+    /// later occurrences — duplicates discovered concurrently within the
+    /// layer — reuse the assigned id. `None` refuses admission at the
+    /// [`CheckerOptions::max_states`] cap.
+    fn commit_fresh<M>(
+        &mut self,
+        core: &mut SearchCore<'_, M>,
+        claim: u32,
+        from: (StateId, u32),
+        touches: &[(usize, u16)],
+    ) -> Option<(StateId, bool)>
+    where
+        M: TransitionSystem<State = S>,
+    {
+        let (hash, state) = {
+            let parked = self.claims.claim_mut(claim);
+            if let Some(id) = parked.id {
+                return Some((id, false));
+            }
+            if core.states.len() >= core.options.max_states {
+                return None;
+            }
+            (
+                parked.hash,
+                parked.state.take().expect("claim committed twice"),
+            )
+        };
+        let id = core.commit(state, Some(from), touches);
+        self.claims.claim_mut(claim).id = Some(id);
+        self.insert_committed(hash, id);
+        Some((id, true))
+    }
+}
+
+/// One-shot layer-synchronized parallel exploration driver.
 pub(super) struct ParallelBfs<'a, M: TransitionSystem> {
     core: SearchCore<'a, M>,
     resolver: &'a dyn SharedResolver,
-    shards: Vec<Mutex<Shard<M::State>>>,
-    /// `64 - log2(shard count)`: fingerprint prefix shift selecting a shard.
-    shard_shift: u32,
-    threads: usize,
+    engine: Engine<M::State>,
 }
 
 impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
@@ -194,83 +959,12 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
         options: &'a CheckerOptions,
         resolver: &'a dyn SharedResolver,
     ) -> Self {
-        let threads = options.thread_count();
-        // Over-provision shards so two workers rarely contend on one lock.
-        let shard_count = (threads * 8).next_power_of_two().clamp(16, 256);
+        let engine = Engine::new(options);
         ParallelBfs {
             core: SearchCore::new(model, options.clone()),
             resolver,
-            shards: (0..shard_count).map(|_| Mutex::new(Shard::new())).collect(),
-            shard_shift: 64 - shard_count.trailing_zeros(),
-            threads,
+            engine,
         }
-    }
-
-    fn shard_of(&self, hash: u64) -> usize {
-        (hash >> self.shard_shift) as usize
-    }
-
-    /// Commits an initial state if new; mirrors the serial driver's
-    /// `Bfs::insert` for the pre-layer phase, including the admission clamp
-    /// (`None` = new state refused at the [`CheckerOptions::max_states`]
-    /// cap).
-    fn insert_initial(&mut self, state: M::State) -> Option<(StateId, bool)> {
-        let hash = fingerprint(&state);
-        let shard_idx = self.shard_of(hash);
-        let shard = self.shards[shard_idx].get_mut();
-        if let Some(entries) = shard.map.get(&hash) {
-            for &id in entries.as_slice() {
-                if self.core.states[id as usize] == state {
-                    return Some((id, false));
-                }
-            }
-        }
-        if self.core.states.len() >= self.core.options.max_states {
-            return None;
-        }
-        let id = self.core.commit(state, None, &[]);
-        let shard = self.shards[shard_idx].get_mut();
-        shard.insert_committed(hash, id);
-        Some((id, true))
-    }
-
-    /// Resolves a fresh probe during replay: the first replay occurrence
-    /// commits the parked state (assigning the next dense id, exactly as the
-    /// serial driver would at this point); later occurrences — duplicates
-    /// discovered concurrently within the layer — reuse the assigned id.
-    ///
-    /// Returns `None` when the claim is unresolved and committing it would
-    /// exceed [`CheckerOptions::max_states`] — the same admission clamp, at
-    /// the same deterministic sequence point, as the serial driver's.
-    fn resolve_fresh(
-        &mut self,
-        shard_idx: usize,
-        slot: usize,
-        from: (StateId, u32),
-        touches: &[(usize, u16)],
-    ) -> Option<(StateId, bool)> {
-        let shard = self.shards[shard_idx].get_mut();
-        let pending = &mut shard.pending[slot];
-        if let Some(id) = pending.id {
-            return Some((id, false));
-        }
-        if self.core.states.len() >= self.core.options.max_states {
-            return None;
-        }
-        let state = pending
-            .state
-            .take()
-            .expect("pending claim resolved without an id");
-        let hash = pending.hash;
-        let id = self.core.commit(state, Some(from), touches);
-        let shard = self.shards[shard_idx].get_mut();
-        shard.pending[slot].id = Some(id);
-        shard
-            .map
-            .get_mut(&hash)
-            .expect("pending claim lost its bucket")
-            .replace(PENDING_BIT | slot as StateId, id);
-        Some((id, true))
     }
 
     pub(super) fn explore(mut self) -> Outcome<M::State> {
@@ -288,216 +982,51 @@ impl<'a, M: TransitionSystem> ParallelBfs<'a, M> {
         let state_limit = MckError::StateLimitExceeded {
             limit: self.core.options.max_states,
         };
-        let mut frontier: Vec<StateId> = Vec::new();
         for s0 in initial {
             let s0 = self.core.model.canonicalize(s0);
-            match self.insert_initial(s0) {
-                None => return self.core.analyze(start, Some(state_limit)),
-                Some((id, true)) => {
-                    frontier.push(id);
-                    if let Some(name) = self.core.violated_invariant(id) {
-                        let failure = Failure {
-                            kind: FailureKind::InvariantViolation,
-                            property: name.to_owned(),
-                            trace: Some(self.core.trace_to(id)),
-                            touched: Some(Vec::new()),
-                        };
-                        return self
-                            .core
-                            .finish(start, Verdict::Failure, Some(failure), None);
-                    }
-                }
-                Some((_, false)) => {}
+            let hash = fingerprint(&s0);
+            if self
+                .engine
+                .find_committed(hash, &s0, &self.core.states)
+                .is_some()
+            {
+                continue;
+            }
+            if self.core.states.len() >= self.core.options.max_states {
+                return self.core.analyze(start, Some(state_limit));
+            }
+            let id = self.core.commit(s0, None, &[]);
+            self.engine.insert_committed(hash, id);
+            if let Some(name) = self.core.violated_invariant(id) {
+                let failure = Failure {
+                    kind: FailureKind::InvariantViolation,
+                    property: name.to_owned(),
+                    trace: Some(self.core.trace_to(id)),
+                    touched: Some(Vec::new()),
+                };
+                return self
+                    .core
+                    .finish(start, Verdict::Failure, Some(failure), None);
             }
         }
 
-        let mut incomplete: Option<MckError> = None;
-
-        'layers: while !frontier.is_empty() {
-            // --- Phase 1: parallel expansion -----------------------------
-            let (layer_recs, discoveries) = self.expand_layer(&frontier);
-
-            // Deferred hole discoveries are registered here — the replay
-            // sequence point — in chunk-concatenated (= serial exploration)
-            // order, so first-discovery ids are deterministic at any thread
-            // count.
-            if !discoveries.is_empty() {
-                self.resolver.commit_discoveries(&discoveries);
+        // The committed store is layer-contiguous, so the frontier is just
+        // a range: each replay appends layer `d+1` right after layer `d`.
+        let mut f0 = 0usize;
+        loop {
+            let f1 = self.core.states.len();
+            if f0 == f1 {
+                return self.core.analyze(start, None);
             }
-
-            // --- Phase 2: deterministic replay ---------------------------
-            let mut next_frontier: Vec<StateId> = Vec::new();
-            for (i, (&sid, rec)) in frontier.iter().zip(layer_recs).enumerate() {
-                // What the serial driver's queue would hold when popping
-                // this state: the rest of this layer plus the successors
-                // committed so far.
-                let pseudo_queue = (frontier.len() - i) + next_frontier.len();
-                self.core.stats.peak_queue = self.core.stats.peak_queue.max(pseudo_queue);
-
-                let mut any_next = false;
-                let mut any_blocked = false;
-                let mut expansion_touches: Vec<(usize, u16)> = Vec::new();
-
-                for app in rec.records {
-                    expansion_touches.extend_from_slice(&app.touches);
-                    match app.outcome {
-                        RecOutcome::Disabled => {}
-                        RecOutcome::Blocked => {
-                            any_blocked = true;
-                            self.core.stats.wildcard_hits += 1;
-                        }
-                        RecOutcome::Next { shard, probe } => {
-                            any_next = true;
-                            self.core.stats.transitions += 1;
-                            let resolved = match probe {
-                                Probe::Known(id) => Some((id, false)),
-                                Probe::Fresh { slot } => self.resolve_fresh(
-                                    shard as usize,
-                                    slot as usize,
-                                    (sid, app.rule),
-                                    &app.touches,
-                                ),
-                            };
-                            let Some((nid, new)) = resolved else {
-                                // Same admission clamp — and the same
-                                // sequence point — as the serial driver.
-                                incomplete = Some(state_limit.clone());
-                                break 'layers;
-                            };
-                            if new {
-                                next_frontier.push(nid);
-                            }
-                            if let Some(edges) = &mut self.core.edges {
-                                edges[sid as usize].push(Edge {
-                                    rule: app.rule,
-                                    target: nid,
-                                });
-                            }
-                            if new {
-                                if let Some(name) = self.core.violated_invariant(nid) {
-                                    let failure = Failure {
-                                        kind: FailureKind::InvariantViolation,
-                                        property: name.to_owned(),
-                                        touched: Some(self.core.trace_touched(nid, &[])),
-                                        trace: Some(self.core.trace_to(nid)),
-                                    };
-                                    return self.core.finish(
-                                        start,
-                                        Verdict::Failure,
-                                        Some(failure),
-                                        None,
-                                    );
-                                }
-                            }
-                        }
-                    }
-                }
-
-                if !any_next
-                    && !any_blocked
-                    && self.core.options.deadlock == DeadlockPolicy::Disallow
-                {
-                    let failure = Failure {
-                        kind: FailureKind::Deadlock,
-                        property: "deadlock freedom".to_owned(),
-                        touched: Some(self.core.trace_touched(sid, &expansion_touches)),
-                        trace: Some(self.core.trace_to(sid)),
-                    };
-                    return self
-                        .core
-                        .finish(start, Verdict::Failure, Some(failure), None);
-                }
+            let chunks = self.engine.expand_layer(&self.core, self.resolver, f0, f1);
+            match self
+                .engine
+                .replay_layer(&mut self.core, self.resolver, start, f0, chunks, None)
+            {
+                Ok(()) => f0 = f1,
+                Err(outcome) => return *outcome,
             }
-
-            // All pending claims of this layer were resolved by the replay;
-            // reclaim the arenas before the next layer parks new ones.
-            for shard in &mut self.shards {
-                shard.get_mut().pending.clear();
-            }
-            frontier = next_frontier;
         }
-
-        self.core.analyze(start, incomplete)
-    }
-
-    /// Expands one layer across scoped worker threads, returning one
-    /// [`StateRec`] per frontier state, in frontier order, plus the workers'
-    /// deferred hole discoveries concatenated in chunk order (= the serial
-    /// driver's first-consultation order within the layer).
-    fn expand_layer(&self, frontier: &[StateId]) -> (Vec<StateRec>, Vec<HoleSpec>) {
-        let workers = frontier
-            .len()
-            .div_ceil(MIN_CHUNK)
-            .clamp(1, self.threads.max(1));
-        let chunk_size = frontier.len().div_ceil(workers);
-
-        if workers == 1 {
-            return self.expand_chunk(frontier);
-        }
-        std::thread::scope(|scope| {
-            // The calling thread works the first chunk itself: one fewer
-            // spawn per layer, and the scope joins the rest anyway.
-            let mut chunks = frontier.chunks(chunk_size);
-            let first = chunks.next().expect("frontier is non-empty");
-            let handles: Vec<_> = chunks
-                .map(|chunk| scope.spawn(move || self.expand_chunk(chunk)))
-                .collect();
-            let (mut recs, mut discoveries) = self.expand_chunk(first);
-            for h in handles {
-                match h.join() {
-                    Ok((r, d)) => {
-                        recs.extend(r);
-                        discoveries.extend(d);
-                    }
-                    Err(panic) => std::panic::resume_unwind(panic),
-                }
-            }
-            (recs, discoveries)
-        })
-    }
-
-    /// One worker's share of a layer: apply every rule to every state in
-    /// `chunk`, probing successors against the sharded visited set.
-    fn expand_chunk(&self, chunk: &[StateId]) -> (Vec<StateRec>, Vec<HoleSpec>) {
-        let states = &self.core.states;
-        let model = self.core.model;
-        let mut resolver = self.resolver.worker();
-
-        let recs = chunk
-            .iter()
-            .map(|&sid| {
-                let state = &states[sid as usize];
-                let mut records = Vec::new();
-                for (ri, rule) in model.rules().iter().enumerate() {
-                    resolver.begin_application();
-                    let outcome = rule.apply(state, &mut *resolver);
-                    let touches = resolver.application_touches();
-                    let rec = match outcome {
-                        RuleOutcome::Disabled if touches.is_empty() => continue,
-                        RuleOutcome::Disabled => RecOutcome::Disabled,
-                        RuleOutcome::Blocked => RecOutcome::Blocked,
-                        RuleOutcome::Next(next) => {
-                            let next = model.canonicalize(next);
-                            let hash = fingerprint(&next);
-                            let shard = self.shard_of(hash);
-                            let probe = self.shards[shard].lock().probe(hash, next, states);
-                            RecOutcome::Next {
-                                shard: shard as u32,
-                                probe,
-                            }
-                        }
-                    };
-                    records.push(AppRecord {
-                        rule: ri as u32,
-                        touches: touches.into(),
-                        outcome: rec,
-                    });
-                }
-                StateRec { records }
-            })
-            .collect();
-        let discoveries = resolver.take_pending_discoveries();
-        (recs, discoveries)
     }
 }
 
@@ -510,7 +1039,7 @@ mod tests {
     use crate::model::ModelBuilder;
 
     fn collatz_like() -> crate::model::BuiltModel<u64> {
-        // A branchy, many-layer graph: rich enough to exercise sharding and
+        // A branchy, many-layer graph: rich enough to exercise striping and
         // within-layer duplicate claims.
         let mut b = ModelBuilder::new("branchy");
         b.initial(1u64);
@@ -531,6 +1060,32 @@ mod tests {
         });
         b.invariant("bounded", |&s: &u64| s < 2_000);
         b.finish()
+    }
+
+    /// Serial vs. parallel under explicit options, field by field.
+    fn assert_options_equivalent<M: TransitionSystem>(
+        model: &M,
+        resolver: &dyn SharedResolver,
+        options: CheckerOptions,
+    ) {
+        let serial = Checker::new(options.clone().threads(1)).run_shared(model, resolver);
+        let par = Checker::new(options).run_shared(model, resolver);
+        assert_eq!(serial.verdict(), par.verdict(), "verdict diverged");
+        assert_eq!(serial.stats(), par.stats(), "stats diverged");
+        match (serial.failure(), par.failure()) {
+            (None, None) => {}
+            (Some(s), Some(p)) => {
+                assert_eq!(s.kind, p.kind);
+                assert_eq!(s.property, p.property);
+                assert_eq!(s.touched, p.touched);
+                assert_eq!(
+                    format!("{:?}", s.trace),
+                    format!("{:?}", p.trace),
+                    "counterexample diverged"
+                );
+            }
+            (s, p) => panic!("failure presence diverged: serial={s:?} parallel={p:?}"),
+        }
     }
 
     #[test]
@@ -585,7 +1140,13 @@ mod tests {
         });
         let m = b.finish();
         let serial = Checker::new(CheckerOptions::default().max_states(100)).run(&m);
-        let par = Checker::new(CheckerOptions::default().max_states(100).threads(4)).run(&m);
+        let par = Checker::new(
+            CheckerOptions::default()
+                .max_states(100)
+                .threads(4)
+                .clamp_threads(false),
+        )
+        .run(&m);
         assert_eq!(par.verdict(), Verdict::Unknown);
         assert_eq!(serial.stats(), par.stats());
         assert!(
@@ -630,9 +1191,104 @@ mod tests {
     fn parallel_keeps_graph() {
         let m = collatz_like();
         let serial = Checker::new(CheckerOptions::default().keep_graph(true)).run(&m);
-        let par = Checker::new(CheckerOptions::default().keep_graph(true).threads(4)).run(&m);
+        let par = Checker::new(
+            CheckerOptions::default()
+                .keep_graph(true)
+                .threads(4)
+                .clamp_threads(false),
+        )
+        .run(&m);
         let (sg, pg) = (serial.graph().unwrap(), par.graph().unwrap());
         assert_eq!(sg.len(), pg.len());
         assert_eq!(sg.to_dot("m"), pg.to_dot("m"), "identical committed graphs");
+    }
+
+    #[test]
+    fn short_circuit_preserves_minimal_witness() {
+        // A binary tree whose deeper layers are littered with violating
+        // states: many workers announce stops concurrently, and the chosen
+        // counterexample must still be the serial one — at every thread
+        // count and even with 1-state chunks (maximum announcement racing).
+        let mut b = ModelBuilder::new("many-bad");
+        b.initial(1u32);
+        b.rule("left", |&s: &u32, _| {
+            if s < 512 {
+                RuleOutcome::Next(2 * s)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
+        b.rule("right", |&s: &u32, _| {
+            if s < 512 {
+                RuleOutcome::Next(2 * s + 1)
+            } else {
+                RuleOutcome::Disabled
+            }
+        });
+        b.invariant("spread", |&s: &u32| !(s >= 40 && s % 3 == 0));
+        let m = b.finish();
+        for threads in [2, 4, 8] {
+            assert_options_equivalent(
+                &m,
+                &crate::eval::NoHoles,
+                CheckerOptions::default()
+                    .allow_deadlock()
+                    .threads(threads)
+                    .clamp_threads(false),
+            );
+            assert_options_equivalent(
+                &m,
+                &crate::eval::NoHoles,
+                CheckerOptions::default()
+                    .allow_deadlock()
+                    .threads(threads)
+                    .clamp_threads(false)
+                    .chunk_states(1),
+            );
+        }
+    }
+
+    #[test]
+    fn stress_knobs_match_serial() {
+        // Adversarial interleaving: oversubscribed threads, 1-state chunks,
+        // and a single claim stripe so every arena append contends on one
+        // lock while bucket CASes race maximally.
+        let m = collatz_like();
+        assert_options_equivalent(
+            &m,
+            &crate::eval::NoHoles,
+            CheckerOptions::default()
+                .threads(8)
+                .clamp_threads(false)
+                .chunk_states(1)
+                .claim_stripes(1),
+        );
+    }
+
+    #[test]
+    fn claim_table_growth_matches_serial() {
+        // One frontier state fans out to ~1500 distinct successors — more
+        // than the initial claim budget — forcing the abort-and-grow retry
+        // path, which must stay invisible in the outcome.
+        let mut b = ModelBuilder::new("fan");
+        b.initial(0u32);
+        b.ruleset("fan", 0..1500u32, |i| {
+            move |&s: &u32, _: &mut dyn crate::eval::HoleResolver| {
+                if s == 0 {
+                    RuleOutcome::Next(i + 1)
+                } else {
+                    RuleOutcome::Disabled
+                }
+            }
+        });
+        let m = b.finish();
+        assert_options_equivalent(
+            &m,
+            &crate::eval::NoHoles,
+            CheckerOptions::default()
+                .allow_deadlock()
+                .threads(4)
+                .clamp_threads(false),
+        );
     }
 }

@@ -1,12 +1,13 @@
 //! A persistent scoped worker pool.
 //!
-//! The one-shot parallel driver ([`super::parallel`]) spawns fresh
-//! `std::thread::scope` workers for every BFS layer, which is fine for a
-//! single verification but wasteful for a synthesis loop dispatching
-//! thousands of candidate evaluations: thread spawn latency is paid per
-//! layer per candidate. A [`WorkerPool`] is created once per
-//! [`super::CheckSession`] and keeps its threads parked between batches, so
-//! a layer expansion costs one condvar wake instead of a spawn.
+//! Spawning fresh `std::thread::scope` workers for every BFS layer would
+//! pay thread-spawn latency per layer — ruinous for a synthesis loop
+//! dispatching thousands of candidate evaluations, and a measurable tax
+//! even on a single verification with hundreds of layers. Instead, the
+//! parallel engine ([`super::parallel`]) — shared by the one-shot driver
+//! and [`super::CheckSession`] — lazily creates one [`WorkerPool`] and
+//! keeps its threads parked between batches, so a layer expansion costs
+//! one condvar wake instead of a spawn.
 //!
 //! The pool accepts **borrowing** jobs (closures over `&'scope` data) even
 //! though its threads are `'static`: [`WorkerPool::run_batch`] does not

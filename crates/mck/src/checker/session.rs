@@ -37,30 +37,28 @@
 //! property / touched attribution, the counterexample trace, and the kept
 //! graph all match bit for bit, at any [`CheckerOptions::threads`] count.
 //! The serial path replays the one-shot serial driver's exact commit and
-//! stop order (including mid-layer fail-fast); the parallel path uses the
-//! layer-synchronized expand-then-replay discipline of
-//! [`super::parallel`], with its worker threads kept in a persistent
-//! [`WorkerPool`] instead of being re-spawned per layer. The equivalence is
-//! enforced by `tests/session_equivalence.rs`.
+//! stop order (including mid-layer fail-fast); the parallel path drives its
+//! layers through the shared [`super::parallel`] engine — the same
+//! expand-then-replay discipline, persistent worker pool, claim table, and
+//! chunk auto-tuner as the one-shot parallel driver — and derives the
+//! per-layer hole-touch logs from the *replayed* records, so consultations
+//! of applications the replay discards (past a failure or the state cap)
+//! never pollute a checkpoint log. The equivalence is enforced by
+//! `tests/session_equivalence.rs`.
 
-use super::parallel::{AppRecord, Probe, RecOutcome, Shard, StateRec, MIN_CHUNK, PENDING_BIT};
-use super::pool::WorkerPool;
+use super::parallel::{Engine, LayerTouch};
 use super::{
-    fingerprint, remove_id, CheckerOptions, DeadlockPolicy, Edge, Failure, FailureKind, Outcome,
-    SearchCore, StateId, Stats, Verdict,
+    fingerprint, CheckerOptions, DeadlockPolicy, Edge, Failure, FailureKind, Outcome, SearchCore,
+    StateId, Stats, Verdict,
 };
 use crate::error::MckError;
-use crate::eval::{HoleResolver, HoleSpec, NameCache, SessionResolver, WildcardTouch};
+use crate::eval::{HoleResolver, SessionResolver, WildcardTouch};
 use crate::model::TransitionSystem;
 use crate::rule::RuleOutcome;
-use parking_lot::Mutex;
 use std::time::Instant;
 
 #[cfg(doc)]
 use super::Checker;
-
-/// One consulted hole and the answer it received; `None` is the wildcard.
-type LayerTouch = (usize, Option<u16>);
 
 /// Snapshot of the search at a layer boundary: layers `0..=d` committed,
 /// layers `0..d` expanded, frontier = layer `d`. The committed store is
@@ -113,23 +111,10 @@ enum LayerResult<S> {
     Finished(Box<Outcome<S>>),
 }
 
-/// Everything one parallel expansion chunk produced; see
-/// [`CheckSession::expand_chunk`].
-struct ChunkOut {
-    recs: Vec<StateRec>,
-    /// Touch-log entries for holes with known ids.
-    touches: Vec<LayerTouch>,
-    /// Wildcard consultations of deferred (not-yet-registered) holes, as
-    /// indices into this chunk's `discoveries`.
-    fresh: Vec<u32>,
-    /// Hole specs first sighted by this chunk's worker, in consultation
-    /// order, pending registration at the replay sequence point.
-    discoveries: Vec<HoleSpec>,
-}
-
 /// A reusable checker instance over one model: owns the visited set, the
 /// committed state store, the canonical initial states, the per-layer
-/// checkpoints, and (for `threads > 1`) a persistent [`WorkerPool`].
+/// checkpoints, and (through the shared parallel engine) a persistent
+/// worker pool when `threads > 1`.
 ///
 /// Created by [`Checker::session`]. Checks resume from the deepest BFS
 /// checkpoint whose recorded hole resolutions the new resolver answers
@@ -137,17 +122,13 @@ struct ChunkOut {
 /// fresh one-shot run of the same candidate.
 pub struct CheckSession<'a, M: TransitionSystem> {
     core: SearchCore<'a, M>,
-    /// Fingerprint of every committed state, aligned with the store — what
-    /// lets rollback evict truncated ids from the visited set without
-    /// re-hashing.
-    hashes: Vec<u64>,
-    shards: Vec<Mutex<Shard<M::State>>>,
-    /// `64 - log2(shard count)`: fingerprint prefix shift selecting a shard.
-    shard_shift: u32,
+    /// The shared exploration engine: visited set, committed fingerprints,
+    /// claim table, worker pool, chunk auto-tuner, and name-cache bank.
+    /// The serial path uses only its committed index and cache bank.
+    engine: Engine<M::State>,
+    /// Effective thread count ([`CheckerOptions::effective_threads`] at
+    /// session creation, or the last [`CheckSession::set_threads`]).
     threads: usize,
-    /// Persistent expansion workers (`threads - 1` of them; the calling
-    /// thread works each layer too). `None` in serial sessions.
-    pool: Option<WorkerPool>,
     /// Canonicalized initial states, computed once at session creation.
     initial: Vec<M::State>,
     checkpoints: Vec<Checkpoint>,
@@ -158,16 +139,6 @@ pub struct CheckSession<'a, M: TransitionSystem> {
     /// How many leading layers of `layer_touches` the most recent check
     /// inherited from checkpoints instead of expanding live.
     last_resume: usize,
-    /// Hole name → id caches drained from finished workers and re-seeded
-    /// into the next check's workers ([`SharedResolver::worker_seeded`]),
-    /// so name resolution hits the shared registry once per session rather
-    /// than once per check. Sound because a session requires one stable
-    /// hole-id namespace across its checks (the checkpoint logs are keyed
-    /// by raw id). A pool, not a single cache: parallel layer expansion
-    /// runs one worker per chunk.
-    ///
-    /// [`SharedResolver::worker_seeded`]: crate::eval::SharedResolver::worker_seeded
-    name_caches: Mutex<Vec<NameCache>>,
     stats: SessionStats,
 }
 
@@ -185,43 +156,27 @@ impl<M: TransitionSystem> std::fmt::Debug for CheckSession<'_, M> {
 
 impl<'a, M: TransitionSystem> CheckSession<'a, M> {
     pub(super) fn new(model: &'a M, options: CheckerOptions) -> Self {
-        let threads = options.thread_count();
-        // Same shard provisioning as the one-shot parallel driver.
-        let shard_count = (threads * 8).next_power_of_two().clamp(16, 256);
+        let threads = options.effective_threads();
         let initial: Vec<M::State> = model
             .initial_states()
             .into_iter()
             .map(|s| model.canonicalize(s))
             .collect();
+        let engine = Engine::new(&options);
         let mut core = SearchCore::new(model, options);
         // The session's store must survive finish(): graphs are cloned out,
         // never moved.
         core.detach_graph = false;
         CheckSession {
             core,
-            hashes: Vec::new(),
-            shards: (0..shard_count).map(|_| Mutex::new(Shard::new())).collect(),
-            shard_shift: 64 - shard_count.trailing_zeros(),
+            engine,
             threads,
-            pool: (threads > 1).then(|| WorkerPool::new(threads - 1)),
             initial,
             checkpoints: Vec::new(),
             layer_touches: Vec::new(),
             last_resume: 0,
-            name_caches: Mutex::new(Vec::new()),
             stats: SessionStats::default(),
         }
-    }
-
-    /// Pops a drained name cache for seeding the next worker (empty when
-    /// none is banked — the first check, or more chunks than ever before).
-    fn pop_name_cache(&self) -> NameCache {
-        self.name_caches.lock().pop().unwrap_or_default()
-    }
-
-    /// Banks a finished worker's name cache for the next worker.
-    fn push_name_cache(&self, cache: NameCache) {
-        self.name_caches.lock().push(cache);
     }
 
     /// Restores move-out graph semantics for a session about to be dropped
@@ -241,6 +196,29 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
     /// The model this session explores.
     pub fn model(&self) -> &M {
         self.core.model
+    }
+
+    /// The *effective* thread count the next check will use: the requested
+    /// [`CheckerOptions::threads`] after the availability clamp
+    /// ([`CheckerOptions::clamp_threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Retargets the session to a new thread count before the next
+    /// [`CheckSession::check`]. The worker pool is rebuilt to match (on the
+    /// next parallel layer) instead of silently keeping its old size;
+    /// checkpoints and the committed store are unaffected — thread count
+    /// never changes what a check observes, only how fast it runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "at least one checker thread is required");
+        self.core.options.threads = threads;
+        self.threads = self.core.options.effective_threads();
+        self.engine.set_threads(self.threads);
     }
 
     /// The concrete `(hole, action)` resolutions consulted by the layers
@@ -313,10 +291,6 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
         outcome
     }
 
-    fn shard_of(&self, hash: u64) -> usize {
-        (hash >> self.shard_shift) as usize
-    }
-
     /// The deepest checkpoint the new resolver can resume from: the first
     /// expanded layer whose recorded consultations it answers differently
     /// invalidates everything at and beyond it. `None` when no checkpoint
@@ -348,12 +322,7 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
         }
         self.core.reach_found.fill(false);
         self.core.stats = Stats::default();
-        self.hashes.clear();
-        for shard in &mut self.shards {
-            let shard = shard.get_mut();
-            shard.map.clear();
-            shard.pending.clear();
-        }
+        self.engine.reset();
         self.checkpoints.clear();
         self.layer_touches.clear();
     }
@@ -364,17 +333,11 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
     /// checkpoint's statistics and reachability flags.
     fn rollback(&mut self, depth: usize) {
         let keep = self.checkpoints[depth].committed;
-        let shard_shift = self.shard_shift;
-        for id in keep..self.core.states.len() {
-            let hash = self.hashes[id];
-            let shard = self.shards[(hash >> shard_shift) as usize].get_mut();
-            remove_id(&mut shard.map, hash, id as StateId);
-        }
+        self.engine.truncate_committed(keep);
         self.core.states.truncate(keep);
         self.core.depth.truncate(keep);
         self.core.pred.truncate(keep);
         self.core.edge_touches.truncate(keep);
-        self.hashes.truncate(keep);
         let frontier_start = self.checkpoints[depth].frontier_start;
         if let Some(edges) = &mut self.core.edges {
             edges.truncate(keep);
@@ -390,10 +353,6 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
             .clone_from(&self.checkpoints[depth].reach_found);
         self.checkpoints.truncate(depth + 1);
         self.layer_touches.truncate(depth);
-        for shard in &mut self.shards {
-            debug_assert!(shard.get_mut().pending.is_empty());
-            shard.get_mut().pending.clear();
-        }
     }
 
     /// Seals the current committed prefix as a checkpoint whose frontier
@@ -417,26 +376,18 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
         for i in 0..self.initial.len() {
             let state = self.initial[i].clone();
             let hash = fingerprint(&state);
-            let shard_idx = self.shard_of(hash);
-            let known = {
-                let states = &self.core.states;
-                let shard = self.shards[shard_idx].get_mut();
-                shard.map.get(&hash).is_some_and(|entry| {
-                    entry
-                        .as_slice()
-                        .iter()
-                        .any(|&id| states[id as usize] == state)
-                })
-            };
-            if known {
+            if self
+                .engine
+                .find_committed(hash, &state, &self.core.states)
+                .is_some()
+            {
                 continue;
             }
             if self.core.states.len() >= self.core.options.max_states {
                 return Some(self.core.analyze(start, Some(state_limit)));
             }
             let id = self.core.commit(state, None, &[]);
-            self.hashes.push(hash);
-            self.shards[shard_idx].get_mut().insert_committed(hash, id);
+            self.engine.insert_committed(hash, id);
             if let Some(name) = self.core.violated_invariant(id) {
                 let failure = Failure {
                     kind: FailureKind::InvariantViolation,
@@ -468,7 +419,7 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
             // One worker resolver for the whole check, exactly like the
             // one-shot serial driver — seeded with the previous check's
             // name cache and drained back when the check ends.
-            let mut worker = resolver.worker_seeded(self.pop_name_cache());
+            let mut worker = resolver.worker_seeded(self.engine.pop_name_cache());
             let outcome = loop {
                 let result = self.run_layer_serial(start, resolver, &mut *worker);
                 match result {
@@ -478,7 +429,7 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
             };
             let cache = worker.take_name_cache();
             drop(worker);
-            self.push_name_cache(cache);
+            self.engine.push_name_cache(cache);
             outcome
         }
     }
@@ -550,18 +501,7 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
                         self.core.stats.transitions += 1;
                         let next = self.core.model.canonicalize(next);
                         let hash = fingerprint(&next);
-                        let shard_idx = self.shard_of(hash);
-                        let found = {
-                            let states = &self.core.states;
-                            let shard = self.shards[shard_idx].get_mut();
-                            shard.map.get(&hash).and_then(|entry| {
-                                entry
-                                    .as_slice()
-                                    .iter()
-                                    .copied()
-                                    .find(|&id| states[id as usize] == next)
-                            })
-                        };
+                        let found = self.engine.find_committed(hash, &next, &self.core.states);
                         let (nid, new) = match found {
                             Some(id) => (id, false),
                             None => {
@@ -577,8 +517,7 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
                                     Some((sid as StateId, ri as u32)),
                                     &app_touches,
                                 );
-                                self.hashes.push(hash);
-                                self.shards[shard_idx].get_mut().insert_committed(hash, nid);
+                                self.engine.insert_committed(hash, nid);
                                 (nid, true)
                             }
                         };
@@ -639,9 +578,11 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
         LayerResult::Done(touches_log)
     }
 
-    /// Expands the frontier layer across the persistent pool, then replays
-    /// the records in deterministic order — the same expand/replay
-    /// discipline as the one-shot parallel driver.
+    /// Expands the frontier layer through the shared parallel engine, then
+    /// replays the records deterministically — the identical discipline to
+    /// the one-shot parallel driver, with the layer's hole-touch log
+    /// derived from the *replayed* records (discarded consultations never
+    /// reach a checkpoint log).
     fn run_layer_parallel(
         &mut self,
         start: Instant,
@@ -652,34 +593,16 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
         if f0 == f1 {
             return LayerResult::Finished(Box::new(self.core.analyze(start, None)));
         }
-
-        // --- Phase 1: parallel expansion ---------------------------------
-        let chunk_outs = self.expand_layer(resolver, f0, f1);
-
-        // Register deferred discoveries at the replay sequence point, in
-        // chunk-concatenated (= serial) order, and build the layer touch
-        // log with the assigned ids.
+        let chunks = self.engine.expand_layer(&self.core, resolver, f0, f1);
         let mut touches_log: Vec<LayerTouch> = Vec::new();
-        let mut specs: Vec<HoleSpec> = Vec::new();
-        let mut chunk_offsets: Vec<usize> = Vec::with_capacity(chunk_outs.len());
-        for out in &chunk_outs {
-            chunk_offsets.push(specs.len());
-            specs.extend(out.discoveries.iter().cloned());
-            touches_log.extend_from_slice(&out.touches);
-        }
-        if !specs.is_empty() {
-            let ids = resolver.commit_discoveries(&specs);
-            for (out, offset) in chunk_outs.iter().zip(&chunk_offsets) {
-                for &index in &out.fresh {
-                    touches_log.push((ids[offset + index as usize], None));
-                }
-            }
-        }
-
-        // --- Phase 2: deterministic replay -------------------------------
-        let result = self.replay_layer(start, f0, chunk_outs);
-        self.clear_pending();
-        match result {
+        match self.engine.replay_layer(
+            &mut self.core,
+            resolver,
+            start,
+            f0,
+            chunks,
+            Some(&mut touches_log),
+        ) {
             Ok(()) => {
                 touches_log.sort_unstable();
                 touches_log.dedup();
@@ -688,259 +611,13 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
             Err(outcome) => LayerResult::Finished(outcome),
         }
     }
-
-    /// Splits the frontier into chunks and expands them on the pool (the
-    /// calling thread works the batch too).
-    fn expand_layer(&self, resolver: &dyn SessionResolver, f0: usize, f1: usize) -> Vec<ChunkOut> {
-        let frontier_len = f1 - f0;
-        let workers = frontier_len.div_ceil(MIN_CHUNK).clamp(1, self.threads);
-        let chunk_size = frontier_len.div_ceil(workers);
-
-        if workers == 1 {
-            return vec![self.expand_chunk(resolver, f0, f1)];
-        }
-        let ranges: Vec<(usize, usize)> = (0..workers)
-            .map(|w| {
-                let lo = f0 + w * chunk_size;
-                (lo, (lo + chunk_size).min(f1))
-            })
-            .collect();
-        let slots: Vec<Mutex<Option<ChunkOut>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
-        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
-            .iter()
-            .zip(&slots)
-            .map(|(&(lo, hi), slot)| {
-                Box::new(move || {
-                    *slot.lock() = Some(self.expand_chunk(resolver, lo, hi));
-                }) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        self.pool
-            .as_ref()
-            .expect("parallel session without a pool")
-            .run_batch(jobs);
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("chunk job did not run"))
-            .collect()
-    }
-
-    /// One worker's share of a layer: apply every rule to every state in
-    /// `[lo, hi)`, probing successors against the sharded visited set and
-    /// recording everything the replay and the touch log need.
-    fn expand_chunk(&self, resolver: &dyn SessionResolver, lo: usize, hi: usize) -> ChunkOut {
-        let states = &self.core.states;
-        let model = self.core.model;
-        let mut worker = resolver.worker_seeded(self.pop_name_cache());
-        let mut touches: Vec<LayerTouch> = Vec::new();
-        let mut fresh: Vec<u32> = Vec::new();
-
-        let recs = (lo..hi)
-            .map(|sid| {
-                let state = &states[sid];
-                let mut records = Vec::new();
-                for (ri, rule) in model.rules().iter().enumerate() {
-                    worker.begin_application();
-                    let outcome = rule.apply(state, &mut *worker);
-                    let app_touches = worker.application_touches();
-                    for &(hole, action) in app_touches {
-                        touches.push((hole, Some(action)));
-                    }
-                    for &wildcard in worker.application_wildcards() {
-                        match wildcard {
-                            WildcardTouch::Known(hole) => touches.push((hole, None)),
-                            WildcardTouch::Fresh(index) => fresh.push(index),
-                        }
-                    }
-                    let rec = match outcome {
-                        RuleOutcome::Disabled if app_touches.is_empty() => continue,
-                        RuleOutcome::Disabled => RecOutcome::Disabled,
-                        RuleOutcome::Blocked => RecOutcome::Blocked,
-                        RuleOutcome::Next(next) => {
-                            let next = model.canonicalize(next);
-                            let hash = fingerprint(&next);
-                            let shard = self.shard_of(hash);
-                            let probe = self.shards[shard].lock().probe(hash, next, states);
-                            RecOutcome::Next {
-                                shard: shard as u32,
-                                probe,
-                            }
-                        }
-                    };
-                    records.push(AppRecord {
-                        rule: ri as u32,
-                        touches: worker.application_touches().into(),
-                        outcome: rec,
-                    });
-                }
-                StateRec { records }
-            })
-            .collect();
-        let discoveries = worker.take_pending_discoveries();
-        let cache = worker.take_name_cache();
-        drop(worker);
-        self.push_name_cache(cache);
-        ChunkOut {
-            recs,
-            touches,
-            fresh,
-            discoveries,
-        }
-    }
-
-    /// Replays the expansion records in the serial driver's order,
-    /// committing pending claims and checking invariants, deadlocks, and
-    /// the state cap exactly where a fresh run would. `Err` carries the
-    /// outcome that ended the check inside this layer.
-    #[allow(clippy::result_large_err)]
-    fn replay_layer(
-        &mut self,
-        start: Instant,
-        f0: usize,
-        chunk_outs: Vec<ChunkOut>,
-    ) -> Result<(), Box<Outcome<M::State>>> {
-        let state_limit = MckError::StateLimitExceeded {
-            limit: self.core.options.max_states,
-        };
-        let recs = chunk_outs.into_iter().flat_map(|out| out.recs);
-        for (i, rec) in recs.enumerate() {
-            let sid = (f0 + i) as StateId;
-            self.core.stats.peak_queue = self
-                .core
-                .stats
-                .peak_queue
-                .max(self.core.states.len() - (f0 + i));
-
-            let mut any_next = false;
-            let mut any_blocked = false;
-            let mut expansion_touches: Vec<(usize, u16)> = Vec::new();
-
-            for app in rec.records {
-                expansion_touches.extend_from_slice(&app.touches);
-                match app.outcome {
-                    RecOutcome::Disabled => {}
-                    RecOutcome::Blocked => {
-                        any_blocked = true;
-                        self.core.stats.wildcard_hits += 1;
-                    }
-                    RecOutcome::Next { shard, probe } => {
-                        any_next = true;
-                        self.core.stats.transitions += 1;
-                        let resolved = match probe {
-                            Probe::Known(id) => Some((id, false)),
-                            Probe::Fresh { slot } => self.resolve_fresh(
-                                shard as usize,
-                                slot as usize,
-                                (sid, app.rule),
-                                &app.touches,
-                            ),
-                        };
-                        let Some((nid, new)) = resolved else {
-                            return Err(Box::new(self.core.analyze(start, Some(state_limit))));
-                        };
-                        if let Some(edges) = &mut self.core.edges {
-                            edges[sid as usize].push(Edge {
-                                rule: app.rule,
-                                target: nid,
-                            });
-                        }
-                        if new {
-                            if let Some(name) = self.core.violated_invariant(nid) {
-                                let failure = Failure {
-                                    kind: FailureKind::InvariantViolation,
-                                    property: name.to_owned(),
-                                    touched: Some(self.core.trace_touched(nid, &[])),
-                                    trace: Some(self.core.trace_to(nid)),
-                                };
-                                return Err(Box::new(self.core.finish(
-                                    start,
-                                    Verdict::Failure,
-                                    Some(failure),
-                                    None,
-                                )));
-                            }
-                        }
-                    }
-                }
-            }
-
-            if !any_next && !any_blocked && self.core.options.deadlock == DeadlockPolicy::Disallow {
-                let failure = Failure {
-                    kind: FailureKind::Deadlock,
-                    property: "deadlock freedom".to_owned(),
-                    touched: Some(self.core.trace_touched(sid, &expansion_touches)),
-                    trace: Some(self.core.trace_to(sid)),
-                };
-                return Err(Box::new(self.core.finish(
-                    start,
-                    Verdict::Failure,
-                    Some(failure),
-                    None,
-                )));
-            }
-        }
-        Ok(())
-    }
-
-    /// Promotes a pending claim to a committed id (first replay occurrence)
-    /// or reuses the already-assigned id; `None` refuses admission at the
-    /// state cap, exactly like the one-shot drivers.
-    fn resolve_fresh(
-        &mut self,
-        shard_idx: usize,
-        slot: usize,
-        from: (StateId, u32),
-        touches: &[(usize, u16)],
-    ) -> Option<(StateId, bool)> {
-        let shard = self.shards[shard_idx].get_mut();
-        let pending = &mut shard.pending[slot];
-        if let Some(id) = pending.id {
-            return Some((id, false));
-        }
-        if self.core.states.len() >= self.core.options.max_states {
-            return None;
-        }
-        let state = pending
-            .state
-            .take()
-            .expect("pending claim resolved without an id");
-        let hash = pending.hash;
-        let id = self.core.commit(state, Some(from), touches);
-        self.hashes.push(hash);
-        let shard = self.shards[shard_idx].get_mut();
-        shard.pending[slot].id = Some(id);
-        shard
-            .map
-            .get_mut(&hash)
-            .expect("pending claim lost its bucket")
-            .replace(PENDING_BIT | slot as StateId, id);
-        Some((id, true))
-    }
-
-    /// Clears the layer's pending arenas, evicting unresolved claims (left
-    /// behind by a mid-replay failure or cap stop) from the shard maps so
-    /// the next layer — or the next check — starts clean.
-    fn clear_pending(&mut self) {
-        for shard in &mut self.shards {
-            let shard = shard.get_mut();
-            if shard.pending.is_empty() {
-                continue;
-            }
-            for (slot, pending) in shard.pending.iter().enumerate() {
-                if pending.id.is_none() {
-                    remove_id(&mut shard.map, pending.hash, PENDING_BIT | slot as StateId);
-                }
-            }
-            shard.pending.clear();
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::super::{Checker, CheckerOptions};
     use super::*;
-    use crate::eval::{Choice, NoHoles, SharedResolver};
+    use crate::eval::{Choice, HoleSpec, NoHoles, SharedResolver};
     use crate::model::ModelBuilder;
 
     /// A minimal session resolver over pre-registered holes named "h0",
@@ -1159,7 +836,10 @@ mod tests {
     fn session_matches_one_shot_across_thread_counts() {
         let model = layered_model();
         for threads in [1, 2, 4] {
-            let options = CheckerOptions::default().allow_deadlock().threads(threads);
+            let options = CheckerOptions::default()
+                .allow_deadlock()
+                .threads(threads)
+                .clamp_threads(false);
             let mut session = Checker::new(options.clone()).session(&model);
             for answers in [
                 vec![Some(0), Some(0)],
@@ -1177,6 +857,50 @@ mod tests {
                 assert_outcomes_match(&reused, &fresh, &format!("{threads} threads {answers:?}"));
             }
         }
+    }
+
+    #[test]
+    fn set_threads_retargets_between_checks() {
+        let model = layered_model();
+        let options = CheckerOptions::default()
+            .allow_deadlock()
+            .clamp_threads(false);
+        let mut session = Checker::new(options.clone()).session(&model);
+        assert_eq!(session.threads(), 1);
+        let resolver = TableResolver::new(vec![Some(0), Some(1)]);
+        let serial = session.check(&resolver);
+
+        // Retarget to 4 threads: the pool must be (re)built to the new
+        // size, not silently kept at the stale one, and the outcome must
+        // stay bit-identical across the switch — in both directions.
+        session.set_threads(4);
+        assert_eq!(session.threads(), 4);
+        let bumped = TableResolver::new(vec![Some(0), Some(2)]);
+        let fresh = Checker::new(options.clone().threads(4))
+            .session(&model)
+            .check(&bumped);
+        let parallel = session.check(&bumped);
+        assert_outcomes_match(&parallel, &fresh, "after set_threads(4)");
+
+        session.set_threads(1);
+        assert_eq!(session.threads(), 1);
+        let back = session.check(&resolver);
+        assert_outcomes_match(&back, &serial, "back to serial");
+    }
+
+    #[test]
+    fn set_threads_honors_the_availability_clamp() {
+        let model = layered_model();
+        // Default options clamp to available parallelism: the effective
+        // count never exceeds the host's cores no matter what is requested.
+        let mut session = Checker::new(CheckerOptions::default().allow_deadlock()).session(&model);
+        session.set_threads(4096);
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert!(session.threads() <= cores);
+        let out = session.check(&TableResolver::new(vec![Some(0), Some(0)]));
+        assert!(out.is_success());
     }
 
     #[test]

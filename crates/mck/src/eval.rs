@@ -260,6 +260,29 @@ pub trait SharedResolver: Sync {
         self.worker()
     }
 
+    /// Like [`SharedResolver::worker_seeded`], but for the *expansion phase*
+    /// of a parallel driver, where every consultation is provisional until
+    /// the sequential replay confirms it. Strategies that log consultations
+    /// should return a worker that does **not** publish its touches into any
+    /// shared log — the driver reports the replay-confirmed set through
+    /// [`SharedResolver::note_replayed_touches`] instead, so applications
+    /// the replay discards (past a failure or a `max_states` clamp) never
+    /// leak into pruning-pattern publications. The default — fine for
+    /// strategies without shared logs — is `worker_seeded`.
+    fn expansion_worker(&self, seed: NameCache) -> Box<dyn HoleResolver + '_> {
+        self.worker_seeded(seed)
+    }
+
+    /// Reports the concrete `(hole id, action)` resolutions the sequential
+    /// replay actually consumed this layer, deduplicated by hole id. Called
+    /// by parallel drivers once per replayed layer; together with
+    /// [`SharedResolver::expansion_worker`] this makes a strategy's touch
+    /// log identical to what the serial driver would have recorded, even on
+    /// layers the replay cuts short. The default is a no-op.
+    fn note_replayed_touches(&self, touches: &[(usize, u16)]) {
+        let _ = touches;
+    }
+
     /// Registers the deferred discoveries drained from this strategy's
     /// workers (see [`HoleResolver::take_pending_discoveries`]), in the
     /// given order, returning one hole id per spec — the id the spec's hole

@@ -24,8 +24,12 @@ fn assert_thread_invariant<M: TransitionSystem>(
     resolver: &dyn SharedResolver,
     options: CheckerOptions,
 ) -> Verdict {
+    // `clamp_threads(false)`: the suite must exercise real multi-threaded
+    // interleavings even on single-core CI shards, where the availability
+    // clamp would silently collapse every run to the serial path.
     let run = |threads: usize| -> Outcome<M::State> {
-        Checker::new(options.clone().threads(threads)).run_shared(model, resolver)
+        Checker::new(options.clone().threads(threads).clamp_threads(false))
+            .run_shared(model, resolver)
     };
     let serial = run(THREAD_COUNTS[0]);
     for &threads in &THREAD_COUNTS[1..] {
@@ -167,6 +171,56 @@ fn msi_data_values_is_thread_invariant() {
     });
     assert_eq!(
         assert_thread_invariant(&model, &NoHoles, CheckerOptions::default()),
+        Verdict::Success
+    );
+}
+
+/// Adversarial-interleaving stress mode: oversubscribed workers (far more
+/// threads than cores), one-state chunks (maximal hand-off churn, every
+/// frontier state crosses a chunk boundary), and the claim table's stripe
+/// count forced to 1 (every parked claim contends on a single mutex). None
+/// of it may show through: verdicts, full stats, traces, and touched sets
+/// stay bit-identical to serial on success, failure, deadlock, and
+/// state-capped runs alike.
+#[test]
+fn adversarial_interleavings_are_thread_invariant() {
+    let stress = |base: CheckerOptions| base.chunk_states(1).claim_stripes(1);
+
+    for seed in [7u64, 77, 777, 7777] {
+        let model = GraphModel::random(seed, 6, 3);
+        let resolver = graph_resolver(&model, seed, seed % 16);
+        for threads in [3usize, 16] {
+            let serial = Checker::new(CheckerOptions::default()).run_shared(&model, &resolver);
+            let par = Checker::new(
+                stress(CheckerOptions::default())
+                    .threads(threads)
+                    .clamp_threads(false),
+            )
+            .run_shared(&model, &resolver);
+            assert_eq!(serial.verdict(), par.verdict(), "seed {seed} t{threads}");
+            assert_eq!(serial.stats(), par.stats(), "seed {seed} t{threads}");
+            assert_eq!(
+                format!("{:?}", serial.failure()),
+                format!("{:?}", par.failure()),
+                "seed {seed} t{threads}"
+            );
+        }
+        // The shared harness sweeps the remaining thread counts and the
+        // deadlock/cap variants under the same stress knobs.
+        assert_thread_invariant(&model, &resolver, stress(CheckerOptions::default()));
+        assert_thread_invariant(
+            &model,
+            &resolver,
+            stress(CheckerOptions::default().allow_deadlock().max_states(17)),
+        );
+    }
+
+    // A golden protocol under maximal churn: tens of thousands of states
+    // all funneled through 1-state chunks and a single claim stripe.
+    use verc3::mck::NoHoles;
+    let msi = MsiModel::new(MsiConfig::golden());
+    assert_eq!(
+        assert_thread_invariant(&msi, &NoHoles, stress(CheckerOptions::default())),
         Verdict::Success
     );
 }

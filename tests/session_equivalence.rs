@@ -126,7 +126,9 @@ proptest! {
             let radices = register_holes(&model, &registry);
             let candidates = candidate_sequence(&radices, seq_seed, 8);
             for threads in [1usize, 4] {
-                let options = CheckerOptions::default().threads(threads);
+                // Clamp off: the 4-thread leg must stay multi-threaded even
+                // on single-core CI shards.
+                let options = CheckerOptions::default().threads(threads).clamp_threads(false);
                 let mut session = Checker::new(options.clone()).session(&model);
                 for (i, digits) in candidates.iter().enumerate() {
                     let resolver = SharedCandidateResolver::new(&registry, digits, default);
@@ -174,7 +176,8 @@ proptest! {
             let par = Synthesizer::new(
                 SynthOptions::default()
                     .threads(threads)
-                    .check_threads(check_threads),
+                    .check_threads(check_threads)
+                    .checker(CheckerOptions::default().clamp_threads(false)),
             )
             .run(&model);
             assert_eq!(
@@ -192,7 +195,12 @@ proptest! {
     fn parallel_check_hole_order_is_deterministic(seed in 0u64..10_000) {
         let model = GraphModel::random(seed, 6, 3);
         let run = || {
-            Synthesizer::new(SynthOptions::default().check_threads(4)).run(&model)
+            Synthesizer::new(
+                SynthOptions::default()
+                    .check_threads(4)
+                    .checker(CheckerOptions::default().clamp_threads(false)),
+            )
+            .run(&model)
         };
         let (a, b) = (run(), run());
         let names = |r: &SynthReport| -> Vec<String> {
@@ -246,7 +254,7 @@ fn worked_example_session_matches_one_shot_at_4_threads() {
     let registry = HoleRegistry::new();
     let radices = register_holes(&model, &registry);
     assert_eq!(radices.len(), 4);
-    let options = CheckerOptions::default().threads(4);
+    let options = CheckerOptions::default().threads(4).clamp_threads(false);
     let mut session = Checker::new(options.clone()).session(&model);
     // Walk the full candidate space in odometer order — the worst case for
     // checkpoint bookkeeping (every candidate differs from its predecessor).
@@ -304,8 +312,13 @@ fn msi_small_session_loop_matches_one_shot_with_30_percent_fewer_expansions() {
     // Solution-set invariance across both parallelism axes under sessions.
     let baseline = named_solutions(&sessions);
     for (threads, check_threads) in [(1, 4), (4, 1), (4, 4)] {
-        let par =
-            Synthesizer::new(opts().threads(threads).check_threads(check_threads)).run(&model);
+        let par = Synthesizer::new(
+            opts()
+                .threads(threads)
+                .check_threads(check_threads)
+                .checker(CheckerOptions::default().clamp_threads(false)),
+        )
+        .run(&model);
         assert_eq!(
             named_solutions(&par),
             baseline,
@@ -322,7 +335,12 @@ fn msi_small_session_loop_counts_are_check_thread_invariant() {
     let model = MsiModel::new(MsiConfig::msi_small());
     let opts = || SynthOptions::default().pattern_mode(PatternMode::Refined);
     let serial = Synthesizer::new(opts()).run(&model);
-    let par = Synthesizer::new(opts().check_threads(4)).run(&model);
+    let par = Synthesizer::new(
+        opts()
+            .check_threads(4)
+            .checker(CheckerOptions::default().clamp_threads(false)),
+    )
+    .run(&model);
     assert_eq!(par.stats().evaluated, serial.stats().evaluated);
     assert_eq!(par.stats().patterns, serial.stats().patterns);
     assert_eq!(named_solutions(&par), named_solutions(&serial));
