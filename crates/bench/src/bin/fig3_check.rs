@@ -17,8 +17,12 @@
 //!
 //! `--dot` additionally writes the full explored state graph of the 2-cache
 //! VI protocol to `vi_2cache.dot` (small enough to render with Graphviz).
+//!
+//! SIGINT (Ctrl-C) stops cleanly *between* models: every model verified so
+//! far keeps its printed verdict, the remainder are skipped, and the binary
+//! exits 130 without claiming the full suite passed.
 
-use verc3_bench::{parse_check_threads, verify, verify_one_shot, verify_skeleton_golden};
+use verc3_bench::{parse_check_threads, sigint, verify, verify_one_shot, verify_skeleton_golden};
 use verc3_mck::{Checker, CheckerOptions, Verdict};
 use verc3_protocols::mesi::{MesiConfig, MesiModel};
 use verc3_protocols::msi::{MsiConfig, MsiModel};
@@ -29,6 +33,7 @@ fn main() {
     let dot = args.iter().any(|a| a == "--dot");
     let one_shot = args.iter().any(|a| a == "--one-shot");
     let threads = parse_check_threads(&args);
+    let _stop = sigint::install();
 
     fn check<M: verc3_mck::TransitionSystem>(
         model: &M,
@@ -60,59 +65,78 @@ fn main() {
     // n = 5 and 6 were out of reach for the all-permutations canonicalizer
     // (120 / 720 state rebuilds per visited state); the orbit-pruning
     // search makes them routine rows (see EXPERIMENTS.md).
-    for n in [2usize, 3, 4, 5, 6] {
-        let model = MsiModel::new(MsiConfig {
-            n_caches: n,
-            ..MsiConfig::golden()
-        });
-        let (v, s, t) = check(&model, threads, one_shot);
-        run(&format!("MSI golden ({n} caches)"), v, s, t);
+    let mut skipped = 0usize;
+    // SIGINT stops between models: in-flight verification finishes, the
+    // rest of the suite is skipped and counted.
+    macro_rules! model_step {
+        ($body:block) => {
+            if sigint::triggered() {
+                skipped += 1;
+            } else {
+                $body
+            }
+        };
     }
-    {
+
+    for n in [2usize, 3, 4, 5, 6] {
+        model_step!({
+            let model = MsiModel::new(MsiConfig {
+                n_caches: n,
+                ..MsiConfig::golden()
+            });
+            let (v, s, t) = check(&model, threads, one_shot);
+            run(&format!("MSI golden ({n} caches)"), v, s, t);
+        });
+    }
+    model_step!({
         let model = MsiModel::new(MsiConfig {
             symmetry: false,
             ..MsiConfig::golden()
         });
         let (v, s, t) = check(&model, threads, one_shot);
         run("MSI golden (3, no symmetry)", v, s, t);
-    }
-    {
+    });
+    model_step!({
         let model = MsiModel::new(MsiConfig {
             data_values: true,
             ..MsiConfig::golden()
         });
         let (v, s, t) = check(&model, threads, one_shot);
         run("MSI golden (3, data values)", v, s, t);
-    }
-    {
+    });
+    model_step!({
         // The msi_xl *skeleton* under the golden candidate: all 14 holes
         // resolved to the known-correct actions must reproduce the golden
         // protocol — the fixed point the msi_xl synthesis goldens pin.
         let (v, s, t) = verify_skeleton_golden(MsiConfig::msi_xl(), threads);
         run("MSI-xl skeleton (golden)", v, s, t);
-    }
-    {
+    });
+    model_step!({
         // The MSI-5 skeleton (MSI-small holes over five caches) under the
         // golden candidate must land exactly on the 5-cache golden space —
         // the fixed point the `table1 --n5` synthesis rows rediscover.
         let (v, s, t) = verify_skeleton_golden(MsiConfig::msi5(), threads);
         run("MSI-5 skeleton (golden)", v, s, t);
+    });
+    for n in [2usize, 3] {
+        model_step!({
+            let model = MesiModel::new(MesiConfig {
+                n_caches: n,
+                ..MesiConfig::golden()
+            });
+            let (v, s, t) = check(&model, threads, one_shot);
+            run(&format!("MESI golden ({n} caches)"), v, s, t);
+        });
     }
     for n in [2usize, 3] {
-        let model = MesiModel::new(MesiConfig {
-            n_caches: n,
-            ..MesiConfig::golden()
+        model_step!({
+            let model = ViModel::new(ViConfig {
+                n_caches: n,
+                ..ViConfig::golden()
+            });
+            let (v, s, t) = check(&model, threads, one_shot);
+            run(&format!("VI golden ({n} caches)"), v, s, t);
         });
-        let (v, s, t) = check(&model, threads, one_shot);
-        run(&format!("MESI golden ({n} caches)"), v, s, t);
-    }
-    for n in [2usize, 3] {
-        let model = ViModel::new(ViConfig {
-            n_caches: n,
-            ..ViConfig::golden()
-        });
-        let (v, s, t) = check(&model, threads, one_shot);
-        run(&format!("VI golden ({n} caches)"), v, s, t);
     }
 
     println!();
@@ -136,6 +160,14 @@ fn main() {
     }
 
     assert!(all_ok, "all golden protocols must verify");
+    if skipped > 0 {
+        println!();
+        println!(
+            "interrupted by SIGINT — {skipped} model(s) skipped; every \
+             verdict above is complete, rerun to verify the full suite"
+        );
+        std::process::exit(130);
+    }
     println!();
     println!("all golden protocols verified");
 }

@@ -20,7 +20,10 @@
 //!   row, and the check-threads-4 session loop's speedup over the serial
 //!   one on both MSI workloads;
 //! * `BENCH_checker.json` — the parallel checker's 4-thread speedup over
-//!   serial on both msi_golden corpora.
+//!   serial on both msi_golden corpora;
+//! * `BENCH_journal.json` — the unjournaled-vs-journaled wall ratio on the
+//!   serial pruned MSI-large row (with an absolute floor: journaling may
+//!   never cost more than 25% wall).
 //!
 //! The parallelism gates additionally enforce an **absolute floor**
 //! (independent of the baseline, which may have been recorded on a
@@ -215,7 +218,29 @@ fn session_wall_ms(rows: &[Row], workload: &str, check_threads: f64) -> f64 {
     )
 }
 
-const GATES: [Gate; 7] = [
+const GATES: [Gate; 8] = [
+    Gate {
+        file: "BENCH_journal.json",
+        name: "journal_overhead: unjournaled/journaled wall ratio, msi_large",
+        extract: |rows| {
+            let ms = |mode: &str| {
+                pinned(
+                    rows,
+                    &[
+                        ("workload", Value::Str("msi_large".into())),
+                        ("mode", Value::Str(mode.into())),
+                    ],
+                    "wall_ms",
+                    "journal_overhead",
+                )
+            };
+            ms("none") / ms("journal").max(1e-9)
+        },
+        // The journal must stay cheap in absolute terms: a fresh ratio
+        // under 0.8 means journaling now costs more than 25% wall.
+        floor: Some(0.8),
+        min_cores: 1,
+    },
     Gate {
         file: "BENCH_canonicalize.json",
         name: "canonicalize: orbit speedup over the n! reference at n=6",

@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run --release -p verc3-bench --bin table1 -- [--small] [--large] [--xl]
 //!     [--n5] [--naive-large-full] [--classify] [--samples N] [--check-threads N]
-//!     [--one-shot]
+//!     [--one-shot] [--pruned-only] [--journal DIR] [--resume]
+//!     [--deadline-secs N] [--state-budget N]
 //! ```
 //!
 //! By default every dispatch goes through per-worker check sessions
@@ -28,39 +29,101 @@
 //! `--n5` runs **MSI-5** (the MSI-small hole set over *five* caches; naïve
 //! baseline extrapolated) — beyond the paper on the scalarset axis, made
 //! CI-affordable by the orbit-pruning canonicalizer.
+//!
+//! **Crash safety.** `--journal DIR` writes one progress journal per row to
+//! `DIR/<label-slug>.vc3j`; `--resume` continues every row from its journal
+//! (a missing journal just starts fresh). `--deadline-secs N` and
+//! `--state-budget N` stop each row gracefully at its budget, and SIGINT
+//! (Ctrl-C) requests a graceful stop at the next dispatch — in all three
+//! cases the journal is flushed, the row is reported with its stop reason,
+//! and the exact `--resume` invocation is printed. `--pruned-only` restricts
+//! the run to the serial pruned row of each selected size — the journaled,
+//! resumable workload the kill-and-resume smoke test drives.
 
+use std::time::Duration;
 use verc3_bench::{
-    estimate_naive_row, paper, parse_check_threads, row_header, run_synthesis_row_with, MeasuredRow,
+    estimate_naive_row, machine_row_line, paper, parse_check_threads, resume_command, row_header,
+    run_synthesis_row_controlled, sigint, MeasuredRow, RowControls,
 };
 use verc3_protocols::msi::MsiConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |f: &str| args.iter().any(|a| a == f);
+    let flag_value = |f: &str| {
+        args.iter()
+            .position(|a| a == f)
+            .and_then(|i| args.get(i + 1))
+    };
     let any_size = has("--small") || has("--large") || has("--xl") || has("--n5");
+    let pruned_only = has("--pruned-only");
     let small = has("--small") || !any_size;
     let large = has("--large") || !any_size;
     let xl = has("--xl");
     let n5 = has("--n5");
     let classify = has("--classify");
-    let samples: usize = args
-        .iter()
-        .position(|a| a == "--samples")
-        .and_then(|i| args.get(i + 1))
+    let samples: usize = flag_value("--samples")
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     let check_threads = parse_check_threads(&args);
     let reuse_sessions = !has("--one-shot");
+
+    let controls = RowControls {
+        journal_dir: flag_value("--journal").map(Into::into),
+        resume: has("--resume"),
+        stop_flag: Some(sigint::install()),
+        deadline: flag_value("--deadline-secs")
+            .map(|v| {
+                v.parse()
+                    .expect("--deadline-secs requires a number of seconds")
+            })
+            .map(Duration::from_secs),
+        state_budget: flag_value("--state-budget")
+            .map(|v| v.parse().expect("--state-budget requires a state count")),
+        journal_fsync_every: flag_value("--journal-fsync-every").map(|v| {
+            v.parse()
+                .expect("--journal-fsync-every requires a record count")
+        }),
+    };
+    if let Some(dir) = &controls.journal_dir {
+        std::fs::create_dir_all(dir).expect("create --journal directory");
+    }
+    let journaling = controls.journal_dir.is_some();
+
     let run_synthesis_row =
         |label: &str, config: MsiConfig, pruning: bool, threads: usize, check_threads: usize| {
-            run_synthesis_row_with(
+            let (row, report) = run_synthesis_row_controlled(
                 label,
                 config,
                 pruning,
                 threads,
                 check_threads,
                 reuse_sessions,
+                &controls,
             )
+            .unwrap_or_else(|e| {
+                eprintln!("{label}: {e}");
+                std::process::exit(2);
+            });
+            if journaling {
+                println!("{}", machine_row_line(label, &report));
+            }
+            if report.is_resumable() {
+                if journaling {
+                    println!(
+                        "  ^ stopped early ({}); resume with:\n    {}",
+                        report.stats().stop,
+                        resume_command("table1", &args),
+                    );
+                } else {
+                    println!(
+                        "  ^ stopped early ({}); pass --journal DIR to make \
+                         interrupted runs resumable",
+                        report.stats().stop,
+                    );
+                }
+            }
+            (row, report)
         };
 
     println!("Table I — MSI coherence protocol case study (reproduction)");
@@ -72,16 +135,18 @@ fn main() {
     let mut rows: Vec<MeasuredRow> = Vec::new();
     let mut reports = Vec::new();
 
-    if small {
-        let (row, _) = run_synthesis_row(
-            "MSI-small 1 thread, no pruning",
-            MsiConfig::msi_small(),
-            false,
-            1,
-            check_threads,
-        );
-        println!("{}", row.format());
-        rows.push(row);
+    if small && !sigint::triggered() {
+        if !pruned_only {
+            let (row, _) = run_synthesis_row(
+                "MSI-small 1 thread, no pruning",
+                MsiConfig::msi_small(),
+                false,
+                1,
+                check_threads,
+            );
+            println!("{}", row.format());
+            rows.push(row);
+        }
         let (row, report) = run_synthesis_row(
             "MSI-small 1 thread, pruning",
             MsiConfig::msi_small(),
@@ -92,37 +157,43 @@ fn main() {
         println!("{}", row.format());
         rows.push(row);
         reports.push(("MSI-small", report));
-        let (row, _) = run_synthesis_row(
-            "MSI-small 4 threads, pruning",
-            MsiConfig::msi_small(),
-            true,
-            4,
-            check_threads,
-        );
-        println!("{}", row.format());
-        rows.push(row);
-    }
-
-    if large {
-        let naive_row = if has("--naive-large-full") {
+        if !pruned_only {
             let (row, _) = run_synthesis_row(
-                "MSI-large 1 thread, no pruning",
-                MsiConfig::msi_large(),
-                false,
-                1,
+                "MSI-small 4 threads, pruning",
+                MsiConfig::msi_small(),
+                true,
+                4,
                 check_threads,
             );
-            row
-        } else {
-            estimate_naive_row(
-                "MSI-large 1 thread, no pruning",
-                MsiConfig::msi_large(),
-                samples,
-                0xC0FFEE,
-            )
-        };
-        println!("{}", naive_row.format());
-        rows.push(naive_row);
+            println!("{}", row.format());
+            rows.push(row);
+        }
+    }
+
+    if large && !sigint::triggered() {
+        let naive_row = (!pruned_only).then(|| {
+            if has("--naive-large-full") {
+                let (row, _) = run_synthesis_row(
+                    "MSI-large 1 thread, no pruning",
+                    MsiConfig::msi_large(),
+                    false,
+                    1,
+                    check_threads,
+                );
+                row
+            } else {
+                estimate_naive_row(
+                    "MSI-large 1 thread, no pruning",
+                    MsiConfig::msi_large(),
+                    samples,
+                    0xC0FFEE,
+                )
+            }
+        });
+        if let Some(naive_row) = naive_row {
+            println!("{}", naive_row.format());
+            rows.push(naive_row);
+        }
         let (row, report) = run_synthesis_row(
             "MSI-large 1 thread, pruning",
             MsiConfig::msi_large(),
@@ -133,26 +204,30 @@ fn main() {
         println!("{}", row.format());
         rows.push(row);
         reports.push(("MSI-large", report));
-        let (row, _) = run_synthesis_row(
-            "MSI-large 4 threads, pruning",
-            MsiConfig::msi_large(),
-            true,
-            4,
-            check_threads,
-        );
-        println!("{}", row.format());
-        rows.push(row);
+        if !pruned_only {
+            let (row, _) = run_synthesis_row(
+                "MSI-large 4 threads, pruning",
+                MsiConfig::msi_large(),
+                true,
+                4,
+                check_threads,
+            );
+            println!("{}", row.format());
+            rows.push(row);
+        }
     }
 
-    if xl {
-        let naive_row = estimate_naive_row(
-            "MSI-xl 1 thread, no pruning",
-            MsiConfig::msi_xl(),
-            samples,
-            0xC0FFEE,
-        );
-        println!("{}", naive_row.format());
-        rows.push(naive_row);
+    if xl && !sigint::triggered() {
+        if !pruned_only {
+            let naive_row = estimate_naive_row(
+                "MSI-xl 1 thread, no pruning",
+                MsiConfig::msi_xl(),
+                samples,
+                0xC0FFEE,
+            );
+            println!("{}", naive_row.format());
+            rows.push(naive_row);
+        }
         let (row, report) = run_synthesis_row(
             "MSI-xl 1 thread, pruning",
             MsiConfig::msi_xl(),
@@ -163,30 +238,34 @@ fn main() {
         println!("{}", row.format());
         rows.push(row);
         reports.push(("MSI-xl", report));
-        let (row, _) = run_synthesis_row(
-            "MSI-xl 4 threads, pruning",
-            MsiConfig::msi_xl(),
-            true,
-            4,
-            check_threads,
-        );
-        println!("{}", row.format());
-        rows.push(row);
+        if !pruned_only {
+            let (row, _) = run_synthesis_row(
+                "MSI-xl 4 threads, pruning",
+                MsiConfig::msi_xl(),
+                true,
+                4,
+                check_threads,
+            );
+            println!("{}", row.format());
+            rows.push(row);
+        }
     }
 
-    if n5 {
+    if n5 && !sigint::triggered() {
         // Beyond the paper on the *scalarset* axis: the MSI-small hole set
         // over five caches. Priced out of CI under the all-permutations
         // canonicalizer (5! rebuilds per visited state of every dispatch);
         // routine under the orbit-pruning search — see EXPERIMENTS.md.
-        let naive_row = estimate_naive_row(
-            "MSI-5 1 thread, no pruning",
-            MsiConfig::msi5(),
-            samples,
-            0xC0FFEE,
-        );
-        println!("{}", naive_row.format());
-        rows.push(naive_row);
+        if !pruned_only {
+            let naive_row = estimate_naive_row(
+                "MSI-5 1 thread, no pruning",
+                MsiConfig::msi5(),
+                samples,
+                0xC0FFEE,
+            );
+            println!("{}", naive_row.format());
+            rows.push(naive_row);
+        }
         let (row, report) = run_synthesis_row(
             "MSI-5 1 thread, pruning",
             MsiConfig::msi5(),
@@ -197,15 +276,17 @@ fn main() {
         println!("{}", row.format());
         rows.push(row);
         reports.push(("MSI-5", report));
-        let (row, _) = run_synthesis_row(
-            "MSI-5 4 threads, pruning",
-            MsiConfig::msi5(),
-            true,
-            4,
-            check_threads,
-        );
-        println!("{}", row.format());
-        rows.push(row);
+        if !pruned_only {
+            let (row, _) = run_synthesis_row(
+                "MSI-5 4 threads, pruning",
+                MsiConfig::msi5(),
+                true,
+                4,
+                check_threads,
+            );
+            println!("{}", row.format());
+            rows.push(row);
+        }
     }
 
     println!();
@@ -293,5 +374,19 @@ fn main() {
                 );
             }
         }
+    }
+
+    if sigint::triggered() {
+        println!();
+        if journaling {
+            println!("interrupted by SIGINT — the table above is partial; resume with:");
+            println!("  {}", resume_command("table1", &args));
+        } else {
+            println!(
+                "interrupted by SIGINT — the table above is partial \
+                 (pass --journal DIR to make interrupted runs resumable)"
+            );
+        }
+        std::process::exit(130);
     }
 }

@@ -12,10 +12,119 @@
 //! Paper reference numbers are embedded ([`paper`]) so every harness prints
 //! *paper vs measured* side by side; EXPERIMENTS.md records a full run.
 
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use verc3_core::{PatternMode, SynthOptions, SynthReport, Synthesizer};
-use verc3_mck::{Checker, CheckerOptions, FixedResolver, TransitionSystem, Verdict};
+use verc3_mck::{Checker, CheckerOptions, FixedResolver, MckError, TransitionSystem, Verdict};
 use verc3_protocols::msi::{MsiConfig, MsiModel};
+
+/// SIGINT → graceful-stop support for the harness binaries.
+///
+/// [`install`](sigint::install) registers a handler that raises a shared
+/// [`AtomicBool`]; the binaries hand that flag to
+/// [`SynthOptions::stop_flag`], so the first Ctrl-C stops the run at the
+/// next dispatch sequence point (flushing the journal) and a second Ctrl-C
+/// falls back to the default disposition — immediate death.
+#[cfg(unix)]
+pub mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Restore the default disposition first (async-signal-safe), so a
+        // second Ctrl-C kills a run that is slow to reach a sequence point.
+        unsafe { signal(SIGINT, SIG_DFL) };
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Installs the SIGINT handler (idempotent) and returns the stop flag
+    /// it raises.
+    pub fn install() -> Arc<AtomicBool> {
+        let flag = FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)));
+        unsafe { signal(SIGINT, on_sigint as *const () as usize) };
+        Arc::clone(flag)
+    }
+
+    /// Whether SIGINT has been received since [`install`].
+    pub fn triggered() -> bool {
+        FLAG.get().is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+}
+
+/// Non-Unix fallback: no handler, a flag that never fires.
+#[cfg(not(unix))]
+pub mod sigint {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    /// Returns a stop flag that no signal ever raises.
+    pub fn install() -> Arc<AtomicBool> {
+        Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))))
+    }
+
+    /// Always `false` off Unix.
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
+/// Lowercases `label` and collapses every non-alphanumeric run to one `-`
+/// — the journal-filename form of a row label.
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_owned()
+}
+
+/// Crash-safety and stop-control knobs shared by the harness binaries:
+/// progress journaling, resume, an external stop flag (SIGINT), and the
+/// wall-clock / state budgets.
+#[derive(Debug, Clone, Default)]
+pub struct RowControls {
+    /// Journal directory — each row journals to `<dir>/<label-slug>.vc3j`.
+    pub journal_dir: Option<PathBuf>,
+    /// Resume each row from its journal instead of starting fresh (a
+    /// missing journal starts fresh, so resume is always safe to pass).
+    pub resume: bool,
+    /// External stop request, typically [`sigint::install`]'s flag.
+    pub stop_flag: Option<Arc<AtomicBool>>,
+    /// Per-row wall-clock budget.
+    pub deadline: Option<Duration>,
+    /// Per-row checker state budget.
+    pub state_budget: Option<u64>,
+    /// Journal fsync cadence override (chunk records between `fsync`s).
+    pub journal_fsync_every: Option<u64>,
+}
+
+impl RowControls {
+    /// The journal path for a row label, if journaling is on.
+    pub fn journal_path(&self, label: &str) -> Option<PathBuf> {
+        self.journal_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{}.vc3j", slug(label))))
+    }
+}
 
 /// Reference values from the paper's Table I.
 pub mod paper {
@@ -296,6 +405,31 @@ pub fn run_synthesis_row_with(
     check_threads: usize,
     reuse_sessions: bool,
 ) -> (MeasuredRow, SynthReport) {
+    run_synthesis_row_controlled(
+        label,
+        config,
+        pruning,
+        threads,
+        check_threads,
+        reuse_sessions,
+        &RowControls::default(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_synthesis_row_with`] under explicit [`RowControls`]: journaling,
+/// resume, SIGINT stop flag, and budgets. Returns the structured error a
+/// corrupt or mismatched journal produces instead of panicking, so the
+/// harness binaries can print it and exit cleanly.
+pub fn run_synthesis_row_controlled(
+    label: &str,
+    config: MsiConfig,
+    pruning: bool,
+    threads: usize,
+    check_threads: usize,
+    reuse_sessions: bool,
+    controls: &RowControls,
+) -> Result<(MeasuredRow, SynthReport), MckError> {
     let model = MsiModel::new(config);
     let mut opts = SynthOptions::default()
         .pruning(pruning)
@@ -308,8 +442,29 @@ pub fn run_synthesis_row_with(
         // the prefix-only variant degenerates on this protocol.
         opts = opts.pattern_mode(PatternMode::Refined);
     }
+    let journaled = controls.journal_path(label);
+    if let Some(path) = &journaled {
+        opts = opts.journal(path);
+    }
+    if let Some(every) = controls.journal_fsync_every {
+        opts = opts.try_journal_fsync_every(every)?;
+    }
+    if let Some(flag) = &controls.stop_flag {
+        opts = opts.stop_flag(Arc::clone(flag));
+    }
+    if let Some(limit) = controls.deadline {
+        opts = opts.deadline(limit);
+    }
+    if let Some(states) = controls.state_budget {
+        opts = opts.state_budget(states);
+    }
+    let synth = Synthesizer::new(opts);
     let start = Instant::now();
-    let report = Synthesizer::new(opts).run(&model);
+    let report = if controls.resume && journaled.is_some() {
+        synth.resume_from_journal(&model)?
+    } else {
+        synth.try_run(&model)?
+    };
     let wall = start.elapsed();
     let row = MeasuredRow {
         label: label.to_owned(),
@@ -325,7 +480,43 @@ pub fn run_synthesis_row_with(
         wall,
         estimated: false,
     };
-    (row, report)
+    Ok((row, report))
+}
+
+/// The `#row` machine-readable result line the journaled `table1` rows
+/// print — one stable line per row that the kill-and-resume smoke test (and
+/// any CI diff) parses instead of the human table.
+pub fn machine_row_line(label: &str, report: &SynthReport) -> String {
+    let stats = report.stats();
+    format!(
+        "#row label=\"{}\" stop={:?} resumable={} evaluated={} patterns={} solutions={}",
+        label,
+        stats.stop,
+        report.is_resumable(),
+        stats.evaluated,
+        stats.patterns,
+        report.solutions().len(),
+    )
+}
+
+/// The exact invocation that resumes an interrupted harness run: the
+/// original argv with `--resume` appended (once).
+pub fn resume_command(bin: &str, args: &[String]) -> String {
+    let mut parts: Vec<String> = vec![
+        "cargo".into(),
+        "run".into(),
+        "--release".into(),
+        "-p".into(),
+        "verc3-bench".into(),
+        "--bin".into(),
+        bin.into(),
+        "--".into(),
+    ];
+    parts.extend(args.iter().cloned());
+    if !args.iter().any(|a| a == "--resume") {
+        parts.push("--resume".into());
+    }
+    parts.join(" ")
 }
 
 /// Estimates a naïve (no pruning) row by timing a uniform random sample of
@@ -584,5 +775,72 @@ mod tests {
         let row = estimate_naive_row("est", MsiConfig::msi_tiny(), 5, 7);
         assert!(row.estimated);
         assert_eq!(row.candidates, 105);
+    }
+
+    #[test]
+    fn slugs_are_filename_safe() {
+        assert_eq!(slug("MSI-xl 1 thread, pruning"), "msi-xl-1-thread-pruning");
+        assert_eq!(slug("  weird -- label  "), "weird-label");
+        assert_eq!(slug("plain"), "plain");
+    }
+
+    #[test]
+    fn resume_command_appends_the_flag_once() {
+        let args = vec!["--xl".to_owned(), "--journal".to_owned(), "j".to_owned()];
+        let cmd = resume_command("table1", &args);
+        assert!(
+            cmd.ends_with("table1 -- --xl --journal j --resume"),
+            "{cmd}"
+        );
+        let args = vec!["--xl".to_owned(), "--resume".to_owned()];
+        assert_eq!(
+            resume_command("table1", &args).matches("--resume").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn a_controlled_row_journals_and_resumes_to_the_same_result() {
+        let dir = std::env::temp_dir().join(format!("verc3-bench-row-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let controls = RowControls {
+            journal_dir: Some(dir.clone()),
+            ..RowControls::default()
+        };
+        let label = "tiny journaled";
+        let (_, first) =
+            run_synthesis_row_controlled(label, MsiConfig::msi_tiny(), true, 1, 1, true, &controls)
+                .expect("journaled run");
+        assert!(controls
+            .journal_path(label)
+            .expect("journaling on")
+            .exists());
+        let line = machine_row_line(label, &first);
+        assert!(
+            line.contains("stop=Completed") && line.contains("solutions=2"),
+            "{line}"
+        );
+
+        // Resuming a *completed* journal replays it without re-searching
+        // and lands on the identical report.
+        let resumed = RowControls {
+            resume: true,
+            ..controls.clone()
+        };
+        let (_, second) =
+            run_synthesis_row_controlled(label, MsiConfig::msi_tiny(), true, 1, 1, true, &resumed)
+                .expect("resumed run");
+        assert_eq!(second.solutions(), first.solutions());
+        assert_eq!(second.stats().evaluated, first.stats().evaluated);
+        assert_eq!(second.stats().patterns, first.stats().patterns);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_sigint_flag_is_shared_and_initially_clear() {
+        let a = sigint::install();
+        let b = sigint::install();
+        assert!(!sigint::triggered());
+        assert!(Arc::ptr_eq(&a, &b), "install must hand out one flag");
     }
 }

@@ -45,6 +45,7 @@
 
 pub mod candidate;
 pub mod hole;
+pub mod journal;
 pub mod odometer;
 pub mod pattern;
 pub mod report;
@@ -55,7 +56,7 @@ pub use candidate::{CandidateVec, Slot};
 pub use hole::{HoleId, HoleInfo, HoleRegistry};
 pub use odometer::{space_size, Odometer};
 pub use pattern::{PatternMode, PatternTable, ReferencePatternTable, SparsePattern};
-pub use report::{GenStats, RunRecord, Solution, SynthReport, SynthStats};
+pub use report::{GenStats, Quarantined, RunRecord, Solution, StopReason, SynthReport, SynthStats};
 pub use resolver::{
     assignment_delta, CandidateResolver, DiscoveryDefault, NameCache, SharedCandidateResolver,
 };

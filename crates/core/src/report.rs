@@ -52,6 +52,56 @@ impl Solution {
     }
 }
 
+/// Why a synthesis run stopped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The search space was exhausted: every generation completed.
+    #[default]
+    Completed,
+    /// The [`crate::SynthOptions::max_evaluations`] cap was reached.
+    MaxEvaluations,
+    /// The [`crate::SynthOptions::deadline`] elapsed.
+    Deadline,
+    /// The global [`crate::SynthOptions::state_budget`] was exhausted.
+    StateBudget,
+    /// An external stop was requested through
+    /// [`crate::SynthOptions::stop_flag`] (e.g. SIGINT).
+    Interrupted,
+}
+
+impl StopReason {
+    /// `true` unless the run completed: a stopped run left candidate space
+    /// unexplored and (when journaled) can be resumed with
+    /// [`crate::Synthesizer::resume_from_journal`].
+    pub fn is_resumable(&self) -> bool {
+        *self != StopReason::Completed
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StopReason::Completed => "completed",
+            StopReason::MaxEvaluations => "evaluation cap reached",
+            StopReason::Deadline => "deadline elapsed",
+            StopReason::StateBudget => "state budget exhausted",
+            StopReason::Interrupted => "interrupted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A candidate whose evaluation panicked (a bug in user protocol code): the
+/// candidate is excluded from solutions and patterns, the panic is recorded
+/// here, and synthesis continues with the rest of the space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// The candidate's concrete frontier digits at dispatch time.
+    pub digits: Vec<u16>,
+    /// The panic message.
+    pub message: String,
+}
+
 /// One row of the Figure-2-style run table (recorded when
 /// [`crate::SynthOptions::record_runs`] is enabled).
 #[derive(Debug, Clone)]
@@ -109,6 +159,12 @@ pub struct SynthStats {
     /// `true` if the run stopped early on
     /// [`crate::SynthOptions::max_evaluations`].
     pub truncated: bool,
+    /// Why the run stopped (`Completed` unless a cap, budget, deadline or
+    /// external stop fired first).
+    pub stop: StopReason,
+    /// Candidates quarantined because their evaluation panicked (see
+    /// [`SynthReport::quarantined`] for the details).
+    pub quarantined: u64,
     /// States the checker committed by live exploration, summed over every
     /// dispatch — the actual verification work done.
     pub check_states_expanded: u64,
@@ -140,6 +196,7 @@ pub struct SynthReport {
     pub(crate) solutions: Vec<Solution>,
     pub(crate) stats: SynthStats,
     pub(crate) run_log: Vec<RunRecord>,
+    pub(crate) quarantined: Vec<Quarantined>,
 }
 
 impl SynthReport {
@@ -167,6 +224,24 @@ impl SynthReport {
     /// The per-run log (empty unless [`crate::SynthOptions::record_runs`]).
     pub fn run_log(&self) -> &[RunRecord] {
         &self.run_log
+    }
+
+    /// Candidates whose evaluation panicked and were excluded from the
+    /// search (in dispatch order). Empty for a healthy protocol.
+    pub fn quarantined(&self) -> &[Quarantined] {
+        &self.quarantined
+    }
+
+    /// Why the run stopped.
+    pub fn stop_reason(&self) -> StopReason {
+        self.stats.stop
+    }
+
+    /// `true` if the run stopped before exhausting the candidate space and
+    /// can be resumed (via [`crate::Synthesizer::resume_from_journal`] when
+    /// a journal was written).
+    pub fn is_resumable(&self) -> bool {
+        self.stats.stop.is_resumable()
     }
 
     /// Size of the naïve candidate space: the product of the discovered
@@ -276,6 +351,16 @@ impl fmt::Display for SynthReport {
             self.stats.check_reuse_rate() * 100.0
         )?;
         writeln!(f, "  wall time        : {:?}", self.stats.wall)?;
+        if self.stats.stop != StopReason::Completed {
+            writeln!(f, "  stopped early    : {} (resumable)", self.stats.stop)?;
+        }
+        if self.stats.quarantined > 0 {
+            writeln!(
+                f,
+                "  quarantined      : {} candidate(s) panicked during evaluation",
+                self.stats.quarantined
+            )?;
+        }
         writeln!(f, "  solutions        : {}", self.solutions.len())?;
         for s in &self.solutions {
             writeln!(

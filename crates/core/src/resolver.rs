@@ -476,7 +476,15 @@ impl Drop for WorkerCandidateResolver<'_> {
     /// Backstop for drivers without drain points: whatever is still pending
     /// registers now, in this worker's consultation order — which for a
     /// single-worker (serial) run *is* the serial discovery order.
+    ///
+    /// During a panic unwind the pending specs are dropped instead: they
+    /// are speculative discoveries of an evaluation that never completed,
+    /// and registering them from unwinding workers would make the registry
+    /// order depend on which worker happened to crash first.
     fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
         for spec in self.pending.drain(..) {
             let _ = self.shared.registry.resolve_or_register(&spec);
         }

@@ -149,11 +149,24 @@ impl CheckerOptions {
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0`.
-    pub fn threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "at least one checker thread is required");
+    /// Panics if `threads == 0`; see [`CheckerOptions::try_threads`] for the
+    /// fallible variant.
+    #[track_caller]
+    pub fn threads(self, threads: usize) -> Self {
+        self.try_threads(threads).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`CheckerOptions::threads`]: rejects `0` with
+    /// [`MckError::InvalidConfig`] instead of panicking.
+    pub fn try_threads(mut self, threads: usize) -> Result<Self, MckError> {
+        if threads == 0 {
+            return Err(MckError::InvalidConfig {
+                param: "threads",
+                reason: "at least one checker thread is required".into(),
+            });
+        }
         self.threads = threads;
-        self
+        Ok(self)
     }
 
     /// Whether [`CheckerOptions::threads`] is clamped to
@@ -175,11 +188,25 @@ impl CheckerOptions {
     ///
     /// # Panics
     ///
-    /// Panics if `states == 0`.
-    pub fn chunk_states(mut self, states: usize) -> Self {
-        assert!(states > 0, "chunks must hold at least one state");
+    /// Panics if `states == 0`; see [`CheckerOptions::try_chunk_states`] for
+    /// the fallible variant.
+    #[track_caller]
+    pub fn chunk_states(self, states: usize) -> Self {
+        self.try_chunk_states(states)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`CheckerOptions::chunk_states`]: rejects `0`
+    /// with [`MckError::InvalidConfig`] instead of panicking.
+    pub fn try_chunk_states(mut self, states: usize) -> Result<Self, MckError> {
+        if states == 0 {
+            return Err(MckError::InvalidConfig {
+                param: "chunk_states",
+                reason: "chunks must hold at least one state".into(),
+            });
+        }
         self.chunk_states = Some(states);
-        self
+        Ok(self)
     }
 
     /// Forces the claim-table stripe count (rounded up to a power of two,
@@ -189,11 +216,25 @@ impl CheckerOptions {
     ///
     /// # Panics
     ///
-    /// Panics if `stripes == 0`.
-    pub fn claim_stripes(mut self, stripes: usize) -> Self {
-        assert!(stripes > 0, "at least one claim stripe is required");
+    /// Panics if `stripes == 0`; see [`CheckerOptions::try_claim_stripes`]
+    /// for the fallible variant.
+    #[track_caller]
+    pub fn claim_stripes(self, stripes: usize) -> Self {
+        self.try_claim_stripes(stripes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`CheckerOptions::claim_stripes`]: rejects `0`
+    /// with [`MckError::InvalidConfig`] instead of panicking.
+    pub fn try_claim_stripes(mut self, stripes: usize) -> Result<Self, MckError> {
+        if stripes == 0 {
+            return Err(MckError::InvalidConfig {
+                param: "claim_stripes",
+                reason: "at least one claim stripe is required".into(),
+            });
+        }
         self.claim_stripes = Some(stripes);
-        self
+        Ok(self)
     }
 
     /// The configured worker-thread count (as requested, before clamping).
@@ -240,11 +281,11 @@ impl Checker {
     /// [`CheckSession::check`] repeatedly to reuse the shared exploration
     /// prefix.
     ///
-    /// # Panics
-    ///
-    /// Panics if the model consults a hole; use [`Checker::run_with`] (or
-    /// [`Checker::run_shared`] for parallel runs) with an appropriate
-    /// resolver for models containing holes.
+    /// A model that consults a hole is a usage error: the [`NoHoles`]
+    /// resolver panics, the panic-isolation layer catches it, and the run
+    /// reports [`Verdict::Unknown`] with [`MckError::CandidatePanicked`].
+    /// Use [`Checker::run_with`] (or [`Checker::run_shared`] for parallel
+    /// runs) with an appropriate resolver for models containing holes.
     pub fn run<M: TransitionSystem>(&self, model: &M) -> Outcome<M::State> {
         let mut session = self.session(model);
         // The session dies right after this one check, so a kept graph can
@@ -278,12 +319,18 @@ impl Checker {
     /// this entry point always runs the serial driver regardless of
     /// [`CheckerOptions::threads`]; use [`Checker::run_shared`] to check in
     /// parallel.
+    ///
+    /// A panic in user protocol code (a rule, an invariant, or the resolver
+    /// itself) is caught here and reported as a [`Verdict::Unknown`] outcome
+    /// carrying [`MckError::CandidatePanicked`]; the checker stays usable.
     pub fn run_with<M: TransitionSystem>(
         &self,
         model: &M,
         resolver: &mut dyn HoleResolver,
     ) -> Outcome<M::State> {
-        Bfs::new(model, &self.options, resolver).explore()
+        isolate_candidate(model.name(), || {
+            Bfs::new(model, &self.options, resolver).explore()
+        })
     }
 
     /// Verifies a model through a thread-shareable resolution strategy,
@@ -293,17 +340,44 @@ impl Checker {
     /// over one worker resolver; with more threads the layer-synchronized
     /// parallel driver is used, which returns bit-identical outcomes (see
     /// `parallel`).
+    ///
+    /// Panics in user protocol code are isolated exactly as in
+    /// [`Checker::run_with`] — including panics raised inside pool workers,
+    /// which the pool collects and re-raises on this thread after the batch.
     pub fn run_shared<M: TransitionSystem>(
         &self,
         model: &M,
         resolver: &dyn SharedResolver,
     ) -> Outcome<M::State> {
-        if self.options.effective_threads() > 1 {
-            parallel::ParallelBfs::new(model, &self.options, resolver).explore()
-        } else {
-            let mut worker = resolver.worker();
-            Bfs::new(model, &self.options, &mut *worker).explore()
-        }
+        isolate_candidate(model.name(), || {
+            if self.options.effective_threads() > 1 {
+                parallel::ParallelBfs::new(model, &self.options, resolver).explore()
+            } else {
+                let mut worker = resolver.worker();
+                Bfs::new(model, &self.options, &mut *worker).explore()
+            }
+        })
+    }
+}
+
+/// Runs one candidate evaluation with panic isolation: a panic anywhere in
+/// the closure (user rule code, invariants, resolver consultations) becomes
+/// an [`Outcome::panicked`] instead of unwinding through the caller.
+///
+/// `AssertUnwindSafe` is sound here because everything the closure could
+/// have left in a broken state is owned by the closure and dropped with it
+/// (one-shot drivers build their entire search state inside the call);
+/// long-lived state is handled by [`CheckSession::check`], which resets the
+/// session on the same catch.
+pub(crate) fn isolate_candidate<S>(model: &str, f: impl FnOnce() -> Outcome<S>) -> Outcome<S> {
+    let start = Instant::now();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(outcome) => outcome,
+        Err(payload) => Outcome::panicked(
+            model,
+            start.elapsed(),
+            crate::error::panic_message(&*payload),
+        ),
     }
 }
 

@@ -129,6 +129,21 @@ pub struct Outcome<S> {
 }
 
 impl<S> Outcome<S> {
+    /// Outcome of a check whose user protocol code panicked: verdict
+    /// [`Verdict::Unknown`], no statistics (the partial exploration was
+    /// discarded), incomplete with [`MckError::CandidatePanicked`].
+    pub(crate) fn panicked(model: &str, elapsed: Duration, message: String) -> Self {
+        Outcome {
+            verdict: Verdict::Unknown,
+            failure: None,
+            stats: Stats::default(),
+            timing: Timing { elapsed },
+            incomplete: Some(MckError::CandidatePanicked { message }),
+            graph: None,
+            model: model.to_owned(),
+        }
+    }
+
     /// The three-valued verdict.
     pub fn verdict(&self) -> Verdict {
         self.verdict

@@ -261,6 +261,7 @@ impl<S: Clone + Eq> ClaimTable<S> {
         state: S,
         violated: &dyn Fn(&S) -> Option<u32>,
     ) -> ClaimProbe {
+        crate::faults::probe_panic(crate::faults::site::CLAIM_PROBE);
         let mask = self.buckets.len() - 1;
         let tag_bits = (hash >> TAG_SHIFT) << TAG_SHIFT;
         let mut idx = (hash as usize) & mask;
@@ -643,6 +644,7 @@ impl<S: Clone + Eq + Hash + Send + Sync> Engine<S> {
         M: TransitionSystem<State = S>,
         R: SharedResolver + ?Sized,
     {
+        crate::faults::probe_panic(crate::faults::site::EXPAND_CHUNK);
         let states = &core.states;
         let model = core.model;
         let mut worker = resolver.expansion_worker(self.pop_name_cache());

@@ -151,7 +151,10 @@ impl Drop for WorkerPool {
 /// Executes one job, recording (not propagating) a panic, and signals batch
 /// completion if it was the last outstanding job.
 fn run_one(shared: &PoolShared, job: Job) {
-    let result = std::panic::catch_unwind(AssertUnwindSafe(job));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        crate::faults::probe_panic(crate::faults::site::POOL_JOB);
+        job();
+    }));
     let mut state = shared.state.lock().expect("pool lock");
     if let Err(panic) = result {
         state.panic.get_or_insert(panic);

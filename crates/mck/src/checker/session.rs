@@ -249,8 +249,38 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
     /// attribution, trace, graph) to a fresh one-shot run of the same
     /// candidate — reuse is invisible except in wall-clock time and
     /// [`CheckSession::stats`].
+    ///
+    /// A panic in user protocol code (a rule, an invariant, the resolver)
+    /// is caught and reported as a [`Verdict::Unknown`] outcome carrying
+    /// [`MckError::CandidatePanicked`]. Because the panic may interrupt the
+    /// search mid-layer, the session discards its store and checkpoints —
+    /// the next check re-explores from the initial states (bit-identical to
+    /// a fresh session by the one-shot equivalence contract), and the
+    /// worker pool, claim table, and session itself remain fully usable.
     pub fn check(&mut self, resolver: &dyn SessionResolver) -> Outcome<M::State> {
         let start = Instant::now();
+        // AssertUnwindSafe: on panic every structure the interrupted check
+        // could have left inconsistent (store, visited index, checkpoint
+        // logs, engine claim table) is wiped by `reset` below before the
+        // session can be observed again.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.check_inner(start, resolver)
+        }));
+        match caught {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                self.reset();
+                Outcome::panicked(
+                    self.core.model.name(),
+                    start.elapsed(),
+                    crate::error::panic_message(&*payload),
+                )
+            }
+        }
+    }
+
+    /// The panic-unsafe body of [`CheckSession::check`].
+    fn check_inner(&mut self, start: Instant, resolver: &dyn SessionResolver) -> Outcome<M::State> {
         self.stats.checks += 1;
 
         if self.initial.is_empty() {
@@ -325,6 +355,9 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
         self.engine.reset();
         self.checkpoints.clear();
         self.layer_touches.clear();
+        // Stale resume depths index into the (now empty) touch log;
+        // `reused_touches` right after a reset must see an empty reuse set.
+        self.last_resume = 0;
     }
 
     /// Rolls the search back to `checkpoints[depth]`: truncates the

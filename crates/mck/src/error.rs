@@ -31,6 +31,38 @@ pub enum MckError {
         /// Name of the offending hole.
         name: String,
     },
+    /// User protocol code (a rule application, an invariant, or a resolver)
+    /// panicked while this candidate was being checked.
+    ///
+    /// The panic is caught at the check entry point, the candidate's partial
+    /// exploration is discarded, and the checker — including a long-lived
+    /// [`crate::CheckSession`] and its worker pool — remains fully usable;
+    /// the synthesis layer quarantines the candidate. The verdict of such an
+    /// outcome is [`crate::Verdict::Unknown`].
+    CandidatePanicked {
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+    /// A configuration value is out of its valid range.
+    ///
+    /// Returned by the fallible `try_*` option setters; the corresponding
+    /// panicking setters wrap this error.
+    InvalidConfig {
+        /// Name of the offending option or parameter.
+        param: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A synthesis progress journal could not be used for resumption.
+    ///
+    /// Raised for a missing or unreadable journal file, a corrupt header,
+    /// or a journal written for a different model or with incompatible
+    /// options. A *torn final record* is not an error — it is truncated
+    /// away during recovery.
+    JournalCorrupt {
+        /// What was wrong with the journal.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MckError {
@@ -49,11 +81,32 @@ impl fmt::Display for MckError {
                     "hole `{name}` re-declared with a different action library"
                 )
             }
+            MckError::CandidatePanicked { message } => {
+                write!(f, "candidate evaluation panicked: {message}")
+            }
+            MckError::InvalidConfig { param, reason } => {
+                write!(f, "invalid configuration for `{param}`: {reason}")
+            }
+            MckError::JournalCorrupt { reason } => {
+                write!(f, "progress journal unusable: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for MckError {}
+
+/// Best-effort extraction of a panic payload's message (panics almost always
+/// carry a `&str` or `String`).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -71,5 +124,34 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<MckError>();
+    }
+
+    #[test]
+    fn new_variants_display() {
+        let e = MckError::CandidatePanicked {
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "candidate evaluation panicked: boom");
+        let e = MckError::InvalidConfig {
+            param: "threads",
+            reason: "at least one worker thread is required".into(),
+        };
+        assert!(e
+            .to_string()
+            .starts_with("invalid configuration for `threads`"));
+        let e = MckError::JournalCorrupt {
+            reason: "bad magic".into(),
+        };
+        assert_eq!(e.to_string(), "progress journal unusable: bad magic");
+    }
+
+    #[test]
+    fn panic_message_downcasts_common_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(&*p), "static str");
+        let p = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(&*p), "formatted 7");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(&*p), "non-string panic payload");
     }
 }

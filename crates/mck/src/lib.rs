@@ -62,6 +62,7 @@
 pub mod checker;
 pub mod error;
 pub mod eval;
+pub mod faults;
 pub mod graph_model;
 pub mod hashers;
 pub mod model;
