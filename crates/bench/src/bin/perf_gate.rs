@@ -23,7 +23,12 @@
 //!   serial on both msi_golden corpora;
 //! * `BENCH_journal.json` — the unjournaled-vs-journaled wall ratio on the
 //!   serial pruned MSI-large row (with an absolute floor: journaling may
-//!   never cost more than 25% wall).
+//!   never cost more than 25% wall);
+//! * `BENCH_guided.json` — the lexicographic-vs-guided probe ratio on the
+//!   serial pruned msi_xl row (with an absolute floor: guided enumeration
+//!   must spend ≥ 5× fewer per-depth pattern probes than skip-counting).
+//!   Probe counts are deterministic, so this ratio is immune to runner
+//!   jitter entirely.
 //!
 //! The parallelism gates additionally enforce an **absolute floor**
 //! (independent of the baseline, which may have been recorded on a
@@ -218,7 +223,20 @@ fn session_wall_ms(rows: &[Row], workload: &str, check_threads: f64) -> f64 {
     )
 }
 
-const GATES: [Gate; 8] = [
+/// Pinned `probes` of one `BENCH_guided.json` row.
+fn guided_probes(rows: &[Row], strategy: &str) -> f64 {
+    pinned(
+        rows,
+        &[
+            ("workload", Value::Str("msi_xl".into())),
+            ("strategy", Value::Str(strategy.into())),
+        ],
+        "probes",
+        "guided_enum",
+    )
+}
+
+const GATES: [Gate; 9] = [
     Gate {
         file: "BENCH_journal.json",
         name: "journal_overhead: unjournaled/journaled wall ratio, msi_large",
@@ -334,6 +352,17 @@ const GATES: [Gate; 8] = [
         },
         floor: Some(0.9),
         min_cores: 4,
+    },
+    Gate {
+        file: "BENCH_guided.json",
+        name: "guided_enum: lexicographic/guided probe ratio, msi_xl",
+        extract: |rows| {
+            guided_probes(rows, "lexicographic") / guided_probes(rows, "guided").max(1.0)
+        },
+        // Deterministic counts, not wall times: guided enumeration must
+        // spend at least 5x fewer per-depth probes than skip-counting.
+        floor: Some(5.0),
+        min_cores: 1,
     },
 ];
 

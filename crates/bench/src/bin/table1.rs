@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p verc3-bench --bin table1 -- [--small] [--large] [--xl]
 //!     [--n5] [--naive-large-full] [--classify] [--samples N] [--check-threads N]
-//!     [--one-shot] [--pruned-only] [--journal DIR] [--resume]
+//!     [--one-shot] [--pruned-only] [--guided] [--journal DIR] [--resume]
 //!     [--deadline-secs N] [--state-budget N]
 //! ```
 //!
@@ -17,6 +17,15 @@
 //! `--check-threads N` parallelizes every model-checker dispatch inside
 //! synthesis with `N` workers (orthogonal to the table's cross-candidate
 //! "4 threads" rows); dispatch counts and solutions are unaffected.
+//!
+//! `--guided` switches the pruned rows to guided enumeration: the learned
+//! pattern table drives the odometer to the next consistent assignment
+//! instead of vetoing candidates one by one. Every number in the table is
+//! identical to the lexicographic run — the guided walk visits the same
+//! candidate sequence — only the per-candidate probe work drops (the
+//! `guided_enum` bench quantifies it). Naïve rows are unaffected (guided
+//! enumeration requires pruning). The journal fingerprint pins the
+//! strategy, so `--resume` must repeat the original run's `--guided`.
 //!
 //! By default both paper problem sizes run; the MSI-large naïve baseline —
 //! which took the paper 31 573 s — is extrapolated from a uniform random
@@ -45,6 +54,7 @@ use verc3_bench::{
     estimate_naive_row, machine_row_line, paper, parse_check_threads, resume_command, row_header,
     run_synthesis_row_controlled, sigint, MeasuredRow, RowControls,
 };
+use verc3_core::Enumeration;
 use verc3_protocols::msi::MsiConfig;
 
 fn main() {
@@ -84,6 +94,11 @@ fn main() {
             v.parse()
                 .expect("--journal-fsync-every requires a record count")
         }),
+        enumeration: if has("--guided") {
+            Enumeration::Guided
+        } else {
+            Enumeration::Lexicographic
+        },
     };
     if let Some(dir) = &controls.journal_dir {
         std::fs::create_dir_all(dir).expect("create --journal directory");

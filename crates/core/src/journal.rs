@@ -20,12 +20,13 @@
 //! ## Records
 //!
 //! * **Header** — magic, format version, model name, and an options
-//!   *fingerprint* (pruning, pattern mode, chunk size). Resume refuses a
-//!   journal whose fingerprint disagrees with the current options, because
-//!   chunk coverage is expressed in chunk-index space and patterns depend on
-//!   the pattern mode. Thread counts, budgets, and caps are deliberately
-//!   *not* fingerprinted: a capped run may be resumed with a higher cap and
-//!   more threads.
+//!   *fingerprint* (pruning, pattern mode, chunk size, enumeration
+//!   strategy). Resume refuses a journal whose fingerprint disagrees with
+//!   the current options, because chunk coverage is expressed in chunk-index
+//!   space, patterns depend on the pattern mode, and probe accounting
+//!   depends on the enumeration strategy. Thread counts, budgets, and caps
+//!   are deliberately *not* fingerprinted: a capped run may be resumed with
+//!   a higher cap and more threads.
 //! * **GenStart** — a generation (enumeration pass at frontier width `k`)
 //!   began.
 //! * **Chunk** — a contiguous range of odometer chunks completed, with its
@@ -47,6 +48,7 @@
 use crate::hole::{HoleInfo, HoleRegistry};
 use crate::pattern::{PatternMode, SparsePattern};
 use crate::report::{Quarantined, Solution, StopReason};
+use crate::synth::Enumeration;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -55,7 +57,7 @@ use verc3_mck::faults;
 use verc3_mck::MckError;
 
 const MAGIC: [u8; 4] = *b"VC3J";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 const TAG_HEADER: u8 = 1;
 const TAG_GEN_START: u8 = 2;
@@ -164,13 +166,15 @@ impl<'a> Dec<'a> {
 // Record types.
 
 /// The option subset a journal is only valid under (coverage is expressed in
-/// chunk indices; patterns depend on the mode). Everything else — threads,
-/// caps, budgets — may change across a resume.
+/// chunk indices; patterns depend on the mode; probe accounting depends on
+/// the enumeration strategy). Everything else — threads, caps, budgets — may
+/// change across a resume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Fingerprint {
     pub pruning: bool,
     pub pattern_mode: PatternMode,
     pub chunk_size: u64,
+    pub enumeration: Enumeration,
 }
 
 impl Fingerprint {
@@ -181,6 +185,10 @@ impl Fingerprint {
             PatternMode::Refined => 1,
         });
         e.u64(self.chunk_size);
+        e.u8(match self.enumeration {
+            Enumeration::Lexicographic => 0,
+            Enumeration::Guided => 1,
+        });
     }
 
     fn decode(d: &mut Dec<'_>) -> Option<Self> {
@@ -194,10 +202,17 @@ impl Fingerprint {
             1 => PatternMode::Refined,
             _ => return None,
         };
+        let chunk_size = d.u64()?;
+        let enumeration = match d.u8()? {
+            0 => Enumeration::Lexicographic,
+            1 => Enumeration::Guided,
+            _ => return None,
+        };
         Some(Fingerprint {
             pruning,
             pattern_mode,
-            chunk_size: d.u64()?,
+            chunk_size,
+            enumeration,
         })
     }
 }
@@ -244,6 +259,9 @@ pub(crate) struct ChunkDraft {
     pub evaluated: u64,
     pub skipped: u64,
     pub deduped: u64,
+    /// Per-depth pattern consultations spent proposing this chunk's
+    /// candidates (see [`crate::report::GenStats::probes`]).
+    pub probes: u64,
     /// Checker states expanded live while evaluating this chunk.
     pub expanded: u64,
     /// Checker states inherited from session checkpoints in this chunk.
@@ -286,6 +304,7 @@ impl ChunkDraft {
         e.u64(self.evaluated);
         e.u64(self.skipped);
         e.u64(self.deduped);
+        e.u64(self.probes);
         e.u64(self.expanded);
         e.u64(self.reused);
         e.u32(self.holes.len() as u32);
@@ -345,6 +364,7 @@ impl ChunkDraft {
             evaluated: d.u64()?,
             skipped: d.u64()?,
             deduped: d.u64()?,
+            probes: d.u64()?,
             expanded: d.u64()?,
             reused: d.u64()?,
             ..Default::default()
@@ -409,12 +429,14 @@ impl ChunkDraft {
 // ---------------------------------------------------------------------------
 // Writer.
 
-/// A pending coalesced range of inactive chunks (nothing but skip counts).
+/// A pending coalesced range of inactive chunks (nothing but skip and probe
+/// counts).
 struct Pending {
     first: u64,
     count: u64,
     skipped: u64,
     deduped: u64,
+    probes: u64,
 }
 
 struct WriterInner {
@@ -544,6 +566,7 @@ impl JournalWriter {
             draft.count += p.count;
             draft.skipped += p.skipped;
             draft.deduped += p.deduped;
+            draft.probes += p.probes;
         }
         if let Some(pos) = inner
             .pending
@@ -554,6 +577,7 @@ impl JournalWriter {
             draft.count += p.count;
             draft.skipped += p.skipped;
             draft.deduped += p.deduped;
+            draft.probes += p.probes;
         }
         let snapshot = registry.snapshot();
         draft.holes = snapshot.get(inner.hole_cursor..).unwrap_or(&[]).to_vec();
@@ -596,6 +620,7 @@ fn merge_pending(pending: &mut Vec<Pending>, draft: ChunkDraft) {
         p.count += draft.count;
         p.skipped += draft.skipped;
         p.deduped += draft.deduped;
+        p.probes += draft.probes;
         // The grown predecessor may now touch its successor.
         if pos < pending.len()
             && pending[pos - 1].first + pending[pos - 1].count == pending[pos].first
@@ -605,6 +630,7 @@ fn merge_pending(pending: &mut Vec<Pending>, draft: ChunkDraft) {
             p.count += succ.count;
             p.skipped += succ.skipped;
             p.deduped += succ.deduped;
+            p.probes += succ.probes;
         }
         return;
     }
@@ -615,6 +641,7 @@ fn merge_pending(pending: &mut Vec<Pending>, draft: ChunkDraft) {
         p.count += draft.count;
         p.skipped += draft.skipped;
         p.deduped += draft.deduped;
+        p.probes += draft.probes;
         return;
     }
     pending.insert(
@@ -624,6 +651,7 @@ fn merge_pending(pending: &mut Vec<Pending>, draft: ChunkDraft) {
             count: draft.count,
             skipped: draft.skipped,
             deduped: draft.deduped,
+            probes: draft.probes,
         },
     );
 }
@@ -641,6 +669,7 @@ fn flush_pending(inner: &mut WriterInner) -> std::io::Result<()> {
             count: p.count,
             skipped: p.skipped,
             deduped: p.deduped,
+            probes: p.probes,
             ..Default::default()
         };
         let payload = draft.encode();
@@ -679,6 +708,7 @@ pub(crate) struct GenReplay {
     pub evaluated: u64,
     pub skipped: u64,
     pub deduped: u64,
+    pub probes: u64,
 }
 
 /// The state a valid journal prefix reconstructs.
@@ -790,6 +820,7 @@ pub(crate) fn read(path: &Path) -> Result<Option<JournalReplay>, MckError> {
                 gen.evaluated += chunk.evaluated;
                 gen.skipped += chunk.skipped;
                 gen.deduped += chunk.deduped;
+                gen.probes += chunk.probes;
                 add_range(&mut gen.ranges, chunk.first, chunk.count);
                 replay.evaluated_total += chunk.evaluated;
                 replay.expanded += chunk.expanded;
@@ -890,6 +921,7 @@ mod tests {
             pruning: true,
             pattern_mode: PatternMode::Exact,
             chunk_size: 32,
+            enumeration: Enumeration::Lexicographic,
         }
     }
 

@@ -54,10 +54,12 @@ pub mod synth;
 
 pub use candidate::{CandidateVec, Slot};
 pub use hole::{HoleId, HoleInfo, HoleRegistry};
-pub use odometer::{space_size, Odometer};
-pub use pattern::{PatternMode, PatternTable, ReferencePatternTable, SparsePattern};
+pub use odometer::{space_size, GuidedOdometer, Odometer};
+pub use pattern::{
+    PatternMode, PatternSink, PatternTable, Propagator, ReferencePatternTable, SparsePattern,
+};
 pub use report::{GenStats, Quarantined, RunRecord, Solution, StopReason, SynthReport, SynthStats};
 pub use resolver::{
     assignment_delta, CandidateResolver, DiscoveryDefault, NameCache, SharedCandidateResolver,
 };
-pub use synth::{SynthOptions, Synthesizer};
+pub use synth::{Enumeration, SynthOptions, Synthesizer};

@@ -15,6 +15,8 @@
 
 use std::fmt;
 
+use crate::pattern::Propagator;
+
 /// Mixed-radix counter over a candidate range.
 #[derive(Debug, Clone)]
 pub struct Odometer {
@@ -77,6 +79,15 @@ impl Odometer {
         self.radices.len()
     }
 
+    /// Arity of the hole at `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= width()`.
+    pub fn radix(&self, depth: usize) -> u32 {
+        self.radices[depth]
+    }
+
     /// The current candidate's digits, or `None` if the range is exhausted.
     pub fn current(&self) -> Option<&[u16]> {
         (self.index < self.end).then_some(&self.digits[..])
@@ -112,14 +123,18 @@ impl Odometer {
     ///
     /// After the call, [`Odometer::current`] is the first candidate of the
     /// next subtree (or `None` if the range is exhausted). `depth == 0`
-    /// exhausts the entire range.
+    /// exhausts the entire range. On an already-exhausted odometer the call
+    /// is a no-op returning 0 — guided enumeration skips at every prune and
+    /// must be able to land a final-candidate prune harmlessly.
     ///
     /// # Panics
     ///
-    /// Panics if the range is already exhausted or `depth > width()`.
+    /// Panics if `depth > width()`.
     pub fn skip_subtree(&mut self, depth: usize) -> u128 {
-        assert!(self.index < self.end, "skip on exhausted odometer");
         assert!(depth <= self.width(), "depth out of range");
+        if self.index >= self.end {
+            return 0;
+        }
 
         // Linear index of the end of the current depth-`depth` subtree.
         let subtree = self.weight[depth];
@@ -128,12 +143,24 @@ impl Odometer {
         let skipped = subtree_end - self.index;
         self.index = subtree_end;
         if self.index < self.end {
-            // Recompute digits from the linear index (O(k); skips are rare
-            // relative to advances, and k is tiny).
-            let mut rem = self.index;
-            for i in 0..self.digits.len() {
-                self.digits[i] = (rem / self.weight[i + 1]) as u16;
-                rem %= self.weight[i + 1];
+            // Landing digits: zero the subtree's suffix and carry one into
+            // the prefix. O(depth-to-carry) instead of a full div/mod
+            // decode of the u128 index — guided enumeration skips at every
+            // prune, so this is the hot advance path, not a rare event.
+            for d in &mut self.digits[depth..] {
+                *d = 0;
+            }
+            let mut i = depth;
+            loop {
+                // `i == 0` is unreachable here: a carry out of the most
+                // significant digit means the full space is exhausted, and
+                // `subtree_end` would already have clamped to `end`.
+                i -= 1;
+                self.digits[i] += 1;
+                if (self.digits[i] as u32) < self.radices[i] {
+                    break;
+                }
+                self.digits[i] = 0;
             }
         }
         skipped
@@ -143,6 +170,111 @@ impl Odometer {
 impl fmt::Display for Odometer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "odometer@{} {:?}", self.index, self.digits)
+    }
+}
+
+/// Guided enumeration: a mixed-radix walker driven by pattern-constraint
+/// propagation (the CEGIS "propose" step informed by everything "learn"
+/// recorded so far).
+///
+/// Where the plain [`Odometer`] proposes candidates lexicographically and
+/// leaves filtering to the caller, a `GuidedOdometer` couples the walk to a
+/// [`Propagator`]: [`GuidedOdometer::seek_consistent`] jumps directly to
+/// the next assignment consistent with every learned dense prefix and
+/// sparse pattern, re-verifying only the digits each jump changed. The
+/// visit *sequence* is identical to a lexicographic walk filtered by the
+/// same pattern table — guided mode changes how much work each step costs
+/// (per-depth probes), never which candidates are evaluated — which is
+/// exactly what keeps the golden run logs bit-identical between modes.
+///
+/// The propagator is borrowed, not owned: it is the worker's long-lived
+/// local pattern store and must keep accumulating patterns across many
+/// chunk-scoped walkers.
+#[derive(Debug)]
+pub struct GuidedOdometer<'p> {
+    od: Odometer,
+    propagator: &'p mut Propagator,
+}
+
+impl<'p> GuidedOdometer<'p> {
+    /// Creates a guided walker over the entire space of the given radices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any radix is zero.
+    pub fn new(radices: Vec<u32>, propagator: &'p mut Propagator) -> Self {
+        let total = space_size(&radices);
+        Self::over_range(radices, 0, total, propagator)
+    }
+
+    /// Creates a guided walker over the half-open linear range
+    /// `[start, end)` — the sharded-dispatch form the synthesis loop's
+    /// chunk claiming uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Odometer::over_range`] does.
+    pub fn over_range(
+        radices: Vec<u32>,
+        start: u128,
+        end: u128,
+        propagator: &'p mut Propagator,
+    ) -> Self {
+        GuidedOdometer {
+            od: Odometer::over_range(radices, start, end),
+            propagator,
+        }
+    }
+
+    /// Jumps to the next candidate consistent with every learned pattern
+    /// (possibly the current one, at zero cost beyond its probe), returning
+    /// how many candidates were skipped. Afterwards
+    /// [`GuidedOdometer::current`] is the next consistent candidate, or
+    /// `None` if the range is exhausted — including the immediate
+    /// exhaustion an unsatisfiable pattern table produces.
+    ///
+    /// The probe cost of a jump is sublinear in the number of refuted
+    /// siblings it passes over: the propagator memoizes, per hole, the
+    /// bitmask of actions refuted under the current prefix
+    /// (watched-literal style), so when a skip bumps one digit and lands
+    /// on another refuted sibling the verdict is a cached bit test, not a
+    /// fresh pattern-index consultation.
+    pub fn seek_consistent(&mut self) -> u128 {
+        let mut skipped = 0u128;
+        let width = self.od.width();
+        while let Some(digits) = self.od.current() {
+            match self.propagator.first_pruned_depth(digits, width) {
+                Some(d) => skipped += self.od.skip_subtree(d),
+                None => break,
+            }
+        }
+        skipped
+    }
+
+    /// The current candidate's digits, or `None` once the range is
+    /// exhausted. Only meaningful directly after
+    /// [`GuidedOdometer::seek_consistent`] — the walker does not re-probe
+    /// on its own.
+    pub fn current(&self) -> Option<&[u16]> {
+        self.od.current()
+    }
+
+    /// Linear index of the current candidate.
+    pub fn index(&self) -> u128 {
+        self.od.index()
+    }
+
+    /// Steps past the current candidate. Returns `false` if the range is
+    /// exhausted. The new current candidate is *unverified* until the next
+    /// [`GuidedOdometer::seek_consistent`].
+    pub fn advance(&mut self) -> bool {
+        self.od.advance()
+    }
+
+    /// The propagator driving the jumps — the caller's pattern sink for
+    /// patterns learned mid-walk.
+    pub fn propagator_mut(&mut self) -> &mut Propagator {
+        self.propagator
     }
 }
 
@@ -236,6 +368,68 @@ mod tests {
     }
 
     #[test]
+    fn skip_on_exhausted_odometer_returns_zero() {
+        let mut o = Odometer::new(vec![2, 2]);
+        assert_eq!(o.skip_subtree(0), 4);
+        assert_eq!(o.current(), None);
+        // Further skips at any depth are no-ops, not panics.
+        assert_eq!(o.skip_subtree(0), 0);
+        assert_eq!(o.skip_subtree(1), 0);
+        assert_eq!(o.skip_subtree(2), 0);
+        assert_eq!(o.current(), None);
+    }
+
+    #[test]
+    fn skip_at_over_range_end_boundary() {
+        // Range ends mid-space: a skip that lands exactly on `end`
+        // exhausts the walker; repeating it returns 0.
+        let mut o = Odometer::over_range(vec![2, 2, 2], 2, 4);
+        assert_eq!(o.current(), Some(&[0, 1, 0][..]));
+        assert_eq!(o.skip_subtree(2), 2, "prefix [0,1] subtree ends at 4");
+        assert_eq!(o.current(), None);
+        assert_eq!(o.skip_subtree(2), 0);
+        assert_eq!(o.skip_subtree(0), 0);
+    }
+
+    #[test]
+    fn skip_recomputes_digits_at_u128_scale() {
+        // Seven max-radix digits: the space is ~2^112, far past u64. The
+        // incremental digit recompute must stay exact where a narrower
+        // index would overflow.
+        const R: u128 = 65_535;
+        let radices = vec![65_535u32; 7];
+        let total = space_size(&radices);
+        assert!(total > u128::from(u64::MAX));
+        let mut weight = [1u128; 8];
+        for i in (0..7).rev() {
+            weight[i] = weight[i + 1] * R;
+        }
+        // Start mid-space at digits [1,2,3,4,5,6,7].
+        let digits = [1u16, 2, 3, 4, 5, 6, 7];
+        let start: u128 = (0..7).map(|i| u128::from(digits[i]) * weight[i + 1]).sum();
+        let mut o = Odometer::over_range(radices, start, total);
+        assert_eq!(o.current(), Some(&digits[..]));
+
+        // Skip the depth-5 subtree: the rest of prefix [1,2,3,4,5] is
+        // skipped and the carry lands on [1,2,3,4,6,0,0].
+        assert_eq!(o.skip_subtree(5), weight[5] - (6 * weight[6] + 7));
+        assert_eq!(o.current(), Some(&[1, 2, 3, 4, 6, 0, 0][..]));
+
+        // Skip depth 1: everything else under prefix [1] goes; lands on
+        // [2,0,...,0], a carry across a >2^96-candidate gap.
+        let within = 2 * weight[2] + 3 * weight[3] + 4 * weight[4] + 6 * weight[5];
+        assert_eq!(o.skip_subtree(1), weight[1] - within);
+        assert_eq!(o.current(), Some(&[2, 0, 0, 0, 0, 0, 0][..]));
+        assert_eq!(o.index(), 2 * weight[1]);
+
+        // Exhaust and confirm the no-op contract at every depth.
+        assert_eq!(o.skip_subtree(0), total - 2 * weight[1]);
+        assert_eq!(o.current(), None);
+        assert_eq!(o.skip_subtree(7), 0);
+        assert_eq!(o.skip_subtree(0), 0);
+    }
+
+    #[test]
     fn over_range_decodes_start_digits() {
         let o = Odometer::over_range(vec![3, 2, 2], 7, 12);
         // 7 = 1*4 + 1*2 + 1 -> digits [1, 1, 1]
@@ -267,5 +461,71 @@ mod tests {
         }
         assert_eq!(visited + skipped, space_size(&radices));
         assert_eq!(skipped, 4);
+    }
+
+    #[test]
+    fn guided_walk_visits_exactly_the_unpruned_candidates() {
+        let radices = vec![3, 2, 2];
+        let mut prop = Propagator::new();
+        prop.insert_prefix(&[1]);
+        prop.insert_sparse(vec![(2, 1)]);
+        // Expected survivors: first digit != 1 and last digit != 1.
+        let mut expected = Vec::new();
+        let mut lex = Odometer::new(radices.clone());
+        while let Some(d) = lex.current() {
+            if d[0] != 1 && d[2] != 1 {
+                expected.push(d.to_vec());
+            }
+            if !lex.advance() {
+                break;
+            }
+        }
+
+        let mut guided = GuidedOdometer::new(radices.clone(), &mut prop);
+        let mut visited = Vec::new();
+        let mut skipped = 0u128;
+        loop {
+            skipped += guided.seek_consistent();
+            let Some(d) = guided.current() else { break };
+            visited.push(d.to_vec());
+            if !guided.advance() {
+                break;
+            }
+        }
+        assert_eq!(visited, expected);
+        assert_eq!(visited.len() as u128 + skipped, space_size(&radices));
+    }
+
+    #[test]
+    fn guided_walk_over_unsatisfiable_table_exhausts_immediately() {
+        let mut prop = Propagator::new();
+        // Contradictory sparse patterns: hole 0 must be both 0 and 1.
+        prop.insert_sparse(vec![(0, 0)]);
+        prop.insert_sparse(vec![(0, 1)]);
+        let radices = vec![2, 3];
+        let mut guided = GuidedOdometer::new(radices.clone(), &mut prop);
+        let skipped = guided.seek_consistent();
+        assert_eq!(skipped, space_size(&radices));
+        assert_eq!(guided.current(), None);
+        // Seeking again on the exhausted walker is a no-op.
+        assert_eq!(guided.seek_consistent(), 0);
+    }
+
+    #[test]
+    fn guided_walk_respects_range_bounds() {
+        let radices = vec![2, 2, 2];
+        let mut prop = Propagator::new();
+        prop.insert_prefix(&[0]);
+        // Range [2, 6) covers [0,1,0]..[1,0,1]; the dense prefix [0] prunes
+        // the first two, so the walk visits exactly [1,0,0] and [1,0,1].
+        let mut guided = GuidedOdometer::over_range(radices, 2, 6, &mut prop);
+        let skipped = guided.seek_consistent();
+        assert_eq!(skipped, 2);
+        assert_eq!(guided.current(), Some(&[1, 0, 0][..]));
+        assert!(guided.advance());
+        assert_eq!(guided.seek_consistent(), 0);
+        assert_eq!(guided.current(), Some(&[1, 0, 1][..]));
+        assert!(!guided.advance());
+        assert_eq!(guided.current(), None);
     }
 }

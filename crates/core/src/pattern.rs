@@ -258,6 +258,85 @@ impl Bucket {
         }
         true
     }
+
+    /// Which actions `a < cap` of this bucket's own hole `own_hole` make
+    /// some pattern here match `digits` with `digits[own_hole]` replaced by
+    /// `a`? Returns the answers as a bitmask.
+    ///
+    /// One shared intersection over every *other* constrained hole produces
+    /// the patterns compatible with the unchanged digits; each action then
+    /// pays only the own-hole filter against that survivor set, so the whole
+    /// mask costs barely more than a single [`Bucket::any_match`].
+    fn refuted_action_mask(
+        &self,
+        digits: &[u16],
+        own_hole: u16,
+        cap: u32,
+        scratch: &mut Vec<u64>,
+    ) -> u64 {
+        let n = self.len as usize;
+        if n == 0 || cap == 0 {
+            return 0;
+        }
+        let blocks = n.div_ceil(64);
+        scratch.clear();
+        scratch.resize(blocks, !0u64);
+        if n % 64 != 0 {
+            scratch[blocks - 1] = (1u64 << (n % 64)) - 1;
+        }
+        for (slot, &hole) in self.holes.iter().enumerate() {
+            if hole == own_hole {
+                continue;
+            }
+            let hi = &self.index[slot];
+            let by = hi.by_action.get(digits[hole as usize] as usize);
+            let mut live = 0u64;
+            for (word, survivors) in scratch.iter_mut().enumerate() {
+                let constrained = hi.constrains.get(word).copied().unwrap_or(0);
+                let matching = by.and_then(|v| v.get(word)).copied().unwrap_or(0);
+                *survivors &= !constrained | matching;
+                live |= *survivors;
+            }
+            if live == 0 {
+                return 0;
+            }
+        }
+        let all = if cap >= 64 { !0u64 } else { (1u64 << cap) - 1 };
+        let Ok(slot) = self.holes.binary_search(&own_hole) else {
+            // No pattern here constrains the bucket's own hole — only the
+            // empty pattern (parked in bucket 0) does that, and it matches
+            // regardless of any digit: every surviving pattern refutes
+            // every action.
+            return if scratch.iter().any(|&w| w != 0) {
+                all
+            } else {
+                0
+            };
+        };
+        let hi = &self.index[slot];
+        let mut mask = 0u64;
+        // A surviving pattern that does not constrain the own hole matches
+        // under *every* action; beyond `by_action`'s length no pattern
+        // demands a specific action, so one test covers the whole tail.
+        let free_alive = scratch.iter().enumerate().any(|(word, &survivors)| {
+            survivors & !hi.constrains.get(word).copied().unwrap_or(0) != 0
+        });
+        if free_alive {
+            return all;
+        }
+        let indexed = (hi.by_action.len() as u32).min(cap);
+        for a in 0..indexed {
+            let by = &hi.by_action[a as usize];
+            let alive = scratch
+                .iter()
+                .enumerate()
+                .any(|(word, &survivors)| survivors & by.get(word).copied().unwrap_or(0) != 0);
+            if alive {
+                mask |= 1u64 << a;
+            }
+        }
+        mask
+    }
 }
 
 /// Sparse-pattern store: buckets by highest constrained hole, each with its
@@ -490,6 +569,310 @@ impl PatternTable {
     pub fn merge_sparse(&mut self, pattern: SparsePattern) {
         // Already sorted by the producer; insert_sparse re-sorts defensively.
         self.insert_sparse(pattern);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guided enumeration: the propagating view
+// ---------------------------------------------------------------------------
+
+/// A destination for learned patterns.
+///
+/// Both the plain [`PatternTable`] and the guided-enumeration
+/// [`Propagator`] accept pattern merges; the synthesis loop's pattern hub
+/// publishes and syncs through this trait so a worker's local store can be
+/// either.
+pub trait PatternSink {
+    /// Merges a dense prefix pattern.
+    fn merge_prefix(&mut self, prefix: &[u16]);
+    /// Merges a sparse pattern (sorted by the producer).
+    fn merge_sparse(&mut self, pattern: SparsePattern);
+    /// The underlying pattern table.
+    fn table(&self) -> &PatternTable;
+}
+
+impl PatternSink for PatternTable {
+    fn merge_prefix(&mut self, prefix: &[u16]) {
+        PatternTable::merge_prefix(self, prefix);
+    }
+    fn merge_sparse(&mut self, pattern: SparsePattern) {
+        PatternTable::merge_sparse(self, pattern);
+    }
+    fn table(&self) -> &PatternTable {
+        self
+    }
+}
+
+/// Incremental pattern-constraint propagation for guided enumeration.
+///
+/// A `Propagator` owns a [`PatternTable`] and answers the same question as
+/// [`PatternTable::first_pruned_depth_in`] — the shallowest pruned depth of
+/// a candidate — but *incrementally* across successive probes. It memoizes,
+/// watched-literal style, the last probed candidate (`snapshot`), the trie
+/// node reached at each depth (`stack`), and — the piece that makes guided
+/// probe counts sublinear in the number of pruned subtrees — a per-hole
+/// **refuted-action mask**: under the prefix `snapshot[..h]`, bit `a` of
+/// `masks[h]` says whether fixing hole `h` to action `a` is pruned at depth
+/// `h + 1`. Building the mask answers the depth-`h + 1` check for *every*
+/// action of the hole in one pattern-index consultation, so when a skip
+/// bumps one digit and lands on another refuted sibling — or when a deep
+/// excursion carries back to a hole probed before — the verdict is a
+/// cached bit test, not a fresh consultation.
+///
+/// `probes` therefore counts pattern-index consultations (mask builds plus
+/// the rare `action ≥ 64` direct checks), the unit of pruning work guided
+/// enumeration exists to shrink; the lexicographic baseline pays one such
+/// consultation per depth per candidate.
+///
+/// ## Invalidation invariants
+///
+/// * `verified` — depths `0..verified` are known non-pruned for `snapshot`
+///   against the *current* table. A probe of new digits keeps
+///   `min(verified, lcp + 1)` (depth `j` reads only `digits[..j]`, so an
+///   edit at position `lcp` first invalidates depth `lcp + 1`); a sparse
+///   insert with highest hole `h` is consulted at depth `h + 1` only, so
+///   `verified = min(verified, h + 1)`.
+/// * `coherent` — for holes `h < coherent`, `stack[h]` is the trie node
+///   for `snapshot[..h]` and `mask_ok[h]` governs `masks[h]` for that
+///   prefix. Prefix-structural only: a probe keeps
+///   `min(coherent, lcp + 1)`; always `coherent ≥ verified`.
+/// * `mask_ok[h]` — `masks[h]` is current w.r.t. the table. A sparse
+///   insert with highest hole `h` clears exactly `mask_ok[h]` (only bucket
+///   `h` changed); the empty sparse pattern matches at depth 0 and resets
+///   `verified`.
+/// * A **new dense insert invalidates everything** (`verified = coherent =
+///   0`): insertion can create trie nodes along any shared prefix, so a
+///   cached `None` stack entry — and every mask's dense part — may go
+///   stale at arbitrary depths. Inserts are ~10³ per run against ~10⁶
+///   probes, so the full reset is cheap where a finer rule would be
+///   unsound.
+#[derive(Debug, Clone, Default)]
+pub struct Propagator {
+    table: PatternTable,
+    /// The digits of the last probe.
+    snapshot: Vec<u16>,
+    /// Depths `0..verified` are verified non-pruned against `snapshot`.
+    verified: usize,
+    /// Holes `0..coherent` have `stack`/`masks` entries matching
+    /// `snapshot`'s prefix.
+    coherent: usize,
+    /// `stack[h]` = trie node for `snapshot[..h]` (`None` once the path
+    /// leaves the trie), coherent for `h < coherent`.
+    stack: Vec<Option<NodeId>>,
+    /// `masks[h]` = refuted-action bitmask of hole `h` under
+    /// `snapshot[..h]`, meaningful iff `h < coherent && mask_ok[h]`.
+    masks: Vec<u64>,
+    /// Table-freshness of each cached mask.
+    mask_ok: Vec<bool>,
+    /// Reusable bitset for bucket queries.
+    scratch: Vec<u64>,
+    /// Pattern-index consultations performed (mask builds + direct
+    /// checks) — the probe metric guided enumeration exists to shrink.
+    probes: u64,
+}
+
+impl Propagator {
+    /// Creates a propagator over an empty pattern table.
+    pub fn new() -> Self {
+        Propagator::default()
+    }
+
+    /// Wraps an existing table (e.g. one seeded from a resumed journal).
+    pub fn from_table(table: PatternTable) -> Self {
+        Propagator {
+            table,
+            ..Propagator::default()
+        }
+    }
+
+    /// The underlying pattern table.
+    pub fn table(&self) -> &PatternTable {
+        &self.table
+    }
+
+    /// Consumes the propagator, returning the table.
+    pub fn into_table(self) -> PatternTable {
+        self.table
+    }
+
+    /// Per-depth pattern consultations performed so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Forgets the incremental-walk memo (table and probe counter stay):
+    /// the next [`Propagator::first_pruned_depth`] verifies from the root.
+    ///
+    /// Probe answers never depend on the memo — only their cost does — so
+    /// this is for callers that want a walk's probe count independent of
+    /// what the propagator examined before (e.g. a measurement that must
+    /// not be skewed by a previous workload's warm state).
+    pub fn reset_walk(&mut self) {
+        self.verified = 0;
+        self.coherent = 0;
+    }
+
+    /// Records a dense prefix pattern; returns `true` if new.
+    pub fn insert_prefix(&mut self, prefix: &[u16]) -> bool {
+        let fresh = self.table.insert_prefix(prefix);
+        if fresh {
+            // Insertion may have created trie nodes under any cached `None`
+            // stack entry, and every mask's dense part reads the trie:
+            // nothing memoized survives.
+            self.verified = 0;
+            self.coherent = 0;
+        }
+        fresh
+    }
+
+    /// Records a sparse pattern; returns `true` if new.
+    pub fn insert_sparse(&mut self, pairs: SparsePattern) -> bool {
+        // The table sorts before storing; the highest hole is the max pair.
+        let watched = pairs.iter().map(|&(h, _)| h as usize).max();
+        let fresh = self.table.insert_sparse(pairs);
+        if fresh {
+            match watched {
+                // The new pattern lives in bucket `h`, consulted at depth
+                // `h + 1` only: that depth's verdict and hole `h`'s cached
+                // mask are stale, everything else stands.
+                Some(h) => {
+                    self.verified = self.verified.min(h + 1);
+                    if let Some(ok) = self.mask_ok.get_mut(h) {
+                        *ok = false;
+                    }
+                }
+                // Empty pattern: matches everything from depth 0.
+                None => self.verified = 0,
+            }
+        }
+        fresh
+    }
+
+    /// The shallowest depth `d ≤ max_depth` at which the subtree
+    /// `digits[..d]` is pruned, or `None` — identical to
+    /// [`PatternTable::first_pruned_depth_in`] on the owned table, verified
+    /// incrementally from the first digit that differs from the previous
+    /// probe and answered from the per-hole refuted-action masks.
+    ///
+    /// The depth-`d` check for `d ≥ 1` is bit `digits[d - 1]` of hole
+    /// `d - 1`'s mask: one consultation builds the verdict for every
+    /// action of that hole under the current prefix, so the skip-and-
+    /// reprobe loop pays a fresh probe only when it reaches a hole whose
+    /// prefix it has not seen before (≈ once per consistent internal node
+    /// of the search tree), not once per refuted sibling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth > digits.len()`.
+    pub fn first_pruned_depth(&mut self, digits: &[u16], max_depth: usize) -> Option<usize> {
+        assert!(max_depth <= digits.len(), "depth out of range");
+        if self.stack.len() < max_depth + 1 {
+            self.stack.resize(max_depth + 1, None);
+            self.masks.resize(max_depth + 1, 0);
+            self.mask_ok.resize(max_depth + 1, false);
+        }
+        self.stack[0] = Some(PrefixTrie::ROOT);
+        if self.snapshot.len() != digits.len() {
+            // Width changed (new generation): nothing carries over.
+            self.verified = 0;
+            self.coherent = 0;
+        }
+        // Depth `d`'s checks read `digits[..d]` only, so the shallowest
+        // depth an edit at position `lcp` can invalidate is `lcp + 1`:
+        // every verified depth up to *and including* the longest common
+        // prefix with the snapshot stands, and so does hole `lcp`'s cached
+        // mask. (This is the watched-literal payoff: a skip at depth `d`
+        // bumps digit `d - 1`, leaving `lcp = d - 1`, so the sibling's
+        // depth-`d` verdict is a bit test against the mask built when the
+        // run's first member was probed.)
+        let lcp = digits
+            .iter()
+            .zip(&self.snapshot)
+            .take_while(|(a, b)| a == b)
+            .count();
+        self.coherent = self.coherent.min(lcp + 1);
+        let start = self.verified.min(lcp + 1).min(max_depth);
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(digits);
+        for d in start..=max_depth {
+            let pruned = if d == 0 {
+                // Depth 0: the whole space. Two flag reads, no index
+                // consultation — not a probe.
+                self.table.sparse.has_empty || self.table.prefixes.is_terminal(PrefixTrie::ROOT)
+            } else {
+                let h = d - 1;
+                if h >= self.coherent {
+                    if h > 0 {
+                        // Extend the trie path into the changed suffix
+                        // (hole `h - 1` is coherent: either `< coherent`
+                        // on entry or recomputed by a previous iteration).
+                        self.stack[h] = self.stack[h - 1]
+                            .and_then(|n| self.table.prefixes.child(n, digits[h - 1]));
+                    }
+                    self.mask_ok[h] = false;
+                    self.coherent = h + 1;
+                }
+                let a = digits[h] as usize;
+                if a < 64 {
+                    if !self.mask_ok[h] {
+                        self.masks[h] = self.build_mask(digits, h);
+                        self.mask_ok[h] = true;
+                    }
+                    self.masks[h] >> a & 1 == 1
+                } else {
+                    // Hole arity beyond the mask width: fall back to a
+                    // direct single-action check.
+                    self.probes += 1;
+                    let dense = self.stack[h]
+                        .and_then(|n| self.table.prefixes.child(n, digits[h]))
+                        .is_some_and(|n| self.table.prefixes.is_terminal(n));
+                    dense
+                        || self
+                            .table
+                            .sparse
+                            .bucket_matches(h, digits, &mut self.scratch)
+                }
+            };
+            if pruned {
+                self.verified = d;
+                return Some(d);
+            }
+        }
+        self.verified = max_depth + 1;
+        None
+    }
+
+    /// Builds hole `h`'s refuted-action mask under the prefix
+    /// `digits[..h]`: bit `a` is set iff fixing hole `h` to action `a`
+    /// prunes at depth `h + 1` (dense terminal child of the prefix's trie
+    /// node, or a bucket-`h` sparse match). One probe answers the depth
+    /// check for every action `< 64` of the hole.
+    fn build_mask(&mut self, digits: &[u16], h: usize) -> u64 {
+        self.probes += 1;
+        let mut mask = 0u64;
+        if let Some(node) = self.stack[h] {
+            for &(digit, child) in &self.table.prefixes.nodes[node as usize].children {
+                if digit < 64 && self.table.prefixes.is_terminal(child) {
+                    mask |= 1u64 << digit;
+                }
+            }
+        }
+        if let Some(bucket) = self.table.sparse.buckets.get(h) {
+            mask |= bucket.refuted_action_mask(digits, h as u16, 64, &mut self.scratch);
+        }
+        mask
+    }
+}
+
+impl PatternSink for Propagator {
+    fn merge_prefix(&mut self, prefix: &[u16]) {
+        self.insert_prefix(prefix);
+    }
+    fn merge_sparse(&mut self, pattern: SparsePattern) {
+        self.insert_sparse(pattern);
+    }
+    fn table(&self) -> &PatternTable {
+        &self.table
     }
 }
 
@@ -765,6 +1148,120 @@ mod tests {
             }
         }
         assert_eq!(t.len(), r.len());
+    }
+
+    /// Probes the propagator and the table side by side, asserting they
+    /// agree at every step.
+    fn probe_both(p: &mut Propagator, digits: &[u16], max_depth: usize) -> Option<usize> {
+        let expect = p
+            .table()
+            .first_pruned_depth_in(digits, max_depth, &mut Vec::new());
+        let got = p.first_pruned_depth(digits, max_depth);
+        assert_eq!(got, expect, "digits {digits:?} max_depth {max_depth}");
+        got
+    }
+
+    #[test]
+    fn propagator_matches_table_across_probes_and_inserts() {
+        let mut p = Propagator::new();
+        assert_eq!(probe_both(&mut p, &[0, 0, 0], 3), None);
+        assert!(p.insert_prefix(&[0, 1]));
+        assert_eq!(probe_both(&mut p, &[0, 0, 0], 3), None);
+        assert_eq!(probe_both(&mut p, &[0, 1, 0], 3), Some(2));
+        assert_eq!(probe_both(&mut p, &[0, 2, 0], 3), None);
+        assert!(p.insert_sparse(vec![(0, 0), (2, 1)]));
+        assert_eq!(probe_both(&mut p, &[0, 2, 0], 3), None);
+        assert_eq!(probe_both(&mut p, &[0, 2, 1], 3), Some(3));
+        assert_eq!(probe_both(&mut p, &[1, 2, 1], 3), None);
+        // Duplicate inserts change nothing and invalidate nothing.
+        assert!(!p.insert_prefix(&[0, 1]));
+        assert!(!p.insert_sparse(vec![(2, 1), (0, 0)]));
+        assert_eq!(probe_both(&mut p, &[1, 2, 1], 3), None);
+    }
+
+    #[test]
+    fn propagator_dense_insert_invalidates_cached_trie_misses() {
+        // The staleness trap a prefix-scoped invalidation rule would fall
+        // into: a cached `None` stack entry at a shallow depth goes stale
+        // when a later insert creates trie nodes along the shared prefix.
+        let mut p = Propagator::new();
+        // Probe [2,3] over the empty trie: path leaves the trie at depth 1.
+        assert_eq!(probe_both(&mut p, &[2, 3], 2), None);
+        // Insert [2,5]: creates the node for prefix [2].
+        assert!(p.insert_prefix(&[2, 5]));
+        // Re-probe [2,5]: shares digit 0 with the snapshot, so a
+        // min(valid, lcp) rule would trust the stale `None` at depth 1 and
+        // miss the hit.
+        assert_eq!(probe_both(&mut p, &[2, 5], 2), Some(2));
+    }
+
+    #[test]
+    fn propagator_empty_sparse_pattern_resets_to_depth_zero() {
+        let mut p = Propagator::new();
+        assert_eq!(probe_both(&mut p, &[0, 0], 2), None);
+        assert!(p.insert_sparse(vec![]));
+        assert_eq!(probe_both(&mut p, &[0, 0], 2), Some(0));
+        assert_eq!(probe_both(&mut p, &[1, 1], 2), Some(0));
+    }
+
+    #[test]
+    fn propagator_handles_width_changes_across_generations() {
+        let mut p = Propagator::new();
+        p.insert_prefix(&[1]);
+        assert_eq!(probe_both(&mut p, &[1, 0], 2), Some(1));
+        assert_eq!(probe_both(&mut p, &[0, 0], 2), None);
+        // Wider generation: verified depths must not leak across.
+        assert_eq!(probe_both(&mut p, &[0, 0, 0, 0], 4), None);
+        assert_eq!(probe_both(&mut p, &[1, 0, 0, 0], 4), Some(1));
+        // Narrower again.
+        assert_eq!(probe_both(&mut p, &[1], 1), Some(1));
+    }
+
+    #[test]
+    fn propagator_counts_probes_incrementally() {
+        let mut p = Propagator::new();
+        p.insert_prefix(&[3]);
+        // First probe: one mask build per hole (depth 0 is flag reads).
+        assert_eq!(p.first_pruned_depth(&[0, 0, 0, 0], 4), None);
+        assert_eq!(p.probes(), 4);
+        // Identical probe: the re-checked depth answers from its cached
+        // mask — no consultation at all.
+        assert_eq!(p.first_pruned_depth(&[0, 0, 0, 0], 4), None);
+        assert_eq!(p.probes(), 4);
+        // Change the last digit: hole 3's mask covers every action of the
+        // hole, so the sibling's depth-4 verdict is a free bit test.
+        assert_eq!(p.first_pruned_depth(&[0, 0, 0, 1], 4), None);
+        assert_eq!(p.probes(), 4);
+        // A sparse insert watching hole 2 stales exactly that hole's mask:
+        // one rebuild, and hole 3's cached mask still stands.
+        p.insert_sparse(vec![(2, 1)]);
+        assert_eq!(p.first_pruned_depth(&[0, 0, 0, 1], 4), None);
+        assert_eq!(p.probes(), 5);
+        // A hit pays for the freshly staled mask once...
+        p.insert_sparse(vec![(3, 0)]);
+        assert_eq!(p.first_pruned_depth(&[0, 0, 0, 0], 4), Some(4));
+        assert_eq!(p.probes(), 6);
+        // ...and the refuted candidate's sibling rides the same mask free.
+        assert_eq!(p.first_pruned_depth(&[0, 0, 0, 1], 4), None);
+        assert_eq!(p.probes(), 6);
+    }
+
+    #[test]
+    fn pattern_sink_serves_table_and_propagator_alike() {
+        fn feed(sink: &mut dyn PatternSink) {
+            sink.merge_prefix(&[1, 1]);
+            sink.merge_sparse(vec![(0, 2)]);
+        }
+        let mut t = PatternTable::new();
+        let mut p = Propagator::new();
+        feed(&mut t);
+        feed(&mut p);
+        assert_eq!(t.len(), 2);
+        assert_eq!(p.table().len(), 2);
+        assert_eq!(
+            PatternSink::table(&t).first_pruned_depth(&[2, 1, 0], 3),
+            p.first_pruned_depth(&[2, 1, 0], 3)
+        );
     }
 
     #[test]

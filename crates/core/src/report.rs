@@ -133,6 +133,10 @@ pub struct GenStats {
     /// Candidates skipped because an earlier generation already evaluated
     /// them (naïve mode's all-default-suffix dedup).
     pub deduped: u64,
+    /// Per-depth pattern-table consultations spent proposing this
+    /// generation's candidates — the enumeration-cost metric guided mode
+    /// drives down (see [`crate::Enumeration`]).
+    pub probes: u64,
 }
 
 /// Aggregate statistics of one synthesis run.
@@ -152,6 +156,14 @@ pub struct SynthStats {
     /// Of [`SynthStats::patterns`], the sparse refined patterns (stored in
     /// the per-`(hole, action)` inverted index).
     pub patterns_sparse: usize,
+    /// Total per-depth pattern-table consultations spent proposing
+    /// candidates. Lexicographic enumeration re-probes every prefix from the
+    /// root on each candidate; guided enumeration
+    /// ([`crate::Enumeration::Guided`]) re-verifies only the digits each
+    /// jump changed, so this is the metric the guided/lexicographic
+    /// comparison gates on. Zero when pruning is off (naïve mode never
+    /// consults the table).
+    pub probes: u64,
     /// Per-generation breakdown.
     pub generations: Vec<GenStats>,
     /// Wall-clock time of the whole synthesis.

@@ -281,6 +281,7 @@ impl SharedResolver for SharedCandidateResolver<'_> {
             seen: Vec::new(),
             app_touches: Vec::new(),
             app_wildcards: Vec::new(),
+            app_fresh: Vec::new(),
             pending: Vec::new(),
             pending_idx: FnvHashMap::default(),
         })
@@ -299,6 +300,7 @@ impl SharedResolver for SharedCandidateResolver<'_> {
             seen: Vec::new(),
             app_touches: Vec::new(),
             app_wildcards: Vec::new(),
+            app_fresh: Vec::new(),
             pending: Vec::new(),
             pending_idx: FnvHashMap::default(),
         })
@@ -320,11 +322,25 @@ impl SharedResolver for SharedCandidateResolver<'_> {
         }
     }
 
+    /// Registers deferred discoveries in the driver's serial order. In naïve
+    /// (`ActionZero`) mode every deferred sighting was a *concrete*
+    /// consultation whose touch could not be recorded at choose time (no id
+    /// existed yet), so the commit also merges the `(id, default)` touches
+    /// into the shared touched set — first mention wins, as everywhere else.
     fn commit_discoveries(&self, specs: &[HoleSpec]) -> Vec<usize> {
-        specs
+        let ids: Vec<usize> = specs
             .iter()
             .map(|spec| self.registry.resolve_or_register(spec).0)
-            .collect()
+            .collect();
+        if let Some(action) = default_answer(self.default) {
+            let mut touched = self.touched.lock();
+            for &id in &ids {
+                if !touched.iter().any(|&(h, _)| h == id) {
+                    touched.push((id, action));
+                }
+            }
+        }
+        ids
     }
 }
 
@@ -345,18 +361,21 @@ impl SessionResolver for SharedCandidateResolver<'_> {
 
 /// One checker worker's view of a [`SharedCandidateResolver`].
 ///
-/// In wildcard (pruning) mode, first sightings of unknown holes are
-/// **deferred**: the worker answers the wildcard immediately (correct — a
+/// First sightings of unknown holes are **deferred** in both discovery
+/// modes: the worker answers the discovery default immediately (correct — a
 /// fresh hole is necessarily beyond the frontier) but parks the spec in a
 /// pending list instead of registering it, so the exploration driver can
 /// commit all workers' discoveries at a deterministic sequence point in
-/// serial order ([`SharedResolver::commit_discoveries`]). Anything still
-/// pending when the worker is dropped (a driver without sequence points,
-/// e.g. the one-shot serial BFS) is registered then, in this worker's
-/// consultation order. In naïve (`ActionZero`) mode discoveries must be
-/// registered eagerly — the concrete `(id, 0)` touch needs a real id — so
-/// that mode keeps the historical racy-order behaviour under parallel
-/// checking.
+/// serial order ([`SharedResolver::commit_discoveries`]). In wildcard
+/// (pruning) mode the consultation is reported as a
+/// [`WildcardTouch::Fresh`]; in naïve (`ActionZero`) mode the concrete
+/// `(hole, 0)` resolution cannot be recorded as a touch yet (no id exists),
+/// so it is reported through
+/// [`verc3_mck::HoleResolver::application_fresh_touches`] and the commit
+/// publishes the touch once the id is assigned. Anything still pending when
+/// the worker is dropped (a driver without sequence points, e.g. the
+/// one-shot serial BFS) is registered then, in this worker's consultation
+/// order.
 #[derive(Debug)]
 struct WorkerCandidateResolver<'a> {
     shared: &'a SharedCandidateResolver<'a>,
@@ -371,6 +390,9 @@ struct WorkerCandidateResolver<'a> {
     seen: Vec<(HoleId, u16)>,
     app_touches: Vec<(HoleId, u16)>,
     app_wildcards: Vec<WildcardTouch>,
+    /// Concrete resolutions of not-yet-registered holes since the last
+    /// `begin_application`, as `(pending index, action)` pairs.
+    app_fresh: Vec<(u32, u16)>,
     /// Specs sighted but not yet registered, in consultation order.
     pending: Vec<HoleSpec>,
     /// name → index into `pending`, so repeat sightings within one drain
@@ -399,6 +421,12 @@ impl WorkerCandidateResolver<'_> {
             self.app_wildcards.push(touch);
         }
     }
+
+    fn record_fresh(&mut self, index: u32, action: u16) {
+        if !self.app_fresh.iter().any(|&(i, _)| i == index) {
+            self.app_fresh.push((index, action));
+        }
+    }
 }
 
 impl HoleResolver for WorkerCandidateResolver<'_> {
@@ -410,14 +438,7 @@ impl HoleResolver for WorkerCandidateResolver<'_> {
                     self.cache.insert(spec.name().to_owned(), id);
                     Some(id)
                 }
-                None if self.shared.default == DiscoveryDefault::Wildcard => None,
-                None => {
-                    // Naïve mode: eager registration (the touch below needs
-                    // a real id).
-                    let (id, _) = self.shared.registry.resolve_or_register(spec);
-                    self.cache.insert(spec.name().to_owned(), id);
-                    Some(id)
-                }
+                None => None,
             },
         };
         match id {
@@ -432,8 +453,10 @@ impl HoleResolver for WorkerCandidateResolver<'_> {
                 }
             },
             None => {
-                // Deferred discovery: park the spec, answer the wildcard (a
-                // fresh hole is beyond the frontier by construction).
+                // Deferred discovery: park the spec and answer the discovery
+                // default (a fresh hole is beyond the frontier by
+                // construction), in both modes — registration happens at the
+                // driver's commit sequence point, in serial order.
                 let index = match self.pending_idx.get(spec.name()) {
                     Some(&index) => index,
                     None => {
@@ -443,8 +466,16 @@ impl HoleResolver for WorkerCandidateResolver<'_> {
                         index
                     }
                 };
-                self.record_wildcard(WildcardTouch::Fresh(index));
-                Choice::Wildcard
+                match default_answer(self.shared.default) {
+                    None => {
+                        self.record_wildcard(WildcardTouch::Fresh(index));
+                        Choice::Wildcard
+                    }
+                    Some(action) => {
+                        self.record_fresh(index, action);
+                        Choice::Action(action as usize)
+                    }
+                }
             }
         }
     }
@@ -452,6 +483,7 @@ impl HoleResolver for WorkerCandidateResolver<'_> {
     fn begin_application(&mut self) {
         self.app_touches.clear();
         self.app_wildcards.clear();
+        self.app_fresh.clear();
     }
 
     fn application_touches(&self) -> &[(usize, u16)] {
@@ -460,6 +492,10 @@ impl HoleResolver for WorkerCandidateResolver<'_> {
 
     fn application_wildcards(&self) -> &[WildcardTouch] {
         &self.app_wildcards
+    }
+
+    fn application_fresh_touches(&self) -> &[(u32, u16)] {
+        &self.app_fresh
     }
 
     fn take_pending_discoveries(&mut self) -> Vec<HoleSpec> {
@@ -485,8 +521,22 @@ impl Drop for WorkerCandidateResolver<'_> {
         if std::thread::panicking() {
             return;
         }
+        let fresh_touch = if self.publish_touches {
+            default_answer(self.shared.default)
+        } else {
+            None
+        };
         for spec in self.pending.drain(..) {
-            let _ = self.shared.registry.resolve_or_register(&spec);
+            let (id, _) = self.shared.registry.resolve_or_register(&spec);
+            // Naïve-mode sightings are concrete consultations: a publishing
+            // worker owes the shared touched set their `(id, 0)` touches,
+            // exactly as the serial resolver would have recorded them.
+            if let Some(action) = fresh_touch {
+                let mut touched = self.shared.touched.lock();
+                if !touched.iter().any(|&(h, _)| h == id) {
+                    touched.push((id, action));
+                }
+            }
         }
     }
 }

@@ -28,8 +28,8 @@
 use crate::candidate::CandidateVec;
 use crate::hole::{HoleId, HoleRegistry};
 use crate::journal::{self, ChunkDraft, Fingerprint, GenReplay, JournalReplay, JournalWriter};
-use crate::odometer::{space_size, Odometer};
-use crate::pattern::{PatternMode, PatternTable, SparsePattern};
+use crate::odometer::{space_size, GuidedOdometer, Odometer};
+use crate::pattern::{PatternMode, PatternSink, PatternTable, Propagator, SparsePattern};
 use crate::report::{
     GenStats, Quarantined, RunRecord, Solution, StopReason, SynthReport, SynthStats,
 };
@@ -43,6 +43,24 @@ use std::time::{Duration, Instant};
 use verc3_mck::{
     CheckSession, Checker, CheckerOptions, HoleSpec, MckError, TransitionSystem, Verdict,
 };
+
+/// Candidate-enumeration strategy (see [`SynthOptions::enumeration`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Enumeration {
+    /// Walk the candidate space in lexicographic order, consulting the
+    /// pattern table from the root at every candidate and skipping matched
+    /// subtrees.
+    #[default]
+    Lexicographic,
+    /// Let the learned patterns drive the walk: jump directly to the next
+    /// assignment consistent with every dense prefix and sparse pattern,
+    /// re-verifying only the digits each jump changed (see
+    /// [`crate::GuidedOdometer`]). Visits the exact same candidate sequence
+    /// as `Lexicographic` — solution sets, pattern tables, and run logs are
+    /// bit-identical — at a fraction of the per-depth probes
+    /// ([`crate::report::GenStats::probes`]). Requires pruning.
+    Guided,
+}
 
 /// Configuration for a [`Synthesizer`].
 ///
@@ -58,6 +76,7 @@ use verc3_mck::{
 pub struct SynthOptions {
     pruning: bool,
     pattern_mode: PatternMode,
+    enumeration: Enumeration,
     threads: usize,
     check_threads: usize,
     checker: CheckerOptions,
@@ -78,6 +97,7 @@ impl Default for SynthOptions {
         SynthOptions {
             pruning: true,
             pattern_mode: PatternMode::Exact,
+            enumeration: Enumeration::Lexicographic,
             threads: 1,
             check_threads: 1,
             checker: CheckerOptions::default(),
@@ -108,6 +128,21 @@ impl SynthOptions {
     /// the refined touched-hole extension). Ignored when pruning is off.
     pub fn pattern_mode(mut self, mode: PatternMode) -> Self {
         self.pattern_mode = mode;
+        self
+    }
+
+    /// Selects the candidate-enumeration strategy (default
+    /// [`Enumeration::Lexicographic`]). [`Enumeration::Guided`] turns the
+    /// learned pattern table from a per-candidate veto into the proposal
+    /// mechanism itself, without changing which candidates are evaluated.
+    /// Part of the journal fingerprint: resuming requires the strategy the
+    /// journal was written with.
+    ///
+    /// Guided enumeration requires pruning — combining it with
+    /// `pruning(false)` fails at run time with
+    /// [`MckError::InvalidConfig`].
+    pub fn enumeration(mut self, strategy: Enumeration) -> Self {
+        self.enumeration = strategy;
         self
     }
 
@@ -148,30 +183,27 @@ impl SynthOptions {
     ///
     /// Every individual evaluation is verdict-, statistics-, and
     /// failure-attribution-identical to its serial counterpart (the
-    /// parallel checker's commit-replay step guarantees it). In pruning
-    /// (wildcard-default) mode the equivalence extends to **all resolver
-    /// effects**: expansion workers consult through provisional handles
-    /// whose touches stay thread-local, and only the records the replay
-    /// step commits publish hole touches, failure attributions, and first
+    /// parallel checker's commit-replay step guarantees it). The
+    /// equivalence extends to **all resolver effects** in both discovery
+    /// modes: expansion workers consult through provisional handles whose
+    /// touches stay thread-local, and only the records the replay step
+    /// commits publish hole touches, failure attributions, and first
     /// discoveries — in replay order, the serial driver's within-layer
-    /// consultation order. Speculative work that replay discards (rule
-    /// applications past a failing state's short-circuit point, chunks of
-    /// an aborted claim-table attempt) leaves no trace, so the ordered
-    /// hole table, the per-run `discovered` logs, and the touched sets
-    /// feeding [`PatternMode::Refined`] are a pure function of the
-    /// candidate sequence, independent of worker interleaving: the exact
-    /// Figure-2 run log survives `check_threads(4)`
-    /// (`fig2_is_exact_under_parallel_checks`; full run-log and
-    /// registry equality on failing and state-capped runs is pinned by
-    /// `check_threads_match_serial_resolver_effects` below and
-    /// `tests/session_equivalence.rs`). One caveat remains: the naïve
-    /// baseline (`pruning(false)`) must register eagerly — its
-    /// `(hole, action 0)` touches need real ids during expansion — keeping
-    /// the historical racy registration order there, which only perturbs
-    /// enumeration order (the same nondeterminism class as cross-candidate
-    /// [`SynthOptions::threads`]) and never the solution set
-    /// (`parallel_checks_agree_with_serial_checks`,
-    /// `tests/synthesis_equivalence.rs`).
+    /// consultation order. This covers the naïve baseline
+    /// (`pruning(false)`) too: its fresh `(hole, action 0)` consultations
+    /// are answered from the deferred pending list and committed at the
+    /// same replay sequence point, so neither mode registers racily.
+    /// Speculative work that replay discards (rule applications past a
+    /// failing state's short-circuit point, chunks of an aborted
+    /// claim-table attempt) leaves no trace, so the ordered hole table,
+    /// the per-run `discovered` logs, and the touched sets feeding
+    /// [`PatternMode::Refined`] are a pure function of the candidate
+    /// sequence, independent of worker interleaving: the exact Figure-2
+    /// run log survives `check_threads(4)`
+    /// (`fig2_is_exact_under_parallel_checks`; full run-log and registry
+    /// equality on failing and state-capped runs is pinned by
+    /// `check_threads_match_serial_resolver_effects` below — which covers
+    /// naïve mode as well — and `tests/session_equivalence.rs`).
     ///
     /// # Panics
     ///
@@ -399,6 +431,7 @@ impl Synthesizer {
     /// [`SynthOptions::journal`] is set, creates (truncating) the journal
     /// before starting.
     pub fn try_run<M: TransitionSystem>(&self, model: &M) -> Result<SynthReport, MckError> {
+        self.validate()?;
         let writer = match &self.options.journal {
             Some(path) => Some(
                 JournalWriter::create(
@@ -432,12 +465,13 @@ impl Synthesizer {
     ///
     /// Fails with [`MckError::JournalCorrupt`] if the journal belongs to a
     /// different model or was written under a different fingerprint
-    /// (pruning, pattern mode, chunk size) — budgets, caps, and thread
-    /// counts may change freely between attempts.
+    /// (pruning, pattern mode, chunk size, enumeration strategy) — budgets,
+    /// caps, and thread counts may change freely between attempts.
     pub fn resume_from_journal<M: TransitionSystem>(
         &self,
         model: &M,
     ) -> Result<SynthReport, MckError> {
+        self.validate()?;
         let Some(path) = self.options.journal.clone() else {
             return Err(MckError::InvalidConfig {
                 param: "journal",
@@ -459,7 +493,8 @@ impl Synthesizer {
         if replay.fingerprint != self.fingerprint() {
             return Err(MckError::JournalCorrupt {
                 reason: "journal was written under different options \
-                         (pruning, pattern mode, or chunk size)"
+                         (pruning, pattern mode, chunk size, or enumeration \
+                         strategy)"
                     .into(),
             });
         }
@@ -481,7 +516,21 @@ impl Synthesizer {
             pruning: self.options.pruning,
             pattern_mode: self.options.pattern_mode,
             chunk_size: self.options.chunk_size,
+            enumeration: self.options.enumeration,
         }
+    }
+
+    /// Rejects option combinations no run mode can honor.
+    fn validate(&self) -> Result<(), MckError> {
+        if self.options.enumeration == Enumeration::Guided && !self.options.pruning {
+            return Err(MckError::InvalidConfig {
+                param: "enumeration",
+                reason: "guided enumeration requires pruning: the learned \
+                         pattern table is what drives the jumps"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 
     fn run_inner<M: TransitionSystem>(
@@ -597,6 +646,7 @@ impl Synthesizer {
             patterns: patterns_dense + patterns_sparse,
             patterns_dense,
             patterns_sparse,
+            probes: generations.iter().map(|g| g.probes).sum(),
             generations,
             wall: start.elapsed(),
             truncated: stop != StopReason::Completed,
@@ -633,15 +683,16 @@ impl Synthesizer {
             param: "candidate space",
             reason: format!("generation space of {space} candidates exceeds the enumerable range"),
         })?;
-        let (completed, ev, sk, dd) = match replayed {
-            Some(g) => (g.ranges, g.evaluated, g.skipped, g.deduped),
-            None => (Vec::new(), 0, 0, 0),
+        let (completed, ev, sk, dd, pr) = match replayed {
+            Some(g) => (g.ranges, g.evaluated, g.skipped, g.deduped, g.probes),
+            None => (Vec::new(), 0, 0, 0, 0),
         };
         let gen = GenShared {
             chunk_counter: AtomicU64::new(0),
             evaluated: AtomicU64::new(ev),
             skipped: AtomicU64::new(sk),
             deduped: AtomicU64::new(dd),
+            probes: AtomicU64::new(pr),
             radices,
             total,
             k,
@@ -674,6 +725,7 @@ impl Synthesizer {
             evaluated: gen.evaluated.load(Ordering::Relaxed),
             skipped_by_pruning: gen.skipped.load(Ordering::Relaxed) as u128,
             deduped: gen.deduped.load(Ordering::Relaxed),
+            probes: gen.probes.load(Ordering::Relaxed),
         })
     }
 }
@@ -767,6 +819,7 @@ struct GenShared {
     evaluated: AtomicU64,
     skipped: AtomicU64,
     deduped: AtomicU64,
+    probes: AtomicU64,
     radices: Vec<u32>,
     /// The generation space as the chunk dispenser's u64 (checked against
     /// overflow by `run_generation`).
@@ -785,6 +838,7 @@ impl GenShared {
         self.evaluated.fetch_add(draft.evaluated, Ordering::Relaxed);
         self.skipped.fetch_add(draft.skipped, Ordering::Relaxed);
         self.deduped.fetch_add(draft.deduped, Ordering::Relaxed);
+        self.probes.fetch_add(draft.probes, Ordering::Relaxed);
     }
 }
 
@@ -801,6 +855,29 @@ fn worker<M: TransitionSystem>(model: &M, shared: &Shared<'_>, gen: &GenShared) 
     worker_loop(model, shared, gen, &mut session);
 }
 
+/// A worker's thread-local pattern store. The lexicographic walker probes a
+/// plain [`PatternTable`]; the guided walker's [`Propagator`] additionally
+/// caches its trie cursor stack and candidate snapshot, which must persist
+/// across chunks to keep jump re-verification incremental.
+enum LocalStore {
+    Lex {
+        table: PatternTable,
+        /// Survivor-bitset scratch reused across every pruning probe this
+        /// worker makes: the query path allocates nothing.
+        scratch: Vec<u64>,
+    },
+    Guided(Propagator),
+}
+
+impl LocalStore {
+    fn sink(&mut self) -> &mut dyn PatternSink {
+        match self {
+            LocalStore::Lex { table, .. } => table,
+            LocalStore::Guided(propagator) => propagator,
+        }
+    }
+}
+
 /// One worker's chunk-claiming evaluation loop.
 fn worker_loop<'m, M: TransitionSystem>(
     model: &'m M,
@@ -810,10 +887,14 @@ fn worker_loop<'m, M: TransitionSystem>(
 ) {
     let opts = shared.options;
     let mut cache = NameCache::default();
-    let mut local_patterns = PatternTable::new();
-    // Survivor-bitset scratch reused across every pruning probe this worker
-    // makes: the query path allocates nothing.
-    let mut scratch: Vec<u64> = Vec::new();
+    let mut store = if opts.pruning && opts.enumeration == Enumeration::Guided {
+        LocalStore::Guided(Propagator::new())
+    } else {
+        LocalStore::Lex {
+            table: PatternTable::new(),
+            scratch: Vec::new(),
+        }
+    };
     let mut log_cursor = 0usize;
     let mut chunks_until_sync = 0usize;
     let total = gen.total;
@@ -847,7 +928,7 @@ fn worker_loop<'m, M: TransitionSystem>(
             // `sync_interval` chunks instead of at every boundary, so the
             // hub lock is off the chunk fast path at large pattern volumes.
             if chunks_until_sync == 0 {
-                shared.hub.sync_into(&mut local_patterns, &mut log_cursor);
+                shared.hub.sync_into(store.sink(), &mut log_cursor);
                 chunks_until_sync = opts.sync_interval;
             }
             chunks_until_sync -= 1;
@@ -859,59 +940,22 @@ fn worker_loop<'m, M: TransitionSystem>(
         // resume against the same pattern-table state it started from.
         let mut draft = ChunkDraft::new(gen.k as u64, idx);
 
-        let mut od = Odometer::over_range(gen.radices.clone(), lo as u128, hi as u128);
-        'candidates: while let Some(digits) = od.current() {
-            if shared.stop.load(Ordering::Acquire) {
-                gen.bank(&draft);
-                flush_idle(shared, &mut idle);
-                return;
-            }
-            // Candidate pruning: one incremental cursor walk over all prefix
-            // depths (trie descent + per-depth inverted-index probes); a hit
-            // at depth `d` skips the entire subtree below it in O(1).
-            if opts.pruning {
-                if let Some(d) = local_patterns.first_pruned_depth_in(digits, gen.k, &mut scratch) {
-                    let n = od.skip_subtree(d);
-                    draft.skipped += n as u64;
-                    continue 'candidates;
-                }
-            } else if gen.k > gen.prev_k && digits[gen.prev_k..gen.k].iter().all(|&x| x == 0) {
-                // Naïve mode: a candidate whose new digits are all defaults
-                // is identical to one already evaluated last generation.
-                draft.deduped += 1;
-                if !od.advance() {
-                    break;
-                }
-                continue;
-            }
-
-            // The graceful-stop sequence point: budgets, deadlines, caps,
-            // and external interrupts all take effect between dispatches,
-            // never inside one.
-            if let Some(reason) = shared.stop_due() {
-                shared.request_stop(reason);
-                gen.bank(&draft);
-                flush_idle(shared, &mut idle);
-                return;
-            }
-
-            evaluate_candidate(
-                model,
-                shared,
-                gen,
-                digits.to_vec(),
-                session,
-                &mut cache,
-                &mut local_patterns,
-                &mut draft,
-            );
-
-            if !od.advance() {
-                break;
-            }
-        }
+        let completed = match &mut store {
+            LocalStore::Lex { table, scratch } => run_chunk_lex(
+                model, shared, gen, lo, hi, table, scratch, session, &mut cache, &mut draft,
+            ),
+            LocalStore::Guided(propagator) => run_chunk_guided(
+                model, shared, gen, lo, hi, propagator, session, &mut cache, &mut draft,
+            ),
+        };
 
         gen.bank(&draft);
+        if !completed {
+            // A stop request interrupted the chunk: its partial counters are
+            // banked (for the report) but never journaled.
+            flush_idle(shared, &mut idle);
+            return;
+        }
         if draft.is_inactive() {
             match &mut idle {
                 // Extend a contiguous idle run without touching the writer.
@@ -919,6 +963,7 @@ fn worker_loop<'m, M: TransitionSystem>(
                     run.count += draft.count;
                     run.skipped += draft.skipped;
                     run.deduped += draft.deduped;
+                    run.probes += draft.probes;
                 }
                 _ => {
                     flush_idle(shared, &mut idle);
@@ -932,6 +977,141 @@ fn worker_loop<'m, M: TransitionSystem>(
             shared.journal_chunk(draft);
         }
     }
+}
+
+/// Lexicographic walk over one chunk's candidate range. Returns `false` if a
+/// stop request interrupted the chunk.
+#[allow(clippy::too_many_arguments)] // internal plumbing, one call site
+fn run_chunk_lex<'m, M: TransitionSystem>(
+    model: &'m M,
+    shared: &Shared<'_>,
+    gen: &GenShared,
+    lo: u64,
+    hi: u64,
+    table: &mut PatternTable,
+    scratch: &mut Vec<u64>,
+    session: &mut Option<CheckSession<'m, M>>,
+    cache: &mut NameCache,
+    draft: &mut ChunkDraft,
+) -> bool {
+    let opts = shared.options;
+    let mut od = Odometer::over_range(gen.radices.clone(), lo as u128, hi as u128);
+    'candidates: while let Some(digits) = od.current() {
+        if shared.stop.load(Ordering::Acquire) {
+            return false;
+        }
+        // Candidate pruning: one incremental cursor walk over all prefix
+        // depths (trie descent + per-depth inverted-index probes); a hit
+        // at depth `d` skips the entire subtree below it in O(1).
+        if opts.pruning {
+            let hit = table.first_pruned_depth_in(digits, gen.k, scratch);
+            // The walk consults depths `0..=d` (or all `0..=k` on a miss).
+            draft.probes += match hit {
+                Some(d) => d as u64 + 1,
+                None => gen.k as u64 + 1,
+            };
+            if let Some(d) = hit {
+                let n = od.skip_subtree(d);
+                draft.skipped += n as u64;
+                continue 'candidates;
+            }
+        } else if gen.k > gen.prev_k && digits[gen.prev_k..gen.k].iter().all(|&x| x == 0) {
+            // Naïve mode: a candidate whose new digits are all defaults
+            // is identical to one already evaluated last generation.
+            draft.deduped += 1;
+            if !od.advance() {
+                break;
+            }
+            continue;
+        }
+
+        // The graceful-stop sequence point: budgets, deadlines, caps,
+        // and external interrupts all take effect between dispatches,
+        // never inside one.
+        if let Some(reason) = shared.stop_due() {
+            shared.request_stop(reason);
+            return false;
+        }
+
+        evaluate_candidate(
+            model,
+            shared,
+            gen,
+            digits.to_vec(),
+            session,
+            cache,
+            table,
+            draft,
+        );
+
+        if !od.advance() {
+            break;
+        }
+    }
+    true
+}
+
+/// Guided walk over one chunk's candidate range: the propagator jumps the
+/// odometer straight to each next consistent candidate. Visits the exact
+/// candidate sequence [`run_chunk_lex`] visits against the same pattern
+/// table — only the probe cost differs. Returns `false` if a stop request
+/// interrupted the chunk.
+#[allow(clippy::too_many_arguments)] // internal plumbing, one call site
+fn run_chunk_guided<'m, M: TransitionSystem>(
+    model: &'m M,
+    shared: &Shared<'_>,
+    gen: &GenShared,
+    lo: u64,
+    hi: u64,
+    propagator: &mut Propagator,
+    session: &mut Option<CheckSession<'m, M>>,
+    cache: &mut NameCache,
+    draft: &mut ChunkDraft,
+) -> bool {
+    // The walk stays warm across chunk boundaries: with 32-candidate
+    // chunks most chunks hold a single enumeration node, so a cold
+    // restart per chunk would pay the same from-root probe skip-counting
+    // pays and forfeit the entire guided advantage. The price is that a
+    // chunk's probe count depends on the propagator's memo — probes are a
+    // *cost measurement* (like wall time), not a result: a resumed run
+    // reproduces evaluations, patterns, and solutions bit-identically but
+    // may re-measure a slightly different probe total, since its first
+    // live chunk starts from a cold memo.
+    let probes_before = propagator.probes();
+    let mut od =
+        GuidedOdometer::over_range(gen.radices.clone(), lo as u128, hi as u128, propagator);
+    let completed = loop {
+        // The CEGIS propose step: jump past everything the learned
+        // patterns refute.
+        draft.skipped += od.seek_consistent() as u64;
+        if od.current().is_none() {
+            break true;
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            break false;
+        }
+        // The graceful-stop sequence point, as in the lexicographic walk.
+        if let Some(reason) = shared.stop_due() {
+            shared.request_stop(reason);
+            break false;
+        }
+        let digits = od.current().expect("candidate checked above").to_vec();
+        evaluate_candidate(
+            model,
+            shared,
+            gen,
+            digits,
+            session,
+            cache,
+            od.propagator_mut(),
+            draft,
+        );
+        if !od.advance() {
+            break true;
+        }
+    };
+    draft.probes += od.propagator_mut().probes() - probes_before;
+    completed
 }
 
 /// Hands a worker's buffered idle-chunk run to the journal writer. Chunks
@@ -955,7 +1135,7 @@ fn evaluate_candidate<'m, M: TransitionSystem>(
     digits: Vec<u16>,
     session: &mut Option<CheckSession<'m, M>>,
     cache: &mut NameCache,
-    local_patterns: &mut PatternTable,
+    local_patterns: &mut dyn PatternSink,
     draft: &mut ChunkDraft,
 ) {
     let opts = shared.options;
@@ -1112,7 +1292,7 @@ struct HubInner {
 impl PatternHub {
     /// Publishes a prefix pattern; merges into `local` as well. Returns
     /// whether the pattern was new to the shared table.
-    fn publish_prefix(&self, prefix: &[u16], local: &mut PatternTable) -> bool {
+    fn publish_prefix(&self, prefix: &[u16], local: &mut dyn PatternSink) -> bool {
         local.merge_prefix(prefix);
         let mut inner = self.inner.lock();
         if inner.canonical.insert_prefix(prefix) {
@@ -1126,7 +1306,7 @@ impl PatternHub {
     }
 
     /// Sparse analogue of [`PatternHub::publish_prefix`].
-    fn publish_sparse(&self, pairs: SparsePattern, local: &mut PatternTable) -> bool {
+    fn publish_sparse(&self, pairs: SparsePattern, local: &mut dyn PatternSink) -> bool {
         local.merge_sparse(pairs.clone());
         let mut inner = self.inner.lock();
         if inner.canonical.insert_sparse(pairs.clone()) {
@@ -1138,7 +1318,7 @@ impl PatternHub {
     }
 
     /// Replays log entries `[*cursor..]` into `local`.
-    fn sync_into(&self, local: &mut PatternTable, cursor: &mut usize) {
+    fn sync_into(&self, local: &mut dyn PatternSink, cursor: &mut usize) {
         let inner = self.inner.lock();
         for entry in &inner.log[*cursor..] {
             match entry {
@@ -1367,39 +1547,41 @@ mod tests {
                 })
                 .collect()
         };
-        for max_states in [usize::MAX, 12] {
-            for reuse in [true, false] {
-                for seed in [600, 601, 602] {
-                    let model = GraphModel::random(seed, 6, 3);
-                    let run = |threads: usize| {
-                        let checker = CheckerOptions::default()
-                            .max_states(max_states)
-                            .clamp_threads(false);
-                        Synthesizer::new(
-                            SynthOptions::default()
-                                .record_runs(true)
-                                .pattern_mode(PatternMode::Refined)
-                                .reuse_sessions(reuse)
-                                .checker(checker)
-                                .check_threads(threads),
-                        )
-                        .run(&model)
-                    };
-                    let serial = run(1);
-                    let par = run(4);
-                    let names = |r: &SynthReport| -> Vec<String> {
-                        r.holes().iter().map(|h| h.name.clone()).collect()
-                    };
-                    assert_eq!(
-                        names(&par),
-                        names(&serial),
-                        "seed {seed} cap {max_states} reuse {reuse}: registration order"
-                    );
-                    assert_eq!(
-                        fmt(&par),
-                        fmt(&serial),
-                        "seed {seed} cap {max_states} reuse {reuse}: run log"
-                    );
+        for pruning in [true, false] {
+            for max_states in [usize::MAX, 12] {
+                for reuse in [true, false] {
+                    for seed in [600, 601, 602] {
+                        let model = GraphModel::random(seed, 6, 3);
+                        let run = |threads: usize| {
+                            let checker = CheckerOptions::default()
+                                .max_states(max_states)
+                                .clamp_threads(false);
+                            Synthesizer::new(
+                                SynthOptions::default()
+                                    .record_runs(true)
+                                    .pruning(pruning)
+                                    .pattern_mode(PatternMode::Refined)
+                                    .reuse_sessions(reuse)
+                                    .checker(checker)
+                                    .check_threads(threads),
+                            )
+                            .run(&model)
+                        };
+                        let serial = run(1);
+                        let par = run(4);
+                        let names = |r: &SynthReport| -> Vec<String> {
+                            r.holes().iter().map(|h| h.name.clone()).collect()
+                        };
+                        let what =
+                            format!("pruning {pruning} seed {seed} cap {max_states} reuse {reuse}");
+                        assert_eq!(names(&par), names(&serial), "{what}: registration order");
+                        assert_eq!(fmt(&par), fmt(&serial), "{what}: run log");
+                        assert_eq!(
+                            solution_set(&par),
+                            solution_set(&serial),
+                            "{what}: solutions"
+                        );
+                    }
                 }
             }
         }

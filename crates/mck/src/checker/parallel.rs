@@ -354,6 +354,11 @@ pub(super) struct AppRecord {
     /// Wildcard consultations (known holes, or deferred first sightings as
     /// indices into the chunk's discovery list).
     pub(super) wildcards: Box<[WildcardTouch]>,
+    /// Concrete resolutions of deferred first sightings, as `(index into the
+    /// chunk's discovery list, action)` — the concrete sibling of
+    /// [`WildcardTouch::Fresh`], produced by resolvers whose discovery
+    /// default is a real action.
+    pub(super) fresh: Box<[(u32, u16)]>,
     pub(super) outcome: RecOutcome,
 }
 
@@ -676,8 +681,13 @@ impl<S: Clone + Eq + Hash + Send + Sync> Engine<S> {
                 let rule_outcome = rule.apply(state, &mut *worker);
                 let touches = worker.application_touches();
                 let wildcards = worker.application_wildcards();
+                let fresh = worker.application_fresh_touches();
                 let outcome = match rule_outcome {
-                    RuleOutcome::Disabled if touches.is_empty() && wildcards.is_empty() => continue,
+                    RuleOutcome::Disabled
+                        if touches.is_empty() && wildcards.is_empty() && fresh.is_empty() =>
+                    {
+                        continue
+                    }
                     RuleOutcome::Disabled => RecOutcome::Disabled,
                     RuleOutcome::Blocked => {
                         any_blocked = true;
@@ -710,6 +720,7 @@ impl<S: Clone + Eq + Hash + Send + Sync> Engine<S> {
                     rule: ri as u32,
                     touches: touches.into(),
                     wildcards: wildcards.into(),
+                    fresh: fresh.into(),
                     outcome,
                 });
             }
@@ -784,7 +795,22 @@ impl<S: Clone + Eq + Hash + Send + Sync> Engine<S> {
         for chunk in chunks {
             let ChunkOut { recs, discoveries } = chunk;
             // First-replayed-consultation registration ids, per discovery.
+            // Registration order across the layer equals serial consultation
+            // order — the replay *is* the sequence point.
             let mut discovered: Vec<Option<usize>> = vec![None; discoveries.len()];
+            let mut committed_id = |index: u32| -> usize {
+                let slot = &mut discovered[index as usize];
+                match *slot {
+                    Some(id) => id,
+                    None => {
+                        let id = resolver
+                            .commit_discoveries(std::slice::from_ref(&discoveries[index as usize]))
+                            [0];
+                        *slot = Some(id);
+                        id
+                    }
+                }
+            };
             for rec in recs {
                 let sid = (f0 + i) as StateId;
                 assert!(
@@ -814,25 +840,22 @@ impl<S: Clone + Eq + Hash + Send + Sync> Engine<S> {
                                 }
                             }
                             WildcardTouch::Fresh(index) => {
-                                // The replay sequence point for this hole's
-                                // discovery: registration order across the
-                                // layer equals serial consultation order.
-                                let slot = &mut discovered[index as usize];
-                                let id = match *slot {
-                                    Some(id) => id,
-                                    None => {
-                                        let id = resolver.commit_discoveries(std::slice::from_ref(
-                                            &discoveries[index as usize],
-                                        ))[0];
-                                        *slot = Some(id);
-                                        id
-                                    }
-                                };
+                                let id = committed_id(index);
                                 if let Some(log) = log.as_deref_mut() {
                                     log.push((id, None));
                                 }
                             }
                         }
+                    }
+                    for &(index, action) in app.fresh.iter() {
+                        // A deferred sighting answered concretely (naïve
+                        // mode): the commit assigns the id, and the
+                        // consultation is a replay-confirmed touch.
+                        let id = committed_id(index);
+                        if let Some(log) = log.as_deref_mut() {
+                            log.push((id, Some(action)));
+                        }
+                        replayed.push((id, action));
                     }
                     expansion_touches.extend_from_slice(&app.touches);
                     match app.outcome {

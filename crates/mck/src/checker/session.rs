@@ -496,6 +496,7 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
         };
         let mut touches_log: Vec<LayerTouch> = Vec::new();
         let mut fresh_log: Vec<u32> = Vec::new();
+        let mut fresh_concrete_log: Vec<(u32, u16)> = Vec::new();
 
         for i in 0..(f1 - f0) {
             let sid = f0 + i;
@@ -521,6 +522,7 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
                         WildcardTouch::Fresh(index) => fresh_log.push(index),
                     }
                 }
+                fresh_concrete_log.extend_from_slice(worker.application_fresh_touches());
                 expansion_touches.extend_from_slice(&app_touches);
 
                 match outcome {
@@ -598,12 +600,16 @@ impl<'a, M: TransitionSystem> CheckSession<'a, M> {
 
         // Layer fully expanded: register deferred discoveries (in this
         // single worker's consultation order, which *is* the serial order)
-        // and resolve the fresh wildcard touches to their new ids.
+        // and resolve the fresh wildcard and fresh concrete touches to their
+        // new ids.
         let specs = worker.take_pending_discoveries();
-        if !specs.is_empty() || !fresh_log.is_empty() {
+        if !specs.is_empty() || !fresh_log.is_empty() || !fresh_concrete_log.is_empty() {
             let ids = resolver.commit_discoveries(&specs);
             for &index in &fresh_log {
                 touches_log.push((ids[index as usize], None));
+            }
+            for &(index, action) in &fresh_concrete_log {
+                touches_log.push((ids[index as usize], Some(action)));
             }
         }
         touches_log.sort_unstable();

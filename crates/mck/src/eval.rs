@@ -202,6 +202,19 @@ pub trait HoleResolver {
         &[]
     }
 
+    /// The concrete resolutions handed out since the last
+    /// [`HoleResolver::begin_application`] to holes whose registration is
+    /// still deferred (see [`HoleResolver::take_pending_discoveries`]):
+    /// `(index, action)` pairs where `index` points into the spec list the
+    /// *next* `take_pending_discoveries` call will return — the concrete
+    /// sibling of [`WildcardTouch::Fresh`], for resolvers whose discovery
+    /// default is a real action rather than the wildcard. Drivers log these
+    /// once the commit assigns the hole its id. The default — no deferral —
+    /// is an empty slice.
+    fn application_fresh_touches(&self) -> &[(u32, u16)] {
+        &[]
+    }
+
     /// Drains the hole specs this worker first sighted since the last call
     /// (or since creation), in consultation order, *without* having
     /// registered them yet — the deferred-registration protocol that makes

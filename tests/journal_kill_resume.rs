@@ -11,7 +11,7 @@ use std::time::Duration;
 use verc3::mck::{Choice, GraphModel, HoleSpec, ModelBuilder, RuleOutcome, TransitionSystem};
 use verc3::protocols::msi::{MsiConfig, MsiModel};
 use verc3::synth::journal::record_boundaries;
-use verc3::synth::{PatternMode, StopReason, SynthOptions, SynthReport, Synthesizer};
+use verc3::synth::{Enumeration, PatternMode, StopReason, SynthOptions, SynthReport, Synthesizer};
 
 /// A unique scratch path for one test's journal.
 fn scratch(name: &str) -> PathBuf {
@@ -24,9 +24,12 @@ fn scratch(name: &str) -> PathBuf {
 }
 
 /// The identity we demand across kill/resume: everything the paper reports,
-/// plus the quarantine ledger. (Wall time is excluded; the split between
-/// expanded and reused states is a scheduling artifact under sessions, so
-/// only their sum is compared.)
+/// plus the quarantine ledger. (Wall time and probe counts are excluded —
+/// both are cost *measurements*, not results: the guided propagator's
+/// incremental walk stays warm across chunks, so a resumed run's first live
+/// chunk re-measures from a cold memo. The split between expanded and
+/// reused states is a scheduling artifact under sessions, so only their sum
+/// is compared.)
 fn fingerprint(report: &SynthReport) -> impl PartialEq + std::fmt::Debug {
     (
         report.solutions().to_vec(),
@@ -39,7 +42,12 @@ fn fingerprint(report: &SynthReport) -> impl PartialEq + std::fmt::Debug {
             report.stats().patterns_sparse,
             report.stats().quarantined,
         ),
-        report.stats().generations.clone(),
+        report
+            .stats()
+            .generations
+            .iter()
+            .map(|g| (g.k, g.space, g.evaluated, g.skipped_by_pruning, g.deduped))
+            .collect::<Vec<_>>(),
         report.stats().check_states_expanded + report.stats().check_states_reused,
     )
 }
@@ -147,6 +155,72 @@ fn parallel_journal_resumes_to_the_same_solutions_from_every_boundary() {
             );
         }
     }
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn guided_runs_resume_identically_from_every_record_boundary() {
+    // Guided enumeration journals the same chunk-coverage records as
+    // lexicographic (the visit sequence is identical; only the probe cost
+    // differs), so kill/resume identity — including the banked probe
+    // counters — must hold for it too.
+    let model = GraphModel::worked_example();
+    assert_resume_identity_at(
+        &model,
+        &SynthOptions::default()
+            .enumeration(Enumeration::Guided)
+            .chunk_size(2),
+        "fig2-guided-every-boundary",
+        all,
+    );
+
+    let model = MsiModel::new(MsiConfig::msi_tiny());
+    assert_resume_identity_at(
+        &model,
+        &SynthOptions::default()
+            .enumeration(Enumeration::Guided)
+            .pattern_mode(PatternMode::Refined)
+            .chunk_size(8),
+        "msi-tiny-guided-every-boundary",
+        all,
+    );
+}
+
+#[test]
+fn resume_rejects_a_journal_from_a_different_enumeration_strategy() {
+    // The journal's skipped/probe accounting is only meaningful under the
+    // strategy that wrote it, so the fingerprint pins the enumeration
+    // strategy — resuming a lexicographic journal under `--guided` (or the
+    // reverse) must be rejected like any other search mismatch.
+    let path = scratch("enum-mismatch");
+    let model = GraphModel::worked_example();
+    Synthesizer::new(SynthOptions::default().journal(&path)).run(&model);
+    let err = Synthesizer::new(
+        SynthOptions::default()
+            .enumeration(Enumeration::Guided)
+            .journal(&path),
+    )
+    .resume_from_journal(&model)
+    .expect_err("enumeration-strategy change must be rejected");
+    assert!(
+        err.to_string().contains("journal"),
+        "unexpected error: {err}"
+    );
+
+    let _ = fs::remove_file(&path);
+    Synthesizer::new(
+        SynthOptions::default()
+            .enumeration(Enumeration::Guided)
+            .journal(&path),
+    )
+    .run(&model);
+    let err = Synthesizer::new(SynthOptions::default().journal(&path))
+        .resume_from_journal(&model)
+        .expect_err("the mismatch must be rejected in both directions");
+    assert!(
+        err.to_string().contains("journal"),
+        "unexpected error: {err}"
+    );
     let _ = fs::remove_file(&path);
 }
 
