@@ -1,0 +1,164 @@
+//! Shard-scaling bench: the sharded-synthesis coordinator
+//! ([`verc3_core::run_sharded`]) on the MSI workloads, across shard counts
+//! and with pattern exchange on versus off.
+//!
+//! Two claims are pinned here:
+//!
+//! 1. **Equivalence** — the merged solution set is identical for every
+//!    shard count, with and without exchange (asserted inline, bit for
+//!    bit against the single-shard run).
+//! 2. **Exchange pays** — four *exchanging* shards evaluate strictly fewer
+//!    candidates in total than four *isolated* shards: without exchange
+//!    every shard must re-learn its peers' failure patterns by evaluating
+//!    the doomed candidates itself. The reduction ratio on msi_xl
+//!    (`isolated evals / exchanging evals`) is asserted `> 1` here and
+//!    pinned by the perf gate against the committed baseline.
+//!
+//! Emits **BENCH_shard.json** at the workspace root: one
+//! `(workload, shards, exchange, evaluated, skipped, patterns, solutions,
+//! rounds, wall_ms)` row per configuration.
+//!
+//! ```text
+//! cargo bench -p verc3-bench --bench shard_scaling
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+use verc3_core::{run_sharded, PatternMode, ShardOptions, SynthOptions, SynthReport};
+use verc3_protocols::msi::{MsiConfig, MsiModel};
+
+/// The exchange-reduction floor asserted on msi_xl (and pinned by the perf
+/// gate): four exchanging shards must evaluate strictly fewer candidates
+/// than four isolated shards.
+const XL_EXCHANGE_REDUCTION_FLOOR: f64 = 1.0;
+
+/// Solution assignments keyed by hole name, for cross-run comparison.
+fn named_solutions(report: &SynthReport) -> BTreeSet<Vec<(String, u16)>> {
+    report
+        .solutions()
+        .iter()
+        .map(|s| {
+            let mut named: Vec<(String, u16)> = s
+                .assignment
+                .iter()
+                .map(|&(h, a)| (report.holes()[h].name.clone(), a))
+                .collect();
+            named.sort();
+            named
+        })
+        .collect()
+}
+
+/// Runs one sharded configuration `reps` times and keeps the rep with the
+/// fewest evaluations (ties broken by wall time).
+///
+/// Work stealing is disabled so the evaluated counts isolate the exchange
+/// effect: with stealing, which shard claims a chunk (and therefore which
+/// patterns it holds when it does) depends on thread timing, adding noise
+/// to the counts this bench pins. Stealing is covered by the equivalence
+/// tests. Without exchange the counts are fully deterministic (one rep
+/// suffices); with exchange, *when* a peer's batch lands relative to a
+/// chunk claim still varies a little, so the ratio configurations take a
+/// best-of-reps — the bench convention for noisy measurements.
+fn measure(config: &MsiConfig, shards: usize, exchange: bool, reps: usize) -> (SynthReport, f64) {
+    let model = MsiModel::new(config.clone());
+    let options = SynthOptions::default().pattern_mode(PatternMode::Refined);
+    let sharding = ShardOptions::default()
+        .shards(shards)
+        .exchange(exchange)
+        .steal(false);
+    let mut best: Option<(SynthReport, f64)> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let report = run_sharded(&model, &options, &sharding).expect("sharded bench run");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let better = best.as_ref().map_or(true, |(b, b_ms)| {
+            (report.stats().evaluated, ms) < (b.stats().evaluated, *b_ms)
+        });
+        if better {
+            best = Some((report, ms));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    println!("group shard_scaling");
+    let workloads = [
+        ("msi_large", MsiConfig::msi_large()),
+        ("msi_xl", MsiConfig::msi_xl()),
+    ];
+    // Shard counts with exchange on, plus the 4-shard isolated control.
+    // The exchanging 4-shard run feeds the reduction ratio and is the only
+    // timing-sensitive count, so it gets the extra reps.
+    let configs: [(usize, bool, usize); 4] =
+        [(1, true, 1), (2, true, 1), (4, true, 3), (4, false, 1)];
+
+    let mut json = String::from("[\n");
+    let mut first = true;
+    for (workload, config) in workloads {
+        let mut reference: Option<BTreeSet<Vec<(String, u16)>>> = None;
+        let mut evals: Vec<(usize, bool, u64)> = Vec::new();
+        for (shards, exchange, reps) in configs {
+            let (report, ms) = measure(&config, shards, exchange, reps);
+            let solutions = named_solutions(&report);
+            match &reference {
+                None => reference = Some(solutions),
+                Some(expect) => assert_eq!(
+                    &solutions, expect,
+                    "{workload}: solution set diverged at shards={shards} exchange={exchange}"
+                ),
+            }
+            evals.push((shards, exchange, report.stats().evaluated));
+            println!(
+                "  {workload:<10} shards={shards} exchange={:<3}: {:>8} evaluated  {:>10} skipped  {ms:>8.1} ms",
+                if exchange { "on" } else { "off" },
+                report.stats().evaluated,
+                report.stats().skipped_by_pruning,
+            );
+            let _ = writeln!(
+                json,
+                "  {}{{\"workload\": \"{}\", \"shards\": {}, \"exchange\": \"{}\", \
+                 \"evaluated\": {}, \"skipped\": {}, \"patterns\": {}, \
+                 \"solutions\": {}, \"rounds\": {}, \"wall_ms\": {:.3}}}",
+                if first { "" } else { ", " },
+                workload,
+                shards,
+                if exchange { "on" } else { "off" },
+                report.stats().evaluated,
+                report.stats().skipped_by_pruning,
+                report.stats().patterns,
+                report.solutions().len(),
+                report.stats().generations.len(),
+                ms,
+            );
+            first = false;
+        }
+
+        let pick = |s: usize, x: bool| {
+            evals
+                .iter()
+                .find(|&&(shards, exchange, _)| shards == s && exchange == x)
+                .map(|&(_, _, e)| e as f64)
+                .expect("configuration measured above")
+        };
+        let ratio = pick(4, false) / pick(4, true).max(1.0);
+        println!("  {workload:<10} exchange reduction (4 isolated / 4 exchanging): {ratio:.2}x");
+        if workload == "msi_xl" {
+            assert!(
+                ratio > XL_EXCHANGE_REDUCTION_FLOOR,
+                "pattern exchange did not pay on msi_xl: 4 exchanging shards \
+                 evaluated {} candidates vs {} isolated ({ratio:.2}x, floor > \
+                 {XL_EXCHANGE_REDUCTION_FLOOR}x)",
+                pick(4, true),
+                pick(4, false),
+            );
+        }
+    }
+    json.push_str("]\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(path, &json).expect("write BENCH_shard.json");
+    println!("wrote BENCH_shard.json (8 rows)");
+}

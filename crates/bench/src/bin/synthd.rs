@@ -1,0 +1,185 @@
+//! `synthd` — the sharded-synthesis coordinator daemon.
+//!
+//! ```text
+//! cargo run --release -p verc3-bench --bin synthd -- \
+//!     --workload msi_small --shards 4 [--no-exchange] [--no-steal] \
+//!     [--fs DIR] [--journal-dir DIR] [--json] [--check]
+//! ```
+//!
+//! Runs a workload through the shard coordinator
+//! ([`verc3_core::run_sharded_with`]): the candidate space of each
+//! generation is partitioned into odometer ranges across `--shards`
+//! workers, failure patterns are exchanged between shards as they are
+//! published, finished shards steal from the largest remaining range, and
+//! the per-shard reports are merged into one deterministic result.
+//!
+//! Output is designed for diffing: every solution is printed as a sorted
+//! `#sol` line (hole names with their chosen actions, in name order), so
+//! two invocations — different shard counts, exchange on or off — must
+//! produce byte-identical `#sol` blocks. CI pins exactly that. `--json`
+//! additionally prints one machine-readable [`verc3_core::ShardReport`]
+//! line per shard
+//! per round; `--check` re-runs the workload single-process and fails
+//! (exit 1) if the merged solution set differs.
+//!
+//! `--fs DIR` swaps the in-memory exchange transport for the filesystem
+//! spool ([`verc3_core::FsExchange`]): pattern batches become `.vc3b`
+//! files under `DIR`, observable (and importable) by other processes.
+//! `--journal-dir DIR` writes one crash journal per shard per round; a
+//! killed run re-invoked with the same flags resumes from those journals.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use std::sync::Arc;
+use verc3_core::{
+    run_sharded_with, FsExchange, PatternExchange, PatternMode, ShardOptions, ShardedRun,
+    SynthOptions, SynthReport, Synthesizer,
+};
+use verc3_mck::{GraphModel, TransitionSystem};
+use verc3_protocols::msi::{MsiConfig, MsiModel};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: synthd [--workload fig2|msi_tiny|msi_small|msi_large|msi_xl] \
+         [--shards N] [--no-exchange] [--no-steal] [--fs DIR] \
+         [--journal-dir DIR] [--json] [--check]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()))
+}
+
+/// Sorted, name-keyed solution lines — the diffable output contract.
+fn sol_lines(report: &SynthReport) -> BTreeSet<String> {
+    report
+        .solutions()
+        .iter()
+        .map(|s| {
+            let mut named: Vec<String> = s
+                .assignment
+                .iter()
+                .map(|&(h, a)| format!("{}={a}", report.holes()[h].name))
+                .collect();
+            named.sort();
+            format!("#sol {}", named.join(","))
+        })
+        .collect()
+}
+
+fn run<M: TransitionSystem>(
+    model: &M,
+    options: &SynthOptions,
+    sharding: &ShardOptions,
+    endpoint: Option<Arc<dyn PatternExchange>>,
+    json: bool,
+    check: bool,
+) -> ExitCode {
+    let run: ShardedRun = match run_sharded_with(model, options, sharding, endpoint) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("synthd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        for shard in &run.shards {
+            println!("{}", shard.to_json());
+        }
+    }
+    let stats = run.report.stats();
+    println!(
+        "#run holes={} solutions={} evaluated={} skipped={} patterns={} rounds={} stop={} wall_ms={}",
+        run.report.holes().len(),
+        run.report.solutions().len(),
+        stats.evaluated,
+        stats.skipped_by_pruning,
+        stats.patterns,
+        stats.generations.len(),
+        stats.stop,
+        stats.wall.as_millis(),
+    );
+    for line in sol_lines(&run.report) {
+        println!("{line}");
+    }
+
+    if check {
+        let reference = Synthesizer::new(options.clone()).run(model);
+        if sol_lines(&reference) != sol_lines(&run.report) {
+            eprintln!(
+                "synthd: MISMATCH — merged solution set differs from the \
+                 single-process reference ({} vs {} solutions)",
+                run.report.solutions().len(),
+                reference.solutions().len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("#check ok — matches single-process reference");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+
+    let workload = flag_value(&args, "--workload").unwrap_or_else(|| "msi_small".into());
+    let shards: usize = flag_value(&args, "--shards")
+        .map(|v| v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage()))
+        .unwrap_or(4);
+    let json = args.iter().any(|a| a == "--json");
+    let check = args.iter().any(|a| a == "--check");
+
+    let mut sharding = ShardOptions::default()
+        .shards(shards)
+        .exchange(!args.iter().any(|a| a == "--no-exchange"))
+        .steal(!args.iter().any(|a| a == "--no-steal"));
+    if let Some(dir) = flag_value(&args, "--journal-dir") {
+        sharding = sharding.journal_dir(dir);
+    }
+    let endpoint: Option<Arc<dyn PatternExchange>> = match flag_value(&args, "--fs") {
+        Some(dir) => match FsExchange::new(dir, shards) {
+            Ok(fs) => Some(Arc::new(fs)),
+            Err(e) => {
+                eprintln!("synthd: cannot open exchange spool: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let options = SynthOptions::default().pattern_mode(PatternMode::Refined);
+    match workload.as_str() {
+        "fig2" => run(
+            &GraphModel::worked_example(),
+            &options,
+            &sharding,
+            endpoint,
+            json,
+            check,
+        ),
+        "msi_tiny" | "msi_small" | "msi_large" | "msi_xl" => {
+            let config = match workload.as_str() {
+                "msi_tiny" => MsiConfig::msi_tiny(),
+                "msi_small" => MsiConfig::msi_small(),
+                "msi_large" => MsiConfig::msi_large(),
+                _ => MsiConfig::msi_xl(),
+            };
+            run(
+                &MsiModel::new(config),
+                &options,
+                &sharding,
+                endpoint,
+                json,
+                check,
+            )
+        }
+        _ => usage(),
+    }
+}

@@ -57,7 +57,7 @@ use verc3_mck::faults;
 use verc3_mck::MckError;
 
 const MAGIC: [u8; 4] = *b"VC3J";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 const TAG_HEADER: u8 = 1;
 const TAG_GEN_START: u8 = 2;
@@ -105,61 +105,67 @@ fn crc32(data: &[u8]) -> u32 {
 // Payload codec: hand-rolled little-endian, no external dependencies.
 
 #[derive(Default)]
-struct Enc(Vec<u8>);
+pub(crate) struct Enc(pub(crate) Vec<u8>);
 
 impl Enc {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.0.extend_from_slice(s.as_bytes());
     }
 }
 
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Dec { buf, pos: 0 }
     }
-    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         let out = self.buf.get(self.pos..end)?;
         self.pos = end;
         Some(out)
     }
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         Some(self.bytes(1)?[0])
     }
-    fn u16(&mut self) -> Option<u16> {
+    pub(crate) fn u16(&mut self) -> Option<u16> {
         Some(u16::from_le_bytes(self.bytes(2)?.try_into().ok()?))
     }
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
     }
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
     }
-    fn str(&mut self) -> Option<String> {
+    pub(crate) fn str(&mut self) -> Option<String> {
         let n = self.u32()? as usize;
         String::from_utf8(self.bytes(n)?.to_vec()).ok()
     }
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
+}
+
+/// CRC32 (IEEE 802.3) over `data` — shared with the shard wire format,
+/// which frames pattern batches exactly like journal records.
+pub(crate) fn checksum(data: &[u8]) -> u32 {
+    crc32(data)
 }
 
 // ---------------------------------------------------------------------------
@@ -175,6 +181,14 @@ pub(crate) struct Fingerprint {
     pub pattern_mode: PatternMode,
     pub chunk_size: u64,
     pub enumeration: Enumeration,
+    /// The chunk-index range `[start, end)` a shard journal covers, `None`
+    /// for a whole-space run. Pinning the partition in the header makes
+    /// resuming a shard journal against a different partition fail fast
+    /// with [`MckError::JournalCorrupt`] instead of silently replaying the
+    /// wrong slice (coverage is recorded in absolute chunk indices, so a
+    /// journal from range A would otherwise "resume" range B by re-running
+    /// all of B and reporting A's results on top).
+    pub shard: Option<(u64, u64)>,
 }
 
 impl Fingerprint {
@@ -189,6 +203,14 @@ impl Fingerprint {
             Enumeration::Lexicographic => 0,
             Enumeration::Guided => 1,
         });
+        match self.shard {
+            None => e.u8(0),
+            Some((start, end)) => {
+                e.u8(1);
+                e.u64(start);
+                e.u64(end);
+            }
+        }
     }
 
     fn decode(d: &mut Dec<'_>) -> Option<Self> {
@@ -208,11 +230,17 @@ impl Fingerprint {
             1 => Enumeration::Guided,
             _ => return None,
         };
+        let shard = match d.u8()? {
+            0 => None,
+            1 => Some((d.u64()?, d.u64()?)),
+            _ => return None,
+        };
         Some(Fingerprint {
             pruning,
             pattern_mode,
             chunk_size,
             enumeration,
+            shard,
         })
     }
 }
@@ -475,6 +503,20 @@ impl JournalWriter {
         fingerprint: &Fingerprint,
         fsync_every: u64,
     ) -> std::io::Result<Self> {
+        Self::create_at(path, model, fingerprint, fsync_every, 0)
+    }
+
+    /// [`JournalWriter::create`] with an initial hole cursor: a shard
+    /// journal is seeded with the coordinator's baseline registry, which
+    /// every resume re-seeds from the shard spec — only holes the shard
+    /// *discovers* (ids at and beyond the cursor) belong in its records.
+    pub(crate) fn create_at(
+        path: &Path,
+        model: &str,
+        fingerprint: &Fingerprint,
+        fsync_every: u64,
+        hole_cursor: usize,
+    ) -> std::io::Result<Self> {
         let mut file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -488,7 +530,7 @@ impl JournalWriter {
         fingerprint.encode(&mut e);
         write_frame(&mut file, &e.0)?;
         file.sync_data()?;
-        Ok(Self::wrap(file, fsync_every, 0))
+        Ok(Self::wrap(file, fsync_every, hole_cursor))
     }
 
     /// Reopens a journal for appending after replay: truncates the file back
@@ -922,7 +964,32 @@ mod tests {
             pattern_mode: PatternMode::Exact,
             chunk_size: 32,
             enumeration: Enumeration::Lexicographic,
+            shard: None,
         }
+    }
+
+    #[test]
+    fn shard_range_round_trips_in_fingerprint() {
+        let path = tmp("shard-fp");
+        let sharded = Fingerprint {
+            shard: Some((3, 17)),
+            ..fp()
+        };
+        let w = JournalWriter::create(&path, "m", &sharded, 1).unwrap();
+        w.gen_start(2, 1).unwrap();
+        drop(w);
+        let r = read(&path).unwrap().unwrap();
+        assert_eq!(r.fingerprint, sharded);
+        assert_ne!(r.fingerprint, fp(), "whole-space fingerprint must differ");
+        assert_ne!(
+            r.fingerprint,
+            Fingerprint {
+                shard: Some((3, 18)),
+                ..fp()
+            },
+            "a different partition must not match"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

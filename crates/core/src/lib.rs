@@ -50,6 +50,7 @@ pub mod odometer;
 pub mod pattern;
 pub mod report;
 pub mod resolver;
+pub mod shard;
 pub mod synth;
 
 pub use candidate::{CandidateVec, Slot};
@@ -61,5 +62,9 @@ pub use pattern::{
 pub use report::{GenStats, Quarantined, RunRecord, Solution, StopReason, SynthReport, SynthStats};
 pub use resolver::{
     assignment_delta, CandidateResolver, DiscoveryDefault, NameCache, SharedCandidateResolver,
+};
+pub use shard::{
+    partition_chunks, run_shard, run_sharded, run_sharded_with, ChannelExchange, FsExchange,
+    PatternBatch, PatternExchange, ShardOptions, ShardReport, ShardSpec, ShardedRun, WirePattern,
 };
 pub use synth::{Enumeration, SynthOptions, Synthesizer};

@@ -44,26 +44,41 @@ impl Odometer {
 
     /// Creates an odometer over the half-open linear range `[start, end)`.
     ///
+    /// Out-of-bounds ranges are **clamped**, not rejected: `end` saturates
+    /// at the space size and `start` at the (clamped) `end`, so an inverted
+    /// or past-the-end range simply produces an exhausted walker. This is
+    /// the contract sharded dispatch needs — a coordinator partitioning a
+    /// space it knows only approximately (work-stealing splits, resumed
+    /// shard plans) must be able to hand out boundary ranges without every
+    /// consumer re-deriving the exact space size. The degenerate shapes are
+    /// all well-defined:
+    ///
+    /// * `start == end` — an empty range: [`Odometer::current`] is `None`
+    ///   immediately and [`Odometer::skip_subtree`] returns 0 at any depth;
+    /// * `end > space_size` — clamped to the space size;
+    /// * an empty (zero-width) radix vector — the space has exactly one
+    ///   candidate, the empty assignment, so any range clamps into `[0, 1)`.
+    ///
     /// # Panics
     ///
-    /// Panics if any radix is zero, or `start > end`, or `end` exceeds the
-    /// space size.
+    /// Panics if any radix is zero (an impossible hole with no actions —
+    /// always a construction bug, never a boundary condition).
     pub fn over_range(radices: Vec<u32>, start: u128, end: u128) -> Self {
         assert!(radices.iter().all(|&r| r > 0), "zero radix");
         let total = space_size(&radices);
-        assert!(
-            start <= end && end <= total,
-            "range [{start}, {end}) out of bounds ({total})"
-        );
+        let end = end.min(total);
+        let start = start.min(end);
         let mut weight = vec![1u128; radices.len() + 1];
         for i in (0..radices.len()).rev() {
             weight[i] = weight[i + 1] * radices[i] as u128;
         }
         let mut digits = vec![0u16; radices.len()];
-        let mut rem = start;
-        for i in 0..radices.len() {
-            digits[i] = (rem / weight[i + 1]) as u16;
-            rem %= weight[i + 1];
+        if start < total {
+            let mut rem = start;
+            for i in 0..radices.len() {
+                digits[i] = (rem / weight[i + 1]) as u16;
+                rem %= weight[i + 1];
+            }
         }
         Odometer {
             radices,
@@ -527,5 +542,72 @@ mod tests {
         assert_eq!(guided.current(), Some(&[1, 0, 1][..]));
         assert!(!guided.advance());
         assert_eq!(guided.current(), None);
+    }
+
+    // ------------------------------------------------------------------
+    // Range boundary contract: sharded dispatch hands out ranges a
+    // coordinator computed, so every degenerate shape must clamp into a
+    // well-defined walker instead of asserting.
+
+    #[test]
+    fn over_range_with_start_equal_to_end_is_exhausted() {
+        for at in [0u128, 3, 6] {
+            let mut o = Odometer::over_range(vec![2, 3], at, at);
+            assert_eq!(o.current(), None, "empty range at {at}");
+            assert!(!o.advance());
+            assert_eq!(o.skip_subtree(1), 0, "skip on empty range is a no-op");
+        }
+    }
+
+    #[test]
+    fn over_range_clamps_end_past_space_size() {
+        let radices = vec![2, 3];
+        let clamped = collect(Odometer::over_range(radices.clone(), 4, u128::MAX));
+        let exact = collect(Odometer::over_range(radices.clone(), 4, 6));
+        assert_eq!(clamped, exact);
+        // A range entirely past the space is empty, not an error.
+        let past = Odometer::over_range(radices, 99, 120);
+        assert_eq!(past.current(), None);
+    }
+
+    #[test]
+    fn over_range_clamps_inverted_range_to_empty() {
+        let o = Odometer::over_range(vec![2, 3], 5, 2);
+        assert_eq!(o.current(), None);
+    }
+
+    #[test]
+    fn over_range_on_zero_width_radices_clamps_into_unit_space() {
+        // The empty radix vector's space is exactly one candidate: the
+        // empty assignment. Any range clamps into [0, 1).
+        let all = collect(Odometer::over_range(vec![], 0, u128::MAX));
+        assert_eq!(all, vec![Vec::<u16>::new()]);
+        let empty = Odometer::over_range(vec![], 1, 5);
+        assert_eq!(empty.current(), None);
+    }
+
+    #[test]
+    fn skip_subtree_clamps_at_range_end() {
+        // Range [1, 4) of a [2, 3] space: candidates [0,1] [0,2] [1,0].
+        let mut o = Odometer::over_range(vec![2, 3], 1, 4);
+        assert_eq!(o.current(), Some(&[0, 1][..]));
+        // The depth-1 subtree under [0,_] extends to index 3; skipping it
+        // from index 1 crosses nothing out of range.
+        assert_eq!(o.skip_subtree(1), 2);
+        assert_eq!(o.current(), Some(&[1, 0][..]));
+        // The depth-1 subtree under [1,_] extends to index 6, past this
+        // range's end: the skip must clamp at `end`, not walk beyond it.
+        assert_eq!(o.skip_subtree(1), 1);
+        assert_eq!(o.current(), None);
+        assert_eq!(o.skip_subtree(0), 0, "exhausted walker skips nothing");
+    }
+
+    #[test]
+    fn guided_over_range_inherits_clamping() {
+        let mut prop = Propagator::new();
+        let mut guided = GuidedOdometer::over_range(vec![2, 2], 3, 99, &mut prop);
+        assert_eq!(guided.seek_consistent(), 0);
+        assert_eq!(guided.current(), Some(&[1, 1][..]));
+        assert!(!guided.advance());
     }
 }

@@ -26,7 +26,7 @@
 //! thread's registered patterns as soon as they become available".
 
 use crate::candidate::CandidateVec;
-use crate::hole::{HoleId, HoleRegistry};
+use crate::hole::{HoleId, HoleInfo, HoleRegistry};
 use crate::journal::{self, ChunkDraft, Fingerprint, GenReplay, JournalReplay, JournalWriter};
 use crate::odometer::{space_size, GuidedOdometer, Odometer};
 use crate::pattern::{PatternMode, PatternSink, PatternTable, Propagator, SparsePattern};
@@ -258,6 +258,13 @@ impl SynthOptions {
         }
         self.chunk_size = size;
         Ok(self)
+    }
+
+    /// The configured chunk size: the shard coordinator partitions the
+    /// generation space in chunk-index units, so it needs the same value
+    /// the workers claim by.
+    pub(crate) fn chunk(&self) -> u64 {
+        self.chunk_size
     }
 
     /// How many chunks a worker processes between syncs from the shared
@@ -517,6 +524,7 @@ impl Synthesizer {
             pattern_mode: self.options.pattern_mode,
             chunk_size: self.options.chunk_size,
             enumeration: self.options.enumeration,
+            shard: None,
         }
     }
 
@@ -581,6 +589,7 @@ impl Synthesizer {
             check_reused: AtomicU64::new(reused_seed),
             deadline_at: opts.deadline.and_then(|d| start.checked_add(d)),
             journal: writer,
+            exchange: None,
         };
         shared.hub.seed(patterns);
 
@@ -687,8 +696,9 @@ impl Synthesizer {
             Some(g) => (g.ranges, g.evaluated, g.skipped, g.deduped, g.probes),
             None => (Vec::new(), 0, 0, 0, 0),
         };
+        let chunks_total = total.max(1).div_ceil(shared.options.chunk_size);
         let gen = GenShared {
-            chunk_counter: AtomicU64::new(0),
+            claims: ChunkClaims::serial(0, chunks_total),
             evaluated: AtomicU64::new(ev),
             skipped: AtomicU64::new(sk),
             deduped: AtomicU64::new(dd),
@@ -700,7 +710,6 @@ impl Synthesizer {
             completed,
         };
 
-        let chunks_total = total.max(1).div_ceil(shared.options.chunk_size);
         let fully_covered = matches!(gen.completed.first(), Some(&(0, c)) if c >= chunks_total);
         if !fully_covered {
             let threads = self
@@ -728,6 +737,256 @@ impl Synthesizer {
             probes: gen.probes.load(Ordering::Relaxed),
         })
     }
+
+    /// Runs one shard's slice of one generation: the chunk-index range
+    /// `[spec.start, spec.end)` of the frontier the coordinator's merged
+    /// registry defines, through the ordinary worker machinery (sessions,
+    /// pruning, guided or lexicographic walk, per-shard journal). The
+    /// registry is seeded from `spec.holes` — the shared baseline every
+    /// peer shard starts this round from — so hole ids below the frontier
+    /// mean the same thing across all shards, which is what makes pattern
+    /// ids exchangeable and solution assignments directly mergeable.
+    ///
+    /// With `spec.journal` set, an existing journal at that path is
+    /// resumed: its fingerprint (which pins the partition — see
+    /// [`Fingerprint::shard`]) and frontier must match, its coverage is
+    /// skipped, and its recorded holes/patterns/solutions seed the run.
+    /// With `pool` set, the claim dispenser is the cross-shard steal pool
+    /// slot `spec.index` instead of the serial range.
+    pub(crate) fn run_shard_generation<M: TransitionSystem>(
+        &self,
+        model: &M,
+        spec: &crate::shard::ShardSpec,
+        seed_patterns: Vec<journal::PatternEntry>,
+        exchange: Option<ExchangeState>,
+        pool: Option<Arc<crate::shard::StealPool>>,
+    ) -> Result<ShardOutcome, MckError> {
+        self.validate()?;
+        let start = Instant::now();
+        let mut opts = self.options.clone();
+        opts.check_threads = opts.check_threads.max(opts.checker.thread_count());
+        let opts = &opts;
+        let registry = HoleRegistry::new();
+        for h in &spec.holes {
+            registry.resolve_or_register(&HoleSpec::new(&h.name, h.actions.iter().cloned()));
+        }
+        let k = spec.holes.len();
+        let radices = registry.arities(k);
+        let space = space_size(&radices);
+        let total: u64 = space.try_into().map_err(|_| MckError::InvalidConfig {
+            param: "candidate space",
+            reason: format!("generation space of {space} candidates exceeds the enumerable range"),
+        })?;
+        let chunks_total = total.max(1).div_ceil(opts.chunk_size);
+        // Clamp exactly like `Odometer::over_range`: a coordinator handing
+        // out boundary ranges must not have to re-derive the space size.
+        let end_chunk = spec.end.min(chunks_total);
+        let start_chunk = spec.start.min(end_chunk);
+        let fingerprint = Fingerprint {
+            pruning: opts.pruning,
+            pattern_mode: opts.pattern_mode,
+            chunk_size: opts.chunk_size,
+            enumeration: opts.enumeration,
+            shard: Some((spec.start, spec.end)),
+        };
+
+        let corrupt = |reason: String| MckError::JournalCorrupt { reason };
+        let mut replay_gen: Option<GenReplay> = None;
+        let mut local_seed: Vec<journal::PatternEntry> = Vec::new();
+        let mut solutions: Vec<Solution> = Vec::new();
+        let mut quarantined: Vec<Quarantined> = Vec::new();
+        let (mut expanded_seed, mut reused_seed) = (0u64, 0u64);
+        let mut fresh_gen_record = true;
+        let writer = match &spec.journal {
+            Some(path) => Some(match journal::read(path)? {
+                Some(replay) => {
+                    if replay.model != model.name() {
+                        return Err(corrupt(format!(
+                            "shard journal records model `{}`, not `{}`",
+                            replay.model,
+                            model.name()
+                        )));
+                    }
+                    if replay.fingerprint != fingerprint {
+                        return Err(corrupt(
+                            "shard journal was written under a different partition \
+                             (chunk range) or different options"
+                                .into(),
+                        ));
+                    }
+                    if replay.gens.len() > 1 || replay.gens.first().is_some_and(|g| g.k != k) {
+                        return Err(corrupt(
+                            "shard journal does not describe this round's frontier".into(),
+                        ));
+                    }
+                    for h in &replay.holes {
+                        registry.resolve_or_register(&HoleSpec::new(
+                            &h.name,
+                            h.actions.iter().cloned(),
+                        ));
+                    }
+                    let w = JournalWriter::resume(
+                        path,
+                        replay.valid_len,
+                        k + replay.holes.len(),
+                        opts.journal_fsync_every,
+                    )
+                    .map_err(|e| corrupt(format!("cannot reopen `{}`: {e}", path.display())))?;
+                    fresh_gen_record = replay.gens.is_empty();
+                    replay_gen = replay.gens.into_iter().next();
+                    local_seed = replay.patterns;
+                    solutions = replay.solutions;
+                    quarantined = replay.quarantined;
+                    expanded_seed = replay.expanded;
+                    reused_seed = replay.reused;
+                    w
+                }
+                None => JournalWriter::create_at(
+                    path,
+                    model.name(),
+                    &fingerprint,
+                    opts.journal_fsync_every,
+                    k,
+                )
+                .map_err(|e| corrupt(format!("cannot create `{}`: {e}", path.display())))?,
+            }),
+            None => None,
+        };
+
+        let (completed, ev, sk, dd, pr) = match replay_gen {
+            Some(g) => (g.ranges, g.evaluated, g.skipped, g.deduped, g.probes),
+            None => (Vec::new(), 0, 0, 0, 0),
+        };
+        let checker = Checker::new(opts.checker.clone().threads(opts.check_threads));
+        let shared = Shared {
+            registry: &registry,
+            checker: &checker,
+            options: opts,
+            hub: PatternHub::default(),
+            solutions: Mutex::new(solutions),
+            quarantined: Mutex::new(quarantined),
+            run_log: Mutex::new(Vec::new()),
+            run_counter: AtomicU64::new(ev),
+            stop: AtomicBool::new(false),
+            stop_reason: Mutex::new(StopReason::Completed),
+            check_expanded: AtomicU64::new(expanded_seed),
+            check_reused: AtomicU64::new(reused_seed),
+            deadline_at: opts.deadline.and_then(|d| start.checked_add(d)),
+            journal: writer,
+            exchange,
+        };
+        // Round-start merged patterns are foreign (peers have them too);
+        // this shard's own journaled patterns are local, so a resumed shard
+        // still reports and re-broadcasts its pre-crash learnings.
+        shared.hub.seed_with(seed_patterns, Origin::Foreign);
+        shared.hub.seed_with(local_seed, Origin::Local);
+        if fresh_gen_record {
+            if let Some(j) = &shared.journal {
+                j.gen_start(k, spec.prev_k).map_err(journal_failed)?;
+            }
+        }
+
+        let claims = match pool {
+            Some(pool) => ChunkClaims::Pool {
+                pool,
+                slot: spec.index,
+            },
+            None => ChunkClaims::serial(start_chunk, end_chunk),
+        };
+        let gen = GenShared {
+            claims,
+            evaluated: AtomicU64::new(ev),
+            skipped: AtomicU64::new(sk),
+            deduped: AtomicU64::new(dd),
+            probes: AtomicU64::new(pr),
+            radices,
+            total,
+            k,
+            prev_k: spec.prev_k,
+            completed,
+        };
+
+        let fully_covered = end_chunk <= start_chunk
+            || gen
+                .completed
+                .iter()
+                .any(|&(f, c)| f <= start_chunk && f + c >= end_chunk);
+        if fully_covered {
+            // Already covered by the resumed journal: mark the slot consumed
+            // so peers do not steal and re-run chunks we can replay.
+            if let ChunkClaims::Pool { pool, slot } = &gen.claims {
+                pool.close(*slot);
+            }
+        } else {
+            let slice = (end_chunk - start_chunk).saturating_mul(opts.chunk_size);
+            let threads = self
+                .options
+                .threads
+                .min(usize::try_from(slice.min(64)).expect("bounded by 64"))
+                .max(1);
+            if threads == 1 {
+                worker(model, &shared, &gen);
+            } else {
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|| worker(model, &shared, &gen));
+                    }
+                });
+            }
+        }
+
+        let stop = if shared.stop.load(Ordering::Acquire) {
+            *shared.stop_reason.lock()
+        } else {
+            StopReason::Completed
+        };
+        // Final exchange beat: everything learned after the last in-loop
+        // pump still reaches peers that are still enumerating.
+        if let Some(x) = &shared.exchange {
+            x.pump(&shared.hub, k);
+        }
+        if let Some(j) = &shared.journal {
+            j.stop(stop).map_err(journal_failed)?;
+        }
+
+        let lo = start_chunk.saturating_mul(opts.chunk_size).min(total);
+        let hi = end_chunk.saturating_mul(opts.chunk_size).min(total);
+        Ok(ShardOutcome {
+            gen: GenStats {
+                k,
+                space: (hi.max(lo) - lo) as u128,
+                evaluated: gen.evaluated.load(Ordering::Relaxed),
+                skipped_by_pruning: gen.skipped.load(Ordering::Relaxed) as u128,
+                deduped: gen.deduped.load(Ordering::Relaxed),
+                probes: gen.probes.load(Ordering::Relaxed),
+            },
+            discovered: registry.snapshot().split_off(k),
+            patterns: shared.hub.locals(),
+            solutions: shared.solutions.into_inner(),
+            quarantined: shared.quarantined.into_inner(),
+            stop,
+            check_expanded: shared.check_expanded.load(Ordering::Relaxed),
+            check_reused: shared.check_reused.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Everything one shard's generation pass produced, in the shared hole-id
+/// space (every pattern and solution id is below the round's frontier, so
+/// the coordinator merges without translation).
+pub(crate) struct ShardOutcome {
+    pub gen: GenStats,
+    /// Holes first consulted inside this shard's slice, in this shard's
+    /// discovery order (ids beyond the baseline frontier).
+    pub discovered: Vec<HoleInfo>,
+    /// Locally-learned patterns (journal-replayed ones included; seeded and
+    /// imported ones excluded — their origin shards report them).
+    pub patterns: Vec<journal::PatternEntry>,
+    pub solutions: Vec<Solution>,
+    pub quarantined: Vec<Quarantined>,
+    pub stop: StopReason,
+    pub check_expanded: u64,
+    pub check_reused: u64,
 }
 
 /// Journal writes are the crash-safety contract; failing one voids it, so
@@ -758,6 +1017,60 @@ struct Shared<'a> {
     /// Absolute deadline derived from [`SynthOptions::deadline`].
     deadline_at: Option<Instant>,
     journal: Option<JournalWriter>,
+    /// Cross-shard pattern exchange endpoint (shard runs only).
+    exchange: Option<ExchangeState>,
+}
+
+/// A shard's connection to the cross-shard pattern exchange: the endpoint,
+/// this shard's identity on it, and the export cursor into the hub log.
+/// Pumped at the same cadence as the hub sync (every
+/// [`SynthOptions::sync_interval`] chunks), so exchange traffic stays off
+/// the chunk fast path exactly like hub pulls.
+pub(crate) struct ExchangeState {
+    pub(crate) endpoint: Arc<dyn crate::shard::PatternExchange>,
+    pub(crate) shard: usize,
+    /// Export cursor into the hub log (locally-published entries only).
+    cursor: Mutex<usize>,
+    /// Monotonic sequence number for published batches.
+    seq: AtomicU64,
+}
+
+impl ExchangeState {
+    pub(crate) fn new(endpoint: Arc<dyn crate::shard::PatternExchange>, shard: usize) -> Self {
+        ExchangeState {
+            endpoint,
+            shard,
+            cursor: Mutex::new(0),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// One exchange beat: exports locally-learned patterns published since
+    /// the last beat, then imports every batch peers published since this
+    /// shard's last poll. Imports go through [`PatternHub::import`], which
+    /// files them on the hub log — workers then merge them into their local
+    /// tables and propagators via the ordinary sync path, so an imported
+    /// pattern invalidates the guided odometer's masks exactly like a local
+    /// insert. `width` is the shard's frontier `k`: entries referencing
+    /// holes at or beyond it (a malformed or stale peer batch) are dropped
+    /// on import, since no candidate in this generation constrains them.
+    fn pump(&self, hub: &PatternHub, width: usize) {
+        let batch = {
+            let mut cursor = self.cursor.lock();
+            hub.export_locals(&mut cursor)
+        };
+        if !batch.is_empty() {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            self.endpoint.publish(crate::shard::PatternBatch {
+                shard: self.shard as u32,
+                seq,
+                patterns: batch.into_iter().map(Into::into).collect(),
+            });
+        }
+        for batch in self.endpoint.poll(self.shard) {
+            hub.import(batch.patterns.into_iter().map(Into::into), width);
+        }
+    }
 }
 
 impl Shared<'_> {
@@ -813,9 +1126,45 @@ impl Shared<'_> {
     }
 }
 
+/// Chunk-index dispenser for one generation's workers: either a plain
+/// serial counter over the whole generation, or a shard's slot in the
+/// cross-shard [`crate::shard::StealPool`] (whose range can shrink when a
+/// finished peer steals half of it).
+pub(crate) enum ChunkClaims {
+    Serial {
+        next: AtomicU64,
+        end: u64,
+    },
+    Pool {
+        pool: Arc<crate::shard::StealPool>,
+        slot: usize,
+    },
+}
+
+impl ChunkClaims {
+    pub(crate) fn serial(start: u64, end: u64) -> Self {
+        ChunkClaims::Serial {
+            next: AtomicU64::new(start),
+            end,
+        }
+    }
+
+    /// Claims the next chunk index, or `None` when the range (and, for a
+    /// pooled shard, every stealable peer remainder) is exhausted.
+    fn claim(&self) -> Option<u64> {
+        match self {
+            ChunkClaims::Serial { next, end } => {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                (idx < *end).then_some(idx)
+            }
+            ChunkClaims::Pool { pool, slot } => pool.claim(*slot),
+        }
+    }
+}
+
 /// State shared across one generation's workers.
 struct GenShared {
-    chunk_counter: AtomicU64,
+    claims: ChunkClaims,
     evaluated: AtomicU64,
     skipped: AtomicU64,
     deduped: AtomicU64,
@@ -911,12 +1260,11 @@ fn worker_loop<'m, M: TransitionSystem>(
             flush_idle(shared, &mut idle);
             return;
         }
-        let idx = gen.chunk_counter.fetch_add(1, Ordering::Relaxed);
-        let lo = idx.saturating_mul(chunk);
-        if lo >= total.max(1) {
+        let Some(idx) = gen.claims.claim() else {
             flush_idle(shared, &mut idle);
             return;
-        }
+        };
+        let lo = idx.saturating_mul(chunk);
         if journal::covered(&gen.completed, idx) {
             // A previous (journaled) attempt already completed this chunk;
             // its counters were seeded into the generation totals.
@@ -928,6 +1276,9 @@ fn worker_loop<'m, M: TransitionSystem>(
             // `sync_interval` chunks instead of at every boundary, so the
             // hub lock is off the chunk fast path at large pattern volumes.
             if chunks_until_sync == 0 {
+                if let Some(exchange) = &shared.exchange {
+                    exchange.pump(&shared.hub, gen.k);
+                }
                 shared.hub.sync_into(store.sink(), &mut log_cursor);
                 chunks_until_sync = opts.sync_interval;
             }
@@ -1276,6 +1627,21 @@ fn evaluate_candidate<'m, M: TransitionSystem>(
     }
 }
 
+/// Where a hub-log pattern came from. Only [`Origin::Local`] entries are
+/// exported over the cross-shard exchange (foreign entries either arrived
+/// *from* it or were seeded from the coordinator's merged table, so
+/// re-broadcasting them would echo forever) and reported to the coordinator
+/// at round end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// Published by this run's own workers (or replayed from this shard's
+    /// own journal after a crash).
+    Local,
+    /// Seeded from a prior round's merged table, or imported from a peer
+    /// shard via the exchange.
+    Foreign,
+}
+
 /// Shared pruning-pattern hub: canonical de-duplicated table plus an
 /// append-only log that workers replay into their thread-local tables.
 #[derive(Debug, Default)]
@@ -1286,7 +1652,7 @@ struct PatternHub {
 #[derive(Debug, Default)]
 struct HubInner {
     canonical: PatternTable,
-    log: Vec<journal::PatternEntry>,
+    log: Vec<(journal::PatternEntry, Origin)>,
 }
 
 impl PatternHub {
@@ -1296,9 +1662,10 @@ impl PatternHub {
         local.merge_prefix(prefix);
         let mut inner = self.inner.lock();
         if inner.canonical.insert_prefix(prefix) {
-            inner
-                .log
-                .push(journal::PatternEntry::Prefix(prefix.to_vec()));
+            inner.log.push((
+                journal::PatternEntry::Prefix(prefix.to_vec()),
+                Origin::Local,
+            ));
             true
         } else {
             false
@@ -1310,17 +1677,21 @@ impl PatternHub {
         local.merge_sparse(pairs.clone());
         let mut inner = self.inner.lock();
         if inner.canonical.insert_sparse(pairs.clone()) {
-            inner.log.push(journal::PatternEntry::Sparse(pairs));
+            inner
+                .log
+                .push((journal::PatternEntry::Sparse(pairs), Origin::Local));
             true
         } else {
             false
         }
     }
 
-    /// Replays log entries `[*cursor..]` into `local`.
+    /// Replays log entries `[*cursor..]` into `local`, regardless of
+    /// origin: a worker's thread-local table must hold everything the hub
+    /// knows, imported patterns included.
     fn sync_into(&self, local: &mut dyn PatternSink, cursor: &mut usize) {
         let inner = self.inner.lock();
-        for entry in &inner.log[*cursor..] {
+        for (entry, _) in &inner.log[*cursor..] {
             match entry {
                 journal::PatternEntry::Prefix(p) => local.merge_prefix(p),
                 journal::PatternEntry::Sparse(s) => local.merge_sparse(s.clone()),
@@ -1329,10 +1700,14 @@ impl PatternHub {
         *cursor = inner.log.len();
     }
 
-    /// Seeds the hub from journaled patterns (before any worker starts):
-    /// they enter the canonical table and the log, so every worker picks
-    /// them up from cursor 0 exactly as live publications.
-    fn seed(&self, entries: Vec<journal::PatternEntry>) {
+    /// Seeds the hub (before any worker starts): entries enter the
+    /// canonical table and the log, so every worker picks them up from
+    /// cursor 0 exactly as live publications. Journal-replay seeds in a
+    /// whole-space run and merged-table seeds in a shard run are both
+    /// `Foreign` (nothing to re-export); a shard resuming its *own* journal
+    /// seeds `Local`, so its pre-crash learnings still reach peers and the
+    /// coordinator.
+    fn seed_with(&self, entries: Vec<journal::PatternEntry>, origin: Origin) {
         let mut inner = self.inner.lock();
         for entry in entries {
             match &entry {
@@ -1343,8 +1718,61 @@ impl PatternHub {
                     inner.canonical.insert_sparse(s.clone());
                 }
             }
-            inner.log.push(entry);
+            inner.log.push((entry, origin));
         }
+    }
+
+    fn seed(&self, entries: Vec<journal::PatternEntry>) {
+        self.seed_with(entries, Origin::Foreign);
+    }
+
+    /// Imports peer-shard patterns: new-to-this-hub entries join the
+    /// canonical table and the log as `Foreign`, from where the ordinary
+    /// worker sync merges them into every local table and propagator.
+    /// Entries referencing holes at or beyond `width` (the frontier `k`)
+    /// are dropped — no candidate in this generation constrains those
+    /// holes, and a well-formed peer at the same frontier never sends them.
+    fn import(&self, entries: impl Iterator<Item = journal::PatternEntry>, width: usize) {
+        let mut inner = self.inner.lock();
+        for entry in entries {
+            let in_range = match &entry {
+                journal::PatternEntry::Prefix(p) => p.len() <= width,
+                journal::PatternEntry::Sparse(s) => s.iter().all(|&(h, _)| (h as usize) < width),
+            };
+            if !in_range {
+                continue;
+            }
+            let added = match &entry {
+                journal::PatternEntry::Prefix(p) => inner.canonical.insert_prefix(p),
+                journal::PatternEntry::Sparse(s) => inner.canonical.insert_sparse(s.clone()),
+            };
+            if added {
+                inner.log.push((entry, Origin::Foreign));
+            }
+        }
+    }
+
+    /// Drains `Local` log entries past `cursor` for export to peer shards.
+    fn export_locals(&self, cursor: &mut usize) -> Vec<journal::PatternEntry> {
+        let inner = self.inner.lock();
+        let out = inner.log[*cursor..]
+            .iter()
+            .filter(|(_, origin)| *origin == Origin::Local)
+            .map(|(entry, _)| entry.clone())
+            .collect();
+        *cursor = inner.log.len();
+        out
+    }
+
+    /// Every `Local` log entry — what a shard reports to the coordinator.
+    fn locals(&self) -> Vec<journal::PatternEntry> {
+        let inner = self.inner.lock();
+        inner
+            .log
+            .iter()
+            .filter(|(_, origin)| *origin == Origin::Local)
+            .map(|(entry, _)| entry.clone())
+            .collect()
     }
 
     /// Distinct `(dense prefix, sparse)` pattern counts recorded.

@@ -192,6 +192,22 @@ impl<T: Symmetric> Symmetric for Multiset<T> {
     fn apply_perm(&self, perm: &[u8]) -> Self {
         self.iter().map(|item| item.apply_perm(perm)).collect()
     }
+
+    fn apply_perm_into(&self, perm: &[u8], out: &mut Self) {
+        // Rewrite element-wise into the recycled buffer, then restore the
+        // canonical order the permutation may have disturbed.
+        if out.items.len() > self.items.len() {
+            out.items.truncate(self.items.len());
+        }
+        let common = out.items.len();
+        for (dst, src) in out.items.iter_mut().zip(&self.items) {
+            src.apply_perm_into(perm, dst);
+        }
+        for src in &self.items[common..] {
+            out.items.push(src.apply_perm(perm));
+        }
+        out.restore_canonical_order();
+    }
 }
 
 impl<T: fmt::Debug> fmt::Debug for Multiset<T> {

@@ -231,6 +231,7 @@ impl OrbitPartition {
         order.sort_by_key(|&i| keys[i as usize]);
 
         let mut cells: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut probe: Option<T> = None;
         let mut start = 0usize;
         while start < n {
             let key = keys[order[start] as usize];
@@ -241,7 +242,7 @@ impl OrbitPartition {
             let mut groups: Vec<Vec<u8>> = Vec::new();
             'indices: for &idx in &order[start..end] {
                 for group in &mut groups {
-                    if swap_fixes(value, n, group[0], idx) {
+                    if swap_fixes(value, n, group[0], idx, &mut probe) {
                         group.push(idx);
                         continue 'indices;
                     }
@@ -286,8 +287,10 @@ impl OrbitPartition {
 
     /// Runs the backtracking search: materializes every refinement-
     /// compatible candidate of `value` and returns the least under `Ord`
-    /// (the value itself when no candidate beats it).
-    fn minimize<T: Symmetric>(&self, value: &T, n: usize) -> T {
+    /// (the value itself when no candidate beats it). Candidates are
+    /// materialized into `spare`'s recycled buffer (see
+    /// [`Symmetric::canonicalize_with`] for the reuse contract).
+    fn minimize<T: Symmetric>(&self, value: &T, n: usize, spare: &mut Option<T>) -> T {
         let mut perm = [0u8; MAX_SCALARSET];
         let mut taken: Vec<Vec<usize>> = self
             .cells
@@ -295,7 +298,19 @@ impl OrbitPartition {
             .map(|groups| vec![0; groups.len()])
             .collect();
         let mut best: Option<T> = None;
-        self.search(value, n, &mut taken, &mut perm, 0, 0, 0, &mut best);
+        let mut scratch: Option<T> = spare.take();
+        self.search(
+            value,
+            n,
+            &mut taken,
+            &mut perm,
+            0,
+            0,
+            0,
+            &mut best,
+            &mut scratch,
+        );
+        *spare = scratch;
         best.unwrap_or_else(|| value.clone())
     }
 
@@ -313,6 +328,7 @@ impl OrbitPartition {
         cell: usize,
         filled: usize,
         best: &mut Option<T>,
+        scratch: &mut Option<T>,
     ) {
         if cell == self.cells.len() {
             let perm = &perm[..n];
@@ -322,9 +338,19 @@ impl OrbitPartition {
                 // reference).
                 return;
             }
-            let candidate = value.apply_perm(perm);
-            if candidate < *best.as_ref().unwrap_or(value) {
-                *best = Some(candidate);
+            let candidate = match scratch {
+                Some(c) => {
+                    value.apply_perm_into(perm, c);
+                    c
+                }
+                None => scratch.insert(value.apply_perm(perm)),
+            };
+            if *candidate < *best.as_ref().unwrap_or(value) {
+                match best {
+                    // The dethroned best becomes the next scratch buffer.
+                    Some(b) => std::mem::swap(b, candidate),
+                    None => *best = scratch.take(),
+                }
             }
             return;
         }
@@ -341,9 +367,19 @@ impl OrbitPartition {
             perm[group[t] as usize] = pos as u8;
             taken[cell][g] = t + 1;
             if filled + 1 == cell_len {
-                self.search(value, n, taken, perm, pos + 1, cell + 1, 0, best);
+                self.search(value, n, taken, perm, pos + 1, cell + 1, 0, best, scratch);
             } else {
-                self.search(value, n, taken, perm, pos + 1, cell, filled + 1, best);
+                self.search(
+                    value,
+                    n,
+                    taken,
+                    perm,
+                    pos + 1,
+                    cell,
+                    filled + 1,
+                    best,
+                    scratch,
+                );
             }
             taken[cell][g] = t;
         }
@@ -356,14 +392,23 @@ fn factorial(n: u64) -> u64 {
 
 /// `true` when exchanging scalarset indices `a` and `b` leaves `value`
 /// unchanged — the transposition probe behind [`OrbitPartition`] groups.
-fn swap_fixes<T: Symmetric>(value: &T, n: usize, a: u8, b: u8) -> bool {
+/// The probed state is materialized into `probe`'s recycled buffer, since
+/// refinement runs one probe per index per group representative.
+fn swap_fixes<T: Symmetric>(value: &T, n: usize, a: u8, b: u8, probe: &mut Option<T>) -> bool {
     let mut perm = [0u8; MAX_SCALARSET];
     for (i, p) in perm.iter_mut().enumerate().take(n) {
         *p = i as u8;
     }
     perm[a as usize] = b;
     perm[b as usize] = a;
-    value.apply_perm(&perm[..n]) == *value
+    let probed = match probe {
+        Some(c) => {
+            value.apply_perm_into(&perm[..n], c);
+            &*c
+        }
+        None => &*probe.insert(value.apply_perm(&perm[..n])),
+    };
+    *probed == *value
 }
 
 /// Scalarset sizes for which [`Symmetric::canonicalize_auto`] keeps the
@@ -389,6 +434,17 @@ pub trait Symmetric: Sized + Ord + Clone {
     /// Returns this value with every embedded scalarset index `i` replaced by
     /// `perm[i]`, and any order-canonical containers re-normalized.
     fn apply_perm(&self, perm: &[u8]) -> Self;
+
+    /// [`Symmetric::apply_perm`] writing into an existing value, so a
+    /// canonicalizer probing many permutations of one state can recycle one
+    /// scratch candidate's heap buffers instead of allocating per
+    /// permutation. The default delegates to `apply_perm` (correct, no
+    /// reuse); container-holding implementors should override it to rewrite
+    /// `out` in place. Must leave `out` exactly equal to
+    /// `self.apply_perm(perm)` regardless of `out`'s prior contents.
+    fn apply_perm_into(&self, perm: &[u8], out: &mut Self) {
+        *out = self.apply_perm(perm);
+    }
 
     /// Appends one permutation-equivariant sort key per scalarset index —
     /// the per-index occurrence signature the orbit-pruning canonicalizer
@@ -436,16 +492,38 @@ pub trait Symmetric: Sized + Ord + Clone {
     /// — a full rebuild of the state — would be pure waste on the checker's
     /// hottest path.
     fn canonicalize(&self, perms: &[Perm]) -> Self {
+        self.canonicalize_with(perms, &mut None)
+    }
+
+    /// [`Symmetric::canonicalize`] with a caller-owned spare buffer: the
+    /// sweep materializes candidates into `spare` (allocating one at most
+    /// once) and parks a recyclable buffer back in it on return, so a
+    /// checker canonicalizing millions of successor states — the expand hot
+    /// loop — can thread one spare through every call and amortize the
+    /// candidate allocations away entirely.
+    fn canonicalize_with(&self, perms: &[Perm], spare: &mut Option<Self>) -> Self {
         let mut best: Option<Self> = None;
+        let mut scratch: Option<Self> = spare.take();
         for perm in perms {
             if is_identity(perm) {
                 continue;
             }
-            let candidate = self.apply_perm(perm);
-            if candidate < *best.as_ref().unwrap_or(self) {
-                best = Some(candidate);
+            let candidate = match &mut scratch {
+                Some(c) => {
+                    self.apply_perm_into(perm, c);
+                    c
+                }
+                None => scratch.insert(self.apply_perm(perm)),
+            };
+            if *candidate < *best.as_ref().unwrap_or(self) {
+                match &mut best {
+                    // The dethroned best becomes the next scratch buffer.
+                    Some(b) => std::mem::swap(b, candidate),
+                    None => best = scratch.take(),
+                }
             }
         }
+        *spare = scratch;
         best.unwrap_or_else(|| self.clone())
     }
 
@@ -466,12 +544,18 @@ pub trait Symmetric: Sized + Ord + Clone {
     /// Panics if `n > 8` or the signature emits a key count other than `0`
     /// or `n`.
     fn canonicalize_orbit(&self, n: usize) -> Self {
+        self.canonicalize_orbit_with(n, &mut None)
+    }
+
+    /// [`Symmetric::canonicalize_orbit`] with a caller-owned spare buffer;
+    /// see [`Symmetric::canonicalize_with`] for the reuse contract.
+    fn canonicalize_orbit_with(&self, n: usize, spare: &mut Option<Self>) -> Self {
         if n <= 1 {
             return self.clone();
         }
         match OrbitPartition::of(self, n) {
-            Some(partition) => partition.minimize(self, n),
-            None => self.canonicalize(perm_table(n)),
+            Some(partition) => partition.minimize(self, n, spare),
+            None => self.canonicalize_with(perm_table(n), spare),
         }
     }
 
@@ -484,10 +568,16 @@ pub trait Symmetric: Sized + Ord + Clone {
     ///
     /// Panics like the selected canonicalizer.
     fn canonicalize_auto(&self, n: usize) -> Self {
+        self.canonicalize_auto_with(n, &mut None)
+    }
+
+    /// [`Symmetric::canonicalize_auto`] with a caller-owned spare buffer;
+    /// see [`Symmetric::canonicalize_with`] for the reuse contract.
+    fn canonicalize_auto_with(&self, n: usize, spare: &mut Option<Self>) -> Self {
         if n <= DENSE_SWEEP_MAX_N {
-            self.canonicalize(perm_table(n))
+            self.canonicalize_with(perm_table(n), spare)
         } else {
-            self.canonicalize_orbit(n)
+            self.canonicalize_orbit_with(n, spare)
         }
     }
 }
@@ -506,6 +596,18 @@ impl<T: Ord + Clone> Symmetric for Vec<T> {
         out
     }
 
+    fn apply_perm_into(&self, perm: &[u8], out: &mut Self) {
+        if out.len() != self.len() {
+            out.clone_from(self);
+        }
+        // A permutation is a bijection, so every position of `out` is
+        // overwritten; clone_from lets nested containers keep their heap
+        // buffers too.
+        for (old, value) in self.iter().enumerate() {
+            out[perm[old] as usize].clone_from(value);
+        }
+    }
+
     fn signature(&self, n: usize, keys: &mut Vec<u64>) {
         debug_assert_eq!(self.len(), n, "array length must equal scalarset size");
         rank_keys(self, keys);
@@ -522,6 +624,10 @@ macro_rules! tuple_symmetric {
         impl<$($name: Symmetric),+> Symmetric for ($($name,)+) {
             fn apply_perm(&self, perm: &[u8]) -> Self {
                 ($(self.$idx.apply_perm(perm),)+)
+            }
+
+            fn apply_perm_into(&self, perm: &[u8], out: &mut Self) {
+                $(self.$idx.apply_perm_into(perm, &mut out.$idx);)+
             }
 
             fn signature(&self, n: usize, keys: &mut Vec<u64>) {
@@ -758,6 +864,53 @@ mod tests {
         // The leading component is sorted in the representative.
         let canon = state.canonicalize_orbit(4);
         assert_eq!(canon.0, vec![0, 1, 1, 3]);
+    }
+
+    #[test]
+    fn apply_perm_into_matches_apply_perm_regardless_of_prior_contents() {
+        // The into-variant's contract: `out`'s prior contents are
+        // irrelevant. Exercised for the Vec override, the tuple override,
+        // and the provided default (Pair), against every permutation.
+        let vec_value = vec![vec![3u8, 3], vec![1], vec![2, 2, 2], vec![0]];
+        let tuple_value = (vec![2u8, 0, 1], vec![9u8, 9, 9]);
+        let pair_value = Pair {
+            slots: vec![5, 0, 5],
+            pointer: 2,
+        };
+        let mut vec_out = vec![vec![9u8; 7]; 2];
+        let mut tuple_out = (Vec::new(), vec![1u8]);
+        let mut pair_out = Pair {
+            slots: Vec::new(),
+            pointer: 0,
+        };
+        for perm in all_permutations(4) {
+            vec_value.apply_perm_into(&perm, &mut vec_out);
+            assert_eq!(vec_out, vec_value.apply_perm(&perm));
+        }
+        for perm in all_permutations(3) {
+            tuple_value.apply_perm_into(&perm, &mut tuple_out);
+            assert_eq!(tuple_out, tuple_value.apply_perm(&perm));
+            pair_value.apply_perm_into(&perm, &mut pair_out);
+            assert_eq!(pair_out, pair_value.apply_perm(&perm));
+        }
+    }
+
+    #[test]
+    fn canonicalize_with_reuses_and_returns_a_spare() {
+        let a = Pair {
+            slots: vec![3, 1, 2],
+            pointer: 1,
+        };
+        // A dirty spare of the wrong shape must not influence the result.
+        let mut spare = Some(Pair {
+            slots: vec![9; 8],
+            pointer: 7,
+        });
+        let with = a.canonicalize_with(perm_table(3), &mut spare);
+        assert_eq!(with, a.canonicalize(perm_table(3)));
+        assert!(spare.is_some(), "the sweep parks a recyclable buffer");
+        assert_eq!(a.canonicalize_orbit_with(3, &mut spare), with);
+        assert_eq!(a.canonicalize_auto_with(3, &mut spare), with);
     }
 
     #[test]

@@ -379,8 +379,16 @@ impl TransitionSystem for MsiModel {
         if self.config.symmetry {
             // Dense sweep at paper scale (n ≤ 3), orbit-pruning search
             // beyond — identical representatives either way, so every
-            // golden count is independent of the crossover.
-            state.canonicalize_auto(self.config.n_caches)
+            // golden count is independent of the crossover. The spare
+            // candidate buffer persists across states per checker thread,
+            // so the expand hot loop canonicalizes without allocating.
+            thread_local! {
+                static SPARE: std::cell::RefCell<Option<MsiState>> =
+                    const { std::cell::RefCell::new(None) };
+            }
+            SPARE.with(|spare| {
+                state.canonicalize_auto_with(self.config.n_caches, &mut spare.borrow_mut())
+            })
         } else {
             state
         }

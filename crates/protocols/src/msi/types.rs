@@ -355,6 +355,47 @@ impl Symmetric for MsiState {
         }
     }
 
+    fn apply_perm_into(&self, perm: &[u8], out: &mut Self) {
+        let n = self.caches.len();
+        debug_assert_eq!(perm.len(), n);
+
+        out.caches.resize(n, CacheLine::invalid());
+        for (old, line) in self.caches.iter().enumerate() {
+            out.caches[perm[old] as usize] = *line;
+        }
+
+        let mut sharers = 0u8;
+        for c in 0..n as u8 {
+            if self.dir.is_sharer(c) {
+                sharers |= 1 << apply_perm_to_index(perm, c);
+            }
+        }
+        out.dir = Directory {
+            state: self.dir.state,
+            owner: self.dir.owner.map(|o| apply_perm_to_index(perm, o)),
+            sharers,
+            pending: self.dir.pending,
+        };
+
+        let dir_id = self.dir_id();
+        out.net.clear();
+        out.net.extend(self.net.iter().map(|m| Msg {
+            kind: m.kind,
+            to: if m.to < dir_id {
+                apply_perm_to_index(perm, m.to)
+            } else {
+                m.to
+            },
+            req: apply_perm_to_index(perm, m.req),
+            acks: m.acks,
+            val: m.val,
+        }));
+
+        out.mem = self.mem;
+        out.last_written = self.last_written;
+        out.error = self.error;
+    }
+
     /// Ranks of the per-cache controller lines — lawful for orbit pruning
     /// because `MsiState`'s derived `Ord` compares the `caches` array first
     /// (equivariance: the keys travel with the lines under any permutation;

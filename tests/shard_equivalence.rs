@@ -1,0 +1,158 @@
+//! Sharded-vs-single-process equivalence on the MSI workloads.
+//!
+//! The shard coordinator's contract is that partitioning, pattern exchange,
+//! work stealing, and journal-based recovery change only *how much work*
+//! each shard does — never the merged result. These suites pin that contract
+//! on the paper's protocol models: the merged solution set must be identical
+//! to a single-process run for every shard count, with and without exchange,
+//! and after a budget-interrupted run resumes from its journals.
+//!
+//! The msi-tiny and msi-small suites run everywhere; msi-large and msi-xl
+//! are `#[ignore]`d and run in release CI
+//! (`cargo test --release -q --workspace -- --ignored`).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use verc3::protocols::msi::{MsiConfig, MsiModel};
+use verc3::synth::{
+    run_sharded, PatternMode, ShardOptions, StopReason, SynthOptions, SynthReport, Synthesizer,
+};
+
+/// Solution assignments keyed by hole *name*, so reports whose holes were
+/// discovered in different orders still compare.
+fn named_solution_set(report: &SynthReport) -> BTreeSet<Vec<(String, u16)>> {
+    report
+        .solutions()
+        .iter()
+        .map(|s| {
+            let mut named: Vec<(String, u16)> = s
+                .assignment
+                .iter()
+                .map(|&(h, a)| (report.holes()[h].name.clone(), a))
+                .collect();
+            named.sort();
+            named
+        })
+        .collect()
+}
+
+fn opts() -> SynthOptions {
+    SynthOptions::default().pattern_mode(PatternMode::Refined)
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("verc3-shard-eq-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs `model` sharded across {1, 2, 4} workers, with exchange on and off,
+/// and asserts every merged report matches the single-process `reference`.
+fn assert_sharded_matches(model: &MsiModel, reference: &SynthReport) {
+    let expect = named_solution_set(reference);
+    for shards in [1usize, 2, 4] {
+        for exchange in [true, false] {
+            let sharding = ShardOptions::default().shards(shards).exchange(exchange);
+            let report = run_sharded(model, &opts(), &sharding).unwrap();
+            assert_eq!(
+                named_solution_set(&report),
+                expect,
+                "solution set diverged at shards={shards} exchange={exchange}"
+            );
+            assert_eq!(
+                report.holes().len(),
+                reference.holes().len(),
+                "hole discovery diverged at shards={shards} exchange={exchange}"
+            );
+            assert_eq!(report.stats().stop, StopReason::Completed);
+        }
+    }
+}
+
+#[test]
+fn msi_tiny_sharded_matches_single_process() {
+    let model = MsiModel::new(MsiConfig::msi_tiny());
+    let reference = Synthesizer::new(opts()).run(&model);
+    assert!(!reference.solutions().is_empty());
+    assert_sharded_matches(&model, &reference);
+}
+
+#[test]
+fn msi_small_sharded_matches_single_process() {
+    let model = MsiModel::new(MsiConfig::msi_small());
+    let reference = Synthesizer::new(opts()).run(&model);
+    assert!(!reference.solutions().is_empty());
+    assert_sharded_matches(&model, &reference);
+}
+
+/// A budget-interrupted sharded run leaves per-shard journals behind;
+/// re-invoking the identical run resumes from them and must converge to the
+/// uninterrupted solution set (satellite: kill/resume for a sharded run).
+#[test]
+fn msi_tiny_sharded_kill_and_resume_converges() {
+    let model = MsiModel::new(MsiConfig::msi_tiny());
+    let reference = Synthesizer::new(opts()).run(&model);
+    let dir = scratch_dir("tiny");
+
+    // "Kill": an evaluation budget stops each shard mid-round, after the
+    // journals have recorded partial coverage. The budget is per shard per
+    // generation, so keep it small enough to fire inside a round.
+    let budget = 3;
+    let sharding = ShardOptions::default().shards(4).journal_dir(&dir);
+    let interrupted = run_sharded(&model, &opts().max_evaluations(budget), &sharding).unwrap();
+    assert_eq!(
+        interrupted.stats().stop,
+        StopReason::MaxEvaluations,
+        "budget was meant to interrupt the run mid-flight"
+    );
+
+    // "Resume": the same run without the budget replays the journals and
+    // finishes the remainder live.
+    let resumed = run_sharded(&model, &opts(), &sharding).unwrap();
+    assert_eq!(resumed.stats().stop, StopReason::Completed);
+    assert_eq!(named_solution_set(&resumed), named_solution_set(&reference));
+    assert_eq!(resumed.holes().len(), reference.holes().len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[ignore = "minutes-scale in debug; release CI runs the ignored suite"]
+fn msi_large_sharded_matches_single_process() {
+    let model = MsiModel::new(MsiConfig::msi_large());
+    let reference = Synthesizer::new(opts()).run(&model);
+    assert!(!reference.solutions().is_empty());
+    assert_sharded_matches(&model, &reference);
+}
+
+#[test]
+#[ignore = "minutes-scale in debug; release CI runs the ignored suite"]
+fn msi_xl_sharded_matches_golden() {
+    let model = MsiModel::new(MsiConfig::msi_xl());
+    let reference = Synthesizer::new(opts()).run(&model);
+    // The xl golden: 8 solutions over 14 holes (see tests/msi_xl_golden.rs).
+    assert_eq!(reference.solutions().len(), 8);
+    assert_eq!(reference.holes().len(), 14);
+    assert_sharded_matches(&model, &reference);
+}
+
+#[test]
+#[ignore = "minutes-scale in debug; release CI runs the ignored suite"]
+fn msi_xl_sharded_kill_and_resume_matches_golden() {
+    let model = MsiModel::new(MsiConfig::msi_xl());
+    let reference = Synthesizer::new(opts()).run(&model);
+    assert_eq!(reference.solutions().len(), 8);
+    let dir = scratch_dir("xl");
+
+    // Per shard per generation; small enough to fire inside a round.
+    let budget = 16;
+    let sharding = ShardOptions::default().shards(4).journal_dir(&dir);
+    let interrupted = run_sharded(&model, &opts().max_evaluations(budget), &sharding).unwrap();
+    assert_eq!(interrupted.stats().stop, StopReason::MaxEvaluations);
+
+    let resumed = run_sharded(&model, &opts(), &sharding).unwrap();
+    assert_eq!(resumed.stats().stop, StopReason::Completed);
+    assert_eq!(named_solution_set(&resumed), named_solution_set(&reference));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
