@@ -4,7 +4,19 @@
 //!
 //! ```text
 //! cargo run --release -p verc3-bench --bin fig3_check [--dot] [--check-threads N]
+//! cargo run --release -p verc3-bench --bin fig3_check -- --spec specs/german.toml
 //! ```
+//!
+//! Every printed row is **self-gating**: the binary holds the golden
+//! `(states, transitions)` for each built-in model, and every deviation —
+//! a failed verdict or a drifting count — is reported and turns the exit
+//! status non-zero. A checker change that alters any golden state space
+//! cannot slip through a green CI log.
+//!
+//! `--spec PATH` (repeatable) switches to declarative-spec mode: each named
+//! `specs/*.toml` file is loaded, verified under its committed
+//! `[golden.assignment]`, and diffed against its own `[golden]` block — the
+//! leg CI's protocol-zoo matrix runs once per spec file.
 //!
 //! `--check-threads N` runs every verification through the layer-synchronized
 //! parallel checker with `N` workers; the printed states/transitions are
@@ -22,18 +34,98 @@
 //! far keeps its printed verdict, the remainder are skipped, and the binary
 //! exits 130 without claiming the full suite passed.
 
-use verc3_bench::{parse_check_threads, sigint, verify, verify_one_shot, verify_skeleton_golden};
+use verc3_bench::{
+    parse_check_threads, sigint, spec_golden_resolver, spec_verification_deviations, verify,
+    verify_one_shot, verify_skeleton_golden, verify_spec_golden,
+};
 use verc3_mck::{Checker, CheckerOptions, Verdict};
 use verc3_protocols::mesi::{MesiConfig, MesiModel};
 use verc3_protocols::msi::{MsiConfig, MsiModel};
 use verc3_protocols::vi::{ViConfig, ViModel};
+use verc3_spec::ProtocolSpec;
+
+/// Golden `(states, transitions)` for every built-in row, in print order.
+/// Measured once on the serial session-backed checker; the parallel and
+/// one-shot paths are count-identical by construction, so one table gates
+/// all of them.
+const GOLDEN_ROWS: &[(&str, usize, usize)] = &[
+    ("MSI golden (2 caches)", 87, 176),
+    ("MSI golden (3 caches)", 332, 977),
+    ("MSI golden (4 caches)", 1056, 4201),
+    ("MSI golden (5 caches)", 2991, 15250),
+    ("MSI golden (6 caches)", 7671, 48031),
+    ("MSI golden (3, no symmetry)", 1736, 5076),
+    ("MSI golden (3, data values)", 12287, 36476),
+    ("MSI-xl skeleton (golden)", 332, 977),
+    ("MSI-5 skeleton (golden)", 2991, 15250),
+    ("MESI golden (2 caches)", 66, 134),
+    ("MESI golden (3 caches)", 281, 835),
+    ("VI golden (2 caches)", 12, 18),
+    ("VI golden (3 caches)", 19, 41),
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dot = args.iter().any(|a| a == "--dot");
     let one_shot = args.iter().any(|a| a == "--one-shot");
     let threads = parse_check_threads(&args);
+    let specs: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--spec")
+        .map(|(i, _)| args.get(i + 1).expect("--spec requires a path argument"))
+        .collect();
     let _stop = sigint::install();
+
+    println!("Figure 3 — protocol verification (golden models, all properties)");
+    println!("=================================================================");
+    println!();
+    println!(
+        "{:<28} {:>8} {:>9} {:>12}",
+        "Model", "Verdict", "States", "Transitions"
+    );
+    println!("{}", "-".repeat(62));
+
+    let mut all_ok = true;
+    let mut deviations: Vec<String> = Vec::new();
+
+    if !specs.is_empty() {
+        // Declarative-spec mode: verify each named spec under its golden
+        // assignment and gate on its own [golden] block.
+        for path in specs {
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.clone());
+            let spec = match ProtocolSpec::from_path(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{path}: invalid spec: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let (v, s, t) = if one_shot {
+                let resolver = spec_golden_resolver(&spec);
+                let model = spec.model();
+                let out = Checker::new(CheckerOptions::default().threads(threads))
+                    .run_shared(&model, &resolver);
+                (
+                    out.verdict(),
+                    out.stats().states_visited,
+                    out.stats().transitions,
+                )
+            } else {
+                verify_spec_golden(&spec, threads)
+            };
+            let label = format!("{name} (spec)");
+            println!("{label:<28} {v:>8} {s:>9} {t:>12}");
+            all_ok &= v == Verdict::Success;
+            for d in spec_verification_deviations(&spec, v, s, t) {
+                deviations.push(format!("{label}: {d}"));
+            }
+        }
+        finish(all_ok, &deviations, 0);
+    }
 
     fn check<M: verc3_mck::TransitionSystem>(
         model: &M,
@@ -47,19 +139,19 @@ fn main() {
         }
     }
 
-    println!("Figure 3 — protocol verification (golden models, all properties)");
-    println!("=================================================================");
-    println!();
-    println!(
-        "{:<28} {:>8} {:>9} {:>12}",
-        "Model", "Verdict", "States", "Transitions"
-    );
-    println!("{}", "-".repeat(62));
-
-    let mut all_ok = true;
     let mut run = |label: &str, verdict: Verdict, states: usize, transitions: usize| {
         println!("{label:<28} {verdict:>8} {states:>9} {transitions:>12}");
         all_ok &= verdict == Verdict::Success;
+        let (_, gs, gt) = GOLDEN_ROWS
+            .iter()
+            .find(|(l, _, _)| *l == label)
+            .unwrap_or_else(|| panic!("no golden row committed for {label:?}"));
+        if states != *gs {
+            deviations.push(format!("{label}: states {states} (golden {gs})"));
+        }
+        if transitions != *gt {
+            deviations.push(format!("{label}: transitions {transitions} (golden {gt})"));
+        }
     };
 
     // n = 5 and 6 were out of reach for the all-permutations canonicalizer
@@ -159,7 +251,23 @@ fn main() {
         println!("wrote {path} ({} states)", graph.len());
     }
 
-    assert!(all_ok, "all golden protocols must verify");
+    finish(all_ok, &deviations, skipped);
+}
+
+/// Prints the gate summary and exits: 0 when every row verified and matched
+/// its golden, 2 on any deviation, 130 after a SIGINT-shortened run.
+fn finish(all_ok: bool, deviations: &[String], skipped: usize) -> ! {
+    if !deviations.is_empty() {
+        println!();
+        println!("golden deviations:");
+        for d in deviations {
+            println!("  {d}");
+        }
+    }
+    if !all_ok || !deviations.is_empty() {
+        eprintln!("fig3_check: a printed row deviates from its golden");
+        std::process::exit(2);
+    }
     if skipped > 0 {
         println!();
         println!(
@@ -170,4 +278,5 @@ fn main() {
     }
     println!();
     println!("all golden protocols verified");
+    std::process::exit(0);
 }

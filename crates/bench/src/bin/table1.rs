@@ -49,13 +49,29 @@
 //! the run to the serial pruned row of each selected size — the journaled,
 //! resumable workload the kill-and-resume smoke test drives.
 
-use std::time::Duration;
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
 use verc3_bench::{
     estimate_naive_row, machine_row_line, paper, parse_check_threads, resume_command, row_header,
-    run_synthesis_row_controlled, sigint, MeasuredRow, RowControls,
+    run_spec_synthesis, run_synthesis_row_controlled, sigint, MeasuredRow, RowControls,
 };
 use verc3_core::Enumeration;
 use verc3_protocols::msi::MsiConfig;
+use verc3_spec::ProtocolSpec;
+
+/// Golden `(evaluated, patterns, solutions)` for every *deterministic* row:
+/// the serial pruned rows (lexicographic and guided enumeration visit the
+/// identical candidate sequence, and `--check-threads`/sessions leave the
+/// dispatch counts untouched) plus the full naïve MSI-small sweep. The
+/// 4-thread rows race across candidates and the extrapolated naïve rows are
+/// sampled, so neither is pinned.
+const GOLDEN_ROWS: &[(&str, u64, Option<usize>, usize)] = &[
+    ("MSI-small 1 thread, no pruning", 231_525, None, 8),
+    ("MSI-small 1 thread, pruning", 366, Some(357), 8),
+    ("MSI-large 1 thread, pruning", 1_057, Some(1_046), 8),
+    ("MSI-xl 1 thread, pruning", 3_176, Some(3_165), 8),
+    ("MSI-5 1 thread, pruning", 366, Some(357), 8),
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -105,6 +121,17 @@ fn main() {
     }
     let journaling = controls.journal_dir.is_some();
 
+    let spec_paths: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--spec")
+        .map(|(i, _)| args.get(i + 1).expect("--spec requires a path argument"))
+        .collect();
+    if !spec_paths.is_empty() {
+        run_spec_rows(&spec_paths);
+    }
+
+    let deviations: RefCell<Vec<String>> = RefCell::new(Vec::new());
     let run_synthesis_row =
         |label: &str, config: MsiConfig, pruning: bool, threads: usize, check_threads: usize| {
             let (row, report) = run_synthesis_row_controlled(
@@ -122,6 +149,32 @@ fn main() {
             });
             if journaling {
                 println!("{}", machine_row_line(label, &report));
+            }
+            if report.is_resumable() {
+                // A budget/SIGINT-shortened row is partial by design; only
+                // completed rows are held to the golden table.
+            } else if let Some((_, ge, gp, gs)) =
+                GOLDEN_ROWS.iter().find(|(l, _, _, _)| *l == label)
+            {
+                let mut devs = deviations.borrow_mut();
+                if row.evaluated != *ge {
+                    devs.push(format!(
+                        "{label}: evaluated {} (golden {ge})",
+                        row.evaluated
+                    ));
+                }
+                if pruning && row.patterns != *gp {
+                    devs.push(format!(
+                        "{label}: patterns {:?} (golden {gp:?})",
+                        row.patterns
+                    ));
+                }
+                if row.solutions != *gs {
+                    devs.push(format!(
+                        "{label}: solutions {} (golden {gs})",
+                        row.solutions
+                    ));
+                }
             }
             if report.is_resumable() {
                 if journaling {
@@ -404,4 +457,71 @@ fn main() {
         }
         std::process::exit(130);
     }
+
+    let deviations = deviations.into_inner();
+    if !deviations.is_empty() {
+        println!();
+        println!("golden deviations:");
+        for d in &deviations {
+            println!("  {d}");
+        }
+        eprintln!("table1: a printed row deviates from its golden");
+        std::process::exit(2);
+    }
+}
+
+/// `--spec PATH` mode: synthesize each named declarative spec's skeleton in
+/// its `[golden.synth]` configuration, print one table row per spec, and
+/// exit non-zero when any row deviates from the spec's committed golden
+/// block (counts, solution count, or golden assignment membership).
+fn run_spec_rows(paths: &[&String]) -> ! {
+    println!("Table I — declarative-spec synthesis rows");
+    println!("==========================================");
+    println!();
+    println!("{}", row_header());
+    println!("{}", "-".repeat(104));
+
+    let mut deviations: Vec<String> = Vec::new();
+    for path in paths {
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| (*path).clone());
+        let spec = match ProtocolSpec::from_path(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: invalid spec: {e}");
+                std::process::exit(2);
+            }
+        };
+        let start = Instant::now();
+        let (report, devs) = run_spec_synthesis(&spec);
+        let row = MeasuredRow {
+            label: format!("{name} (spec), 1 thread, pruning"),
+            holes: report.holes().len(),
+            candidates: report.wildcard_candidate_space(),
+            patterns: Some(report.stats().patterns),
+            evaluated: report.stats().evaluated,
+            solutions: report.solutions().len(),
+            wall: start.elapsed(),
+            estimated: false,
+        };
+        println!("{}", row.format());
+        for d in devs {
+            deviations.push(format!("{name}: {d}"));
+        }
+    }
+
+    if !deviations.is_empty() {
+        println!();
+        println!("golden deviations:");
+        for d in &deviations {
+            println!("  {d}");
+        }
+        eprintln!("table1: a printed row deviates from its golden");
+        std::process::exit(2);
+    }
+    println!();
+    println!("all spec rows match their committed goldens");
+    std::process::exit(0);
 }

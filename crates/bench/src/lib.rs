@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use verc3_core::{Enumeration, PatternMode, SynthOptions, SynthReport, Synthesizer};
 use verc3_mck::{Checker, CheckerOptions, FixedResolver, MckError, TransitionSystem, Verdict};
 use verc3_protocols::msi::{MsiConfig, MsiModel};
+use verc3_spec::ProtocolSpec;
 
 /// SIGINT → graceful-stop support for the harness binaries.
 ///
@@ -651,6 +652,124 @@ pub fn verify_skeleton_golden(config: MsiConfig, threads: usize) -> (Verdict, us
         out.stats().states_visited,
         out.stats().transitions,
     )
+}
+
+/// Builds the [`FixedResolver`] for a spec's committed `[golden.assignment]`
+/// (empty for hole-free specs, which never consult the resolver).
+///
+/// Panics when the assignment names a hole or action outside the spec's hole
+/// space — a committed golden that cannot even be *plugged in* is a spec
+/// authoring error, not a measurement deviation.
+pub fn spec_golden_resolver(spec: &ProtocolSpec) -> FixedResolver {
+    let mut resolver = FixedResolver::new();
+    for (hole, action) in &spec.golden().assignment {
+        let idx = spec.action_index(hole, action).unwrap_or_else(|| {
+            panic!("golden assignment {hole}@{action} is not in the spec's hole space")
+        });
+        resolver.assign(hole.clone(), idx);
+    }
+    resolver
+}
+
+/// Verifies a declarative spec (`specs/*.toml`) under its committed golden
+/// assignment and reports `(verdict, states, transitions)` — the spec
+/// counterpart of [`verify_skeleton_golden`].
+pub fn verify_spec_golden(spec: &ProtocolSpec, threads: usize) -> (Verdict, usize, usize) {
+    let mut resolver = spec_golden_resolver(spec);
+    let model = spec.model();
+    let out =
+        Checker::new(CheckerOptions::default().threads(threads)).run_with(&model, &mut resolver);
+    (
+        out.verdict(),
+        out.stats().states_visited,
+        out.stats().transitions,
+    )
+}
+
+/// Diffs a measured spec verification row against the spec's `[golden]`
+/// block. Returns human-readable deviation lines; empty means the row
+/// reproduces every committed count. Uncommitted fields gate nothing.
+pub fn spec_verification_deviations(
+    spec: &ProtocolSpec,
+    verdict: Verdict,
+    states: usize,
+    transitions: usize,
+) -> Vec<String> {
+    let golden = spec.golden();
+    let mut devs = Vec::new();
+    if let Some(want) = &golden.verdict {
+        // Goldens commit the variant name (`"Success"` / `"Failure"`), not
+        // the lowercase table rendering.
+        let got = format!("{verdict:?}");
+        if &got != want {
+            devs.push(format!("verdict {got} (golden {want})"));
+        }
+    }
+    if let Some(want) = golden.states {
+        if states != want {
+            devs.push(format!("states {states} (golden {want})"));
+        }
+    }
+    if let Some(want) = golden.transitions {
+        if transitions != want {
+            devs.push(format!("transitions {transitions} (golden {want})"));
+        }
+    }
+    devs
+}
+
+/// Runs synthesis over a spec's skeleton in the configuration its
+/// `[golden.synth]` block was measured under (pruning on; trace-refined
+/// patterns when the block says `refined = true`) and diffs the outcome
+/// against the committed counts. Returns the report plus deviation lines.
+pub fn run_spec_synthesis(spec: &ProtocolSpec) -> (SynthReport, Vec<String>) {
+    let golden = spec.golden();
+    let mut opts = SynthOptions::default();
+    if golden.synth_refined {
+        opts = opts.pattern_mode(PatternMode::Refined);
+    }
+    let report = Synthesizer::new(opts).run(&spec.model());
+
+    let mut devs = Vec::new();
+    if let Some(want) = golden.synth_evaluated {
+        let got = report.stats().evaluated;
+        if got != want {
+            devs.push(format!("synth evaluated {got} (golden {want})"));
+        }
+    }
+    if let Some(want) = golden.synth_patterns {
+        let got = report.stats().patterns as u64;
+        if got != want {
+            devs.push(format!("synth patterns {got} (golden {want})"));
+        }
+    }
+    if let Some(want) = golden.synth_solutions {
+        let got = report.solutions().len();
+        if got != want {
+            devs.push(format!("synth solutions {got} (golden {want})"));
+        }
+    }
+    if !golden.assignment.is_empty() {
+        let assignment: Vec<(&str, usize)> = golden
+            .assignment
+            .iter()
+            .map(|(h, a)| (h.as_str(), spec.action_index(h, a).unwrap()))
+            .collect();
+        let found = report.solutions().iter().any(|sol| {
+            assignment.iter().all(|(hole, idx)| {
+                report
+                    .holes()
+                    .iter()
+                    .position(|h| h.name == *hole)
+                    .map(|slot| sol.action_for(slot) == Some(*idx as u16))
+                    .unwrap_or(false)
+            })
+        });
+        if !found {
+            devs.push("golden assignment is not among the synthesized solutions".into());
+        }
+    }
+    (report, devs)
 }
 
 #[cfg(test)]

@@ -1,0 +1,619 @@
+//! Lexer and recursive-descent parser for the guard/effect language.
+//!
+//! Precedence, loosest to tightest: `||`, `&&`, comparisons / `in […]`,
+//! `+ -`, unary `!`, postfix `.field` / `[index]`, primary. All parse
+//! errors are [`InvalidSpec::Syntax`] values carrying the enclosing block's
+//! name so a bad rule body points at the rule, not at a character offset in
+//! the concatenated document.
+
+use crate::ast::{BinOp, Expr, LValue, PathSeg, Stmt, UnOp};
+use crate::error::InvalidSpec;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Dot,
+    Comma,
+    Semi,
+    Assign,
+    EqEq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    AndAnd,
+    OrOr,
+    Bang,
+    End,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(i) => format!("`{i}`"),
+            Tok::Str(s) => format!("\"{s}\""),
+            Tok::End => "end of block".into(),
+            t => format!("{t:?}"),
+        }
+    }
+}
+
+fn lex(src: &str, context: &str) -> Result<Vec<Tok>, InvalidSpec> {
+    let s = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let err = |message: String| InvalidSpec::Syntax {
+        context: context.to_string(),
+        message,
+    };
+    while i < s.len() {
+        let c = s[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < s.len() && s[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            b'[' => {
+                toks.push(Tok::LBracket);
+                i += 1;
+            }
+            b']' => {
+                toks.push(Tok::RBracket);
+                i += 1;
+            }
+            b'{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            b'.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            b',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            b';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            b'+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            b'-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            b'=' => {
+                if s.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::EqEq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Assign);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if s.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Bang);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if s.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if s.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if s.get(i + 1) == Some(&b'&') {
+                    toks.push(Tok::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(err("single `&` (use `&&`)".into()));
+                }
+            }
+            b'|' => {
+                if s.get(i + 1) == Some(&b'|') {
+                    toks.push(Tok::OrOr);
+                    i += 2;
+                } else {
+                    return Err(err("single `|` (use `||`)".into()));
+                }
+            }
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < s.len() && s[j] != b'"' && s[j] != b'\n' {
+                    j += 1;
+                }
+                if j >= s.len() || s[j] != b'"' {
+                    return Err(err("unterminated string".into()));
+                }
+                toks.push(Tok::Str(String::from_utf8_lossy(&s[start..j]).into_owned()));
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < s.len() && s[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&s[start..i]).into_owned();
+                toks.push(Tok::Int(
+                    text.parse()
+                        .map_err(|e| err(format!("bad integer `{text}`: {e}")))?,
+                ));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < s.len() && (s[i].is_ascii_alphanumeric() || s[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(
+                    String::from_utf8_lossy(&s[start..i]).into_owned(),
+                ));
+            }
+            c => return Err(err(format!("unexpected character `{}`", c as char))),
+        }
+    }
+    toks.push(Tok::End);
+    Ok(toks)
+}
+
+/// Parses a single expression (used for property bodies).
+pub fn parse_expr(src: &str, context: &str) -> Result<Expr, InvalidSpec> {
+    let mut p = P::new(src, context)?;
+    let e = p.expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+/// Parses a statement block (used for rule and fn bodies).
+pub fn parse_block(src: &str, context: &str) -> Result<Vec<Stmt>, InvalidSpec> {
+    let mut p = P::new(src, context)?;
+    let mut out = Vec::new();
+    while p.cur() != &Tok::End {
+        out.push(p.stmt()?);
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+    context: String,
+}
+
+impl P {
+    fn new(src: &str, context: &str) -> Result<Self, InvalidSpec> {
+        Ok(P {
+            toks: lex(src, context)?,
+            pos: 0,
+            context: context.to_string(),
+        })
+    }
+
+    fn err(&self, message: String) -> InvalidSpec {
+        InvalidSpec::Syntax {
+            context: self.context.clone(),
+            message,
+        }
+    }
+
+    fn cur(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.cur() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), InvalidSpec> {
+        if self.cur() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                t.describe(),
+                self.cur().describe()
+            )))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), InvalidSpec> {
+        if self.cur() == &Tok::End {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing {}", self.cur().describe())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, InvalidSpec> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            t => Err(self.err(format!("expected an identifier, found {}", t.describe()))),
+        }
+    }
+
+    // ---- Statements -------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, InvalidSpec> {
+        match self.cur().clone() {
+            Tok::Ident(kw) if kw == "require" => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Require(e))
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Let(name, e))
+            }
+            Tok::Ident(kw) if kw == "choose" => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let callee = self.ident()?;
+                if callee != "hole" {
+                    return Err(self.err(format!(
+                        "`choose` binds from `hole(\"name\")`, found `{callee}`"
+                    )));
+                }
+                self.expect(Tok::LParen)?;
+                let hole = match self.bump() {
+                    Tok::Str(s) => s,
+                    t => {
+                        return Err(self.err(format!(
+                            "expected a quoted hole name, found {}",
+                            t.describe()
+                        )))
+                    }
+                };
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Choose(name, hole))
+            }
+            Tok::Ident(kw) if kw == "if" => self.if_stmt(),
+            Tok::Ident(kw) if kw == "for" => {
+                self.bump();
+                let name = self.ident()?;
+                let kw_in = self.ident()?;
+                if kw_in != "in" {
+                    return Err(self.err("expected `in` after the loop binder".into()));
+                }
+                let domain = self.ident()?;
+                if domain != "pids" {
+                    return Err(self.err("the only loop domain is `pids`".into()));
+                }
+                let body = self.block()?;
+                Ok(Stmt::ForPids(name, body))
+            }
+            Tok::Ident(_) => {
+                let base = self.ident()?;
+                if self.cur() == &Tok::LParen {
+                    let args = self.args()?;
+                    self.expect(Tok::Semi)?;
+                    return Ok(Stmt::Call(base, args));
+                }
+                let mut path = Vec::new();
+                loop {
+                    if self.eat(&Tok::Dot) {
+                        path.push(PathSeg::Field(self.ident()?));
+                    } else if self.eat(&Tok::LBracket) {
+                        let idx = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        path.push(PathSeg::Index(idx));
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::Assign)?;
+                let value = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Assign(LValue { base, path }, value))
+            }
+            t => Err(self.err(format!("expected a statement, found {}", t.describe()))),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, InvalidSpec> {
+        self.bump(); // `if`
+        let mut arms = Vec::new();
+        let cond = self.expr()?;
+        let body = self.block()?;
+        arms.push((cond, body));
+        let mut else_ = Vec::new();
+        loop {
+            match self.cur().clone() {
+                Tok::Ident(kw) if kw == "elif" => {
+                    self.bump();
+                    let cond = self.expr()?;
+                    let body = self.block()?;
+                    arms.push((cond, body));
+                }
+                Tok::Ident(kw) if kw == "else" => {
+                    self.bump();
+                    else_ = self.block()?;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        Ok(Stmt::If(arms, else_))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, InvalidSpec> {
+        self.expect(Tok::LBrace)?;
+        let mut out = Vec::new();
+        while self.cur() != &Tok::RBrace {
+            if self.cur() == &Tok::End {
+                return Err(self.err("unterminated `{` block".into()));
+            }
+            out.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(out)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, InvalidSpec> {
+        self.expect(Tok::LParen)?;
+        let mut out = Vec::new();
+        if self.eat(&Tok::RParen) {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.expr()?);
+            if self.eat(&Tok::Comma) {
+                continue;
+            }
+            self.expect(Tok::RParen)?;
+            return Ok(out);
+        }
+    }
+
+    // ---- Expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, InvalidSpec> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, InvalidSpec> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, InvalidSpec> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, InvalidSpec> {
+        let lhs = self.add_expr()?;
+        let op = match self.cur() {
+            Tok::EqEq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            Tok::Ident(kw) if kw == "in" => {
+                self.bump();
+                self.expect(Tok::LBracket)?;
+                let mut items = Vec::new();
+                loop {
+                    items.push(self.expr()?);
+                    if self.eat(&Tok::Comma) {
+                        continue;
+                    }
+                    self.expect(Tok::RBracket)?;
+                    break;
+                }
+                return Ok(Expr::InList(Box::new(lhs), items));
+            }
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let rhs = self.add_expr()?;
+                Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, InvalidSpec> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.cur() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, InvalidSpec> {
+        if self.eat(&Tok::Bang) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(e)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, InvalidSpec> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(&Tok::Dot) {
+                let field = self.ident()?;
+                e = Expr::Field(Box::new(e), field);
+            } else if self.eat(&Tok::LBracket) {
+                let idx = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, InvalidSpec> {
+        match self.bump() {
+            Tok::Int(i) => Ok(Expr::Int(i)),
+            Tok::Ident(name) => match name.as_str() {
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                "none" => Ok(Expr::None_),
+                "DIR" => Ok(Expr::Dir),
+                _ => {
+                    if self.cur() == &Tok::LParen {
+                        let args = self.args()?;
+                        Ok(Expr::Call(name, args))
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            t => Err(self.err(format!("expected an expression, found {}", t.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_statement_shapes() {
+        let body = r#"
+require is_none(error);                 # guard
+let mo = find(net, c, k, r);
+require is_some(mo);
+let m = get(mo);
+if st == CacheState.IS_D && k == MsgKind.Data {
+  cache_apply(c, m, cache_resp.send_ack, CacheState.S);
+}
+elif st == CacheState.SM_AD && k == MsgKind.Inv {
+  choose resp = hole("cache/SM_AD+Inv/resp");
+  cache_apply(c, m, resp, CacheState[resp]);
+}
+else {
+  remove(net, m);
+  poison(Fault.UnexpectedMessage);
+}
+for p in pids {
+  if contains(dir.sharers, p) && p != m.req { send(MsgKind.Inv, p, m.req, 0); }
+}
+caches[c].got = caches[c].got + 1;
+dir.owner = none;
+"#;
+        let stmts = parse_block(body, "test").expect("parses");
+        assert_eq!(stmts.len(), 8);
+        assert!(matches!(&stmts[4], Stmt::If(arms, els) if arms.len() == 2 && !els.is_empty()));
+        assert!(
+            matches!(&stmts[6], Stmt::Assign(lv, _) if lv.base == "caches" && lv.path.len() == 2)
+        );
+    }
+
+    #[test]
+    fn parses_expression_precedence() {
+        let e = parse_expr("a + 1 >= b && !c || d in [1, 2]", "test").expect("parses");
+        // ((a+1 >= b) && (!c)) || (d in [1,2])
+        match e {
+            Expr::Binary(BinOp::Or, lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::Binary(BinOp::And, _, _)));
+                assert!(matches!(*rhs, Expr::InList(_, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_expr("a ++", "t").is_err());
+        assert!(parse_block("let = 3;", "t").is_err());
+        assert!(parse_block("if a { b = 1;", "t").is_err());
+        assert!(matches!(
+            parse_block("choose x = pick(\"h\");", "t"),
+            Err(InvalidSpec::Syntax { .. })
+        ));
+    }
+}

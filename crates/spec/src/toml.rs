@@ -1,0 +1,541 @@
+//! A small, offline TOML-subset reader.
+//!
+//! Supports exactly what protocol specs need: `[table]` and `[[array of
+//! tables]]` headers with dotted paths, bare and `"quoted"` keys, basic
+//! (`"…"` with escapes) and literal (`'…'`) strings, `'''…'''` and
+//! `"""…"""` multi-line blocks (the rule-body workhorse; both are read
+//! verbatim, without escape processing), integers, booleans, and (possibly
+//! multi-line) arrays. Tables preserve key order — declaration order is
+//! semantic for variables and rules.
+//!
+//! Not supported (and not needed): floats, dates, inline tables, dotted
+//! keys on the left of `=`, escape sequences inside `"""` blocks.
+
+use crate::error::InvalidSpec;
+
+/// A TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A string (basic, literal, or multi-line literal).
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<TomlValue>),
+    /// A nested table (`[a.b]` or sub-keys).
+    Table(Table),
+    /// An array of tables (`[[a]]`).
+    TableArray(Vec<Table>),
+}
+
+/// An order-preserving table: key/value pairs in declaration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    /// The entries, in source order.
+    pub entries: Vec<(String, TomlValue)>,
+}
+
+impl Table {
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up a key that must hold a string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(TomlValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key that must hold an integer.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        match self.get(key) {
+            Some(TomlValue::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key that must hold a boolean.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(TomlValue::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key that must hold a nested table.
+    pub fn get_table(&self, key: &str) -> Option<&Table> {
+        match self.get(key) {
+            Some(TomlValue::Table(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key that must hold an array of tables; a missing key is
+    /// an empty slice.
+    pub fn get_table_array(&self, key: &str) -> &[Table] {
+        match self.get(key) {
+            Some(TomlValue::TableArray(ts)) => ts,
+            _ => &[],
+        }
+    }
+
+    /// Looks up a key that must hold an array of strings.
+    pub fn get_str_array(&self, key: &str) -> Option<Vec<&str>> {
+        match self.get(key) {
+            Some(TomlValue::Array(items)) => items
+                .iter()
+                .map(|v| match v {
+                    TomlValue::Str(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a TOML document into its root table.
+pub fn parse(src: &str) -> Result<Table, InvalidSpec> {
+    let mut p = Parser {
+        s: src.as_bytes(),
+        pos: 0,
+    };
+    let mut root = Table::default();
+    // Path of the table the next `key = value` lines land in.
+    let mut cur_path: Vec<String> = Vec::new();
+
+    loop {
+        p.skip_trivia(true);
+        if p.at_end() {
+            break;
+        }
+        if p.peek() == b'[' {
+            let is_array = p.lookahead(1) == Some(b'[');
+            p.pos += if is_array { 2 } else { 1 };
+            let path = p.parse_key_path()?;
+            p.expect(b']')?;
+            if is_array {
+                p.expect(b']')?;
+            }
+            if is_array {
+                let table = navigate(&mut root, &path[..path.len() - 1], &mut p)?;
+                let last = path.last().expect("non-empty header path").clone();
+                match table.entries.iter_mut().find(|(k, _)| *k == last) {
+                    Some((_, TomlValue::TableArray(ts))) => ts.push(Table::default()),
+                    Some(_) => {
+                        return Err(p.err(format!("`{last}` redefined as an array of tables")))
+                    }
+                    None => table
+                        .entries
+                        .push((last.clone(), TomlValue::TableArray(vec![Table::default()]))),
+                }
+            } else {
+                // Create the table eagerly so empty sections exist, and
+                // reject redefinitions of non-table entries.
+                navigate(&mut root, &path, &mut p)?;
+            }
+            // Key insertion descends into the *last* element of any table
+            // array on the path, so the freshly pushed element receives the
+            // following keys.
+            cur_path = path;
+            p.expect_line_end()?;
+        } else {
+            let key = p.parse_key()?;
+            p.skip_trivia(false);
+            p.expect(b'=')?;
+            p.skip_trivia(false);
+            let value = p.parse_value()?;
+            p.expect_line_end()?;
+            let table = navigate(&mut root, &cur_path, &mut p)?;
+            if table.get(&key).is_some() {
+                return Err(p.err(format!("duplicate key `{key}`")));
+            }
+            table.entries.push((key, value));
+        }
+    }
+    Ok(root)
+}
+
+/// Walks `path` from the root, creating empty tables as needed and
+/// descending into the last element of any table array on the way.
+fn navigate<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    p: &mut Parser<'_>,
+) -> Result<&'a mut Table, InvalidSpec> {
+    let mut cur = root;
+    for seg in path {
+        let idx = match cur.entries.iter().position(|(k, _)| k == seg) {
+            Some(i) => i,
+            None => {
+                cur.entries
+                    .push((seg.clone(), TomlValue::Table(Table::default())));
+                cur.entries.len() - 1
+            }
+        };
+        cur = match &mut cur.entries[idx].1 {
+            TomlValue::Table(t) => t,
+            TomlValue::TableArray(ts) => ts.last_mut().expect("table arrays are never empty"),
+            _ => return Err(p.err(format!("`{seg}` is not a table"))),
+        };
+    }
+    Ok(cur)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.s.len()
+    }
+
+    fn peek(&self) -> u8 {
+        self.s[self.pos]
+    }
+
+    fn lookahead(&self, n: usize) -> Option<u8> {
+        self.s.get(self.pos + n).copied()
+    }
+
+    fn line(&self) -> usize {
+        1 + self.s[..self.pos.min(self.s.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+
+    fn err(&self, message: String) -> InvalidSpec {
+        InvalidSpec::Toml {
+            line: self.line(),
+            message,
+        }
+    }
+
+    /// Skips spaces and comments; with `newlines`, also blank lines.
+    fn skip_trivia(&mut self, newlines: bool) {
+        while !self.at_end() {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' if newlines => self.pos += 1,
+                b'#' => {
+                    while !self.at_end() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), InvalidSpec> {
+        self.skip_trivia(false);
+        if !self.at_end() && self.peek() == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}`, found `{}`",
+                b as char,
+                self.found()
+            )))
+        }
+    }
+
+    fn found(&self) -> String {
+        if self.at_end() {
+            "end of input".into()
+        } else {
+            (self.peek() as char).to_string()
+        }
+    }
+
+    fn expect_line_end(&mut self) -> Result<(), InvalidSpec> {
+        self.skip_trivia(false);
+        if self.at_end() || self.peek() == b'\n' {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected `{}` after value", self.peek() as char)))
+        }
+    }
+
+    fn parse_key(&mut self) -> Result<String, InvalidSpec> {
+        self.skip_trivia(false);
+        if self.at_end() {
+            return Err(self.err("expected a key".into()));
+        }
+        match self.peek() {
+            b'"' | b'\'' => match self.parse_value()? {
+                TomlValue::Str(s) => Ok(s),
+                _ => unreachable!("quote chars parse to strings"),
+            },
+            _ => {
+                let start = self.pos;
+                while !self.at_end()
+                    && (self.peek().is_ascii_alphanumeric()
+                        || self.peek() == b'_'
+                        || self.peek() == b'-')
+                {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return Err(self.err(format!("expected a key, found `{}`", self.found())));
+                }
+                Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+            }
+        }
+    }
+
+    fn parse_key_path(&mut self) -> Result<Vec<String>, InvalidSpec> {
+        let mut path = vec![self.parse_key()?];
+        loop {
+            self.skip_trivia(false);
+            if !self.at_end() && self.peek() == b'.' {
+                self.pos += 1;
+                path.push(self.parse_key()?);
+            } else {
+                break;
+            }
+        }
+        Ok(path)
+    }
+
+    fn parse_value(&mut self) -> Result<TomlValue, InvalidSpec> {
+        self.skip_trivia(false);
+        if self.at_end() {
+            return Err(self.err("expected a value".into()));
+        }
+        match self.peek() {
+            b'"' => self.parse_basic_string(),
+            b'\'' => self.parse_literal_string(),
+            b'[' => self.parse_array(),
+            b't' | b'f' => self.parse_bool(),
+            b'-' | b'0'..=b'9' => self.parse_int(),
+            c => Err(self.err(format!("unexpected `{}` at start of value", c as char))),
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<TomlValue, InvalidSpec> {
+        if self.lookahead(1) == Some(b'"') && self.lookahead(2) == Some(b'"') {
+            return self.parse_triple_block(b'"');
+        }
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            if self.at_end() || self.peek() == b'\n' {
+                return Err(self.err("unterminated string".into()));
+            }
+            match self.peek() {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(TomlValue::Str(out));
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = if self.at_end() { b'?' } else { self.peek() };
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        c => return Err(self.err(format!("unknown escape `\\{}`", c as char))),
+                    });
+                }
+                c => {
+                    // Multi-byte UTF-8 passes through byte by byte.
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// A `'''…'''` or `"""…"""` block, read verbatim (no escape
+    /// processing), with a single leading newline trimmed per TOML.
+    fn parse_triple_block(&mut self, quote: u8) -> Result<TomlValue, InvalidSpec> {
+        self.pos += 3;
+        if !self.at_end() && self.peek() == b'\n' {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        loop {
+            if self.at_end() {
+                return Err(self.err(format!("unterminated {0}{0}{0} block", quote as char)));
+            }
+            if self.peek() == quote
+                && self.lookahead(1) == Some(quote)
+                && self.lookahead(2) == Some(quote)
+            {
+                let body = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+                self.pos += 3;
+                return Ok(TomlValue::Str(body));
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_literal_string(&mut self) -> Result<TomlValue, InvalidSpec> {
+        if self.lookahead(1) == Some(b'\'') && self.lookahead(2) == Some(b'\'') {
+            return self.parse_triple_block(b'\'');
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while !self.at_end() && self.peek() != b'\'' && self.peek() != b'\n' {
+            self.pos += 1;
+        }
+        if self.at_end() || self.peek() != b'\'' {
+            return Err(self.err("unterminated string".into()));
+        }
+        let body = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+        self.pos += 1;
+        Ok(TomlValue::Str(body))
+    }
+
+    fn parse_array(&mut self) -> Result<TomlValue, InvalidSpec> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia(true);
+            if self.at_end() {
+                return Err(self.err("unterminated array".into()));
+            }
+            if self.peek() == b']' {
+                self.pos += 1;
+                return Ok(TomlValue::Array(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia(true);
+            if !self.at_end() && self.peek() == b',' {
+                self.pos += 1;
+            } else if !self.at_end() && self.peek() == b']' {
+                continue;
+            } else {
+                return Err(self.err(format!("expected `,` or `]`, found `{}`", self.found())));
+            }
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<TomlValue, InvalidSpec> {
+        for (word, value) in [("true", true), ("false", false)] {
+            if self.s[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                return Ok(TomlValue::Bool(value));
+            }
+        }
+        Err(self.err("expected `true` or `false`".into()))
+    }
+
+    fn parse_int(&mut self) -> Result<TomlValue, InvalidSpec> {
+        let start = self.pos;
+        if self.peek() == b'-' {
+            self.pos += 1;
+        }
+        while !self.at_end() && (self.peek().is_ascii_digit() || self.peek() == b'_') {
+            self.pos += 1;
+        }
+        let text: String = self.s[start..self.pos]
+            .iter()
+            .map(|&b| b as char)
+            .filter(|&c| c != '_')
+            .collect();
+        text.parse::<i64>()
+            .map(TomlValue::Int)
+            .map_err(|e| self.err(format!("bad integer `{text}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_blocks() {
+        let doc = r#"
+# comment
+[protocol]
+name = "MSI"
+pids = 3
+symmetry = true
+
+[enums]
+CacheState = ["I", "S", "M"]
+
+[[rule]]
+name = "read[{c}]"
+body = '''
+require a == 1;
+'''
+
+[[rule]]
+name = "write"
+body = 'x = 1;'
+
+[golden.assignment]
+"cache/SM_AD+Inv/resp" = "send_ack"
+"#;
+        let root = parse(doc).expect("parses");
+        let proto = root.get_table("protocol").unwrap();
+        assert_eq!(proto.get_str("name"), Some("MSI"));
+        assert_eq!(proto.get_int("pids"), Some(3));
+        assert_eq!(proto.get_bool("symmetry"), Some(true));
+        let enums = root.get_table("enums").unwrap();
+        assert_eq!(enums.get_str_array("CacheState"), Some(vec!["I", "S", "M"]));
+        let rules = root.get_table_array("rule");
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].get_str("name"), Some("read[{c}]"));
+        assert_eq!(rules[0].get_str("body"), Some("require a == 1;\n"));
+        assert_eq!(rules[1].get_str("body"), Some("x = 1;"));
+        let golden = root.get_table("golden").unwrap();
+        let assignment = golden.get_table("assignment").unwrap();
+        assert_eq!(assignment.get_str("cache/SM_AD+Inv/resp"), Some("send_ack"));
+    }
+
+    #[test]
+    fn nested_table_arrays_attach_to_last_element() {
+        let doc = r#"
+[[ruleset]]
+binds = ["c: pid"]
+[[ruleset.rule]]
+name = "a"
+[[ruleset.rule]]
+name = "b"
+[[ruleset]]
+binds = []
+[[ruleset.rule]]
+name = "c"
+"#;
+        let root = parse(doc).expect("parses");
+        let sets = root.get_table_array("ruleset");
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].get_table_array("rule").len(), 2);
+        assert_eq!(sets[1].get_table_array("rule").len(), 1);
+        assert_eq!(
+            sets[1].get_table_array("rule")[0].get_str("name"),
+            Some("c")
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let doc = "a = 1\nb = @\n";
+        match parse(doc) {
+            Err(InvalidSpec::Toml { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected a TOML error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let doc = "a = 1\na = 2\n";
+        assert!(matches!(parse(doc), Err(InvalidSpec::Toml { .. })));
+    }
+}

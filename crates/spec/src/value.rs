@@ -1,0 +1,233 @@
+//! The interpreted state representation.
+//!
+//! A [`SpecState`] is a vector of [`Value`] trees, one per declared
+//! variable, compared lexicographically in declaration order. Within any
+//! well-typed spec a given slot always holds the same `Value` variant, so
+//! the derived `Ord` reduces to the payload order — which makes the
+//! interpreted state **order-isomorphic** to an equivalent hand-written
+//! struct with `#[derive(Ord)]`: the canonicalization argmin picks
+//! corresponding representatives, and golden counts transfer bit-for-bit.
+//!
+//! Symmetry is structural: a permutation of the pid scalarset remaps
+//! `Pid` leaves (< n; the `DIR` agent id `n` is fixed), `PidSet` bits, and
+//! pid-indexed `Array` positions, rebuilds `Multi` multisets in canonical
+//! order, and recurses through records and options.
+
+use verc3_mck::scalarset::{rank_keys, Symmetric};
+use verc3_mck::Multiset;
+
+/// A single interpreted value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A bounded integer (arithmetic is checked into `0..=255`).
+    Int(u8),
+    /// A process id (`0..n`), or the fixed `DIR` agent (`n`).
+    Pid(u8),
+    /// An enum value: (enum type id, variant index). Variant order in the
+    /// spec is the comparison order, mirroring Rust `#[derive(Ord)]`.
+    Enum(u8, u8),
+    /// An optional value (`none` sorts first, like `Option`).
+    Opt(Option<Box<Value>>),
+    /// A set of pids, as a bitmask (scalarset size is capped at 8).
+    PidSet(u8),
+    /// A record: field values in declaration order.
+    Record(Vec<Value>),
+    /// A pid-indexed array (always length n).
+    Array(Vec<Value>),
+    /// A multiset (canonically sorted, like [`Multiset`]).
+    Multi(Multiset<Value>),
+}
+
+impl Value {
+    /// Applies a scalarset permutation structurally.
+    pub fn permute(&self, perm: &[u8]) -> Value {
+        match self {
+            Value::Bool(_) | Value::Int(_) | Value::Enum(_, _) => self.clone(),
+            Value::Pid(v) => {
+                if (*v as usize) < perm.len() {
+                    Value::Pid(perm[*v as usize])
+                } else {
+                    Value::Pid(*v)
+                }
+            }
+            Value::Opt(inner) => Value::Opt(inner.as_ref().map(|b| Box::new(b.permute(perm)))),
+            Value::PidSet(bits) => {
+                let mut out = 0u8;
+                for i in 0..8 {
+                    if bits & (1 << i) != 0 {
+                        let j = if i < perm.len() { perm[i] as usize } else { i };
+                        out |= 1 << j;
+                    }
+                }
+                Value::PidSet(out)
+            }
+            Value::Record(fields) => {
+                Value::Record(fields.iter().map(|f| f.permute(perm)).collect())
+            }
+            Value::Array(items) => {
+                // Pid-indexed: entry i moves to position perm[i]. Arrays are
+                // validated to have length n, but guard anyway so a foreign
+                // length degrades to element-wise permutation.
+                if items.len() == perm.len() {
+                    let mut out = items.clone();
+                    for (i, item) in items.iter().enumerate() {
+                        out[perm[i] as usize] = item.permute(perm);
+                    }
+                    Value::Array(out)
+                } else {
+                    Value::Array(items.iter().map(|x| x.permute(perm)).collect())
+                }
+            }
+            Value::Multi(ms) => {
+                let mut out = Multiset::with_capacity(ms.len());
+                for item in ms.iter() {
+                    out.insert(item.permute(perm));
+                }
+                Value::Multi(out)
+            }
+        }
+    }
+
+    /// `true` if the type of this value contains a `Pid` leaf anywhere.
+    /// Used by the equivariance validator (on type shapes, but exercised on
+    /// values in tests).
+    pub fn contains_pid(&self) -> bool {
+        match self {
+            Value::Bool(_) | Value::Int(_) | Value::Enum(_, _) => false,
+            Value::Pid(_) | Value::PidSet(_) => true,
+            Value::Opt(inner) => inner.as_ref().is_some_and(|b| b.contains_pid()),
+            Value::Record(fs) => fs.iter().any(|f| f.contains_pid()),
+            Value::Array(xs) => xs.iter().any(|x| x.contains_pid()),
+            Value::Multi(ms) => ms.iter().any(|x| x.contains_pid()),
+        }
+    }
+}
+
+/// An interpreted protocol state: declared variables, in order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpecState {
+    /// Variable values, in declaration order (the state's `Ord` order).
+    pub vars: Vec<Value>,
+}
+
+impl Symmetric for SpecState {
+    fn apply_perm(&self, perm: &[u8]) -> Self {
+        SpecState {
+            vars: self.vars.iter().map(|v| v.permute(perm)).collect(),
+        }
+    }
+
+    fn signature(&self, n: usize, keys: &mut Vec<u64>) {
+        // The equivariance contract guarantees the first variable is the
+        // pid-indexed array with pid-free elements; rank keys over it are
+        // permutation covariant and dominate the state order (it is also
+        // the first `Ord` component).
+        match self.vars.first() {
+            Some(Value::Array(items)) if items.len() == n => rank_keys(items, keys),
+            _ => {
+                keys.clear();
+                keys.resize(n, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verc3_mck::all_permutations;
+
+    fn sample(n: usize) -> SpecState {
+        // caches-like array + a pid-bearing record + a multiset of records.
+        let line = |s: u8, g: u8| Value::Record(vec![Value::Enum(0, s), Value::Int(g)]);
+        let msg = |k: u8, to: u8, req: u8| {
+            Value::Record(vec![Value::Enum(1, k), Value::Pid(to), Value::Pid(req)])
+        };
+        let mut net = Multiset::new();
+        net.insert(msg(2, 0, 1));
+        net.insert(msg(0, n as u8, 0));
+        SpecState {
+            vars: vec![
+                Value::Array((0..n).map(|i| line(i as u8 % 3, i as u8)).collect()),
+                Value::Record(vec![
+                    Value::Enum(2, 1),
+                    Value::Opt(Some(Box::new(Value::Pid(1)))),
+                    Value::PidSet(0b101),
+                ]),
+                Value::Multi(net),
+                Value::Opt(None),
+            ],
+        }
+    }
+
+    #[test]
+    fn identity_perm_is_identity() {
+        let n = 3;
+        let s = sample(n);
+        let id: Vec<u8> = (0..n as u8).collect();
+        assert_eq!(s.apply_perm(&id), s);
+    }
+
+    #[test]
+    fn permutation_is_group_action() {
+        let n = 3;
+        let s = sample(n);
+        for p in all_permutations(n) {
+            for q in all_permutations(n) {
+                // (s·p)·q == s·(q∘p)
+                let compose: Vec<u8> = (0..n).map(|i| q[p[i] as usize]).collect();
+                assert_eq!(s.apply_perm(&p).apply_perm(&q), s.apply_perm(&compose));
+            }
+        }
+    }
+
+    #[test]
+    fn dir_pid_is_fixed_by_permutation() {
+        let n = 3;
+        let s = sample(n);
+        for p in all_permutations(n) {
+            let t = s.apply_perm(&p);
+            // The message addressed to DIR (pid n) keeps its destination.
+            let (Value::Multi(before), Value::Multi(after)) = (&s.vars[2], &t.vars[2]) else {
+                panic!("var 2 is the net")
+            };
+            let to_dir = |ms: &Multiset<Value>| {
+                ms.iter()
+                    .filter(|m| matches!(m, Value::Record(f) if f[1] == Value::Pid(n as u8)))
+                    .count()
+            };
+            assert_eq!(to_dir(before), to_dir(after));
+        }
+    }
+
+    #[test]
+    fn signature_is_equivariant_for_pid_free_leading_array() {
+        let n = 3;
+        let s = sample(n);
+        let mut base = Vec::new();
+        s.signature(n, &mut base);
+        for p in all_permutations(n) {
+            let t = s.apply_perm(&p);
+            let mut keys = Vec::new();
+            t.signature(n, &mut keys);
+            // Keys follow their elements: key at new position perm[i] equals
+            // the old key at i.
+            for i in 0..n {
+                assert_eq!(keys[p[i] as usize], base[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent_and_orbit_invariant() {
+        let n = 3;
+        let s = sample(n);
+        let canon = s.canonicalize_auto(n);
+        assert_eq!(canon.canonicalize_auto(n), canon);
+        for p in all_permutations(n) {
+            assert_eq!(s.apply_perm(&p).canonicalize_auto(n), canon);
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //!   pruning, parallel synthesis);
 //! * [`protocols`] — the protocol case studies: the paper's directory-based
 //!   MSI cache-coherence skeletons (MSI-small, MSI-large) plus VI, MESI and
-//!   mutual-exclusion models.
+//!   mutual-exclusion models;
+//! * [`spec`] — the declarative front-end: TOML protocol descriptions
+//!   validated into [`spec::ProtocolSpec`] and interpreted as transition
+//!   systems, so new protocols are payloads rather than recompilations.
 //!
 //! ## Quickstart
 //!
@@ -42,3 +45,4 @@
 pub use verc3_core as synth;
 pub use verc3_mck as mck;
 pub use verc3_protocols as protocols;
+pub use verc3_spec as spec;

@@ -1,0 +1,129 @@
+//! The Figure 2 worked example, loaded from `specs/fig2.toml` instead of the
+//! hand-written `GraphModel::worked_example()` — the run table, stats, naive
+//! candidate space and unique solution must all be identical.
+
+use verc3::mck::{GraphModel, Verdict};
+use verc3::spec::ProtocolSpec;
+use verc3::synth::{SynthOptions, Synthesizer};
+
+fn fig2_spec() -> ProtocolSpec {
+    ProtocolSpec::from_path(concat!(env!("CARGO_MANIFEST_DIR"), "/specs/fig2.toml"))
+        .expect("specs/fig2.toml must load")
+}
+
+/// The spec-interpreted model reproduces the paper's Figure 2 run table
+/// exactly, row for row.
+#[test]
+fn spec_fig2_matches_figure_2_run_table() {
+    let model = fig2_spec().model();
+    let report = Synthesizer::new(SynthOptions::default().record_runs(true)).run(&model);
+
+    assert_eq!(report.naive_candidate_space(), 24);
+    assert_eq!(report.stats().evaluated, 10);
+    assert_eq!(report.stats().patterns, 5);
+    assert_eq!(report.solutions().len(), 1);
+    assert_eq!(
+        report.solutions()[0].display_named(report.holes()),
+        "⟨ 1@B, 2@A, 3@B, 4@B ⟩",
+    );
+
+    let expected: &[(&str, Verdict, bool, &[&str])] = &[
+        ("⟨ ⟩", Verdict::Unknown, false, &["1"]),
+        ("⟨ 1@A ⟩", Verdict::Failure, true, &[]),
+        ("⟨ 1@B ⟩", Verdict::Unknown, false, &["2"]),
+        ("⟨ 1@C, 2@? ⟩", Verdict::Failure, true, &[]),
+        ("⟨ 1@B, 2@A ⟩", Verdict::Unknown, false, &["3"]),
+        ("⟨ 1@B, 2@B, 3@? ⟩", Verdict::Failure, true, &[]),
+        ("⟨ 1@B, 2@A, 3@A ⟩", Verdict::Failure, true, &[]),
+        ("⟨ 1@B, 2@A, 3@B ⟩", Verdict::Unknown, false, &["4"]),
+        ("⟨ 1@B, 2@A, 3@B, 4@A ⟩", Verdict::Failure, true, &[]),
+        ("⟨ 1@B, 2@A, 3@B, 4@B ⟩", Verdict::Success, false, &[]),
+    ];
+
+    let log = report.run_log();
+    assert_eq!(log.len(), expected.len(), "run log length");
+    for (i, (rec, (cand, verdict, pattern, discovered))) in
+        log.iter().zip(expected.iter()).enumerate()
+    {
+        assert_eq!(
+            rec.candidate.display_named(report.holes()),
+            *cand,
+            "row {i}: candidate"
+        );
+        assert_eq!(rec.verdict, *verdict, "row {i}: verdict");
+        assert_eq!(rec.pattern_added, *pattern, "row {i}: pattern_added");
+        let disc: Vec<&str> = rec.discovered.iter().map(String::as_str).collect();
+        assert_eq!(disc, *discovered, "row {i}: discovered holes");
+    }
+}
+
+/// The spec-interpreted model and the hand-written graph model produce
+/// byte-identical synthesis reports — serial, naive and parallel.
+#[test]
+fn spec_fig2_is_bit_identical_to_graph_model() {
+    let spec_model = fig2_spec().model();
+    let hand_model = GraphModel::worked_example();
+
+    for opts in [
+        SynthOptions::default().record_runs(true),
+        SynthOptions::default().record_runs(true).pruning(false),
+        SynthOptions::default().record_runs(true).threads(2),
+        SynthOptions::default().record_runs(true).threads(4),
+    ] {
+        let a = Synthesizer::new(opts.clone()).run(&spec_model);
+        let b = Synthesizer::new(opts).run(&hand_model);
+
+        assert_eq!(a.stats().evaluated, b.stats().evaluated);
+        assert_eq!(a.stats().patterns, b.stats().patterns);
+        assert_eq!(a.naive_candidate_space(), b.naive_candidate_space());
+        assert_eq!(a.solutions().len(), b.solutions().len());
+        for (sa, sb) in a.solutions().iter().zip(b.solutions().iter()) {
+            assert_eq!(sa.display_named(a.holes()), sb.display_named(b.holes()));
+        }
+        let rows_a: Vec<_> = a
+            .run_log()
+            .iter()
+            .map(|r| {
+                (
+                    r.candidate.display_named(a.holes()),
+                    r.verdict,
+                    r.pattern_added,
+                    r.discovered.clone(),
+                )
+            })
+            .collect();
+        let rows_b: Vec<_> = b
+            .run_log()
+            .iter()
+            .map(|r| {
+                (
+                    r.candidate.display_named(b.holes()),
+                    r.verdict,
+                    r.pattern_added,
+                    r.discovered.clone(),
+                )
+            })
+            .collect();
+        assert_eq!(rows_a, rows_b);
+    }
+}
+
+/// The committed golden block in the spec agrees with what synthesis finds.
+#[test]
+fn spec_fig2_golden_block_is_accurate() {
+    let spec = fig2_spec();
+    let golden = spec.golden();
+    assert_eq!(golden.verdict.as_deref(), Some("Success"));
+    assert_eq!(golden.synth_evaluated, Some(10));
+    assert_eq!(golden.synth_patterns, Some(5));
+    assert_eq!(golden.synth_solutions, Some(1));
+
+    let report = Synthesizer::new(SynthOptions::default()).run(&spec.model());
+    let named = report.solutions()[0].display_named(report.holes());
+    for (hole, action) in &golden.assignment {
+        assert!(
+            named.contains(&format!("{hole}@{action}")),
+            "golden assignment {hole}@{action} missing from {named}"
+        );
+    }
+}
